@@ -1,0 +1,101 @@
+// Ablation: interrupt-style vs SPDK-style polled completions (the paper's
+// future-work SPDK direction). Sweeps the reactor poll cadence and reports
+// the latency cost and the poll efficiency under a steady workload.
+#include <cstdio>
+#include <iostream>
+
+#include "common/latency.hpp"
+#include "common/table.hpp"
+#include "nvme/fifo_driver.hpp"
+#include "nvme/polling_driver.hpp"
+#include "ssd/device.hpp"
+#include "workload/micro.hpp"
+
+using namespace src;
+using common::IoType;
+
+namespace {
+
+struct Outcome {
+  double read_p50_us = 0.0;
+  double read_p99_us = 0.0;
+  double mean_poll_delay_us = 0.0;
+  double empty_poll_fraction = 0.0;
+};
+
+Outcome run(common::SimTime poll_interval) {
+  sim::Simulator sim;
+  ssd::SsdDevice device(sim, ssd::ssd_b(), 1);  // low-latency drive: the
+                                                // poll delay actually shows
+  nvme::FifoDriver lower(sim, device);
+  common::LatencyRecorder read_latency;
+
+  std::unique_ptr<nvme::UserspacePollingDriver> polled;
+  if (poll_interval > 0) {
+    polled = std::make_unique<nvme::UserspacePollingDriver>(sim, lower, poll_interval);
+    polled->set_completion_handler(
+        [&](const nvme::IoRequest& request, const ssd::NvmeCompletion& completion) {
+          if (request.type == IoType::kRead) {
+            read_latency.record(completion.complete_time - request.arrival);
+          }
+        });
+  } else {
+    lower.set_completion_handler(
+        [&](const nvme::IoRequest& request, const ssd::NvmeCompletion& completion) {
+          if (request.type == IoType::kRead) {
+            read_latency.record(completion.complete_time - request.arrival);
+          }
+        });
+  }
+
+  // Light load: device latency (~tens of us on SSD-B) dominates over
+  // queueing, so the poll-cadence cost is visible in the percentiles.
+  const auto trace = workload::generate_micro(
+      workload::symmetric_micro(400.0, 16.0 * 1024, 3000), 7);
+  for (const auto& rec : trace) {
+    sim.schedule_at(rec.arrival, [&, rec] {
+      nvme::IoRequest request;
+      request.type = rec.type;
+      request.lba = rec.lba;
+      request.bytes = rec.bytes;
+      request.arrival = sim.now();
+      if (polled) polled->submit(request); else lower.submit(request);
+    });
+  }
+  sim.run();
+
+  Outcome outcome;
+  outcome.read_p50_us = read_latency.p50_us();
+  outcome.read_p99_us = read_latency.p99_us();
+  if (polled) {
+    outcome.mean_poll_delay_us = polled->polling_stats().mean_poll_delay_us();
+    outcome.empty_poll_fraction = polled->polling_stats().empty_poll_fraction();
+  }
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation — interrupt vs user-space polled completions (SSD-B)\n\n");
+
+  common::TextTable table({"Completion model", "read p50 us", "read p99 us",
+                           "mean poll delay us", "empty polls"});
+  const Outcome interrupt = run(0);
+  table.add_row({"interrupt (baseline)", common::fmt(interrupt.read_p50_us, 1),
+                 common::fmt(interrupt.read_p99_us, 1), "-", "-"});
+  for (const double poll_us : {1.0, 5.0, 20.0, 100.0}) {
+    const Outcome polled = run(common::microseconds(poll_us));
+    table.add_row({"polled @ " + common::fmt(poll_us, 0) + " us",
+                   common::fmt(polled.read_p50_us, 1),
+                   common::fmt(polled.read_p99_us, 1),
+                   common::fmt(polled.mean_poll_delay_us, 1),
+                   common::fmt(polled.empty_poll_fraction * 100.0, 0) + "%"});
+  }
+  table.print(std::cout);
+
+  std::printf("\nExpected: fine-grained polling matches the interrupt\n"
+              "baseline; the added latency grows with the poll cadence\n"
+              "(~half the interval on average).\n");
+  return 0;
+}

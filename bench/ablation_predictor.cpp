@@ -1,0 +1,87 @@
+// Ablation: Algorithm 1 driven by each of the five regression models.
+// For a set of (workload, demanded rate) scenarios, each model picks a
+// weight ratio via PredictWeightRatio; the chosen ratio is then applied on
+// the standalone rig and the achieved read throughput is compared with the
+// demand. Reported: mean relative control error per model — the quality of
+// the TPM translates directly into control accuracy, which is why the
+// paper adopts the Table I winner.
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "common/table.hpp"
+#include "core/presets.hpp"
+#include "core/src_controller.hpp"
+#include "core/standalone.hpp"
+#include "ml/knn.hpp"
+#include "ml/linear.hpp"
+
+using namespace src;
+
+int main() {
+  std::printf("Ablation — Algorithm 1 with each candidate predictor\n\n");
+  std::printf("collecting training data...\n");
+  const auto data =
+      core::collect_training_data(ssd::ssd_a(), core::default_training_grid());
+
+  std::vector<std::unique_ptr<ml::Regressor>> prototypes;
+  prototypes.push_back(std::make_unique<ml::LinearRegression>());
+  prototypes.push_back(std::make_unique<ml::PolynomialRegression>());
+  prototypes.push_back(std::make_unique<ml::KnnRegressor>(5));
+  prototypes.push_back(std::make_unique<ml::DecisionTreeRegressor>());
+  ml::ForestConfig forest_config;
+  forest_config.n_trees = 100;
+  prototypes.push_back(std::make_unique<ml::RandomForestRegressor>(forest_config));
+
+  // Evaluation scenarios: held-out workloads at several demand levels.
+  struct Scenario {
+    workload::Trace trace;
+    workload::WorkloadFeatures ch;
+  };
+  std::vector<Scenario> scenarios;
+  for (double iat : {11.0, 22.0, 33.0}) {
+    workload::MicroParams params = workload::symmetric_micro(iat, 36.0 * 1024, 6000);
+    params.write.mean_iat_us = iat * 2.0;
+    params.write.count = 3000;
+    Scenario scenario;
+    scenario.trace = workload::generate_micro(params, 1000 + (int)iat);
+    scenario.ch = workload::extract_features(scenario.trace);
+    scenarios.push_back(std::move(scenario));
+  }
+
+  common::TextTable table({"Predictor", "mean control error", "scenarios"});
+  for (const auto& prototype : prototypes) {
+    core::Tpm tpm(*prototype);
+    tpm.fit(data);
+    core::WorkloadMonitor monitor;
+    core::SrcController controller(tpm, monitor);
+
+    double total_error = 0.0;
+    int count = 0;
+    for (const Scenario& scenario : scenarios) {
+      const double r0 = tpm.predict(scenario.ch, 1.0).read_bytes_per_sec;
+      for (double fraction : {0.6, 0.75, 0.9}) {
+        const double demanded = fraction * r0;
+        const std::uint32_t w = controller.predict_weight_ratio(demanded, scenario.ch);
+        core::StandaloneOptions options;
+        options.weight_ratio = w;
+        options.horizon = core::arrival_horizon(scenario.trace);
+        const auto result = core::run_standalone(ssd::ssd_a(), scenario.trace, options);
+        total_error +=
+            std::abs(result.read_rate.as_bytes_per_second() - demanded) / demanded;
+        ++count;
+      }
+    }
+    table.add_row({prototype->name(),
+                   common::fmt(total_error / count * 100.0, 1) + "%",
+                   std::to_string(count)});
+  }
+  table.print(std::cout);
+
+  std::printf("\nExpected: the tree-based predictors (Decision Tree, Random\n"
+              "Forest) give by far the smallest control error, mirroring\n"
+              "Table I's top tier; the forest wins on held-out accuracy\n"
+              "while the single tree's sharper in-distribution fit can edge\n"
+              "it on scenarios close to the training grid.\n");
+  return 0;
+}

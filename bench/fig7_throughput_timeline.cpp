@@ -1,0 +1,74 @@
+// Reproduces Fig. 7: runtime read/write/aggregated throughput under
+// DCQCN-only and DCQCN-SRC for a VDI-like read-intensive workload (one
+// initiator, two targets, SSD-A).
+//
+// Expected shape: read throughput (network-throttled) is similar in both
+// modes; under DCQCN-only the write throughput collapses and with it the
+// aggregate; under DCQCN-SRC writes absorb the SSD capacity the throttled
+// reads cannot use and the aggregate is substantially preserved.
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/presets.hpp"
+
+using namespace src;
+
+namespace {
+
+void print_timeline(const char* label, const core::ExperimentResult& result) {
+  std::printf("--- %s: per-5ms throughput (Gbps) ---\n", label);
+  common::TextTable table({"time [ms]", "read", "write", "aggregate"});
+  const std::size_t bins = std::max(result.read_timeline.bin_count(),
+                                    result.write_timeline.bin_count());
+  for (std::size_t i = 0; i + 5 <= bins; i += 5) {
+    double read = 0.0, write = 0.0;
+    for (std::size_t j = i; j < i + 5; ++j) {
+      if (j < result.read_timeline.bin_count())
+        read += result.read_timeline.bin_rate(j).as_gbps();
+      if (j < result.write_timeline.bin_count())
+        write += result.write_timeline.bin_rate(j).as_gbps();
+    }
+    read /= 5.0;
+    write /= 5.0;
+    table.add_row({std::to_string(i) + "-" + std::to_string(i + 5),
+                   common::fmt(read), common::fmt(write), common::fmt(read + write)});
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Fig. 7 — runtime throughput, DCQCN-only vs DCQCN-SRC\n");
+  std::printf("(VDI-like workload, 1 initiator x 2 targets, SSD-A)\n\n");
+  std::printf("training TPM...\n\n");
+  const core::Tpm tpm = core::train_default_tpm(ssd::ssd_a());
+
+  const auto only = core::run_experiment(core::vdi_experiment(false, nullptr));
+  const auto with_src = core::run_experiment(core::vdi_experiment(true, &tpm));
+
+  print_timeline("DCQCN-only", only);
+  std::printf("\n");
+  print_timeline("DCQCN-SRC", with_src);
+
+  std::printf("\n=== trimmed means (first/last 10%% dropped, paper's method) ===\n");
+  common::TextTable summary({"Mode", "read", "write", "aggregate"});
+  summary.add_row({"DCQCN-only", common::fmt(only.read_rate.as_gbps()) + " Gbps",
+                   common::fmt(only.write_rate.as_gbps()) + " Gbps",
+                   common::fmt(only.aggregate_rate().as_gbps()) + " Gbps"});
+  summary.add_row({"DCQCN-SRC", common::fmt(with_src.read_rate.as_gbps()) + " Gbps",
+                   common::fmt(with_src.write_rate.as_gbps()) + " Gbps",
+                   common::fmt(with_src.aggregate_rate().as_gbps()) + " Gbps"});
+  summary.print(std::cout);
+
+  const double gain = (with_src.aggregate_rate().as_bytes_per_second() -
+                       only.aggregate_rate().as_bytes_per_second()) /
+                      only.aggregate_rate().as_bytes_per_second() * 100.0;
+  std::printf("\naggregate improvement of DCQCN-SRC: %+.0f%%\n", gain);
+  std::printf("SRC weight adjustments applied: %zu\n", with_src.adjustments.size());
+  std::printf("\nPaper reference (Fig. 7): under DCQCN-only the aggregate\n"
+              "drops from ~7.5 to ~2.5 Gbps during congestion; under\n"
+              "DCQCN-SRC it is only slightly decreased.\n");
+  return 0;
+}

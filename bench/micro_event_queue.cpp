@@ -1,0 +1,62 @@
+// Hot-path cost of the discrete-event kernel: schedule/step throughput at
+// several calendar sizes, and cancellation overhead.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+void BM_ScheduleAndDrain(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::uint64_t rng_state = 42;
+  for (auto _ : state) {
+    src::sim::Simulator sim;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto when =
+          static_cast<src::common::SimTime>(src::common::splitmix64(rng_state) % 1'000'000);
+      sim.schedule_at(when, [] {});
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.executed_events());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ScheduleAndDrain)->Arg(1'000)->Arg(10'000)->Arg(100'000);
+
+void BM_SelfRescheduling(benchmark::State& state) {
+  // The common simulator pattern: each event schedules its successor.
+  for (auto _ : state) {
+    src::sim::Simulator sim;
+    std::size_t remaining = 100'000;
+    std::function<void()> tick = [&] {
+      if (--remaining > 0) sim.schedule_in(10, tick);
+    };
+    sim.schedule_at(0, tick);
+    sim.run();
+    benchmark::DoNotOptimize(remaining);
+  }
+  state.SetItemsProcessed(state.iterations() * 100'000);
+}
+BENCHMARK(BM_SelfRescheduling);
+
+void BM_CancelHalf(benchmark::State& state) {
+  std::uint64_t rng_state = 7;
+  for (auto _ : state) {
+    src::sim::Simulator sim;
+    std::vector<src::sim::EventId> ids;
+    ids.reserve(10'000);
+    for (int i = 0; i < 10'000; ++i) {
+      const auto when =
+          static_cast<src::common::SimTime>(src::common::splitmix64(rng_state) % 100'000);
+      ids.push_back(sim.schedule_at(when, [] {}));
+    }
+    for (std::size_t i = 0; i < ids.size(); i += 2) sim.cancel(ids[i]);
+    sim.run();
+    benchmark::DoNotOptimize(sim.executed_events());
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_CancelHalf);
+
+}  // namespace

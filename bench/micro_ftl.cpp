@@ -1,0 +1,93 @@
+// Hot-path cost of the FTL: mapping lookups, log-structured writes, and
+// full GC cycles.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "common/latency.hpp"
+#include "ssd/ftl.hpp"
+
+namespace {
+
+using namespace src::ssd;
+
+FtlConfig bench_config() {
+  FtlConfig config;
+  config.logical_pages = 1 << 16;
+  config.pages_per_block = 64;
+  config.chips = 16;
+  config.overprovision = 0.20;
+  return config;
+}
+
+void BM_FtlWrite(benchmark::State& state) {
+  Ftl ftl(bench_config());
+  src::common::Rng rng(1);
+  for (auto _ : state) {
+    // Keep GC ahead of the allocator, as the device model does.
+    while (ftl.gc_needed()) {
+      const auto plan = ftl.plan_gc();
+      if (!plan) break;
+      for (const auto logical : plan->valid_logical_pages) {
+        ftl.rewrite_for_gc(logical, plan->chip);
+      }
+      ftl.finish_gc(*plan);
+    }
+    benchmark::DoNotOptimize(ftl.write(rng.uniform_index(1 << 16)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FtlWrite);
+
+void BM_FtlTranslate(benchmark::State& state) {
+  Ftl ftl(bench_config());
+  src::common::Rng rng(2);
+  for (int i = 0; i < (1 << 16); ++i) ftl.write(static_cast<std::uint64_t>(i));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ftl.translate(rng.uniform_index(1 << 16)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FtlTranslate);
+
+void BM_FtlGcCycle(benchmark::State& state) {
+  // Cost of one plan -> relocate -> erase round at steady state.
+  Ftl ftl(bench_config());
+  src::common::Rng rng(3);
+  for (int i = 0; i < (1 << 17); ++i) {
+    while (ftl.gc_needed()) {
+      const auto plan = ftl.plan_gc();
+      if (!plan) break;
+      for (const auto logical : plan->valid_logical_pages) {
+        ftl.rewrite_for_gc(logical, plan->chip);
+      }
+      ftl.finish_gc(*plan);
+    }
+    ftl.write(rng.uniform_index(1 << 16));
+  }
+  for (auto _ : state) {
+    // Push writes until GC becomes needed, then time one cycle.
+    while (!ftl.gc_needed()) ftl.write(rng.uniform_index(1 << 16));
+    const auto plan = ftl.plan_gc();
+    if (!plan) continue;
+    for (const auto logical : plan->valid_logical_pages) {
+      ftl.rewrite_for_gc(logical, plan->chip);
+    }
+    ftl.finish_gc(*plan);
+    benchmark::DoNotOptimize(ftl.stats().erases);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FtlGcCycle);
+
+void BM_LatencyRecorder(benchmark::State& state) {
+  src::common::LatencyRecorder recorder;
+  src::common::Rng rng(4);
+  for (auto _ : state) {
+    recorder.record(src::common::microseconds(rng.exponential(200.0)));
+  }
+  benchmark::DoNotOptimize(recorder.p99_us());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LatencyRecorder);
+
+}  // namespace

@@ -1,0 +1,62 @@
+// Packet-level network simulator cost: messages through a star and through
+// the paper-scale Clos, with congestion control active.
+#include <benchmark/benchmark.h>
+
+#include "net/topology.hpp"
+
+namespace {
+
+using namespace src;
+using common::Rate;
+
+void BM_StarMessageDelivery(benchmark::State& state) {
+  const auto message_bytes = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    net::Network network(sim, net::NetConfig{});
+    const auto topo = net::make_star(network, 4, Rate::gbps(40.0), common::kMicrosecond);
+    for (int round = 0; round < 16; ++round) {
+      network.host(topo.hosts[0]).send_message(topo.hosts[1], message_bytes);
+      network.host(topo.hosts[2]).send_message(topo.hosts[3], message_bytes);
+    }
+    sim.run();
+    benchmark::DoNotOptimize(network.host(topo.hosts[1]).stats().bytes_received);
+  }
+  state.SetBytesProcessed(state.iterations() * 32 * static_cast<std::int64_t>(message_bytes));
+}
+BENCHMARK(BM_StarMessageDelivery)->Arg(4'096)->Arg(65'536);
+
+void BM_IncastWithDcqcn(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    net::Network network(sim, net::NetConfig{});
+    const auto topo = net::make_star(network, 5, Rate::gbps(40.0), common::kMicrosecond);
+    for (std::size_t s = 1; s < topo.hosts.size(); ++s) {
+      network.host(topo.hosts[s]).send_message(topo.hosts[0], 1'000'000);
+    }
+    sim.run();
+    benchmark::DoNotOptimize(network.host(topo.hosts[0]).stats().bytes_received);
+  }
+  state.SetBytesProcessed(state.iterations() * 4'000'000);
+}
+BENCHMARK(BM_IncastWithDcqcn)->Unit(benchmark::kMillisecond);
+
+void BM_ClosCrossPodTraffic(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    net::Network network(sim, net::NetConfig{});
+    net::ClosParams params;  // the paper's 256-host fabric
+    const auto topo = net::make_clos(network, params);
+    // 32 cross-pod transfers.
+    for (int i = 0; i < 32; ++i) {
+      network.host(topo.hosts[i]).send_message(
+          topo.hosts[topo.hosts.size() - 1 - i], 100'000);
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.executed_events());
+  }
+  state.SetBytesProcessed(state.iterations() * 3'200'000);
+}
+BENCHMARK(BM_ClosCrossPodTraffic)->Unit(benchmark::kMillisecond);
+
+}  // namespace

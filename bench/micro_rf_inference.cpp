@@ -1,0 +1,68 @@
+// Cost of one TPM prediction (the inner loop of Algorithm 1) and of the
+// full PredictWeightRatio search, plus Random Forest training cost.
+#include <benchmark/benchmark.h>
+
+#include "core/presets.hpp"
+#include "core/src_controller.hpp"
+
+namespace {
+
+using namespace src;
+
+const ml::Dataset& training_data() {
+  static const ml::Dataset data =
+      core::collect_training_data(ssd::ssd_a(), core::default_training_grid(2000));
+  return data;
+}
+
+const core::Tpm& trained_tpm() {
+  static const core::Tpm tpm = [] {
+    core::Tpm tpm;
+    tpm.fit(training_data());
+    return tpm;
+  }();
+  return tpm;
+}
+
+workload::WorkloadFeatures heavy_features() {
+  const auto trace = workload::generate_micro(
+      workload::symmetric_micro(12.0, 40.0 * 1024, 4000), 3);
+  return workload::extract_features(trace);
+}
+
+void BM_TpmPredict(benchmark::State& state) {
+  const auto& tpm = trained_tpm();
+  const auto ch = heavy_features();
+  double w = 1.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tpm.predict(ch, w));
+    w = w < 8.0 ? w + 1.0 : 1.0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TpmPredict);
+
+void BM_PredictWeightRatio(benchmark::State& state) {
+  const auto& tpm = trained_tpm();
+  const auto ch = heavy_features();
+  core::WorkloadMonitor monitor;
+  core::SrcController controller(tpm, monitor);
+  const double demanded = tpm.predict(ch, 1.0).read_bytes_per_sec * 0.4;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(controller.predict_weight_ratio(demanded, ch));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PredictWeightRatio);
+
+void BM_ForestTraining(benchmark::State& state) {
+  const auto& data = training_data();
+  for (auto _ : state) {
+    core::Tpm tpm;
+    tpm.fit(data);
+    benchmark::DoNotOptimize(tpm.fitted());
+  }
+}
+BENCHMARK(BM_ForestTraining)->Unit(benchmark::kMillisecond);
+
+}  // namespace

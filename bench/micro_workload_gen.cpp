@@ -1,0 +1,54 @@
+// Trace generation and feature extraction cost.
+#include <benchmark/benchmark.h>
+
+#include "workload/features.hpp"
+#include "workload/micro.hpp"
+#include "workload/mmpp.hpp"
+
+namespace {
+
+using namespace src;
+
+void BM_MicroTrace(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        workload::generate_micro(workload::symmetric_micro(10.0, 32 * 1024, n), seed++));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(2 * n));
+}
+BENCHMARK(BM_MicroTrace)->Arg(1'000)->Arg(10'000);
+
+void BM_SyntheticTrace(benchmark::State& state) {
+  // Includes the MMPP fit (dominant cost) the first time per parameter set.
+  const auto params = workload::fujitsu_vdi_like(static_cast<std::size_t>(state.range(0)));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(workload::generate_synthetic(params, seed++));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 2);
+}
+BENCHMARK(BM_SyntheticTrace)->Arg(1'000)->Unit(benchmark::kMillisecond);
+
+void BM_Mmpp2Arrivals(benchmark::State& state) {
+  workload::Mmpp2Params params;
+  workload::Mmpp2Generator gen(params, common::Rng(3));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.next_iat_us());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Mmpp2Arrivals);
+
+void BM_FeatureExtraction(benchmark::State& state) {
+  const auto trace = workload::generate_micro(
+      workload::symmetric_micro(10.0, 32 * 1024, 10'000), 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(workload::extract_features(trace));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_FeatureExtraction);
+
+}  // namespace

@@ -1,0 +1,64 @@
+// Hot-path cost of the SSQ driver: submit -> WRR fetch -> device dispatch
+// under a saturated mixed workload, for FIFO vs SSQ and across weights.
+#include <benchmark/benchmark.h>
+
+#include "nvme/fifo_driver.hpp"
+#include "nvme/ssq_driver.hpp"
+#include "ssd/device.hpp"
+
+namespace {
+
+using namespace src;
+
+template <typename Driver>
+void run_mixed(Driver& driver, sim::Simulator& sim, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    nvme::IoRequest request;
+    request.id = i;
+    request.type = i % 2 ? common::IoType::kWrite : common::IoType::kRead;
+    request.lba = (i * 2654435761u) % (1u << 30);
+    request.bytes = 16384;
+    driver.submit(request);
+  }
+  sim.run();
+}
+
+void BM_FifoDriver(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    ssd::SsdDevice device(sim, ssd::ssd_a(), 1);
+    nvme::FifoDriver driver(sim, device);
+    run_mixed(driver, sim, 5'000);
+    benchmark::DoNotOptimize(driver.stats().completed_reads);
+  }
+  state.SetItemsProcessed(state.iterations() * 5'000);
+}
+BENCHMARK(BM_FifoDriver);
+
+void BM_SsqDriver(benchmark::State& state) {
+  const auto weight = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    ssd::SsdDevice device(sim, ssd::ssd_a(), 1);
+    nvme::SsqDriver driver(sim, device, 1, weight);
+    run_mixed(driver, sim, 5'000);
+    benchmark::DoNotOptimize(driver.stats().completed_reads);
+  }
+  state.SetItemsProcessed(state.iterations() * 5'000);
+}
+BENCHMARK(BM_SsqDriver)->Arg(1)->Arg(4)->Arg(8);
+
+void BM_WeightAdjustment(benchmark::State& state) {
+  sim::Simulator sim;
+  ssd::SsdDevice device(sim, ssd::ssd_a(), 1);
+  nvme::SsqDriver driver(sim, device);
+  std::uint32_t w = 1;
+  for (auto _ : state) {
+    driver.set_weight_ratio(w);
+    w = w % 8 + 1;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WeightAdjustment);
+
+}  // namespace

@@ -1,0 +1,77 @@
+// Step-by-step walkthrough of the paper's Algorithm 1
+// (PredictWeightRatio): train a TPM, pick a workload, and watch the search
+// visit weight ratios until the predicted read throughput converges —
+// printing exactly the quantities the paper's listing manipulates
+// (TPUT_R, dis, min_dis, w*).
+//
+// Usage: alg1_walkthrough [demand_fraction_of_R0]
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/presets.hpp"
+#include "core/src_controller.hpp"
+
+int main(int argc, char** argv) {
+  using namespace src;
+  const double fraction = argc > 1 ? std::atof(argv[1]) : 0.5;
+
+  std::printf("Algorithm 1 walkthrough (PredictWeightRatio)\n\n");
+  std::printf("[1/3] training TPM for SSD-A...\n");
+  const core::Tpm tpm = core::train_default_tpm(ssd::ssd_a());
+
+  std::printf("[2/3] workload: heavy mixed stream (12 us IAT, 36 KB)\n");
+  workload::MicroParams params = workload::symmetric_micro(12.0, 36.0 * 1024, 6000);
+  params.write.mean_iat_us = 24.0;
+  params.write.count = 3000;
+  const auto trace = workload::generate_micro(params, 123);
+  const auto ch = workload::extract_features(trace);
+
+  const double r0 = tpm.predict(ch, 1.0).read_bytes_per_sec;
+  const double demanded = fraction * r0;
+  std::printf("      predicted read throughput at w=1 (R0): %.2f Gbps\n",
+              r0 * 8.0 / 1e9);
+  std::printf("      demanded data sending rate r: %.2f Gbps (%.0f%% of R0)\n\n",
+              demanded * 8.0 / 1e9, fraction * 100.0);
+
+  std::printf("[3/3] search (tau = 10%%):\n");
+  common::TextTable table({"w", "TPUT_R Gbps", "TPUT_W Gbps", "dis Gbps",
+                           "min_dis so far", "note"});
+  constexpr double kTau = 0.10;
+  double min_dis = -1.0;
+  std::uint32_t w_star = 1;
+  double prev = 0.0;
+  for (std::uint32_t w = 1; w <= 64; ++w) {
+    const auto prediction = tpm.predict(ch, static_cast<double>(w));
+    const double dis = std::abs(prediction.read_bytes_per_sec - demanded);
+    std::string note;
+    if (w == 1 && prediction.read_bytes_per_sec < demanded) {
+      note = "TPUT_R < r: no throttling needed, return w=1";
+    }
+    if (min_dis < 0.0 || dis < min_dis) {
+      min_dis = dis;
+      w_star = w;
+      if (w > 1) note = "new w*";
+    }
+    table.add_row({std::to_string(w),
+                   common::fmt(prediction.read_bytes_per_sec * 8 / 1e9),
+                   common::fmt(prediction.write_bytes_per_sec * 8 / 1e9),
+                   common::fmt(dis * 8 / 1e9), common::fmt(min_dis * 8 / 1e9),
+                   note});
+    if (w == 1 && prediction.read_bytes_per_sec < demanded) break;
+    if (w > 1 && prev > 0.0 &&
+        std::abs(prev - prediction.read_bytes_per_sec) / prev < kTau) {
+      table.add_row({"", "", "", "", "", "converged (relative change < tau)"});
+      break;
+    }
+    prev = prediction.read_bytes_per_sec;
+  }
+  table.print(std::cout);
+
+  core::WorkloadMonitor monitor;
+  core::SrcController controller(tpm, monitor);
+  std::printf("\ncontroller verdict: w* = %u (matches the walkthrough: %u)\n",
+              controller.predict_weight_ratio(demanded, ch), w_star);
+  return 0;
+}

@@ -1,0 +1,135 @@
+#include "core/experiment.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+namespace src::core {
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  if (!config.trace_for) {
+    throw std::invalid_argument("run_experiment: trace_for is required");
+  }
+  if (config.use_src && (config.tpm == nullptr || !config.tpm->fitted())) {
+    throw std::invalid_argument("run_experiment: SRC mode needs a fitted TPM");
+  }
+
+  sim::Simulator sim;
+  net::Network network(sim, config.net);
+  const net::StarTopology topo = net::make_star(
+      network, config.initiator_count + config.target_count, config.link_rate,
+      config.link_delay);
+
+  fabric::FabricContext context;
+
+  std::vector<std::unique_ptr<fabric::Initiator>> initiators;
+  for (std::size_t i = 0; i < config.initiator_count; ++i) {
+    initiators.push_back(std::make_unique<fabric::Initiator>(
+        network, topo.hosts[i], context));
+  }
+
+  std::vector<net::NodeId> target_nodes;
+  std::vector<std::unique_ptr<fabric::Target>> targets;
+  for (std::size_t t = 0; t < config.target_count; ++t) {
+    const net::NodeId node = topo.hosts[config.initiator_count + t];
+    target_nodes.push_back(node);
+    fabric::TargetConfig target_config;
+    target_config.ssd = config.ssd;
+    target_config.driver_mode =
+        config.use_src ? fabric::DriverMode::kSsq : fabric::DriverMode::kFifo;
+    target_config.device_count = config.devices_per_target;
+    target_config.seed = config.seed + 31 * t;
+    targets.push_back(std::make_unique<fabric::Target>(network, node, context,
+                                                       target_config));
+  }
+
+  ExperimentResult result;
+
+  // Per-target write timeline and, in SRC mode, monitor + controller.
+  std::vector<std::unique_ptr<WorkloadMonitor>> monitors;
+  std::vector<std::unique_ptr<SrcController>> controllers;
+  for (std::size_t t = 0; t < targets.size(); ++t) {
+    fabric::Target& target = *targets[t];
+    target.set_write_complete_listener(
+        [&result](common::SimTime when, std::uint32_t bytes) {
+          result.write_timeline.record(when, bytes);
+        });
+
+    if (!config.use_src) continue;
+
+    monitors.push_back(
+        std::make_unique<WorkloadMonitor>(config.src_params.prediction_window));
+    controllers.push_back(std::make_unique<SrcController>(
+        *config.tpm, *monitors.back(), config.src_params));
+    WorkloadMonitor& monitor = *monitors.back();
+    SrcController& controller = *controllers.back();
+
+    controller.set_weight_setter(
+        [&target](std::uint32_t w) { target.set_weight_ratio(w); });
+    target.set_submit_listener(
+        [&monitor, &sim](const fabric::RequestInfo& info) {
+          monitor.observe(sim.now(), info.type, info.lba, info.bytes);
+        });
+    const double device_share = 1.0 / static_cast<double>(config.devices_per_target);
+    target.set_congestion_listener(
+        [&controller, &sim, device_share](common::Rate demanded, bool decrease) {
+          controller.on_congestion_event(
+              sim.now(), demanded.as_bytes_per_second() * device_share, decrease);
+        });
+  }
+
+  // Replay workloads: each initiator spreads its requests round-robin over
+  // all targets.
+  for (std::size_t i = 0; i < initiators.size(); ++i) {
+    const workload::Trace trace = config.trace_for(i);
+    initiators[i]->run_trace(
+        trace, [&target_nodes](const workload::TraceRecord&, std::size_t index) {
+          return target_nodes[index % target_nodes.size()];
+        });
+  }
+
+  // Run in slices so we can stop as soon as all requests complete.
+  const common::SimTime slice = 5 * common::kMillisecond;
+  common::SimTime deadline = 0;
+  bool all_done = false;
+  while (deadline < config.max_time) {
+    deadline += slice;
+    sim.run_until(deadline);
+    all_done = true;
+    for (const auto& initiator : initiators) {
+      if (!initiator->all_complete()) {
+        all_done = false;
+        break;
+      }
+    }
+    if (all_done || sim.empty()) break;
+  }
+
+  result.completed = all_done;
+  result.end_time = sim.now();
+
+  for (const auto& initiator : initiators) {
+    result.read_timeline.merge(initiator->read_timeline());
+    result.reads_completed += initiator->stats().reads_completed;
+    result.writes_completed += initiator->stats().writes_completed;
+    result.read_latency.merge(initiator->stats().read_latency);
+    result.write_latency.merge(initiator->stats().write_latency);
+  }
+  for (std::size_t t = 0; t < targets.size(); ++t) {
+    result.pause_timeline.merge(targets[t]->pause_timeline());
+    result.total_pauses += targets[t]->stats().pauses_received;
+    result.total_cnps += network.host(target_nodes[t]).stats().cnps_received;
+  }
+  for (const auto& controller : controllers) {
+    result.adjustments.insert(result.adjustments.end(),
+                              controller->adjustments().begin(),
+                              controller->adjustments().end());
+  }
+
+  result.read_timeline.extend_to(result.end_time);
+  result.write_timeline.extend_to(result.end_time);
+  result.read_rate = result.read_timeline.trimmed_mean_rate();
+  result.write_rate = result.write_timeline.trimmed_mean_rate();
+  return result;
+}
+
+}  // namespace src::core

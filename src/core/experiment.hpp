@@ -1,0 +1,69 @@
+// End-to-end experiment driver: builds a star fabric of initiators and
+// targets over the congested network, replays workloads, and measures the
+// paper's metrics — read throughput at initiators, write throughput at
+// targets, aggregated throughput, and pause number — under DCQCN-only or
+// DCQCN-SRC.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "common/latency.hpp"
+#include "common/stats.hpp"
+#include "core/src_controller.hpp"
+#include "core/tpm.hpp"
+#include "fabric/initiator.hpp"
+#include "fabric/target.hpp"
+#include "net/topology.hpp"
+#include "workload/trace.hpp"
+
+namespace src::core {
+
+struct ExperimentConfig {
+  std::size_t initiator_count = 1;
+  std::size_t target_count = 2;
+  ssd::SsdConfig ssd = ssd::ssd_a();
+  std::size_t devices_per_target = 1;
+
+  /// DCQCN-SRC (true) or DCQCN-only (false). SRC requires a fitted TPM.
+  bool use_src = false;
+  const Tpm* tpm = nullptr;
+  SrcParams src_params;
+
+  net::NetConfig net;
+  common::Rate link_rate = common::Rate::gbps(40.0);
+  common::SimTime link_delay = common::kMicrosecond;
+
+  /// Per-initiator workload (index -> trace). Required.
+  std::function<workload::Trace(std::size_t initiator_index)> trace_for;
+
+  /// Safety cap on simulated time.
+  common::SimTime max_time = 5 * common::kSecond;
+  std::uint64_t seed = 1;
+};
+
+struct ExperimentResult {
+  common::ThroughputTimeline read_timeline{common::kMillisecond};
+  common::ThroughputTimeline write_timeline{common::kMillisecond};
+  common::EventTimeline pause_timeline{common::kMillisecond};
+
+  common::Rate read_rate;   ///< trimmed mean, measured at initiators
+  common::Rate write_rate;  ///< trimmed mean, measured at targets
+  common::Rate aggregate_rate() const { return read_rate + write_rate; }
+
+  /// End-to-end latency distributions measured at the initiators.
+  common::LatencyRecorder read_latency;
+  common::LatencyRecorder write_latency;
+
+  std::uint64_t total_pauses = 0;
+  std::uint64_t total_cnps = 0;
+  std::uint64_t reads_completed = 0;
+  std::uint64_t writes_completed = 0;
+  bool completed = false;  ///< all issued requests finished before max_time
+  common::SimTime end_time = 0;
+  std::vector<AdjustmentRecord> adjustments;  ///< SRC weight changes
+};
+
+ExperimentResult run_experiment(const ExperimentConfig& config);
+
+}  // namespace src::core

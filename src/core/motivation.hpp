@@ -1,0 +1,48 @@
+// Analytic model of the paper's motivating example (Fig. 2): an SSD that
+// can complete `ssd_read_rate` reads and `ssd_write_rate` writes per time
+// unit behind a fabric that can ship `fabric_rate` read responses per time
+// unit, under (a) no congestion, (b) DCQCN cutting the fabric rate by
+// `congestion_factor`, and (c) SRC re-allocating the stranded read
+// capacity to writes. Units are requests per time unit, as in the figure.
+#pragma once
+
+#include <algorithm>
+
+namespace src::core {
+
+struct MotivationParams {
+  double ssd_read_rate = 6.0;   ///< reads/unit the SSD can complete
+  double ssd_write_rate = 3.0;  ///< writes/unit the SSD completes by default
+  double fabric_rate = 6.0;     ///< read responses/unit the fabric can carry
+  double congestion_factor = 0.5;  ///< DCQCN's rate cut under congestion
+};
+
+struct MotivationThroughput {
+  double read = 0.0;
+  double write = 0.0;
+  double aggregate() const { return read + write; }
+};
+
+/// Fig. 2-a: fabric unconstrained (up to its full rate).
+inline MotivationThroughput no_congestion(const MotivationParams& p) {
+  return {std::min(p.ssd_read_rate, p.fabric_rate), p.ssd_write_rate};
+}
+
+/// Fig. 2-b: DCQCN throttles the target's sending rate; the SSD keeps
+/// producing read data that strands in the TXQ, and writes continue at
+/// their default rate — aggregate throughput collapses.
+inline MotivationThroughput under_dcqcn(const MotivationParams& p) {
+  const double allowed = p.fabric_rate * p.congestion_factor;
+  return {std::min(p.ssd_read_rate, allowed), p.ssd_write_rate};
+}
+
+/// Fig. 2-c: SRC throttles reads at the SSD to the demanded rate and gives
+/// the freed internal capacity (reads and writes share it) to writes.
+inline MotivationThroughput under_src(const MotivationParams& p) {
+  const double allowed = p.fabric_rate * p.congestion_factor;
+  const double read = std::min(p.ssd_read_rate, allowed);
+  const double total_capacity = p.ssd_read_rate + p.ssd_write_rate;
+  return {read, total_capacity - read};
+}
+
+}  // namespace src::core

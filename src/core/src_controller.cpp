@@ -1,0 +1,59 @@
+#include "core/src_controller.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace src::core {
+
+std::uint32_t SrcController::predict_weight_ratio(
+    double demanded, const workload::WorkloadFeatures& ch) const {
+  // Lines 11-13: w <- 1, w* <- 1, min_dis <- INF.
+  std::uint32_t w = 1;
+  std::uint32_t w_star = 1;
+
+  // Line 14: predict at w = 1.
+  TpmPrediction prediction = tpm_.predict(ch, static_cast<double>(w));
+
+  // Lines 15-17: if the SSD cannot even reach r at equal priority, no
+  // throttling is needed.
+  if (prediction.read_bytes_per_sec < demanded) return w;
+
+  // Line 18.
+  double min_dis = std::abs(prediction.read_bytes_per_sec - demanded);
+
+  // Lines 19-28: increase w until the predicted read throughput converges.
+  double prev_tput = 0.0;
+  double cur_tput = prediction.read_bytes_per_sec;
+  do {
+    ++w;
+    if (w > params_.max_weight_ratio) break;
+    prev_tput = cur_tput;
+    prediction = tpm_.predict(ch, static_cast<double>(w));
+    const double dis = std::abs(prediction.read_bytes_per_sec - demanded);
+    if (dis < min_dis) {
+      min_dis = dis;
+      w_star = w;
+    }
+    cur_tput = prediction.read_bytes_per_sec;
+  } while (prev_tput > 0.0 &&
+           std::abs(prev_tput - cur_tput) / prev_tput >= params_.tau);
+
+  // Line 29.
+  return w_star;
+}
+
+void SrcController::on_congestion_event(common::SimTime now, double demanded,
+                                        bool decrease) {
+  if (now - last_adjust_ < params_.min_adjust_interval) return;
+
+  const workload::WorkloadFeatures ch = monitor_.features(now);
+  const std::uint32_t w = predict_weight_ratio(demanded, ch);
+  last_adjust_ = now;
+  if (w != current_w_) {
+    current_w_ = w;
+    if (setter_) setter_(w);
+  }
+  log_.push_back(AdjustmentRecord{now, demanded, w, decrease});
+}
+
+}  // namespace src::core

@@ -1,0 +1,77 @@
+// SRC dynamic weight adjustment (paper Algorithm 1).
+//
+// PredictWeightRatio: given the demanded data sending rate r from the
+// network congestion controller and the current workload characteristics
+// Ch, search w = 1, 2, 3, ... for the weight ratio whose predicted read
+// throughput is closest to r, stopping once predictions converge (relative
+// change below tau) and returning the argmin.
+//
+// DynamicAdjustment: for each congestion event (pause or retrieval),
+// extract Ch over the previous prediction window and apply the predicted
+// weight ratio to the SSQ.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/tpm.hpp"
+#include "core/workload_monitor.hpp"
+
+namespace src::core {
+
+struct SrcParams {
+  /// Convergence threshold tau on the relative change of predicted read
+  /// throughput between consecutive weight ratios (paper uses 10%).
+  double tau = 0.10;
+  /// Safety bound on the weight-ratio search.
+  std::uint32_t max_weight_ratio = 64;
+  /// Minimum spacing between applied adjustments; congestion notifications
+  /// can arrive per-CNP (~50 us apart) while weight changes act on the
+  /// multi-ms scale, so the controller debounces them.
+  common::SimTime min_adjust_interval = common::kMillisecond;
+  /// Prediction window delta over which the workload monitor collects Ch.
+  common::SimTime prediction_window = 10 * common::kMillisecond;
+};
+
+/// One applied adjustment, for the Fig. 9-style control-delay analysis.
+struct AdjustmentRecord {
+  common::SimTime when = 0;
+  double demanded_bytes_per_sec = 0.0;
+  std::uint32_t weight_ratio = 1;
+  bool decrease = false;  ///< pause (true) vs retrieval (false) event
+};
+
+class SrcController {
+ public:
+  using WeightSetter = std::function<void(std::uint32_t weight_ratio)>;
+
+  SrcController(const Tpm& tpm, WorkloadMonitor& monitor, SrcParams params = {})
+      : tpm_(tpm), monitor_(monitor), params_(params) {}
+
+  void set_weight_setter(WeightSetter fn) { setter_ = std::move(fn); }
+
+  /// Paper Algorithm 1, PredictWeightRatio (lines 10-29).
+  std::uint32_t predict_weight_ratio(double demanded_bytes_per_sec,
+                                     const workload::WorkloadFeatures& ch) const;
+
+  /// Paper Algorithm 1, DynamicAdjustment body for one congestion event.
+  /// `decrease` distinguishes pause from retrieval events (bookkeeping
+  /// only; the search is identical).
+  void on_congestion_event(common::SimTime now, double demanded_bytes_per_sec,
+                           bool decrease);
+
+  std::uint32_t current_weight_ratio() const { return current_w_; }
+  const std::vector<AdjustmentRecord>& adjustments() const { return log_; }
+
+ private:
+  const Tpm& tpm_;
+  WorkloadMonitor& monitor_;
+  SrcParams params_;
+  WeightSetter setter_;
+  std::uint32_t current_w_ = 1;
+  common::SimTime last_adjust_ = -common::kSecond;
+  std::vector<AdjustmentRecord> log_;
+};
+
+}  // namespace src::core

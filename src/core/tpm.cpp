@@ -1,0 +1,152 @@
+#include "core/tpm.hpp"
+
+#include <atomic>
+#include <fstream>
+#include <stdexcept>
+#include <thread>
+
+#include "core/standalone.hpp"
+#include "ml/metrics.hpp"
+
+namespace src::core {
+
+std::vector<double> tpm_row(const workload::WorkloadFeatures& ch, double w) {
+  std::vector<double> row;
+  row.reserve(kTpmFeatureCount);
+  for (double v : ch.as_array()) row.push_back(v);
+  row.push_back(w);
+  return row;
+}
+
+ml::Dataset collect_training_data(const ssd::SsdConfig& config,
+                                  const TrainingGrid& grid) {
+  struct Point {
+    std::size_t trace_index;
+    std::uint32_t weight;
+  };
+  std::vector<Point> points;
+  for (std::size_t t = 0; t < grid.traces.size(); ++t) {
+    for (const std::uint32_t w : grid.weight_ratios) {
+      points.push_back(Point{t, w});
+    }
+  }
+
+  struct Sample {
+    std::vector<double> x;
+    std::array<double, 2> y;
+  };
+  std::vector<Sample> samples(points.size());
+
+  // Features of each trace are computed once (they do not depend on w).
+  std::vector<workload::WorkloadFeatures> features(grid.traces.size());
+  for (std::size_t t = 0; t < grid.traces.size(); ++t) {
+    features[t] = workload::extract_features(grid.traces[t]);
+  }
+
+  std::atomic<std::size_t> cursor{0};
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = cursor.fetch_add(1);
+      if (i >= points.size()) return;
+      const Point point = points[i];
+      StandaloneOptions options;
+      options.weight_ratio = point.weight;
+      options.seed = grid.seed + i;
+      options.horizon = arrival_horizon(grid.traces[point.trace_index]);
+      const StandaloneResult result =
+          run_standalone(config, grid.traces[point.trace_index], options);
+      samples[i].x = tpm_row(features[point.trace_index],
+                             static_cast<double>(point.weight));
+      samples[i].y = {result.read_rate.as_bytes_per_second(),
+                      result.write_rate.as_bytes_per_second()};
+    }
+  };
+
+  const std::size_t thread_count = std::min<std::size_t>(
+      grid.threads > 0 ? grid.threads
+                       : std::max(1u, std::thread::hardware_concurrency()),
+      points.size());
+  if (thread_count <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(thread_count);
+    for (std::size_t i = 0; i < thread_count; ++i) workers.emplace_back(worker);
+    for (auto& w : workers) w.join();
+  }
+
+  ml::Dataset data(kTpmFeatureCount, 2);
+  for (const auto& sample : samples) data.add(sample.x, sample.y);
+  return data;
+}
+
+Tpm::Tpm(ml::ForestConfig forest) : is_forest_(true) {
+  const ml::RandomForestRegressor prototype(forest);
+  model_ = std::make_unique<ml::MultiOutputRegressor>(prototype, 2);
+}
+
+Tpm::Tpm(const ml::Regressor& prototype) {
+  is_forest_ = dynamic_cast<const ml::RandomForestRegressor*>(&prototype) != nullptr;
+  model_ = std::make_unique<ml::MultiOutputRegressor>(prototype, 2);
+}
+
+void Tpm::fit(const ml::Dataset& data) {
+  if (data.feature_count() != kTpmFeatureCount || data.target_count() != 2) {
+    throw std::invalid_argument("Tpm::fit: dataset shape mismatch");
+  }
+  model_->fit(data);
+  fitted_ = true;
+}
+
+TpmPrediction Tpm::predict(const workload::WorkloadFeatures& ch, double w) const {
+  if (!fitted_) throw std::runtime_error("Tpm: not fitted");
+  const std::vector<double> row = tpm_row(ch, w);
+  const std::vector<double> out = model_->predict(row);
+  return TpmPrediction{out[0], out[1]};
+}
+
+std::pair<double, double> Tpm::score(const ml::Dataset& data) const {
+  if (!fitted_) throw std::runtime_error("Tpm: not fitted");
+  return {model_->model(0).score(data, 0), model_->model(1).score(data, 1)};
+}
+
+void Tpm::save_file(const std::string& path) const {
+  if (!is_forest_ || !fitted_) {
+    throw std::runtime_error("Tpm::save_file: only fitted forest TPMs can be saved");
+  }
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("Tpm::save_file: cannot open " + path);
+  out << "tpm 1 " << kTpmFeatureCount << " 2\n";
+  for (std::size_t t = 0; t < 2; ++t) {
+    static_cast<const ml::RandomForestRegressor&>(model_->model(t)).save(out);
+  }
+}
+
+Tpm Tpm::load_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("Tpm::load_file: cannot open " + path);
+  std::string tag;
+  int version = 0;
+  std::size_t features = 0, targets = 0;
+  in >> tag >> version >> features >> targets;
+  if (tag != "tpm" || version != 1 || features != kTpmFeatureCount || targets != 2) {
+    throw std::runtime_error("Tpm::load_file: incompatible model file " + path);
+  }
+  Tpm tpm;  // forest-backed by default
+  for (std::size_t t = 0; t < 2; ++t) {
+    auto& forest = const_cast<ml::RandomForestRegressor&>(
+        static_cast<const ml::RandomForestRegressor&>(tpm.model_->model(t)));
+    forest.load(in);
+  }
+  tpm.fitted_ = true;
+  return tpm;
+}
+
+std::vector<double> Tpm::feature_importances() const {
+  if (!is_forest_ || !fitted_) return {};
+  const auto& forest =
+      static_cast<const ml::RandomForestRegressor&>(model_->model(0));
+  return forest.feature_importances();
+}
+
+}  // namespace src::core

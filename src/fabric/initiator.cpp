@@ -1,0 +1,102 @@
+#include "fabric/initiator.hpp"
+
+namespace src::fabric {
+
+Initiator::Initiator(net::Network& network, net::NodeId host_id,
+                     FabricContext& context)
+    : network_(network), host_id_(host_id), context_(context) {
+  net::Host& host = network_.host(host_id_);
+  host.set_message_handler([this](net::NodeId src, std::uint64_t message_id,
+                                  std::uint64_t bytes, std::uint32_t tag) {
+    on_fabric_message(src, message_id, bytes, tag);
+  });
+  host.set_data_handler([this](net::NodeId, std::uint32_t bytes, std::uint32_t tag) {
+    if (tag == kReadData) {
+      read_timeline_.record(network_.simulator().now(), bytes);
+      stats_.read_bytes_received += bytes;
+    }
+  });
+}
+
+void Initiator::run_trace(const workload::Trace& trace, TargetSelector selector) {
+  auto& sim = network_.simulator();
+  const common::SimTime base = sim.now();
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const workload::TraceRecord rec = trace[i];
+    const net::NodeId target = selector(rec, i);
+    sim.schedule_at(base + rec.arrival, [this, rec, target] {
+      issue_or_defer(rec, target);
+    });
+  }
+}
+
+void Initiator::issue_or_defer(const workload::TraceRecord& rec,
+                               net::NodeId target) {
+  if (max_outstanding_ > 0 && outstanding_ >= max_outstanding_) {
+    deferred_.emplace_back(rec, target);
+    return;
+  }
+  issue(rec.type, rec.lba, rec.bytes, target);
+}
+
+void Initiator::drain_deferred() {
+  while (!deferred_.empty() &&
+         (max_outstanding_ == 0 || outstanding_ < max_outstanding_)) {
+    const auto [rec, target] = deferred_.front();
+    deferred_.pop_front();
+    issue(rec.type, rec.lba, rec.bytes, target);
+  }
+}
+
+std::uint64_t Initiator::issue(common::IoType type, std::uint64_t lba,
+                               std::uint32_t bytes, net::NodeId target) {
+  auto& sim = network_.simulator();
+  RequestInfo info;
+  info.initiator = host_id_;
+  info.target = target;
+  info.type = type;
+  info.lba = lba;
+  info.bytes = bytes;
+  info.issue_time = sim.now();
+  const std::uint64_t request_id = context_.new_request(info);
+  ++outstanding_;
+
+  net::Host& host = network_.host(host_id_);
+  std::uint64_t message_id = 0;
+  if (type == common::IoType::kRead) {
+    ++stats_.reads_issued;
+    // Command capsules ride the command queue pair (channel 1) so they are
+    // not queued behind throttled bulk write data.
+    message_id = host.send_message(target, kCapsuleBytes, kReadCmd, /*channel=*/1);
+  } else {
+    ++stats_.writes_issued;
+    // Write command capsule travels with the data (in-capsule data model).
+    message_id = host.send_message(target, kCapsuleBytes + bytes, kWriteCmd,
+                                   /*channel=*/0);
+  }
+  context_.bind_message(message_id, request_id);
+  return request_id;
+}
+
+void Initiator::on_fabric_message(net::NodeId /*src*/, std::uint64_t message_id,
+                                  std::uint64_t /*bytes*/, std::uint32_t tag) {
+  if (tag != kReadData && tag != kWriteAck) return;
+  const std::uint64_t request_id = context_.take_message_binding(message_id);
+  const RequestInfo& info = context_.request(request_id);
+  const common::SimTime latency = network_.simulator().now() - info.issue_time;
+
+  if (tag == kReadData) {
+    ++stats_.reads_completed;
+    stats_.total_read_latency += latency;
+    stats_.read_latency.record(latency);
+  } else {
+    ++stats_.writes_completed;
+    stats_.total_write_latency += latency;
+    stats_.write_latency.record(latency);
+  }
+  context_.complete_request(request_id);
+  if (outstanding_ > 0) --outstanding_;
+  drain_deferred();
+}
+
+}  // namespace src::fabric

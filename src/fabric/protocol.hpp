@@ -1,0 +1,76 @@
+// NVMe-oF wire protocol model: command capsules, data messages, and the
+// shared fabric context used to correlate request metadata across hosts.
+//
+// Capsules occupy real bytes on the simulated wire; the request metadata
+// (LBA, length) rides out-of-band through FabricContext, which is the usual
+// simulator shortcut — the simulated bytes already account for the capsule.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.hpp"
+#include "net/packet.hpp"
+
+namespace src::fabric {
+
+using common::IoType;
+using common::SimTime;
+using net::NodeId;
+
+/// Message tags on the fabric (net::Packet::tag).
+enum Opcode : std::uint32_t {
+  kReadCmd = 1,   ///< initiator -> target: read command capsule
+  kWriteCmd = 2,  ///< initiator -> target: write command capsule + data
+  kReadData = 3,  ///< target -> initiator: read payload
+  kWriteAck = 4,  ///< target -> initiator: write completion capsule
+};
+
+/// NVMe-oF command capsule size (bytes on the wire).
+inline constexpr std::uint32_t kCapsuleBytes = 64;
+
+struct RequestInfo {
+  std::uint64_t id = 0;
+  NodeId initiator = net::kInvalidNode;
+  NodeId target = net::kInvalidNode;
+  IoType type = IoType::kRead;
+  std::uint64_t lba = 0;
+  std::uint32_t bytes = 0;
+  SimTime issue_time = 0;
+};
+
+/// Shared bookkeeping for one simulated fabric: request-id allocation and
+/// the message-id -> request-id correlation map (consumed on delivery).
+class FabricContext {
+ public:
+  std::uint64_t new_request(RequestInfo info) {
+    info.id = ++next_request_id_;
+    requests_.emplace(info.id, info);
+    return info.id;
+  }
+
+  const RequestInfo& request(std::uint64_t id) const { return requests_.at(id); }
+
+  void complete_request(std::uint64_t id) { requests_.erase(id); }
+
+  void bind_message(std::uint64_t message_id, std::uint64_t request_id) {
+    message_to_request_.emplace(message_id, request_id);
+  }
+
+  /// Resolve and consume the binding for a delivered message.
+  std::uint64_t take_message_binding(std::uint64_t message_id) {
+    const auto it = message_to_request_.find(message_id);
+    const std::uint64_t request_id = it->second;
+    message_to_request_.erase(it);
+    return request_id;
+  }
+
+  std::size_t outstanding_requests() const { return requests_.size(); }
+
+ private:
+  std::uint64_t next_request_id_ = 0;
+  std::unordered_map<std::uint64_t, RequestInfo> requests_;
+  std::unordered_map<std::uint64_t, std::uint64_t> message_to_request_;
+};
+
+}  // namespace src::fabric

@@ -1,0 +1,112 @@
+#include "fabric/target.hpp"
+
+#include <stdexcept>
+
+namespace src::fabric {
+
+Target::Target(net::Network& network, net::NodeId host_id,
+               FabricContext& context, TargetConfig config)
+    : network_(network), host_id_(host_id), context_(context),
+      config_(std::move(config)) {
+  if (config_.device_count == 0) {
+    throw std::invalid_argument("Target: need at least one device");
+  }
+
+  auto& sim = network_.simulator();
+  for (std::size_t i = 0; i < config_.device_count; ++i) {
+    devices_.push_back(std::make_unique<ssd::SsdDevice>(
+        sim, config_.ssd, config_.seed + i * 7919));
+    if (config_.driver_mode == DriverMode::kSsq) {
+      drivers_.push_back(std::make_unique<nvme::SsqDriver>(sim, *devices_.back()));
+    } else {
+      drivers_.push_back(std::make_unique<nvme::FifoDriver>(sim, *devices_.back()));
+    }
+    drivers_.back()->set_completion_handler(
+        [this](const nvme::IoRequest& request, const ssd::NvmeCompletion& completion) {
+          on_request_complete(request, completion);
+        });
+  }
+
+  net::Host& host = network_.host(host_id_);
+  host.set_message_handler([this](net::NodeId src, std::uint64_t message_id,
+                                  std::uint64_t bytes, std::uint32_t tag) {
+    on_fabric_message(src, message_id, bytes, tag);
+  });
+  host.set_pause_handler([this] {
+    ++stats_.pauses_received;
+    ++stats_.congestion_signals;
+    pause_timeline_.record(network_.simulator().now());
+  });
+  host.set_rate_change_handler([this](net::NodeId, common::Rate, bool decrease) {
+    if (decrease) {
+      ++stats_.congestion_signals;
+      pause_timeline_.record(network_.simulator().now());
+    }
+    if (on_congestion_) {
+      // The demanded data sending rate is what DCQCN currently grants this
+      // target across its active flows.
+      on_congestion_(network_.host(host_id_).total_allowed_rate(), decrease);
+    }
+  });
+}
+
+nvme::SsqDriver* Target::ssq_driver(std::size_t i) {
+  return config_.driver_mode == DriverMode::kSsq
+             ? static_cast<nvme::SsqDriver*>(drivers_.at(i).get())
+             : nullptr;
+}
+
+void Target::set_weight_ratio(std::uint32_t w) {
+  if (config_.driver_mode != DriverMode::kSsq) return;
+  for (auto& driver : drivers_) {
+    static_cast<nvme::SsqDriver&>(*driver).set_weight_ratio(w);
+  }
+}
+
+std::size_t Target::device_for(std::uint64_t lba) const {
+  // Stripe whole requests across the flash array by address.
+  return (lba / (1ull << 20)) % devices_.size();
+}
+
+void Target::on_fabric_message(net::NodeId /*src*/, std::uint64_t message_id,
+                               std::uint64_t /*bytes*/, std::uint32_t tag) {
+  if (tag != kReadCmd && tag != kWriteCmd) return;
+  const std::uint64_t request_id = context_.take_message_binding(message_id);
+  const RequestInfo& info = context_.request(request_id);
+
+  nvme::IoRequest request;
+  request.id = request_id;
+  request.type = info.type;
+  request.lba = info.lba;
+  request.bytes = info.bytes;
+  request.arrival = network_.simulator().now();
+  if (on_submit_) on_submit_(info);
+  drivers_[device_for(info.lba)]->submit(request);
+}
+
+void Target::on_request_complete(const nvme::IoRequest& request,
+                                 const ssd::NvmeCompletion& /*completion*/) {
+  const RequestInfo& info = context_.request(request.id);
+  net::Host& host = network_.host(host_id_);
+
+  if (request.type == common::IoType::kRead) {
+    ++stats_.reads_served;
+    stats_.read_bytes += request.bytes;
+    // Ship the data back: this is the inbound flow DCQCN throttles.
+    const std::uint64_t message_id =
+        host.send_message(info.initiator, request.bytes, kReadData, /*channel=*/0);
+    context_.bind_message(message_id, request.id);
+  } else {
+    ++stats_.writes_served;
+    stats_.write_bytes += request.bytes;
+    if (on_write_complete_) {
+      on_write_complete_(network_.simulator().now(), request.bytes);
+    }
+    // Acks ride the command channel so read-data backlog cannot delay them.
+    const std::uint64_t message_id =
+        host.send_message(info.initiator, kCapsuleBytes, kWriteAck, /*channel=*/1);
+    context_.bind_message(message_id, request.id);
+  }
+}
+
+}  // namespace src::fabric

@@ -1,0 +1,104 @@
+// NVMe-oF target (storage node): receives command capsules from the
+// fabric, submits them to its NVMe driver(s)/SSD(s), and returns read data
+// or write acknowledgments. A target may hold several SSD instances (a
+// flash array); requests are striped across devices by LBA hash.
+//
+// Congestion-control plumbing: every DCQCN rate change on this host's
+// outgoing (read-data) flows, and every PFC pause frame, is surfaced
+// through callbacks — the hooks the SRC controller attaches to.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "fabric/protocol.hpp"
+#include "net/network.hpp"
+#include "nvme/driver.hpp"
+#include "nvme/fifo_driver.hpp"
+#include "nvme/ssq_driver.hpp"
+#include "ssd/device.hpp"
+
+namespace src::fabric {
+
+/// Which NVMe driver queueing policy a target uses.
+enum class DriverMode { kFifo, kSsq };
+
+struct TargetConfig {
+  ssd::SsdConfig ssd;
+  DriverMode driver_mode = DriverMode::kFifo;
+  std::size_t device_count = 1;
+  std::uint64_t seed = 1;
+};
+
+struct TargetStats {
+  std::uint64_t reads_served = 0;
+  std::uint64_t writes_served = 0;
+  std::uint64_t read_bytes = 0;
+  std::uint64_t write_bytes = 0;
+  std::uint64_t pauses_received = 0;      ///< PFC pause frames
+  std::uint64_t congestion_signals = 0;   ///< CNP-driven rate cuts + pauses
+};
+
+class Target {
+ public:
+  /// Congestion event from the network layer: current allowed sending rate
+  /// of this target's flows and whether this was a cut (pause-like) or a
+  /// recovery (retrieval-like) event.
+  using CongestionListener = std::function<void(common::Rate demanded, bool decrease)>;
+  /// A request was submitted to the NVMe layer (the SRC workload monitor
+  /// taps this).
+  using SubmitListener = std::function<void(const RequestInfo&)>;
+  /// Write completed on this target's SSD (write throughput is measured at
+  /// targets, per the paper's metric).
+  using WriteCompleteListener = std::function<void(SimTime when, std::uint32_t bytes)>;
+
+  Target(net::Network& network, net::NodeId host_id, FabricContext& context,
+         TargetConfig config);
+
+  net::NodeId node_id() const { return host_id_; }
+  const TargetStats& stats() const { return stats_; }
+  std::size_t device_count() const { return devices_.size(); }
+  ssd::SsdDevice& device(std::size_t i) { return *devices_.at(i); }
+  nvme::NvmeDriver& driver(std::size_t i) { return *drivers_.at(i); }
+
+  /// Non-null only in SSQ mode.
+  nvme::SsqDriver* ssq_driver(std::size_t i);
+
+  /// Set the write weight ratio on every SSQ driver (no-op in FIFO mode).
+  void set_weight_ratio(std::uint32_t w);
+
+  void set_congestion_listener(CongestionListener fn) { on_congestion_ = std::move(fn); }
+  void set_submit_listener(SubmitListener fn) { on_submit_ = std::move(fn); }
+  void set_write_complete_listener(WriteCompleteListener fn) {
+    on_write_complete_ = std::move(fn);
+  }
+
+  /// Timeline of congestion signals received — PFC pause frames plus
+  /// CNP-driven DCQCN rate cuts — in 1 ms bins (the paper's "pause number"
+  /// metric, Fig. 8).
+  const common::EventTimeline& pause_timeline() const { return pause_timeline_; }
+
+ private:
+  void on_fabric_message(net::NodeId src, std::uint64_t message_id,
+                         std::uint64_t bytes, std::uint32_t tag);
+  void on_request_complete(const nvme::IoRequest& request,
+                           const ssd::NvmeCompletion& completion);
+  std::size_t device_for(std::uint64_t lba) const;
+
+  net::Network& network_;
+  net::NodeId host_id_;
+  FabricContext& context_;
+  TargetConfig config_;
+  std::vector<std::unique_ptr<ssd::SsdDevice>> devices_;
+  std::vector<std::unique_ptr<nvme::NvmeDriver>> drivers_;
+  // request id is threaded through the NVMe layer in IoRequest::id.
+  TargetStats stats_;
+  common::EventTimeline pause_timeline_{common::kMillisecond};
+  CongestionListener on_congestion_;
+  SubmitListener on_submit_;
+  WriteCompleteListener on_write_complete_;
+};
+
+}  // namespace src::fabric

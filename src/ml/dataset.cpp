@@ -1,0 +1,28 @@
+#include "ml/dataset.hpp"
+
+namespace src::ml {
+
+std::vector<Fold> k_folds(std::size_t n, std::size_t k, std::uint64_t seed) {
+  if (k < 2 || n < k) throw std::invalid_argument("k_folds: need 2 <= k <= n");
+
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  common::Rng rng(seed);
+  for (std::size_t i = n; i > 1; --i) std::swap(idx[i - 1], idx[rng.uniform_index(i)]);
+
+  std::vector<Fold> folds(k);
+  for (std::size_t f = 0; f < k; ++f) {
+    const std::size_t lo = f * n / k;
+    const std::size_t hi = (f + 1) * n / k;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i >= lo && i < hi) {
+        folds[f].test.push_back(idx[i]);
+      } else {
+        folds[f].train.push_back(idx[i]);
+      }
+    }
+  }
+  return folds;
+}
+
+}  // namespace src::ml

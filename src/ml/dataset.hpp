@@ -1,0 +1,100 @@
+// In-memory regression dataset: an n-by-d feature matrix and an n-by-m
+// target matrix (the TPM has two targets: read and write throughput).
+// Provides the shuffling / splitting / k-fold machinery used for Table I
+// (60/40 split) and Table III (subset cross-validation).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace src::ml {
+
+class Dataset {
+ public:
+  Dataset(std::size_t feature_count, std::size_t target_count = 1)
+      : d_(feature_count), m_(target_count) {
+    if (d_ == 0 || m_ == 0) throw std::invalid_argument("empty dataset shape");
+  }
+
+  void add(std::span<const double> x, std::span<const double> y) {
+    if (x.size() != d_ || y.size() != m_)
+      throw std::invalid_argument("sample shape mismatch");
+    x_.insert(x_.end(), x.begin(), x.end());
+    y_.insert(y_.end(), y.begin(), y.end());
+  }
+
+  void add(std::span<const double> x, double y) { add(x, std::span{&y, 1}); }
+
+  std::size_t size() const { return x_.size() / d_; }
+  std::size_t feature_count() const { return d_; }
+  std::size_t target_count() const { return m_; }
+  bool empty() const { return x_.empty(); }
+
+  std::span<const double> row(std::size_t i) const {
+    return {x_.data() + i * d_, d_};
+  }
+  double target(std::size_t i, std::size_t t = 0) const { return y_[i * m_ + t]; }
+
+  /// Deterministically shuffled row indices.
+  std::vector<std::size_t> shuffled_indices(std::uint64_t seed) const {
+    std::vector<std::size_t> idx(size());
+    for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+    common::Rng rng(seed);
+    for (std::size_t i = idx.size(); i > 1; --i) {
+      std::swap(idx[i - 1], idx[rng.uniform_index(i)]);
+    }
+    return idx;
+  }
+
+  Dataset subset(std::span<const std::size_t> indices) const {
+    Dataset out(d_, m_);
+    out.x_.reserve(indices.size() * d_);
+    out.y_.reserve(indices.size() * m_);
+    for (auto i : indices) {
+      out.x_.insert(out.x_.end(), x_.begin() + static_cast<std::ptrdiff_t>(i * d_),
+                    x_.begin() + static_cast<std::ptrdiff_t>((i + 1) * d_));
+      out.y_.insert(out.y_.end(), y_.begin() + static_cast<std::ptrdiff_t>(i * m_),
+                    y_.begin() + static_cast<std::ptrdiff_t>((i + 1) * m_));
+    }
+    return out;
+  }
+
+  /// Shuffled train/test split; `train_fraction` of rows go to train.
+  std::pair<Dataset, Dataset> split(double train_fraction,
+                                    std::uint64_t seed) const {
+    const auto idx = shuffled_indices(seed);
+    const auto cut =
+        static_cast<std::size_t>(train_fraction * static_cast<double>(idx.size()));
+    return {subset(std::span{idx.data(), cut}),
+            subset(std::span{idx.data() + cut, idx.size() - cut})};
+  }
+
+  /// Append all rows of another dataset with identical shape.
+  void append(const Dataset& other) {
+    if (other.d_ != d_ || other.m_ != m_)
+      throw std::invalid_argument("dataset shape mismatch in append");
+    x_.insert(x_.end(), other.x_.begin(), other.x_.end());
+    y_.insert(y_.end(), other.y_.begin(), other.y_.end());
+  }
+
+ private:
+  std::size_t d_;
+  std::size_t m_;
+  std::vector<double> x_;
+  std::vector<double> y_;
+};
+
+/// k-fold index sets: returns k (train, test) index pairs over n rows,
+/// deterministically shuffled.
+struct Fold {
+  std::vector<std::size_t> train;
+  std::vector<std::size_t> test;
+};
+
+std::vector<Fold> k_folds(std::size_t n, std::size_t k, std::uint64_t seed);
+
+}  // namespace src::ml

@@ -1,0 +1,84 @@
+#include "ml/forest.hpp"
+
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+
+namespace src::ml {
+
+void RandomForestRegressor::fit(const Dataset& data, std::size_t target) {
+  if (data.empty()) throw std::invalid_argument("RandomForest: empty data");
+  dim_ = data.feature_count();
+  const std::size_t n = data.size();
+
+  TreeConfig tree_config;
+  tree_config.max_depth = config_.max_depth;
+  tree_config.min_samples_leaf = config_.min_samples_leaf;
+  tree_config.min_samples_split = config_.min_samples_split;
+  tree_config.max_features =
+      config_.max_features > 0 ? config_.max_features : std::max<std::size_t>(1, dim_ / 3);
+
+  trees_.assign(config_.n_trees, DecisionTreeRegressor{tree_config});
+
+  // Per-tree seeds derived up front so the result is independent of the
+  // thread count and schedule.
+  std::uint64_t seed_state = config_.seed;
+  std::vector<std::uint64_t> tree_seeds(config_.n_trees);
+  for (auto& s : tree_seeds) s = common::splitmix64(seed_state);
+
+  const std::size_t thread_count = std::min<std::size_t>(
+      config_.threads > 0 ? config_.threads
+                          : std::max(1u, std::thread::hardware_concurrency()),
+      config_.n_trees);
+
+  auto train_range = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t t = begin; t < end; ++t) {
+      common::Rng rng(tree_seeds[t]);
+      std::vector<std::size_t> rows(n);
+      if (config_.bootstrap) {
+        for (auto& r : rows) r = rng.uniform_index(n);
+      } else {
+        std::iota(rows.begin(), rows.end(), 0);
+      }
+      TreeConfig per_tree = tree_config;
+      per_tree.seed = rng.next_u64();
+      trees_[t] = DecisionTreeRegressor{per_tree};
+      trees_[t].fit_on(data, target, std::move(rows));
+    }
+  };
+
+  if (thread_count <= 1) {
+    train_range(0, config_.n_trees);
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(thread_count);
+    for (std::size_t w = 0; w < thread_count; ++w) {
+      const std::size_t begin = w * config_.n_trees / thread_count;
+      const std::size_t end = (w + 1) * config_.n_trees / thread_count;
+      workers.emplace_back(train_range, begin, end);
+    }
+    for (auto& worker : workers) worker.join();
+  }
+}
+
+double RandomForestRegressor::predict(std::span<const double> x) const {
+  if (trees_.empty()) throw std::runtime_error("RandomForest: not fitted");
+  double acc = 0.0;
+  for (const auto& tree : trees_) acc += tree.predict(x);
+  return acc / static_cast<double>(trees_.size());
+}
+
+std::vector<double> RandomForestRegressor::feature_importances() const {
+  std::vector<double> importance(dim_, 0.0);
+  for (const auto& tree : trees_) {
+    const auto& decrease = tree.impurity_decrease();
+    for (std::size_t j = 0; j < dim_; ++j) importance[j] += decrease[j];
+  }
+  const double total = std::accumulate(importance.begin(), importance.end(), 0.0);
+  if (total > 0.0) {
+    for (auto& v : importance) v /= total;
+  }
+  return importance;
+}
+
+}  // namespace src::ml

@@ -1,0 +1,56 @@
+// Random Forest regression: bagged CART trees with per-node feature
+// subsampling, averaged predictions, and Breiman (mean impurity decrease)
+// feature importances — the model the paper selects for its TPM.
+// Tree training is parallelized across hardware threads with deterministic
+// per-tree seeds, so results are identical regardless of thread count.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "ml/tree.hpp"
+
+namespace src::ml {
+
+struct ForestConfig {
+  std::size_t n_trees = 100;
+  std::size_t max_depth = 16;
+  std::size_t min_samples_leaf = 1;
+  std::size_t min_samples_split = 2;
+  /// Features per split; 0 = max(1, d/3), the usual regression default.
+  std::size_t max_features = 0;
+  bool bootstrap = true;
+  std::uint64_t seed = 1;
+  /// Training threads; 0 = hardware concurrency.
+  std::size_t threads = 0;
+};
+
+class RandomForestRegressor : public Regressor {
+ public:
+  explicit RandomForestRegressor(ForestConfig config = {}) : config_(config) {}
+
+  void fit(const Dataset& data, std::size_t target = 0) override;
+  double predict(std::span<const double> x) const override;
+  std::unique_ptr<Regressor> clone() const override {
+    return std::make_unique<RandomForestRegressor>(config_);
+  }
+  std::string name() const override { return "Random Forest Regression"; }
+
+  /// Breiman feature importances, normalized to sum to 1 (zero vector when
+  /// no split was ever made).
+  std::vector<double> feature_importances() const;
+
+  std::size_t tree_count() const { return trees_.size(); }
+  const DecisionTreeRegressor& tree(std::size_t i) const { return trees_.at(i); }
+
+  /// Serialize / restore the fitted ensemble (text format).
+  void save(std::ostream& out) const;
+  void load(std::istream& in);
+
+ private:
+  ForestConfig config_;
+  std::vector<DecisionTreeRegressor> trees_;
+  std::size_t dim_ = 0;
+};
+
+}  // namespace src::ml

@@ -1,0 +1,76 @@
+#include "ml/knn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace src::ml {
+
+void KnnRegressor::fit(const Dataset& data, std::size_t target) {
+  if (data.empty()) throw std::invalid_argument("KnnRegressor: empty data");
+  dim_ = data.feature_count();
+  const std::size_t n = data.size();
+
+  mean_.assign(dim_, 0.0);
+  scale_.assign(dim_, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto row = data.row(i);
+    for (std::size_t j = 0; j < dim_; ++j) mean_[j] += row[j];
+  }
+  for (std::size_t j = 0; j < dim_; ++j) mean_[j] /= static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto row = data.row(i);
+    for (std::size_t j = 0; j < dim_; ++j) {
+      scale_[j] += (row[j] - mean_[j]) * (row[j] - mean_[j]);
+    }
+  }
+  for (std::size_t j = 0; j < dim_; ++j) {
+    scale_[j] = std::sqrt(scale_[j] / static_cast<double>(n));
+    if (scale_[j] < 1e-12) scale_[j] = 1.0;
+  }
+
+  x_.assign(n * dim_, 0.0);
+  y_.assign(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto row = data.row(i);
+    for (std::size_t j = 0; j < dim_; ++j) {
+      x_[i * dim_ + j] = (row[j] - mean_[j]) / scale_[j];
+    }
+    y_[i] = data.target(i, target);
+  }
+}
+
+double KnnRegressor::predict(std::span<const double> x) const {
+  if (x.size() != dim_) throw std::invalid_argument("KnnRegressor: dim mismatch");
+  const std::size_t n = y_.size();
+  if (n == 0) throw std::runtime_error("KnnRegressor: not fitted");
+
+  std::vector<double> z(dim_);
+  for (std::size_t j = 0; j < dim_; ++j) z[j] = (x[j] - mean_[j]) / scale_[j];
+
+  const std::size_t k = std::min(k_, n);
+  // Max-heap of the k best (distance, index) pairs.
+  std::vector<std::pair<double, std::size_t>> best;
+  best.reserve(k + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    double dist = 0.0;
+    for (std::size_t j = 0; j < dim_; ++j) {
+      const double diff = x_[i * dim_ + j] - z[j];
+      dist += diff * diff;
+    }
+    if (best.size() < k) {
+      best.emplace_back(dist, i);
+      std::push_heap(best.begin(), best.end());
+    } else if (dist < best.front().first) {
+      std::pop_heap(best.begin(), best.end());
+      best.back() = {dist, i};
+      std::push_heap(best.begin(), best.end());
+    }
+  }
+
+  double acc = 0.0;
+  for (const auto& [dist, idx] : best) acc += y_[idx];
+  return acc / static_cast<double>(best.size());
+}
+
+}  // namespace src::ml

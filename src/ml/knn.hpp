@@ -1,0 +1,31 @@
+// K-Nearest-Neighbor regression with standardized Euclidean distance
+// (brute force; the TPM datasets have only a few thousand rows).
+#pragma once
+
+#include <vector>
+
+#include "ml/regressor.hpp"
+
+namespace src::ml {
+
+class KnnRegressor : public Regressor {
+ public:
+  explicit KnnRegressor(std::size_t k = 5) : k_(k) {}
+
+  void fit(const Dataset& data, std::size_t target = 0) override;
+  double predict(std::span<const double> x) const override;
+  std::unique_ptr<Regressor> clone() const override {
+    return std::make_unique<KnnRegressor>(k_);
+  }
+  std::string name() const override { return "K-Nearest Neighbor"; }
+
+ private:
+  std::size_t k_;
+  std::size_t dim_ = 0;
+  std::vector<double> x_;       ///< standardized, n x dim
+  std::vector<double> y_;
+  std::vector<double> mean_;
+  std::vector<double> scale_;
+};
+
+}  // namespace src::ml

@@ -1,0 +1,161 @@
+#include "ml/linear.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace src::ml {
+
+std::vector<double> solve_linear_system(std::vector<double> a,
+                                        std::vector<double> b, std::size_t n) {
+  if (a.size() != n * n || b.size() != n)
+    throw std::invalid_argument("solve_linear_system: shape mismatch");
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivoting.
+    std::size_t pivot = col;
+    for (std::size_t row = col + 1; row < n; ++row) {
+      if (std::abs(a[row * n + col]) > std::abs(a[pivot * n + col])) pivot = row;
+    }
+    if (std::abs(a[pivot * n + col]) < 1e-300)
+      throw std::runtime_error("solve_linear_system: singular matrix");
+    if (pivot != col) {
+      for (std::size_t k = 0; k < n; ++k) std::swap(a[col * n + k], a[pivot * n + k]);
+      std::swap(b[col], b[pivot]);
+    }
+    for (std::size_t row = col + 1; row < n; ++row) {
+      const double factor = a[row * n + col] / a[col * n + col];
+      if (factor == 0.0) continue;
+      for (std::size_t k = col; k < n; ++k) a[row * n + k] -= factor * a[col * n + k];
+      b[row] -= factor * b[col];
+    }
+  }
+
+  std::vector<double> x(n);
+  for (std::size_t i = n; i-- > 0;) {
+    double acc = b[i];
+    for (std::size_t k = i + 1; k < n; ++k) acc -= a[i * n + k] * x[k];
+    x[i] = acc / a[i * n + i];
+  }
+  return x;
+}
+
+void LinearRegression::fit(const Dataset& data, std::size_t target) {
+  if (data.empty()) throw std::invalid_argument("LinearRegression: empty data");
+  const std::size_t d = data.feature_count();
+  const std::size_t n = data.size();
+
+  // Standardize features (and center the target) so the ridge term and the
+  // pivoting behave uniformly across wildly different feature scales
+  // (read_ratio ~1 vs flow_speed ~1e9).
+  std::vector<double> mean(d, 0.0), scale(d, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto row = data.row(i);
+    for (std::size_t j = 0; j < d; ++j) mean[j] += row[j];
+  }
+  for (std::size_t j = 0; j < d; ++j) mean[j] /= static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto row = data.row(i);
+    for (std::size_t j = 0; j < d; ++j) {
+      scale[j] += (row[j] - mean[j]) * (row[j] - mean[j]);
+    }
+  }
+  for (std::size_t j = 0; j < d; ++j) {
+    scale[j] = std::sqrt(scale[j] / static_cast<double>(n));
+    if (scale[j] < 1e-12) scale[j] = 1.0;  // constant feature
+  }
+
+  double y_mean = 0.0;
+  for (std::size_t i = 0; i < n; ++i) y_mean += data.target(i, target);
+  y_mean /= static_cast<double>(n);
+
+  // Normal equations on standardized, centered data (no intercept column
+  // needed once both sides are centered).
+  std::vector<double> xtx(d * d, 0.0), xty(d, 0.0), z(d);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto row = data.row(i);
+    for (std::size_t j = 0; j < d; ++j) z[j] = (row[j] - mean[j]) / scale[j];
+    const double yc = data.target(i, target) - y_mean;
+    for (std::size_t j = 0; j < d; ++j) {
+      xty[j] += z[j] * yc;
+      for (std::size_t k = j; k < d; ++k) xtx[j * d + k] += z[j] * z[k];
+    }
+  }
+  for (std::size_t j = 0; j < d; ++j) {
+    for (std::size_t k = 0; k < j; ++k) xtx[j * d + k] = xtx[k * d + j];
+    xtx[j * d + j] += lambda_ * static_cast<double>(n);
+  }
+
+  const std::vector<double> beta = solve_linear_system(std::move(xtx), std::move(xty), d);
+
+  // Fold standardization back into raw-space coefficients.
+  coef_.assign(d, 0.0);
+  intercept_ = y_mean;
+  for (std::size_t j = 0; j < d; ++j) {
+    coef_[j] = beta[j] / scale[j];
+    intercept_ -= coef_[j] * mean[j];
+  }
+}
+
+double LinearRegression::predict(std::span<const double> x) const {
+  if (x.size() != coef_.size())
+    throw std::invalid_argument("LinearRegression: feature count mismatch");
+  double acc = intercept_;
+  for (std::size_t j = 0; j < coef_.size(); ++j) acc += coef_[j] * x[j];
+  return acc;
+}
+
+std::vector<double> PolynomialRegression::expand(std::span<const double> x) const {
+  std::vector<double> out;
+  out.reserve(input_dim_ + input_dim_ * (input_dim_ + 1) / 2);
+  std::vector<double> z(input_dim_);
+  for (std::size_t j = 0; j < input_dim_; ++j) z[j] = (x[j] - mean_[j]) / scale_[j];
+  for (std::size_t j = 0; j < input_dim_; ++j) out.push_back(z[j]);
+  for (std::size_t j = 0; j < input_dim_; ++j) {
+    for (std::size_t k = j; k < input_dim_; ++k) out.push_back(z[j] * z[k]);
+  }
+  return out;
+}
+
+void PolynomialRegression::fit(const Dataset& data, std::size_t target) {
+  if (degree_ != 2)
+    throw std::invalid_argument("PolynomialRegression: only degree 2 supported");
+  if (data.empty()) throw std::invalid_argument("PolynomialRegression: empty data");
+  input_dim_ = data.feature_count();
+  const std::size_t n = data.size();
+
+  mean_.assign(input_dim_, 0.0);
+  scale_.assign(input_dim_, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto row = data.row(i);
+    for (std::size_t j = 0; j < input_dim_; ++j) mean_[j] += row[j];
+  }
+  for (std::size_t j = 0; j < input_dim_; ++j) mean_[j] /= static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto row = data.row(i);
+    for (std::size_t j = 0; j < input_dim_; ++j) {
+      scale_[j] += (row[j] - mean_[j]) * (row[j] - mean_[j]);
+    }
+  }
+  for (std::size_t j = 0; j < input_dim_; ++j) {
+    scale_[j] = std::sqrt(scale_[j] / static_cast<double>(n));
+    if (scale_[j] < 1e-12) scale_[j] = 1.0;
+  }
+
+  const std::size_t expanded_dim =
+      input_dim_ + input_dim_ * (input_dim_ + 1) / 2;
+  Dataset expanded(expanded_dim, 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::vector<double> row = expand(data.row(i));
+    expanded.add(row, data.target(i, target));
+  }
+  linear_.fit(expanded, 0);
+}
+
+double PolynomialRegression::predict(std::span<const double> x) const {
+  if (x.size() != input_dim_)
+    throw std::invalid_argument("PolynomialRegression: feature count mismatch");
+  const std::vector<double> row = expand(x);
+  return linear_.predict(row);
+}
+
+}  // namespace src::ml

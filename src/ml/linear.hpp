@@ -1,0 +1,64 @@
+// Linear and Polynomial regression via ridge-regularized normal equations.
+// The dense solver (Gaussian elimination with partial pivoting) lives here
+// too; problem sizes are tiny (d <= ~50).
+#pragma once
+
+#include <vector>
+
+#include "ml/regressor.hpp"
+
+namespace src::ml {
+
+/// Solve A x = b in-place for a dense square system (partial pivoting).
+/// Throws std::runtime_error on a singular system.
+std::vector<double> solve_linear_system(std::vector<double> a,
+                                        std::vector<double> b, std::size_t n);
+
+class LinearRegression : public Regressor {
+ public:
+  explicit LinearRegression(double ridge_lambda = 1e-8)
+      : lambda_(ridge_lambda) {}
+
+  void fit(const Dataset& data, std::size_t target = 0) override;
+  double predict(std::span<const double> x) const override;
+  std::unique_ptr<Regressor> clone() const override {
+    return std::make_unique<LinearRegression>(lambda_);
+  }
+  std::string name() const override { return "Linear Regression"; }
+
+  std::span<const double> coefficients() const { return coef_; }
+  double intercept() const { return intercept_; }
+
+ private:
+  double lambda_;
+  std::vector<double> coef_;
+  double intercept_ = 0.0;
+};
+
+/// Degree-2 polynomial regression: original features + squares + pairwise
+/// products, fitted with the same ridge normal equations.
+class PolynomialRegression : public Regressor {
+ public:
+  explicit PolynomialRegression(int degree = 2, double ridge_lambda = 1e-6)
+      : degree_(degree), linear_(ridge_lambda), lambda_(ridge_lambda) {}
+
+  void fit(const Dataset& data, std::size_t target = 0) override;
+  double predict(std::span<const double> x) const override;
+  std::unique_ptr<Regressor> clone() const override {
+    return std::make_unique<PolynomialRegression>(degree_, lambda_);
+  }
+  std::string name() const override { return "Polynomial Regression"; }
+
+ private:
+  std::vector<double> expand(std::span<const double> x) const;
+
+  int degree_;
+  LinearRegression linear_;
+  double lambda_;
+  std::size_t input_dim_ = 0;
+  // Feature scaling keeps the expanded normal equations well-conditioned.
+  std::vector<double> mean_;
+  std::vector<double> scale_;
+};
+
+}  // namespace src::ml

@@ -1,0 +1,51 @@
+// Regression quality metrics. The paper reports the coefficient of
+// determination (R^2) as "accuracy" in Tables I and III.
+#pragma once
+
+#include <cmath>
+#include <span>
+#include <stdexcept>
+
+namespace src::ml {
+
+/// Coefficient of determination. 1 = perfect; 0 = mean predictor; can be
+/// negative for models worse than the mean.
+inline double r2_score(std::span<const double> y_true,
+                       std::span<const double> y_pred) {
+  if (y_true.size() != y_pred.size() || y_true.empty())
+    throw std::invalid_argument("r2_score: size mismatch");
+  double mean = 0.0;
+  for (double y : y_true) mean += y;
+  mean /= static_cast<double>(y_true.size());
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < y_true.size(); ++i) {
+    ss_res += (y_true[i] - y_pred[i]) * (y_true[i] - y_pred[i]);
+    ss_tot += (y_true[i] - mean) * (y_true[i] - mean);
+  }
+  if (ss_tot == 0.0) return ss_res == 0.0 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+inline double mean_squared_error(std::span<const double> y_true,
+                                 std::span<const double> y_pred) {
+  if (y_true.size() != y_pred.size() || y_true.empty())
+    throw std::invalid_argument("mse: size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < y_true.size(); ++i) {
+    acc += (y_true[i] - y_pred[i]) * (y_true[i] - y_pred[i]);
+  }
+  return acc / static_cast<double>(y_true.size());
+}
+
+inline double mean_absolute_error(std::span<const double> y_true,
+                                  std::span<const double> y_pred) {
+  if (y_true.size() != y_pred.size() || y_true.empty())
+    throw std::invalid_argument("mae: size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < y_true.size(); ++i) {
+    acc += std::abs(y_true[i] - y_pred[i]);
+  }
+  return acc / static_cast<double>(y_true.size());
+}
+
+}  // namespace src::ml

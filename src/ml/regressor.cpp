@@ -1,0 +1,17 @@
+#include "ml/regressor.hpp"
+
+namespace src::ml {
+
+double cross_val_r2(const Regressor& prototype, const Dataset& data,
+                    std::size_t folds, std::uint64_t seed, std::size_t target) {
+  const auto fold_sets = k_folds(data.size(), folds, seed);
+  double total = 0.0;
+  for (const auto& fold : fold_sets) {
+    auto model = prototype.clone();
+    model->fit(data.subset(fold.train), target);
+    total += model->score(data.subset(fold.test), target);
+  }
+  return total / static_cast<double>(fold_sets.size());
+}
+
+}  // namespace src::ml

@@ -1,0 +1,74 @@
+// Common interface for the five regression algorithms the paper compares
+// (Table I): Linear, Polynomial, K-Nearest-Neighbor, Decision Tree and
+// Random Forest regression.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "ml/metrics.hpp"
+
+namespace src::ml {
+
+class Regressor {
+ public:
+  virtual ~Regressor() = default;
+
+  /// Fit against target column `target` of the dataset.
+  virtual void fit(const Dataset& data, std::size_t target = 0) = 0;
+
+  virtual double predict(std::span<const double> x) const = 0;
+
+  /// Fresh unfitted copy with identical hyper-parameters (for CV and
+  /// multi-output wrapping).
+  virtual std::unique_ptr<Regressor> clone() const = 0;
+
+  virtual std::string name() const = 0;
+
+  /// R^2 on a dataset (target column `target`).
+  double score(const Dataset& data, std::size_t target = 0) const {
+    std::vector<double> y_true(data.size()), y_pred(data.size());
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      y_true[i] = data.target(i, target);
+      y_pred[i] = predict(data.row(i));
+    }
+    return r2_score(y_true, y_pred);
+  }
+};
+
+/// Trains one clone of a base regressor per target column, so a single
+/// object predicts the paper's (TPUT_R, TPUT_W) pair.
+class MultiOutputRegressor {
+ public:
+  MultiOutputRegressor(const Regressor& prototype, std::size_t target_count) {
+    for (std::size_t t = 0; t < target_count; ++t) {
+      models_.push_back(prototype.clone());
+    }
+  }
+
+  void fit(const Dataset& data) {
+    for (std::size_t t = 0; t < models_.size(); ++t) models_[t]->fit(data, t);
+  }
+
+  std::vector<double> predict(std::span<const double> x) const {
+    std::vector<double> out(models_.size());
+    for (std::size_t t = 0; t < models_.size(); ++t) out[t] = models_[t]->predict(x);
+    return out;
+  }
+
+  std::size_t target_count() const { return models_.size(); }
+  const Regressor& model(std::size_t t) const { return *models_.at(t); }
+
+ private:
+  std::vector<std::unique_ptr<Regressor>> models_;
+};
+
+/// Mean k-fold cross-validated R^2 of a regressor prototype on one target.
+double cross_val_r2(const Regressor& prototype, const Dataset& data,
+                    std::size_t folds, std::uint64_t seed,
+                    std::size_t target = 0);
+
+}  // namespace src::ml

@@ -1,0 +1,92 @@
+// Text serialization for fitted trees and forests.
+//
+// Format (whitespace-separated, versioned):
+//   tree  := "tree" version dim depth node_count { node } importance...
+//   node  := feature threshold left right value      (feature == -1: leaf)
+//   forest:= "forest" version tree_count { tree }
+// Doubles are written with max_digits10 so round-trips are exact.
+#include <iomanip>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+
+#include "ml/forest.hpp"
+#include "ml/tree.hpp"
+
+namespace src::ml {
+
+namespace {
+constexpr int kVersion = 1;
+
+void expect_tag(std::istream& in, const char* tag) {
+  std::string token;
+  in >> token;
+  if (token != tag) {
+    throw std::runtime_error(std::string("model load: expected '") + tag +
+                             "', got '" + token + "'");
+  }
+  int version = 0;
+  in >> version;
+  if (version != kVersion) {
+    throw std::runtime_error("model load: unsupported version " +
+                             std::to_string(version));
+  }
+}
+}  // namespace
+
+void DecisionTreeRegressor::save(std::ostream& out) const {
+  if (nodes_.empty()) throw std::runtime_error("tree save: not fitted");
+  out << "tree " << kVersion << ' ' << dim_ << ' ' << depth_ << ' '
+      << nodes_.size() << '\n';
+  out << std::setprecision(std::numeric_limits<double>::max_digits10);
+  for (const Node& node : nodes_) {
+    const std::int64_t feature =
+        node.feature == Node::kLeaf ? -1 : static_cast<std::int64_t>(node.feature);
+    out << feature << ' ' << node.threshold << ' ' << node.left << ' '
+        << node.right << ' ' << node.value << '\n';
+  }
+  for (std::size_t j = 0; j < dim_; ++j) {
+    out << importance_[j] << (j + 1 < dim_ ? ' ' : '\n');
+  }
+}
+
+void DecisionTreeRegressor::load(std::istream& in) {
+  expect_tag(in, "tree");
+  std::size_t node_count = 0;
+  in >> dim_ >> depth_ >> node_count;
+  if (!in || dim_ == 0 || node_count == 0) {
+    throw std::runtime_error("tree load: malformed header");
+  }
+  nodes_.assign(node_count, Node{});
+  for (Node& node : nodes_) {
+    std::int64_t feature = 0;
+    in >> feature >> node.threshold >> node.left >> node.right >> node.value;
+    node.feature = feature < 0 ? Node::kLeaf : static_cast<std::uint32_t>(feature);
+    if (node.feature != Node::kLeaf &&
+        (node.left >= node_count || node.right >= node_count ||
+         node.feature >= dim_)) {
+      throw std::runtime_error("tree load: out-of-range node reference");
+    }
+  }
+  importance_.assign(dim_, 0.0);
+  for (std::size_t j = 0; j < dim_; ++j) in >> importance_[j];
+  if (!in) throw std::runtime_error("tree load: truncated input");
+}
+
+void RandomForestRegressor::save(std::ostream& out) const {
+  if (trees_.empty()) throw std::runtime_error("forest save: not fitted");
+  out << "forest " << kVersion << ' ' << trees_.size() << ' ' << dim_ << '\n';
+  for (const DecisionTreeRegressor& tree : trees_) tree.save(out);
+}
+
+void RandomForestRegressor::load(std::istream& in) {
+  expect_tag(in, "forest");
+  std::size_t tree_count = 0;
+  in >> tree_count >> dim_;
+  if (!in || tree_count == 0) throw std::runtime_error("forest load: malformed header");
+  trees_.assign(tree_count, DecisionTreeRegressor{});
+  for (DecisionTreeRegressor& tree : trees_) tree.load(in);
+}
+
+}  // namespace src::ml

@@ -1,0 +1,141 @@
+#include "ml/tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace src::ml {
+
+void DecisionTreeRegressor::fit(const Dataset& data, std::size_t target) {
+  std::vector<std::size_t> rows(data.size());
+  std::iota(rows.begin(), rows.end(), 0);
+  fit_on(data, target, std::move(rows));
+}
+
+void DecisionTreeRegressor::fit_on(const Dataset& data, std::size_t target,
+                                   std::vector<std::size_t> rows) {
+  if (rows.empty()) throw std::invalid_argument("DecisionTree: empty data");
+  dim_ = data.feature_count();
+  depth_ = 0;
+  nodes_.clear();
+  importance_.assign(dim_, 0.0);
+  common::Rng rng(config_.seed);
+  build(data, target, rows, 0, rows.size(), 0, rng);
+}
+
+std::uint32_t DecisionTreeRegressor::build(const Dataset& data,
+                                           std::size_t target,
+                                           std::vector<std::size_t>& rows,
+                                           std::size_t lo, std::size_t hi,
+                                           std::size_t depth,
+                                           common::Rng& rng) {
+  depth_ = std::max(depth_, depth);
+  const std::size_t n = hi - lo;
+
+  double mean = 0.0;
+  for (std::size_t i = lo; i < hi; ++i) mean += data.target(rows[i], target);
+  mean /= static_cast<double>(n);
+
+  const auto node_index = static_cast<std::uint32_t>(nodes_.size());
+  nodes_.push_back(Node{Node::kLeaf, 0.0, 0, 0, mean});
+
+  if (depth >= config_.max_depth || n < config_.min_samples_split) {
+    return node_index;
+  }
+
+  const auto split = best_split(
+      data, target, std::span{rows.data() + lo, n}, rng);
+  if (!split) return node_index;
+
+  // Partition rows in place around the chosen threshold.
+  auto middle = std::partition(
+      rows.begin() + static_cast<std::ptrdiff_t>(lo),
+      rows.begin() + static_cast<std::ptrdiff_t>(hi),
+      [&](std::size_t r) { return data.row(r)[split->feature] <= split->threshold; });
+  const auto mid = static_cast<std::size_t>(middle - rows.begin());
+  if (mid == lo || mid == hi) return node_index;  // degenerate (ties)
+
+  importance_[split->feature] += split->gain;
+
+  const std::uint32_t left = build(data, target, rows, lo, mid, depth + 1, rng);
+  const std::uint32_t right = build(data, target, rows, mid, hi, depth + 1, rng);
+  nodes_[node_index].feature = split->feature;
+  nodes_[node_index].threshold = split->threshold;
+  nodes_[node_index].left = left;
+  nodes_[node_index].right = right;
+  return node_index;
+}
+
+std::optional<DecisionTreeRegressor::Split> DecisionTreeRegressor::best_split(
+    const Dataset& data, std::size_t target, std::span<std::size_t> rows,
+    common::Rng& rng) const {
+  const std::size_t n = rows.size();
+
+  // Candidate features: all, or a random subset of size max_features.
+  std::vector<std::uint32_t> features(dim_);
+  std::iota(features.begin(), features.end(), 0u);
+  std::size_t feature_count = dim_;
+  if (config_.max_features > 0 && config_.max_features < dim_) {
+    for (std::size_t i = 0; i < config_.max_features; ++i) {
+      const std::size_t j = i + rng.uniform_index(dim_ - i);
+      std::swap(features[i], features[j]);
+    }
+    feature_count = config_.max_features;
+  }
+
+  double total_sum = 0.0, total_sq = 0.0;
+  for (auto r : rows) {
+    const double y = data.target(r, target);
+    total_sum += y;
+    total_sq += y * y;
+  }
+  const double parent_impurity =
+      total_sq - total_sum * total_sum / static_cast<double>(n);
+
+  std::optional<Split> best;
+  std::vector<std::pair<double, double>> points(n);  // (x, y)
+  for (std::size_t f = 0; f < feature_count; ++f) {
+    const std::uint32_t feature = features[f];
+    for (std::size_t i = 0; i < n; ++i) {
+      points[i] = {data.row(rows[i])[feature], data.target(rows[i], target)};
+    }
+    std::sort(points.begin(), points.end());
+    if (points.front().first == points.back().first) continue;  // constant
+
+    double left_sum = 0.0, left_sq = 0.0;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      left_sum += points[i].second;
+      left_sq += points[i].second * points[i].second;
+      if (points[i].first == points[i + 1].first) continue;  // no boundary
+      const std::size_t nl = i + 1, nr = n - nl;
+      if (nl < config_.min_samples_leaf || nr < config_.min_samples_leaf) continue;
+
+      const double right_sum = total_sum - left_sum;
+      const double right_sq = total_sq - left_sq;
+      const double impurity =
+          (left_sq - left_sum * left_sum / static_cast<double>(nl)) +
+          (right_sq - right_sum * right_sum / static_cast<double>(nr));
+      const double gain = parent_impurity - impurity;
+      if (!best || gain > best->gain) {
+        best = Split{feature,
+                     0.5 * (points[i].first + points[i + 1].first), gain};
+      }
+    }
+  }
+  if (best && best->gain <= 0.0) return std::nullopt;
+  return best;
+}
+
+double DecisionTreeRegressor::predict(std::span<const double> x) const {
+  if (nodes_.empty()) throw std::runtime_error("DecisionTree: not fitted");
+  if (x.size() != dim_) throw std::invalid_argument("DecisionTree: dim mismatch");
+  std::uint32_t node = 0;
+  while (nodes_[node].feature != Node::kLeaf) {
+    node = x[nodes_[node].feature] <= nodes_[node].threshold ? nodes_[node].left
+                                                             : nodes_[node].right;
+  }
+  return nodes_[node].value;
+}
+
+}  // namespace src::ml

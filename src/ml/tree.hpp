@@ -1,0 +1,84 @@
+// CART regression tree: greedy binary splits minimizing within-node
+// variance (equivalently, maximizing weighted impurity decrease). Supports
+// per-node feature subsampling so RandomForestRegressor can reuse it, and
+// records per-feature impurity decrease for Breiman feature importances.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ml/regressor.hpp"
+
+namespace src::ml {
+
+struct TreeConfig {
+  std::size_t max_depth = 16;
+  std::size_t min_samples_split = 2;
+  std::size_t min_samples_leaf = 1;
+  /// Number of features examined per split; 0 = all features.
+  std::size_t max_features = 0;
+  std::uint64_t seed = 1;
+};
+
+class DecisionTreeRegressor : public Regressor {
+ public:
+  explicit DecisionTreeRegressor(TreeConfig config = {}) : config_(config) {}
+
+  void fit(const Dataset& data, std::size_t target = 0) override;
+
+  /// Fit on a row subset (bootstrap sample); used by the forest.
+  void fit_on(const Dataset& data, std::size_t target,
+              std::vector<std::size_t> rows);
+
+  double predict(std::span<const double> x) const override;
+  std::unique_ptr<Regressor> clone() const override {
+    return std::make_unique<DecisionTreeRegressor>(config_);
+  }
+  std::string name() const override { return "Decision Tree Regression"; }
+
+  /// Total impurity decrease attributed to each feature (unnormalized).
+  const std::vector<double>& impurity_decrease() const { return importance_; }
+
+  /// Serialize the fitted tree (text format; see ml/serialize.cpp).
+  void save(std::ostream& out) const;
+  /// Restore a fitted tree; replaces any existing state.
+  void load(std::istream& in);
+
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t depth() const { return depth_; }
+
+ private:
+  struct Node {
+    // Leaf when feature == kLeaf.
+    static constexpr std::uint32_t kLeaf = ~0u;
+    std::uint32_t feature = kLeaf;
+    double threshold = 0.0;
+    std::uint32_t left = 0;
+    std::uint32_t right = 0;
+    double value = 0.0;
+  };
+
+  struct Split {
+    std::uint32_t feature = 0;
+    double threshold = 0.0;
+    double gain = 0.0;  ///< impurity decrease, weighted by sample count
+  };
+
+  std::uint32_t build(const Dataset& data, std::size_t target,
+                      std::vector<std::size_t>& rows, std::size_t lo,
+                      std::size_t hi, std::size_t depth, common::Rng& rng);
+  std::optional<Split> best_split(const Dataset& data, std::size_t target,
+                                  std::span<std::size_t> rows,
+                                  common::Rng& rng) const;
+
+  TreeConfig config_;
+  std::size_t dim_ = 0;
+  std::size_t depth_ = 0;
+  std::vector<Node> nodes_;
+  std::vector<double> importance_;
+};
+
+}  // namespace src::ml

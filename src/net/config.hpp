@@ -1,0 +1,63 @@
+// Tunables for the network fabric: MTU, ECN marking thresholds, PFC
+// pause thresholds, and the DCQCN rate-control parameters.
+//
+// The DCQCN constants follow Zhu et al. (SIGCOMM'15) in structure; the
+// increase timers/steps are scaled so that recovery dynamics play out on
+// the millisecond timescale of the paper's experiments (the paper's own
+// NS3 configuration does the same).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace src::net {
+
+using common::Rate;
+using common::SimTime;
+
+struct EcnConfig {
+  std::uint64_t kmin_bytes = 40ull * 1024;   ///< start marking above this
+  std::uint64_t kmax_bytes = 200ull * 1024;  ///< mark with pmax above this
+  double pmax = 0.2;
+  bool enabled = true;
+};
+
+struct PfcConfig {
+  std::uint64_t xoff_bytes = 256ull * 1024;  ///< pause upstream above this
+  std::uint64_t xon_bytes = 128ull * 1024;   ///< resume below this
+  bool enabled = true;
+};
+
+struct DcqcnParams {
+  bool enabled = true;
+  double g = 1.0 / 256.0;               ///< alpha EWMA gain
+  SimTime alpha_timer = 55 * common::kMicrosecond;
+  SimTime rate_timer = 600 * common::kMicrosecond;  ///< increase timer
+  std::uint64_t byte_counter = 256ull * 1024;       ///< increase byte window
+  std::uint32_t fast_recovery_stages = 5;           ///< F
+  Rate rate_ai = Rate::mbps(100.0);     ///< additive increase step
+  Rate rate_hai = Rate::mbps(500.0);    ///< hyper increase step
+  Rate min_rate = Rate::mbps(50.0);
+  SimTime cnp_interval = 50 * common::kMicrosecond;  ///< receiver CNP pacing
+};
+
+struct DctcpConfig {
+  double g = 1.0 / 16.0;  ///< alpha EWMA gain
+  SimTime observation_window = 100 * common::kMicrosecond;
+  Rate additive_increase = Rate::mbps(100.0);
+  Rate min_rate = Rate::mbps(50.0);
+};
+
+struct NetConfig {
+  std::uint32_t mtu_bytes = 1024;
+  EcnConfig ecn;
+  PfcConfig pfc;
+  DcqcnParams dcqcn;
+  DctcpConfig dctcp;
+  /// Which end-host congestion control the hosts run (default: the
+  /// paper's DCQCN; DCTCP is provided for the congestion-control ablation).
+  int cc_algorithm = 0;  ///< 0 = DCQCN, 1 = DCTCP (net::CcAlgorithm)
+};
+
+}  // namespace src::net

@@ -1,0 +1,141 @@
+// DCQCN per-flow sender-side rate controller (Zhu et al., SIGCOMM'15).
+//
+// On every CNP the current rate is cut by a factor (1 - alpha/2) and the
+// congestion estimate alpha rises; without CNPs alpha decays on the alpha
+// timer and the rate recovers through fast recovery (halving toward the
+// target rate), additive increase, and hyper increase, driven by both a
+// rate timer and a byte counter.
+//
+// The controller is substrate-agnostic: it owns its timers on the provided
+// Simulator and reports every rate change through a callback, which is the
+// hook the fabric layer uses to feed congestion events into SRC.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+
+#include "net/config.hpp"
+#include "net/rate_control.hpp"
+#include "sim/simulator.hpp"
+
+namespace src::net {
+
+class DcqcnController final : public RateController {
+ public:
+  DcqcnController(sim::Simulator& sim, const DcqcnParams& params, Rate line_rate)
+      : sim_(sim), params_(params), line_rate_(line_rate),
+        current_(line_rate), target_(line_rate) {}
+
+  ~DcqcnController() override { stop_timers(); }
+
+  DcqcnController(const DcqcnController&) = delete;
+  DcqcnController& operator=(const DcqcnController&) = delete;
+
+  void set_rate_change_handler(RateChangeFn fn) override {
+    on_rate_change_ = std::move(fn);
+  }
+
+  Rate current_rate() const override { return current_; }
+
+  /// RateController: DCQCN's congestion feedback is the CNP.
+  void on_congestion_feedback() override { on_cnp(); }
+  Rate target_rate() const { return target_; }
+  double alpha() const { return alpha_; }
+  std::uint64_t cnps_received() const { return cnps_; }
+
+  /// Receiver fed back an ECN mark for this flow.
+  void on_cnp() {
+    if (!params_.enabled) return;
+    ++cnps_;
+    target_ = current_;
+    current_ = std::max(params_.min_rate, current_ * (1.0 - alpha_ / 2.0));
+    alpha_ = (1.0 - params_.g) * alpha_ + params_.g;
+    timer_stage_ = 0;
+    byte_stage_ = 0;
+    bytes_since_increase_ = 0;
+    notify(true);
+    restart_timers();
+  }
+
+  /// Sender transmitted `bytes` of this flow (drives the byte counter).
+  void on_bytes_sent(std::uint64_t bytes) override {
+    if (!params_.enabled || !recovering()) return;
+    bytes_since_increase_ += bytes;
+    while (bytes_since_increase_ >= params_.byte_counter) {
+      bytes_since_increase_ -= params_.byte_counter;
+      ++byte_stage_;
+      increase();
+      if (!recovering()) break;
+    }
+  }
+
+ private:
+  bool recovering() const { return current_ < line_rate_; }
+
+  void notify(bool decrease) {
+    if (on_rate_change_) on_rate_change_(current_, decrease);
+  }
+
+  /// One step of the DCQCN increase state machine.
+  void increase() {
+    const std::uint32_t stage = std::max(timer_stage_, byte_stage_);
+    if (stage > params_.fast_recovery_stages) {
+      // Past fast recovery: grow the target, hyper-growth once both the
+      // timer and the byte counter have cleared F stages.
+      const bool hyper = std::min(timer_stage_, byte_stage_) > params_.fast_recovery_stages;
+      target_ = std::min(line_rate_, target_ + (hyper ? params_.rate_hai : params_.rate_ai));
+    }
+    current_ = std::min(line_rate_, (current_ + target_) / 2.0);
+    if (!recovering()) {
+      current_ = line_rate_;
+      target_ = line_rate_;
+      stop_timers();
+    }
+    notify(false);
+  }
+
+  void restart_timers() {
+    stop_timers();
+    alpha_event_ = sim_.schedule_in(params_.alpha_timer, [this] { alpha_tick(); });
+    rate_event_ = sim_.schedule_in(params_.rate_timer, [this] { rate_tick(); });
+  }
+
+  void stop_timers() {
+    sim_.cancel(alpha_event_);
+    sim_.cancel(rate_event_);
+    alpha_event_ = {};
+    rate_event_ = {};
+  }
+
+  void alpha_tick() {
+    alpha_ = (1.0 - params_.g) * alpha_;
+    if (recovering()) {
+      alpha_event_ = sim_.schedule_in(params_.alpha_timer, [this] { alpha_tick(); });
+    }
+  }
+
+  void rate_tick() {
+    ++timer_stage_;
+    increase();
+    if (recovering()) {
+      rate_event_ = sim_.schedule_in(params_.rate_timer, [this] { rate_tick(); });
+    }
+  }
+
+  sim::Simulator& sim_;
+  DcqcnParams params_;
+  Rate line_rate_;
+  Rate current_;
+  Rate target_;
+  double alpha_ = 1.0;
+  std::uint32_t timer_stage_ = 0;
+  std::uint32_t byte_stage_ = 0;
+  std::uint64_t bytes_since_increase_ = 0;
+  std::uint64_t cnps_ = 0;
+  sim::EventId alpha_event_;
+  sim::EventId rate_event_;
+  RateChangeFn on_rate_change_;
+};
+
+}  // namespace src::net

@@ -1,0 +1,104 @@
+// Rate-based DCTCP approximation (Alizadeh et al., SIGCOMM'10).
+//
+// The canonical DCTCP is window-based; this simulator paces flows by rate,
+// so the controller keeps DCTCP's defining feature — the EWMA estimate
+// alpha of the *fraction* of ECN-marked packets — and applies it per
+// observation window: a window containing marks multiplies the rate by
+// (1 - alpha/2); a mark-free window adds an additive increase step.
+// Receivers echo every mark (no CNP pacing), as DCTCP's ACKs do.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "net/rate_control.hpp"
+#include "sim/simulator.hpp"
+
+namespace src::net {
+
+struct DctcpParams {
+  double g = 1.0 / 16.0;  ///< alpha EWMA gain (DCTCP's default)
+  common::SimTime observation_window = 100 * common::kMicrosecond;  ///< ~RTT
+  common::Rate additive_increase = common::Rate::mbps(100.0);
+  common::Rate min_rate = common::Rate::mbps(50.0);
+};
+
+class DctcpController final : public RateController {
+ public:
+  DctcpController(sim::Simulator& sim, const DctcpParams& params,
+                  common::Rate line_rate)
+      : sim_(sim), params_(params), line_rate_(line_rate), current_(line_rate) {}
+
+  ~DctcpController() override { sim_.cancel(window_event_); }
+
+  DctcpController(const DctcpController&) = delete;
+  DctcpController& operator=(const DctcpController&) = delete;
+
+  void set_rate_change_handler(RateChangeFn fn) override {
+    on_rate_change_ = std::move(fn);
+  }
+
+  common::Rate current_rate() const override { return current_; }
+  double alpha() const { return alpha_; }
+  std::uint64_t echoes_received() const { return echoes_; }
+
+  void on_congestion_feedback() override {
+    ++echoes_;
+    ++marked_in_window_;
+    arm_window();
+  }
+
+  void on_bytes_sent(std::uint64_t bytes) override {
+    (void)bytes;
+    ++sent_in_window_;
+    if (current_ < line_rate_) arm_window();
+  }
+
+ private:
+  void arm_window() {
+    if (window_armed_) return;
+    window_armed_ = true;
+    window_event_ = sim_.schedule_in(params_.observation_window, [this] {
+      window_armed_ = false;
+      end_window();
+    });
+  }
+
+  void end_window() {
+    const double fraction =
+        sent_in_window_ == 0
+            ? (marked_in_window_ > 0 ? 1.0 : 0.0)
+            : std::min(1.0, static_cast<double>(marked_in_window_) /
+                                static_cast<double>(sent_in_window_));
+    alpha_ = (1.0 - params_.g) * alpha_ + params_.g * fraction;
+
+    if (marked_in_window_ > 0) {
+      current_ = std::max(params_.min_rate, current_ * (1.0 - alpha_ / 2.0));
+      notify(true);
+    } else if (current_ < line_rate_) {
+      current_ = std::min(line_rate_, current_ + params_.additive_increase);
+      notify(false);
+    }
+    marked_in_window_ = 0;
+    sent_in_window_ = 0;
+    if (current_ < line_rate_) arm_window();
+  }
+
+  void notify(bool decrease) {
+    if (on_rate_change_) on_rate_change_(current_, decrease);
+  }
+
+  sim::Simulator& sim_;
+  DctcpParams params_;
+  common::Rate line_rate_;
+  common::Rate current_;
+  double alpha_ = 0.0;
+  std::uint64_t marked_in_window_ = 0;
+  std::uint64_t sent_in_window_ = 0;
+  std::uint64_t echoes_ = 0;
+  bool window_armed_ = false;
+  sim::EventId window_event_;
+  RateChangeFn on_rate_change_;
+};
+
+}  // namespace src::net

@@ -1,0 +1,181 @@
+#include "net/host.hpp"
+
+#include <algorithm>
+
+namespace src::net {
+
+Host::Flow& Host::flow_to(NodeId dst, std::uint32_t channel) {
+  const std::uint64_t key = flow_key(dst, channel);
+  if (auto it = flows_.find(key); it != flows_.end()) return it->second;
+
+  Flow flow;
+  flow.id = ++*id_source_;
+  flow.dst = dst;
+  if (config_.cc_algorithm == static_cast<int>(CcAlgorithm::kDctcp)) {
+    DctcpParams params;
+    params.g = config_.dctcp.g;
+    params.observation_window = config_.dctcp.observation_window;
+    params.additive_increase = config_.dctcp.additive_increase;
+    params.min_rate = config_.dctcp.min_rate;
+    flow.cc = std::make_unique<DctcpController>(sim_, params, port(0).rate());
+  } else {
+    flow.cc = std::make_unique<DcqcnController>(sim_, config_.dcqcn, port(0).rate());
+  }
+  flow.cc->set_rate_change_handler([this, dst](Rate rate, bool decrease) {
+    if (on_rate_change_) on_rate_change_(dst, rate, decrease);
+    if (!decrease) pump();  // a recovered rate may unblock pacing
+  });
+
+  auto [it, inserted] = flows_.emplace(key, std::move(flow));
+  flows_by_id_[it->second.id] = &it->second;
+  flow_order_.push_back(key);
+  return it->second;
+}
+
+std::uint64_t Host::send_message(NodeId dst, std::uint64_t bytes, std::uint32_t tag,
+                                 std::uint32_t channel) {
+  Flow& flow = flow_to(dst, channel);
+  const std::uint64_t message_id = ++*id_source_;
+  flow.messages.push_back(Message{message_id, bytes, tag});
+  flow.queued_bytes += bytes;
+  ++stats_.messages_sent;
+  pump();
+  return message_id;
+}
+
+void Host::pump() {
+  Port& uplink = port(0);
+  SimTime earliest_wake = common::kTimeInfinity;
+
+  while (uplink.queue_packets() < kPortQueueTarget) {
+    // Round-robin over flows with backlog whose pacing gate is open.
+    Flow* chosen = nullptr;
+    earliest_wake = common::kTimeInfinity;
+    for (std::size_t i = 0; i < flow_order_.size(); ++i) {
+      Flow& flow = flows_.at(flow_order_[(rr_next_ + i) % flow_order_.size()]);
+      if (flow.messages.empty()) continue;
+      if (flow.next_allowed <= sim_.now()) {
+        chosen = &flow;
+        rr_next_ = (rr_next_ + i + 1) % flow_order_.size();
+        break;
+      }
+      earliest_wake = std::min(earliest_wake, flow.next_allowed);
+    }
+    if (chosen == nullptr) break;
+
+    Message& message = chosen->messages.front();
+    const auto chunk = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(config_.mtu_bytes, message.remaining));
+
+    Packet packet;
+    packet.kind = PacketKind::kData;
+    packet.src = id();
+    packet.dst = chosen->dst;
+    packet.flow_id = chosen->id;
+    packet.message_id = message.id;
+    packet.bytes = chunk;
+    packet.tag = message.tag;
+    message.remaining -= chunk;
+    chosen->queued_bytes -= chunk;
+    if (message.remaining == 0) {
+      packet.last_of_message = true;
+      chosen->messages.pop_front();
+    }
+
+    stats_.bytes_sent += chunk;
+    chosen->cc->on_bytes_sent(packet.wire_bytes());
+    chosen->next_allowed =
+        sim_.now() + chosen->cc->current_rate().transmission_time(packet.wire_bytes());
+    uplink.enqueue(packet);
+  }
+
+  // Nothing sendable right now: wake when the earliest pacing gate opens.
+  sim_.cancel(wake_event_);
+  wake_event_ = {};
+  if (earliest_wake != common::kTimeInfinity) {
+    wake_event_ = sim_.schedule_at(earliest_wake, [this] { pump(); });
+  }
+}
+
+void Host::receive(Packet packet, std::int32_t /*ingress_port*/) {
+  switch (packet.kind) {
+    case PacketKind::kPause:
+      ++stats_.pauses_received;
+      port(0).pause();
+      if (on_pause_) on_pause_();
+      return;
+    case PacketKind::kResume:
+      port(0).resume();
+      return;
+    case PacketKind::kCnp: {
+      ++stats_.cnps_received;
+      if (auto it = flows_by_id_.find(packet.flow_id); it != flows_by_id_.end()) {
+        it->second->cc->on_congestion_feedback();
+      }
+      return;
+    }
+    case PacketKind::kData:
+      break;
+  }
+
+  stats_.bytes_received += packet.bytes;
+  if (packet.ecn_marked) {
+    ++stats_.ecn_marked_received;
+    send_cnp(packet);
+  }
+  if (on_data_) on_data_(packet.src, packet.bytes, packet.tag);
+
+  auto& accumulated = rx_message_bytes_[packet.message_id];
+  accumulated += packet.bytes;
+  if (packet.last_of_message) {
+    const std::uint64_t total = accumulated;
+    rx_message_bytes_.erase(packet.message_id);
+    ++stats_.messages_received;
+    if (on_message_) on_message_(packet.src, packet.message_id, total, packet.tag);
+  }
+}
+
+void Host::send_cnp(const Packet& data) {
+  // DCQCN NICs pace CNPs to one per interval per flow; DCTCP receivers
+  // echo every mark (the per-packet ECN-echo of its ACK stream).
+  if (config_.cc_algorithm != static_cast<int>(CcAlgorithm::kDctcp)) {
+    SimTime& last = last_cnp_[data.flow_id];
+    if (last != 0 && sim_.now() - last < config_.dcqcn.cnp_interval) return;
+    last = sim_.now();
+  }
+
+  Packet cnp;
+  cnp.kind = PacketKind::kCnp;
+  cnp.src = id();
+  cnp.dst = data.src;
+  cnp.flow_id = data.flow_id;
+  cnp.bytes = 0;
+  ++stats_.cnps_sent;
+  port(0).enqueue(cnp);
+}
+
+std::uint64_t Host::txq_bytes(NodeId dst) const {
+  std::uint64_t total = 0;
+  for (const auto& [key, flow] : flows_) {
+    if (flow.dst == dst) total += flow.queued_bytes;
+  }
+  return total;
+}
+
+Rate Host::flow_rate(NodeId dst, std::uint32_t channel) const {
+  const auto it = flows_.find(flow_key(dst, channel));
+  return it == flows_.end() ? port(0).rate() : it->second.cc->current_rate();
+}
+
+Rate Host::total_allowed_rate() const {
+  Rate total = Rate::zero();
+  bool any = false;
+  for (const auto& [key, flow] : flows_) {
+    if (flow.queued_bytes == 0 && flow.messages.empty()) continue;
+    total = total + flow.cc->current_rate();
+    any = true;
+  }
+  return any ? total : port(0).rate();
+}
+
+}  // namespace src::net

@@ -1,0 +1,131 @@
+// End host (RNIC model). A host owns one uplink port and any number of
+// flows (one per destination it talks to). Each flow is paced by its own
+// DCQCN controller; the uplink serializes packets at line rate and obeys
+// PFC pause frames from the ToR. As a receiver, the host reflects ECN
+// marks back to senders as CNPs (at most one per CNP interval per flow)
+// and reassembles messages (fragments of a message travel one path in
+// FIFO order, so the last fragment completes the message).
+//
+// The per-flow send queues model the RDMA transmit queue (TXQ) the paper
+// describes: when DCQCN throttles a flow, its messages back up here.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "net/dcqcn.hpp"
+#include "net/dctcp.hpp"
+#include "net/node.hpp"
+
+namespace src::net {
+
+struct HostStats {
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_received = 0;
+  std::uint64_t pauses_received = 0;
+  std::uint64_t cnps_sent = 0;
+  std::uint64_t cnps_received = 0;
+  std::uint64_t ecn_marked_received = 0;
+};
+
+class Host final : public Node {
+ public:
+  /// Message fully received: source, id, total payload bytes, app tag.
+  using MessageHandler = std::function<void(NodeId src, std::uint64_t message_id,
+                                            std::uint64_t bytes, std::uint32_t tag)>;
+  /// Payload bytes received (per packet, with the message's app tag) — for
+  /// throughput timelines.
+  using DataHandler =
+      std::function<void(NodeId src, std::uint32_t bytes, std::uint32_t tag)>;
+  /// PFC pause frame received by this host.
+  using PauseHandler = std::function<void()>;
+  /// DCQCN changed the send rate of the flow to `dst`.
+  using RateChangeHandler = std::function<void(NodeId dst, Rate rate, bool decrease)>;
+
+  /// `id_source` is a network-global counter used to mint unique flow and
+  /// message identifiers.
+  Host(sim::Simulator& sim, NodeId id, std::string name, NetConfig config,
+       std::uint64_t* id_source)
+      : Node(sim, id, std::move(name)), config_(config), id_source_(id_source) {}
+
+  /// Queue a message of `bytes` payload to `dst`. Returns the message id.
+  /// `channel` selects an independent flow (its own DCQCN state and send
+  /// queue) to the same destination — NVMe-oF keeps command capsules and
+  /// bulk data on separate queue pairs so small capsules are not stuck
+  /// behind throttled payload traffic.
+  std::uint64_t send_message(NodeId dst, std::uint64_t bytes, std::uint32_t tag = 0,
+                             std::uint32_t channel = 0);
+
+  void receive(Packet packet, std::int32_t ingress_port) override;
+
+  void set_message_handler(MessageHandler fn) { on_message_ = std::move(fn); }
+  void set_data_handler(DataHandler fn) { on_data_ = std::move(fn); }
+  void set_pause_handler(PauseHandler fn) { on_pause_ = std::move(fn); }
+  void set_rate_change_handler(RateChangeHandler fn) { on_rate_change_ = std::move(fn); }
+
+  const HostStats& stats() const { return stats_; }
+
+  /// Re-enter the send loop (wired to the uplink's on_tx_done by the
+  /// Network builder).
+  void kick() { pump(); }
+
+  /// TXQ backlog to `dst` (bytes queued but not yet transmitted), summed
+  /// over all channels; 0 if no flow exists.
+  std::uint64_t txq_bytes(NodeId dst) const;
+  /// Current DCQCN rate of the flow to `dst` on `channel`; line rate if no
+  /// such flow yet.
+  Rate flow_rate(NodeId dst, std::uint32_t channel = 0) const;
+  /// Sum of DCQCN rates over flows with backlog (the aggregate demanded
+  /// sending rate the network grants this host right now).
+  Rate total_allowed_rate() const;
+
+ private:
+  struct Message {
+    std::uint64_t id;
+    std::uint64_t remaining;
+    std::uint32_t tag;
+  };
+
+  struct Flow {
+    std::uint64_t id;
+    NodeId dst;
+    std::deque<Message> messages;
+    std::uint64_t queued_bytes = 0;
+    SimTime next_allowed = 0;
+    std::unique_ptr<RateController> cc;  ///< DCQCN or DCTCP, per NetConfig
+  };
+
+  Flow& flow_to(NodeId dst, std::uint32_t channel);
+  void pump();
+  static std::uint64_t flow_key(NodeId dst, std::uint32_t channel) {
+    return (static_cast<std::uint64_t>(channel) << 32) | dst;
+  }
+  void send_cnp(const Packet& data);
+
+  NetConfig config_;
+  std::uint64_t* id_source_;
+  std::unordered_map<std::uint64_t, Flow> flows_;     ///< by (dst, channel) key
+  std::unordered_map<std::uint64_t, Flow*> flows_by_id_;
+  std::vector<std::uint64_t> flow_order_;             ///< RR arbitration order
+  std::size_t rr_next_ = 0;
+  sim::EventId wake_event_;
+
+  // Receiver state.
+  std::unordered_map<std::uint64_t, std::uint64_t> rx_message_bytes_;  ///< key: message_id
+  std::unordered_map<std::uint64_t, SimTime> last_cnp_;                ///< key: flow_id
+
+  HostStats stats_;
+  MessageHandler on_message_;
+  DataHandler on_data_;
+  PauseHandler on_pause_;
+  RateChangeHandler on_rate_change_;
+
+  static constexpr std::size_t kPortQueueTarget = 2;
+};
+
+}  // namespace src::net

@@ -1,0 +1,108 @@
+#include "net/network.hpp"
+
+#include <queue>
+#include <stdexcept>
+
+namespace src::net {
+
+NodeId Network::add_host(std::string name) {
+  const auto id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(std::make_unique<Host>(sim_, id, std::move(name), config_, &id_source_));
+  host_flags_.push_back(true);
+  adjacency_.emplace_back();
+  return id;
+}
+
+NodeId Network::add_switch(std::string name) {
+  const auto id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(std::make_unique<Switch>(sim_, id, std::move(name), config_));
+  host_flags_.push_back(false);
+  adjacency_.emplace_back();
+  return id;
+}
+
+void Network::connect(NodeId a, NodeId b, Rate rate, SimTime delay) {
+  Node& node_a = *nodes_.at(a);
+  Node& node_b = *nodes_.at(b);
+  Port& port_a = node_a.add_port();
+  Port& port_b = node_b.add_port();
+  port_a.attach(&node_b, port_b.index(), rate, delay);
+  port_b.attach(&node_a, port_a.index(), rate, delay);
+  adjacency_[a].push_back(Edge{b, static_cast<std::size_t>(port_a.index())});
+  adjacency_[b].push_back(Edge{a, static_cast<std::size_t>(port_b.index())});
+}
+
+void Network::finalize() {
+  if (finalized_) return;
+  finalized_ = true;
+
+  // Shortest-path next hops with ECMP: BFS rooted at each host
+  // destination; every neighbour one hop closer to the destination is an
+  // equal-cost next hop, and flows are hashed across them at the switch.
+  for (NodeId dst = 0; dst < nodes_.size(); ++dst) {
+    if (!host_flags_[dst]) continue;
+    std::vector<int> dist(nodes_.size(), -1);
+    std::queue<NodeId> frontier;
+    dist[dst] = 0;
+    frontier.push(dst);
+    while (!frontier.empty()) {
+      const NodeId current = frontier.front();
+      frontier.pop();
+      for (const Edge& edge : adjacency_[current]) {
+        if (dist[edge.peer] != -1) continue;
+        dist[edge.peer] = dist[current] + 1;
+        frontier.push(edge.peer);
+      }
+    }
+    for (NodeId n = 0; n < nodes_.size(); ++n) {
+      if (host_flags_[n] || dist[n] < 0 || n == dst) continue;
+      for (const Edge& edge : adjacency_[n]) {
+        if (dist[edge.peer] == dist[n] - 1) {
+          switch_at(n).add_route(dst, static_cast<std::int32_t>(edge.local_port));
+        }
+      }
+    }
+  }
+
+  for (NodeId n = 0; n < nodes_.size(); ++n) {
+    if (host_flags_[n]) {
+      auto& h = host(n);
+      if (h.port_count() == 0) continue;
+      h.port(0).on_tx_done = [&h] { h.kick(); };
+    } else {
+      switch_at(n).finalize_ports();
+    }
+  }
+}
+
+Host& Network::host(NodeId id) {
+  if (!host_flags_.at(id)) throw std::invalid_argument("node is not a host");
+  return static_cast<Host&>(*nodes_[id]);
+}
+
+const Host& Network::host(NodeId id) const {
+  if (!host_flags_.at(id)) throw std::invalid_argument("node is not a host");
+  return static_cast<const Host&>(*nodes_[id]);
+}
+
+Switch& Network::switch_at(NodeId id) {
+  if (host_flags_.at(id)) throw std::invalid_argument("node is not a switch");
+  return static_cast<Switch&>(*nodes_[id]);
+}
+
+const Switch& Network::switch_at(NodeId id) const {
+  if (host_flags_.at(id)) throw std::invalid_argument("node is not a switch");
+  return static_cast<const Switch&>(*nodes_[id]);
+}
+
+bool Network::is_host(NodeId id) const { return host_flags_.at(id); }
+
+std::uint64_t Network::total_host_pauses() const {
+  std::uint64_t total = 0;
+  for (NodeId n = 0; n < nodes_.size(); ++n) {
+    if (host_flags_[n]) total += host(n).stats().pauses_received;
+  }
+  return total;
+}
+
+}  // namespace src::net

@@ -1,0 +1,57 @@
+// Network container and builder: owns hosts and switches, wires up links,
+// and computes static shortest-path routes (BFS, deterministic tie-break
+// by adjacency insertion order).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/host.hpp"
+#include "net/switch.hpp"
+
+namespace src::net {
+
+class Network {
+ public:
+  Network(sim::Simulator& sim, NetConfig config)
+      : sim_(sim), config_(config) {}
+
+  NodeId add_host(std::string name);
+  NodeId add_switch(std::string name);
+
+  /// Create a bidirectional link (one port on each side).
+  void connect(NodeId a, NodeId b, Rate rate, SimTime delay);
+
+  /// Compute routes and finalize per-port hooks. Call once after building.
+  void finalize();
+
+  Host& host(NodeId id);
+  const Host& host(NodeId id) const;
+  Switch& switch_at(NodeId id);
+  const Switch& switch_at(NodeId id) const;
+  bool is_host(NodeId id) const;
+
+  std::size_t node_count() const { return nodes_.size(); }
+  sim::Simulator& simulator() { return sim_; }
+  const NetConfig& config() const { return config_; }
+
+  /// System-wide PFC pauses received by hosts.
+  std::uint64_t total_host_pauses() const;
+
+ private:
+  struct Edge {
+    NodeId peer;
+    std::size_t local_port;
+  };
+
+  sim::Simulator& sim_;
+  NetConfig config_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<bool> host_flags_;
+  std::vector<std::vector<Edge>> adjacency_;
+  std::uint64_t id_source_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace src::net

@@ -1,0 +1,127 @@
+// Base class for network devices (hosts and switches) plus the Port —
+// an egress queue with a rate/delay link transmitter, optional ECN marking
+// at enqueue, and PFC pause/resume of the transmitter.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/config.hpp"
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+
+namespace src::net {
+
+class Node;
+
+/// One direction of a link: the egress side owned by a node. The paired
+/// Port on the peer node carries the reverse direction.
+class Port {
+ public:
+  Port(sim::Simulator& sim, Node* owner, std::int32_t index)
+      : sim_(sim), owner_(owner), index_(index) {}
+
+  Port(const Port&) = delete;
+  Port& operator=(const Port&) = delete;
+
+  void attach(Node* peer, std::int32_t peer_port, Rate rate, SimTime delay) {
+    peer_ = peer;
+    peer_port_ = peer_port;
+    rate_ = rate;
+    delay_ = delay;
+  }
+
+  void set_ecn(const EcnConfig& ecn) { ecn_ = ecn; }
+
+  /// Enqueue a data/CNP packet for transmission (ECN marking applied here).
+  void enqueue(Packet packet);
+
+  /// Send a link-local control frame (PFC pause/resume): bypasses the data
+  /// queue and arrives after the propagation delay only.
+  void send_control(Packet packet);
+
+  /// PFC: stop/restart the transmitter.
+  void pause();
+  void resume();
+
+  /// Failure injection: change the link rate at runtime (brownout /
+  /// recovery). Packets already in flight keep their old serialization
+  /// time; subsequent transmissions use the new rate.
+  void set_rate(Rate rate) { rate_ = rate; }
+
+  bool paused() const { return paused_; }
+  bool busy() const { return busy_; }
+  std::uint64_t queue_bytes() const { return queue_bytes_; }
+  std::size_t queue_packets() const { return queue_.size(); }
+  std::uint64_t max_queue_bytes() const { return max_queue_bytes_; }
+  std::uint64_t ecn_marks() const { return ecn_marks_; }
+  Rate rate() const { return rate_; }
+  SimTime delay() const { return delay_; }
+  std::int32_t index() const { return index_; }
+  Node* peer() const { return peer_; }
+
+  /// Owner hook: packet left the queue and started transmission (used for
+  /// switch PFC per-ingress accounting).
+  std::function<void(const Packet&)> on_dequeue;
+  /// Owner hook: transmitter finished a packet (hosts refill pacing here).
+  std::function<void()> on_tx_done;
+
+ private:
+  void try_transmit();
+  void deliver(Packet packet);
+
+  sim::Simulator& sim_;
+  Node* owner_;
+  std::int32_t index_;
+  Node* peer_ = nullptr;
+  std::int32_t peer_port_ = -1;
+  Rate rate_ = Rate::gbps(40.0);
+  SimTime delay_ = common::kMicrosecond;
+  EcnConfig ecn_{.enabled = false};
+
+  std::deque<Packet> queue_;
+  std::uint64_t queue_bytes_ = 0;
+  std::uint64_t max_queue_bytes_ = 0;
+  std::uint64_t ecn_marks_ = 0;
+  std::uint64_t rng_state_ = 0x9E3779B97F4A7C15ull;  ///< for ECN probability
+  bool busy_ = false;
+  bool paused_ = false;
+};
+
+class Node {
+ public:
+  Node(sim::Simulator& sim, NodeId id, std::string name)
+      : sim_(sim), id_(id), name_(std::move(name)) {}
+  virtual ~Node() = default;
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  NodeId id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+  /// A packet arrived from the link attached to `ingress_port`.
+  virtual void receive(Packet packet, std::int32_t ingress_port) = 0;
+
+  Port& add_port() {
+    ports_.push_back(std::make_unique<Port>(sim_, this, static_cast<std::int32_t>(ports_.size())));
+    return *ports_.back();
+  }
+  Port& port(std::size_t i) { return *ports_.at(i); }
+  const Port& port(std::size_t i) const { return *ports_.at(i); }
+  std::size_t port_count() const { return ports_.size(); }
+
+ protected:
+  sim::Simulator& sim_;
+
+ private:
+  NodeId id_;
+  std::string name_;
+  std::vector<std::unique_ptr<Port>> ports_;
+};
+
+}  // namespace src::net

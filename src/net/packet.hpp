@@ -1,0 +1,41 @@
+// Packet model for the RoCE-like lossless network. Data packets carry
+// message fragments between hosts; CNPs are DCQCN congestion notification
+// packets; PFC pause/resume frames are link-local control signals.
+#pragma once
+
+#include <cstdint>
+
+namespace src::net {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = ~0u;
+
+enum class PacketKind : std::uint8_t {
+  kData = 0,
+  kCnp = 1,     ///< DCQCN congestion notification (routed back to sender)
+  kPause = 2,   ///< PFC pause frame (link-local)
+  kResume = 3,  ///< PFC resume frame (link-local)
+};
+
+struct Packet {
+  PacketKind kind = PacketKind::kData;
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  std::uint64_t flow_id = 0;
+  std::uint64_t message_id = 0;
+  std::uint32_t bytes = 0;          ///< payload bytes (data) / frame size
+  bool ecn_marked = false;
+  bool last_of_message = false;
+  std::uint32_t tag = 0;            ///< application tag (fabric opcodes)
+
+  /// Transient: ingress port index while buffered inside a switch (used for
+  /// PFC per-ingress accounting). Not meaningful on the wire.
+  std::int32_t ingress_port = -1;
+
+  /// Bytes occupying buffers and wire (payload + a fixed header).
+  std::uint32_t wire_bytes() const { return bytes + kHeaderBytes; }
+
+  static constexpr std::uint32_t kHeaderBytes = 64;
+};
+
+}  // namespace src::net

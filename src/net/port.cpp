@@ -1,0 +1,71 @@
+#include "net/node.hpp"
+
+#include "common/rng.hpp"
+
+namespace src::net {
+
+void Port::enqueue(Packet packet) {
+  // RED-like ECN marking against the instantaneous queue length (DCQCN's
+  // marking model), applied to data packets only.
+  if (ecn_.enabled && packet.kind == PacketKind::kData) {
+    const std::uint64_t depth = queue_bytes_ + packet.wire_bytes();
+    if (depth > ecn_.kmax_bytes) {
+      packet.ecn_marked = true;
+      ++ecn_marks_;
+    } else if (depth > ecn_.kmin_bytes) {
+      const double p = ecn_.pmax * static_cast<double>(depth - ecn_.kmin_bytes) /
+                       static_cast<double>(ecn_.kmax_bytes - ecn_.kmin_bytes);
+      const double draw = static_cast<double>(common::splitmix64(rng_state_) >> 11) * 0x1.0p-53;
+      if (draw < p) {
+        packet.ecn_marked = true;
+        ++ecn_marks_;
+      }
+    }
+  }
+
+  queue_bytes_ += packet.wire_bytes();
+  max_queue_bytes_ = std::max(max_queue_bytes_, queue_bytes_);
+  queue_.push_back(packet);
+  try_transmit();
+}
+
+void Port::send_control(Packet packet) {
+  deliver(packet);
+}
+
+void Port::pause() {
+  paused_ = true;
+}
+
+void Port::resume() {
+  if (!paused_) return;
+  paused_ = false;
+  try_transmit();
+}
+
+void Port::try_transmit() {
+  if (busy_ || paused_ || queue_.empty()) return;
+
+  Packet packet = queue_.front();
+  queue_.pop_front();
+  queue_bytes_ -= packet.wire_bytes();
+  busy_ = true;
+  if (on_dequeue) on_dequeue(packet);
+
+  const SimTime tx_time = rate_.transmission_time(packet.wire_bytes());
+  sim_.schedule_in(tx_time, [this, packet] {
+    busy_ = false;
+    deliver(packet);
+    try_transmit();
+    if (on_tx_done) on_tx_done();
+  });
+}
+
+void Port::deliver(Packet packet) {
+  if (peer_ == nullptr) return;
+  sim_.schedule_in(delay_, [peer = peer_, peer_port = peer_port_, packet] {
+    peer->receive(packet, peer_port);
+  });
+}
+
+}  // namespace src::net

@@ -1,0 +1,36 @@
+// Abstract sender-side per-flow rate controller. Two implementations ship:
+// DCQCN (the paper's choice, dcqcn.hpp) and a rate-based DCTCP
+// approximation (dctcp.hpp) for comparing SRC under a different congestion
+// control, as the paper's related-work discussion invites.
+#pragma once
+
+#include <functional>
+
+#include "common/types.hpp"
+
+namespace src::net {
+
+class RateController {
+ public:
+  /// Called with the new current rate whenever it changes. `decrease` is
+  /// true for congestion-driven cuts, false for recovery increases.
+  using RateChangeFn = std::function<void(common::Rate current, bool decrease)>;
+
+  virtual ~RateController() = default;
+
+  virtual void set_rate_change_handler(RateChangeFn fn) = 0;
+  virtual common::Rate current_rate() const = 0;
+
+  /// Congestion feedback arrived from the receiver (a CNP for DCQCN, an
+  /// ECN-echo for DCTCP).
+  virtual void on_congestion_feedback() = 0;
+
+  /// The sender transmitted `bytes` of this flow.
+  virtual void on_bytes_sent(std::uint64_t bytes) = 0;
+};
+
+/// Which congestion control algorithm hosts run, and how receivers echo
+/// ECN marks (DCQCN paces CNPs; DCTCP echoes every mark).
+enum class CcAlgorithm { kDcqcn, kDctcp };
+
+}  // namespace src::net

@@ -1,0 +1,71 @@
+// Output-queued switch with ECN marking at egress enqueue and PFC
+// (priority flow control) driven by per-ingress-port buffered-byte
+// accounting: above X_off the switch pauses the upstream device on that
+// ingress link; below X_on it resumes it. Routing is a static next-hop
+// table (destination node -> egress port) computed by the Network builder.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/config.hpp"
+#include "net/node.hpp"
+
+namespace src::net {
+
+struct SwitchStats {
+  std::uint64_t packets_forwarded = 0;
+  std::uint64_t pauses_sent = 0;
+  std::uint64_t resumes_sent = 0;
+  std::uint64_t pauses_received = 0;
+};
+
+class Switch final : public Node {
+ public:
+  Switch(sim::Simulator& sim, NodeId id, std::string name, NetConfig config)
+      : Node(sim, id, std::move(name)), config_(config) {}
+
+  void receive(Packet packet, std::int32_t ingress_port) override;
+
+  /// Add an equal-cost egress port toward destination node `dst` (ECMP:
+  /// flows are hashed across all registered next hops; one packet flow
+  /// always takes one path, so FIFO delivery per flow is preserved).
+  void add_route(NodeId dst, std::int32_t egress_port) {
+    if (dst >= routes_.size()) routes_.resize(dst + 1);
+    routes_[dst].push_back(egress_port);
+  }
+  /// Next hop for a flow (ECMP hash over the flow id). -1 if unroutable.
+  std::int32_t route(NodeId dst, std::uint64_t flow_id) const {
+    if (dst >= routes_.size() || routes_[dst].empty()) return -1;
+    const auto& ports = routes_[dst];
+    if (ports.size() == 1) return ports[0];
+    // splitmix-style avalanche so consecutive flow ids spread evenly.
+    std::uint64_t h = flow_id + 0x9E3779B97F4A7C15ull;
+    h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ull;
+    h = (h ^ (h >> 27)) * 0x94D049BB133111EBull;
+    return ports[h % ports.size()];
+  }
+  std::size_t route_count(NodeId dst) const {
+    return dst < routes_.size() ? routes_[dst].size() : 0;
+  }
+
+  /// Called by the Network builder once all ports exist.
+  void finalize_ports();
+
+  const SwitchStats& stats() const { return stats_; }
+  std::uint64_t ingress_buffered_bytes(std::size_t ingress) const {
+    return ingress_bytes_.at(ingress);
+  }
+
+ private:
+  void account_dequeue(const Packet& packet);
+  void check_pause(std::size_t ingress);
+
+  NetConfig config_;
+  std::vector<std::vector<std::int32_t>> routes_;
+  std::vector<std::uint64_t> ingress_bytes_;
+  std::vector<bool> pause_sent_;
+  SwitchStats stats_;
+};
+
+}  // namespace src::net

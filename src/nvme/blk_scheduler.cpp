@@ -1,0 +1,131 @@
+#include "nvme/blk_scheduler.hpp"
+
+namespace src::nvme {
+
+BlkSsqScheduler::BlkSsqScheduler(sim::Simulator& sim, NvmeDriver& lower,
+                                 BlkSchedulerParams params)
+    : sim_(sim), lower_(lower), params_(params),
+      tokens_read_(std::max(1u, params.read_weight)),
+      tokens_write_(std::max(1u, params.write_weight)) {
+  params_.read_weight = std::max(1u, params_.read_weight);
+  params_.write_weight = std::max(1u, params_.write_weight);
+  lower_.set_completion_handler(
+      [this](const IoRequest& request, const ssd::NvmeCompletion&) {
+        const auto it = in_flight_.find(request.id);
+        if (it == in_flight_.end()) return;
+        const std::vector<IoRequest> originals = std::move(it->second);
+        in_flight_.erase(it);
+        --outstanding_;
+        for (const IoRequest& original : originals) {
+          ++stats_.completed;
+          if (on_complete_) on_complete_(original);
+        }
+        dispatch_loop();
+      });
+}
+
+void BlkSsqScheduler::set_weights(std::uint32_t read_weight,
+                                  std::uint32_t write_weight) {
+  params_.read_weight = std::max(1u, read_weight);
+  params_.write_weight = std::max(1u, write_weight);
+  tokens_read_ = params_.read_weight;
+  tokens_write_ = params_.write_weight;
+  dispatch_loop();
+}
+
+bool BlkSsqScheduler::try_merge(const IoRequest& request) {
+  if (params_.max_merged_bytes == 0) return false;
+  auto& queue = queue_for(request.type);
+  // Back-merge against the most recently staged request of the class (the
+  // common sequential-stream case the block layer optimizes for).
+  if (queue.empty()) return false;
+  Staged& tail = queue.back();
+  const bool contiguous =
+      tail.merged.lba + tail.merged.bytes == request.lba;
+  const bool fits =
+      tail.merged.bytes + request.bytes <= params_.max_merged_bytes;
+  if (!contiguous || !fits) return false;
+  tail.merged.bytes += request.bytes;
+  tail.originals.push_back(request);
+  ++stats_.merges;
+  return true;
+}
+
+void BlkSsqScheduler::submit(IoRequest request) {
+  ++stats_.submitted;
+  if (!try_merge(request)) {
+    Staged staged;
+    staged.merged = request;
+    staged.originals.push_back(request);
+    staged.staged_at = sim_.now();
+    queue_for(request.type).push_back(std::move(staged));
+  }
+  dispatch_loop();
+}
+
+void BlkSsqScheduler::charge_token(IoType type) {
+  std::uint32_t& pool = type == IoType::kRead ? tokens_read_ : tokens_write_;
+  if (pool == 0) {
+    tokens_read_ = params_.read_weight;
+    tokens_write_ = params_.write_weight;
+    ++stats_.token_resets;
+  }
+  --pool;
+}
+
+bool BlkSsqScheduler::dispatch_from(std::deque<Staged>& queue) {
+  Staged staged = std::move(queue.front());
+  queue.pop_front();
+  staged.merged.id = ++next_dispatch_id_;
+  ++outstanding_;
+  ++stats_.dispatched;
+  in_flight_.emplace(staged.merged.id, std::move(staged.originals));
+  lower_.submit(staged.merged);
+  return true;
+}
+
+void BlkSsqScheduler::dispatch_loop() {
+  while (outstanding_ < params_.dispatch_window &&
+         (!read_queue_.empty() || !write_queue_.empty())) {
+    // 1. Deadline promotion beats WRR order.
+    const common::SimTime now = sim_.now();
+    if (params_.read_deadline > 0 && !read_queue_.empty() &&
+        now - read_queue_.front().staged_at > params_.read_deadline) {
+      ++stats_.deadline_promotions;
+      charge_token(IoType::kRead);
+      dispatch_from(read_queue_);
+      continue;
+    }
+    if (params_.write_deadline > 0 && !write_queue_.empty() &&
+        now - write_queue_.front().staged_at > params_.write_deadline) {
+      ++stats_.deadline_promotions;
+      charge_token(IoType::kWrite);
+      dispatch_from(write_queue_);
+      continue;
+    }
+
+    // 2. Token WRR between the classes; borrow freely when one is empty.
+    if (read_queue_.empty()) {
+      dispatch_from(write_queue_);
+      continue;
+    }
+    if (write_queue_.empty()) {
+      dispatch_from(read_queue_);
+      continue;
+    }
+    if (tokens_write_ == 0 && tokens_read_ == 0) {
+      tokens_read_ = params_.read_weight;
+      tokens_write_ = params_.write_weight;
+      ++stats_.token_resets;
+    }
+    if (tokens_write_ > 0) {
+      charge_token(IoType::kWrite);
+      dispatch_from(write_queue_);
+    } else {
+      charge_token(IoType::kRead);
+      dispatch_from(read_queue_);
+    }
+  }
+}
+
+}  // namespace src::nvme

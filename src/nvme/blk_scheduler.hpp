@@ -1,0 +1,103 @@
+// Block-layer SSQ scheduler — the paper's stated future work ("extend our
+// design as an I/O scheduler in the block layer on Targets", SV).
+//
+// Sits above any NvmeDriver (typically the stock FIFO driver) and performs
+// the read/write throughput control one layer up, where no NVMe driver
+// modification is needed:
+//   * classful queues: reads and writes are staged separately,
+//   * token-based weighted round-robin dispatch with a configurable
+//     write:read weight ratio (same semantics as the in-driver SSQ),
+//   * back-merging of LBA-contiguous same-type requests (the block layer's
+//     classic optimization),
+//   * deadline-based starvation protection: a request older than its
+//     class deadline is dispatched ahead of WRR order,
+//   * a bounded dispatch window keeps the lower driver's queue shallow so
+//     that this scheduler's ordering — not the driver's — decides service.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "nvme/driver.hpp"
+
+namespace src::nvme {
+
+struct BlkSchedulerParams {
+  std::uint32_t read_weight = 1;
+  std::uint32_t write_weight = 1;
+  /// Max requests handed to the lower driver but not yet completed.
+  std::uint32_t dispatch_window = 8;
+  /// Merging: combine LBA-contiguous same-type requests up to this size
+  /// (0 disables merging).
+  std::uint32_t max_merged_bytes = 256 * 1024;
+  /// Starvation deadlines per class (0 disables).
+  common::SimTime read_deadline = 50 * common::kMillisecond;
+  common::SimTime write_deadline = 200 * common::kMillisecond;
+};
+
+struct BlkSchedulerStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t dispatched = 0;     ///< lower-driver submissions
+  std::uint64_t completed = 0;      ///< upper completions delivered
+  std::uint64_t merges = 0;         ///< requests absorbed into another
+  std::uint64_t deadline_promotions = 0;
+  std::uint64_t token_resets = 0;
+};
+
+class BlkSsqScheduler {
+ public:
+  using CompletionFn = std::function<void(const IoRequest&)>;
+
+  BlkSsqScheduler(sim::Simulator& sim, NvmeDriver& lower,
+                  BlkSchedulerParams params = {});
+
+  BlkSsqScheduler(const BlkSsqScheduler&) = delete;
+  BlkSsqScheduler& operator=(const BlkSsqScheduler&) = delete;
+
+  void submit(IoRequest request);
+
+  /// Completion of each *original* (pre-merge) request.
+  void set_completion_handler(CompletionFn fn) { on_complete_ = std::move(fn); }
+
+  void set_weights(std::uint32_t read_weight, std::uint32_t write_weight);
+  void set_weight_ratio(std::uint32_t w) { set_weights(1, w); }
+
+  std::size_t read_queue_depth() const { return read_queue_.size(); }
+  std::size_t write_queue_depth() const { return write_queue_.size(); }
+  std::uint32_t outstanding() const { return outstanding_; }
+  const BlkSchedulerStats& stats() const { return stats_; }
+
+ private:
+  /// A staged request: possibly the coalescence of several originals.
+  struct Staged {
+    IoRequest merged;                  ///< what will go to the lower driver
+    std::vector<IoRequest> originals;  ///< to complete individually
+    common::SimTime staged_at = 0;
+  };
+
+  std::deque<Staged>& queue_for(IoType type) {
+    return type == IoType::kRead ? read_queue_ : write_queue_;
+  }
+  bool try_merge(const IoRequest& request);
+  void dispatch_loop();
+  bool dispatch_from(std::deque<Staged>& queue);
+  void charge_token(IoType type);
+
+  sim::Simulator& sim_;
+  NvmeDriver& lower_;
+  BlkSchedulerParams params_;
+  std::deque<Staged> read_queue_;
+  std::deque<Staged> write_queue_;
+  std::uint32_t outstanding_ = 0;
+  std::uint32_t tokens_read_;
+  std::uint32_t tokens_write_;
+  std::uint64_t next_dispatch_id_ = 0;
+  std::unordered_map<std::uint64_t, std::vector<IoRequest>> in_flight_;
+  BlkSchedulerStats stats_;
+  CompletionFn on_complete_;
+};
+
+}  // namespace src::nvme

@@ -1,0 +1,52 @@
+#include "nvme/driver.hpp"
+
+namespace src::nvme {
+
+void NvmeDriver::dispatch(const IoRequest& request) {
+  if (on_dispatch_) on_dispatch_(request);
+  const std::uint64_t cmd_id = ++next_command_id_;
+  outstanding_.emplace(cmd_id, request);
+
+  ++in_flight_;
+  if (request.type == IoType::kRead) {
+    ++in_flight_reads_;
+    ++stats_.submitted_reads;
+  } else {
+    ++in_flight_writes_;
+    ++stats_.submitted_writes;
+  }
+
+  ssd::NvmeCommand cmd;
+  cmd.id = cmd_id;
+  cmd.type = request.type;
+  cmd.lba = request.lba;
+  cmd.bytes = request.bytes;
+  cmd.submit_time = request.arrival;
+  cmd.fetch_time = sim_.now();
+
+  device_.execute(cmd, [this](const ssd::NvmeCompletion& completion) {
+    const auto it = outstanding_.find(completion.id);
+    const IoRequest original = it->second;
+    outstanding_.erase(it);
+
+    --in_flight_;
+    if (completion.type == IoType::kRead) {
+      --in_flight_reads_;
+      ++stats_.completed_reads;
+      stats_.completed_read_bytes += completion.bytes;
+      stats_.total_read_latency += completion.complete_time - original.arrival;
+      stats_.read_latency.record(completion.complete_time - original.arrival);
+    } else {
+      --in_flight_writes_;
+      ++stats_.completed_writes;
+      stats_.completed_write_bytes += completion.bytes;
+      stats_.total_write_latency += completion.complete_time - original.arrival;
+      stats_.write_latency.record(completion.complete_time - original.arrival);
+    }
+
+    if (on_complete_) on_complete_(original, completion);
+    try_fetch();
+  });
+}
+
+}  // namespace src::nvme

@@ -1,0 +1,123 @@
+// NVMe driver abstraction: the queueing layer between the NVMe-oF target
+// driver and the SSD device. Concrete policies:
+//   * FifoDriver — the default single-SQ FIFO behaviour (Fig. 4-a),
+//   * SsqDriver  — the paper's separate-submission-queue mechanism with
+//                  token-based weighted round-robin (Fig. 4-b).
+// All drivers respect the device queue depth: at most QD commands are
+// outstanding on the device at any time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "common/latency.hpp"
+#include "common/types.hpp"
+#include "nvme/io_request.hpp"
+#include "sim/simulator.hpp"
+#include "ssd/device.hpp"
+
+namespace src::nvme {
+
+struct DriverStats {
+  std::uint64_t submitted_reads = 0;
+  std::uint64_t submitted_writes = 0;
+  std::uint64_t completed_reads = 0;
+  std::uint64_t completed_writes = 0;
+  std::uint64_t completed_read_bytes = 0;
+  std::uint64_t completed_write_bytes = 0;
+  common::SimTime total_read_latency = 0;   ///< submit -> complete, summed
+  common::SimTime total_write_latency = 0;
+  common::LatencyRecorder read_latency;      ///< percentile histograms
+  common::LatencyRecorder write_latency;
+
+  double mean_read_latency_us() const {
+    return completed_reads ? common::to_microseconds(total_read_latency) /
+                                 static_cast<double>(completed_reads)
+                           : 0.0;
+  }
+  double mean_write_latency_us() const {
+    return completed_writes ? common::to_microseconds(total_write_latency) /
+                                  static_cast<double>(completed_writes)
+                            : 0.0;
+  }
+};
+
+class NvmeDriver {
+ public:
+  /// Invoked at completion time with the original request and the device
+  /// completion entry.
+  using CompletionFn =
+      std::function<void(const IoRequest&, const ssd::NvmeCompletion&)>;
+
+  NvmeDriver(sim::Simulator& sim, ssd::SsdDevice& device)
+      : sim_(sim), device_(device) {}
+  virtual ~NvmeDriver() = default;
+
+  NvmeDriver(const NvmeDriver&) = delete;
+  NvmeDriver& operator=(const NvmeDriver&) = delete;
+
+  void set_completion_handler(CompletionFn fn) { on_complete_ = std::move(fn); }
+
+  /// Invoked when a request is fetched from a submission queue to the
+  /// device — i.e., in the order the device executes commands.
+  using DispatchFn = std::function<void(const IoRequest&)>;
+  void set_dispatch_handler(DispatchFn fn) { on_dispatch_ = std::move(fn); }
+
+  /// Enqueue a request; the driver fetches it to the device when queue-depth
+  /// and arbitration policy allow.
+  virtual void submit(IoRequest request) = 0;
+
+  /// Number of requests waiting in submission queues (not yet fetched).
+  virtual std::size_t queued() const = 0;
+
+  std::uint32_t in_flight() const { return in_flight_; }
+  std::uint32_t in_flight_reads() const { return in_flight_reads_; }
+  std::uint32_t in_flight_writes() const { return in_flight_writes_; }
+  const DriverStats& stats() const { return stats_; }
+  std::uint32_t queue_depth() const { return device_.config().queue_depth; }
+
+ protected:
+  /// Hand a request to the device; called by subclasses from their fetch
+  /// logic. Tracks in-flight counts and re-enters fetch on completion.
+  void dispatch(const IoRequest& request);
+
+  /// Subclass fetch loop: pull eligible requests from SQs until the policy
+  /// or the queue depth stops it.
+  virtual void try_fetch() = 0;
+
+  /// Device admission gate for a queued request.
+  bool admissible(const IoRequest& request) const {
+    return device_.admission_ok(request.lba, request.bytes);
+  }
+
+  /// Called by a fetch loop that stalled on the admission gate with work
+  /// still queued: re-runs try_fetch shortly. At most one retry pending.
+  void schedule_admission_retry() {
+    if (retry_pending_) return;
+    retry_pending_ = true;
+    sim_.schedule_in(kAdmissionRetryDelay, [this] {
+      retry_pending_ = false;
+      try_fetch();
+    });
+  }
+
+  sim::Simulator& sim_;
+  ssd::SsdDevice& device_;
+
+  static constexpr common::SimTime kAdmissionRetryDelay = 20 * common::kMicrosecond;
+
+ private:
+  CompletionFn on_complete_;
+  DispatchFn on_dispatch_;
+  DriverStats stats_;
+  bool retry_pending_ = false;
+  std::uint32_t in_flight_ = 0;
+  std::uint32_t in_flight_reads_ = 0;
+  std::uint32_t in_flight_writes_ = 0;
+  std::uint64_t next_command_id_ = 0;
+  // Maps command id -> original request for completion reporting.
+  std::unordered_map<std::uint64_t, IoRequest> outstanding_;
+};
+
+}  // namespace src::nvme

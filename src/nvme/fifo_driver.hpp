@@ -1,0 +1,39 @@
+// Default NVMe driver queueing (paper Fig. 4-a): a single submission queue
+// served in FIFO order, limited only by the device queue depth. This is the
+// behaviour SRC replaces; it serves as the baseline in every experiment.
+#pragma once
+
+#include <deque>
+
+#include "nvme/driver.hpp"
+
+namespace src::nvme {
+
+class FifoDriver final : public NvmeDriver {
+ public:
+  using NvmeDriver::NvmeDriver;
+
+  void submit(IoRequest request) override {
+    queue_.push_back(std::move(request));
+    try_fetch();
+  }
+
+  std::size_t queued() const override { return queue_.size(); }
+
+ private:
+  void try_fetch() override {
+    while (!queue_.empty() && in_flight() < queue_depth()) {
+      if (!admissible(queue_.front())) {
+        schedule_admission_retry();
+        return;
+      }
+      IoRequest request = std::move(queue_.front());
+      queue_.pop_front();
+      dispatch(request);
+    }
+  }
+
+  std::deque<IoRequest> queue_;
+};
+
+}  // namespace src::nvme

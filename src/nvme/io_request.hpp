@@ -1,0 +1,22 @@
+// Block I/O request as submitted by the host side (NVMe-oF target driver)
+// into the NVMe driver's submission queues.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace src::nvme {
+
+using common::IoType;
+using common::SimTime;
+
+struct IoRequest {
+  std::uint64_t id = 0;
+  IoType type = IoType::kRead;
+  std::uint64_t lba = 0;    ///< logical byte address
+  std::uint32_t bytes = 0;
+  SimTime arrival = 0;      ///< host submission time
+};
+
+}  // namespace src::nvme

@@ -1,0 +1,116 @@
+// Discrete-event simulation kernel. A single-threaded event loop with a
+// binary-heap calendar; ties are broken by insertion sequence number so a
+// given seed always produces the identical execution order.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace src::sim {
+
+using common::SimTime;
+
+/// Opaque handle to a scheduled event; can be used to cancel it.
+class EventId {
+ public:
+  constexpr EventId() = default;
+  constexpr bool valid() const { return seq_ != 0; }
+  friend constexpr bool operator==(EventId a, EventId b) = default;
+
+ private:
+  friend class Simulator;
+  explicit constexpr EventId(std::uint64_t seq) : seq_(seq) {}
+  std::uint64_t seq_ = 0;
+};
+
+/// The event calendar and simulation clock. Not thread-safe: the whole
+/// simulated system runs on one logical timeline. (Parallel sweeps — e.g.
+/// the Fig 5 grid or TPM sample collection — run one Simulator per thread.)
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  SimTime now() const { return now_; }
+
+  /// Schedule `fn` at absolute time `when`; clamped to now() if in the past.
+  EventId schedule_at(SimTime when, Callback fn) {
+    const std::uint64_t seq = ++next_seq_;
+    heap_.push_back(Entry{when < now_ ? now_ : when, seq, std::move(fn)});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+    return EventId{seq};
+  }
+
+  /// Schedule `fn` after `delay` nanoseconds.
+  EventId schedule_in(SimTime delay, Callback fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Cancel a pending event. Safe to call on already-fired or invalid ids.
+  void cancel(EventId id) {
+    if (id.valid()) cancelled_.insert(id.seq_);
+  }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending_events() const { return heap_.size(); }
+  std::uint64_t executed_events() const { return executed_; }
+
+  /// Execute the next non-cancelled event. Returns false when drained.
+  bool step() {
+    while (!heap_.empty()) {
+      std::pop_heap(heap_.begin(), heap_.end(), Later{});
+      Entry e = std::move(heap_.back());
+      heap_.pop_back();
+      if (auto it = cancelled_.find(e.seq); it != cancelled_.end()) {
+        cancelled_.erase(it);
+        continue;
+      }
+      now_ = e.when;
+      ++executed_;
+      e.fn();
+      return true;
+    }
+    return false;
+  }
+
+  /// Run until the calendar drains or the clock passes `deadline`.
+  /// Events scheduled exactly at `deadline` still execute.
+  void run_until(SimTime deadline) {
+    while (!heap_.empty() && heap_.front().when <= deadline) {
+      if (!step()) break;
+    }
+    if (now_ < deadline && heap_.empty()) now_ = deadline;
+  }
+
+  /// Run until the calendar drains completely.
+  void run() {
+    while (step()) {}
+  }
+
+ private:
+  struct Entry {
+    SimTime when;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  // std heap functions build a max-heap; "Later" orders later events first
+  // so the earliest (when, seq) is at the front.
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::vector<Entry> heap_;
+  std::unordered_set<std::uint64_t> cancelled_;
+};
+
+}  // namespace src::sim

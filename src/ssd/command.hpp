@@ -1,0 +1,33 @@
+// NVMe command and completion records exchanged between the driver layer
+// (src/nvme) and the SSD device model (src/ssd).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace src::ssd {
+
+using common::IoType;
+using common::SimTime;
+
+/// A block I/O command as seen by the device after fetch from an SQ.
+struct NvmeCommand {
+  std::uint64_t id = 0;       ///< unique per command within a device
+  IoType type = IoType::kRead;
+  std::uint64_t lba = 0;      ///< logical byte address (byte-granular)
+  std::uint32_t bytes = 0;    ///< transfer length
+  SimTime submit_time = 0;    ///< when the host enqueued the request
+  SimTime fetch_time = 0;     ///< when the device fetched it from the SQ
+};
+
+/// Completion entry posted to the CQ when a command finishes.
+struct NvmeCompletion {
+  std::uint64_t id = 0;
+  IoType type = IoType::kRead;
+  std::uint32_t bytes = 0;
+  SimTime complete_time = 0;
+  bool served_from_cache = false;  ///< write absorbed by the DRAM cache
+};
+
+}  // namespace src::ssd

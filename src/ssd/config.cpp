@@ -1,0 +1,52 @@
+#include "ssd/config.hpp"
+
+#include <stdexcept>
+
+namespace src::ssd {
+
+using common::kMicrosecond;
+
+SsdConfig ssd_a() {
+  SsdConfig cfg;
+  cfg.name = "SSD-A";
+  cfg.queue_depth = 128;
+  cfg.write_cache_bytes = 256ull << 20;
+  cfg.cmt_bytes = 2ull << 20;
+  cfg.page_bytes = 16ull << 10;
+  cfg.read_latency = 75 * kMicrosecond;
+  cfg.write_latency = 300 * kMicrosecond;
+  return cfg;
+}
+
+SsdConfig ssd_b() {
+  SsdConfig cfg;
+  cfg.name = "SSD-B";
+  cfg.queue_depth = 512;
+  cfg.write_cache_bytes = 256ull << 20;
+  cfg.cmt_bytes = 2ull << 20;
+  cfg.page_bytes = 16ull << 10;
+  cfg.read_latency = 2 * kMicrosecond;
+  cfg.write_latency = 100 * kMicrosecond;
+  return cfg;
+}
+
+SsdConfig ssd_c() {
+  SsdConfig cfg;
+  cfg.name = "SSD-C";
+  cfg.queue_depth = 512;
+  cfg.write_cache_bytes = 512ull << 20;
+  cfg.cmt_bytes = 8ull << 20;
+  cfg.page_bytes = 8ull << 10;
+  cfg.read_latency = 30 * kMicrosecond;
+  cfg.write_latency = 200 * kMicrosecond;
+  return cfg;
+}
+
+SsdConfig config_by_name(const std::string& name) {
+  if (name == "SSD-A") return ssd_a();
+  if (name == "SSD-B") return ssd_b();
+  if (name == "SSD-C") return ssd_c();
+  throw std::invalid_argument("unknown SSD config: " + name);
+}
+
+}  // namespace src::ssd

@@ -1,0 +1,104 @@
+// SSD device configuration. The three named presets reproduce Table II of
+// the paper (queue depth, write cache, CMT, page size, read/write latency);
+// the remaining knobs describe the flash backend geometry that MQSim models
+// and that our device model needs to reproduce read/write interference.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace src::ssd {
+
+using common::Rate;
+using common::SimTime;
+
+struct SsdConfig {
+  std::string name = "ssd";
+
+  // --- Table II parameters -------------------------------------------------
+  std::uint32_t queue_depth = 128;           ///< max in-flight NVMe commands
+  std::uint64_t write_cache_bytes = 256ull << 20;  ///< DRAM write buffer
+  std::uint64_t cmt_bytes = 2ull << 20;      ///< cached mapping table size
+  std::uint64_t page_bytes = 16ull << 10;    ///< flash page size
+  SimTime read_latency = 75 * common::kMicrosecond;   ///< flash page read
+  SimTime write_latency = 300 * common::kMicrosecond; ///< flash page program
+
+  // --- Backend geometry ----------------------------------------------------
+  // Geometry sized so one simulated device produces throughput in the
+  // paper's reported range (reads ~5-10 Gbps, writes ~1.5-3 Gbps).
+  std::uint32_t channels = 4;
+  std::uint32_t chips_per_channel = 4;
+  Rate channel_bandwidth = Rate::bytes_per_second(800e6);  ///< ONFI bus
+  Rate dram_bandwidth = Rate::bytes_per_second(3200e6);    ///< write-cache path
+  std::uint64_t capacity_bytes = 64ull << 30;
+
+  // --- FTL ------------------------------------------------------------------
+  std::uint64_t mapping_entry_bytes = 8;  ///< bytes per CMT entry
+  /// Extra flash read incurred on a CMT miss (mapping-page fetch).
+  SimTime cmt_miss_penalty = 0;  ///< 0 = use read_latency
+  /// Fixed firmware processing overhead per command.
+  SimTime command_overhead = 2 * common::kMicrosecond;
+
+  // --- Write cache policy ---------------------------------------------------
+  /// Fraction of the write cache that may hold dirty data while still
+  /// acknowledging writes at DRAM speed. Past this watermark the cache is
+  /// under pressure and write completions are paced by the flash drain
+  /// (write-through behaviour) — sustained write streams become flash-bound
+  /// while bursts are still absorbed, which is what makes the SSQ weight
+  /// ratio an effective write-throughput control (Fig. 5).
+  double cache_ack_watermark = 1.0 / 256.0;
+  /// Concurrent cache-flush streams (0 = one per parallel flash unit).
+  std::uint32_t drain_streams = 0;
+
+  // --- Admission control ------------------------------------------------------
+  /// A command is fetched from a submission queue only while every chip it
+  /// touches has less than this much backlog (in units of the slowest page
+  /// operation). Commands beyond that wait in the SQs — which is where the
+  /// WRR arbiter does its work; without this, fetched commands would pile
+  /// up in unbounded chip FIFOs and fetch priority would be meaningless.
+  double admission_window_ops = 1.5;
+
+  // --- FTL / garbage collection (off by default: the paper's evaluation
+  // does not exercise GC; enabling it switches writes to log-structured
+  // placement with greedy-victim GC and erase costs) -------------------------
+  bool enable_gc = false;
+  double gc_overprovision = 0.15;       ///< physical/logical capacity - 1 (min 0.10)
+  std::uint32_t gc_pages_per_block = 64;
+  SimTime erase_latency = 3 * common::kMillisecond;
+
+  std::uint32_t parallel_units() const { return channels * chips_per_channel; }
+  std::uint64_t total_pages() const { return capacity_bytes / page_bytes; }
+  std::uint64_t cmt_entries() const { return cmt_bytes / mapping_entry_bytes; }
+  SimTime mapping_miss_penalty() const {
+    return cmt_miss_penalty > 0 ? cmt_miss_penalty : read_latency;
+  }
+  SimTime channel_transfer_time() const {
+    return channel_bandwidth.transmission_time(page_bytes);
+  }
+  std::uint64_t cache_watermark_bytes() const {
+    return static_cast<std::uint64_t>(cache_ack_watermark *
+                                      static_cast<double>(write_cache_bytes));
+  }
+  std::uint32_t effective_drain_streams() const {
+    return drain_streams > 0 ? drain_streams : parallel_units();
+  }
+  SimTime admission_window() const {
+    return static_cast<SimTime>(admission_window_ops *
+                                static_cast<double>(std::max(read_latency, write_latency)));
+  }
+};
+
+/// Table II, column "SSD-A": a read-optimised TLC-class drive.
+SsdConfig ssd_a();
+/// Table II, column "SSD-B": a low-latency (Z-NAND/XL-FLASH-class) drive.
+SsdConfig ssd_b();
+/// Table II, column "SSD-C": an 8 KB-page drive with a large CMT.
+SsdConfig ssd_c();
+
+/// Look up a preset by name ("SSD-A", "SSD-B", "SSD-C"); throws on unknown.
+SsdConfig config_by_name(const std::string& name);
+
+}  // namespace src::ssd

@@ -1,0 +1,223 @@
+#include "ssd/ftl.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace src::ssd {
+
+Ftl::Ftl(FtlConfig config) : config_(config) {
+  if (config_.chips == 0 || config_.pages_per_block == 0) {
+    throw std::invalid_argument("Ftl: degenerate geometry");
+  }
+  config_.overprovision = std::max(config_.overprovision, 0.10);
+  const std::uint64_t physical_pages = static_cast<std::uint64_t>(
+      static_cast<double>(config_.logical_pages) * (1.0 + config_.overprovision));
+  const std::uint64_t pages_per_chip =
+      (physical_pages + config_.chips - 1) / config_.chips;
+  std::uint32_t blocks_per_chip = static_cast<std::uint32_t>(
+      (pages_per_chip + config_.pages_per_block - 1) / config_.pages_per_block);
+  // Need headroom: at least threshold + 2 blocks per chip.
+  blocks_per_chip = std::max(blocks_per_chip, config_.gc_free_block_threshold + 5);
+
+  chips_.resize(config_.chips);
+  for (auto& chip : chips_) {
+    chip.blocks.resize(blocks_per_chip);
+    for (auto& block : chip.blocks) {
+      block.owners.assign(config_.pages_per_block, kInvalid);
+    }
+    chip.free_blocks.reserve(blocks_per_chip);
+    for (std::uint32_t b = blocks_per_chip; b-- > 0;) {
+      chip.free_blocks.push_back(b);
+    }
+  }
+}
+
+void Ftl::ensure_active(Chip& chip) {
+  if (chip.has_active &&
+      chip.blocks[chip.active_block].written < config_.pages_per_block) {
+    return;
+  }
+  if (chip.free_blocks.empty()) {
+    throw std::runtime_error("Ftl: chip out of free blocks (GC not keeping up)");
+  }
+  chip.active_block = chip.free_blocks.back();
+  chip.free_blocks.pop_back();
+  chip.has_active = true;
+}
+
+PhysicalPage Ftl::append(std::uint32_t chip_index, std::uint64_t logical_page) {
+  Chip& chip = chips_[chip_index];
+  ensure_active(chip);
+  Block& block = chip.blocks[chip.active_block];
+  const std::uint32_t slot = block.written++;
+  block.owners[slot] = logical_page;
+  ++block.valid;
+  return PhysicalPage{chip_index, chip.active_block, slot};
+}
+
+void Ftl::invalidate(const PhysicalPage& physical) {
+  Block& block = chips_[physical.chip].blocks[physical.block];
+  block.owners[physical.page] = kInvalid;
+  --block.valid;
+}
+
+std::optional<PhysicalPage> Ftl::translate(std::uint64_t logical_page) const {
+  const auto it = mapping_.find(logical_page);
+  if (it == mapping_.end()) return std::nullopt;
+  return it->second;
+}
+
+PhysicalPage Ftl::write(std::uint64_t logical_page) {
+  if (const auto it = mapping_.find(logical_page); it != mapping_.end()) {
+    invalidate(it->second);
+  }
+  // Space-aware steering: write to the chip with the most free capacity
+  // (round-robin among ties via the rotating start index). Blind
+  // round-robin lets per-chip valid counts drift apart until one chip has
+  // no reclaimable space at all.
+  std::uint32_t best = config_.chips;
+  std::uint64_t best_free = 0;
+  for (std::uint32_t offset = 0; offset < config_.chips; ++offset) {
+    const std::uint32_t c = (next_chip_ + offset) % config_.chips;
+    const Chip& chip = chips_[c];
+    std::uint32_t active_room = 0;
+    if (chip.has_active) {
+      active_room = config_.pages_per_block - chip.blocks[chip.active_block].written;
+    }
+    const std::uint64_t free_slots =
+        static_cast<std::uint64_t>(chip.free_blocks.size()) * config_.pages_per_block +
+        active_room;
+    if (free_slots == 0) continue;  // chip truly full; GC-by-capacity keeps
+                                    // relocations from wedging the rest
+    if (free_slots > best_free) {
+      best_free = free_slots;
+      best = c;
+    }
+  }
+  if (best == config_.chips) {
+    throw std::runtime_error("Ftl: device full (no chip can accept a host write)");
+  }
+  next_chip_ = (next_chip_ + 1) % config_.chips;
+  const PhysicalPage physical = append(best, logical_page);
+  mapping_[logical_page] = physical;
+  ++stats_.host_writes;
+  return physical;
+}
+
+PhysicalPage Ftl::rewrite_for_gc(std::uint64_t logical_page, std::uint32_t chip) {
+  if (const auto it = mapping_.find(logical_page); it != mapping_.end()) {
+    invalidate(it->second);
+  }
+  const PhysicalPage physical = append(chip, logical_page);
+  mapping_[logical_page] = physical;
+  return physical;
+}
+
+bool Ftl::trim(std::uint64_t logical_page) {
+  const auto it = mapping_.find(logical_page);
+  if (it == mapping_.end()) return false;
+  invalidate(it->second);
+  mapping_.erase(it);
+  ++stats_.trims;
+  return true;
+}
+
+bool Ftl::gc_needed() const {
+  for (const Chip& chip : chips_) {
+    if (chip.free_blocks.size() <= config_.gc_free_block_threshold) return true;
+  }
+  return false;
+}
+
+std::optional<GcPlan> Ftl::plan_gc() {
+  // All pressured chips, neediest first. A chip whose sealed blocks are all
+  // fully valid has nothing reclaimable right now (host overwrites from
+  // elsewhere must first create garbage there), so GC falls through to the
+  // next pressured chip rather than stalling globally.
+  std::vector<std::uint32_t> candidates;
+  for (std::uint32_t c = 0; c < config_.chips; ++c) {
+    if (chips_[c].free_blocks.size() <= config_.gc_free_block_threshold) {
+      candidates.push_back(c);
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [this](std::uint32_t a, std::uint32_t b) {
+              return chips_[a].free_blocks.size() < chips_[b].free_blocks.size();
+            });
+
+  for (const std::uint32_t chip_index : candidates) {
+    Chip& chip = chips_[chip_index];
+
+    // Relocation capacity on this chip: the victim's valid pages must fit
+    // in the active block's remainder plus whole free blocks, or the
+    // relocation itself would wedge the chip.
+    std::uint32_t capacity = static_cast<std::uint32_t>(chip.free_blocks.size()) *
+                             config_.pages_per_block;
+    if (chip.has_active) {
+      capacity += config_.pages_per_block - chip.blocks[chip.active_block].written;
+    }
+
+    // Greedy victim: the fully-written block with the fewest valid pages.
+    std::uint32_t victim = ~0u;
+    std::uint32_t fewest_valid = ~0u;
+    for (std::uint32_t b = 0; b < chip.blocks.size(); ++b) {
+      if (chip.has_active && b == chip.active_block) continue;
+      const Block& block = chip.blocks[b];
+      if (block.written < config_.pages_per_block) continue;  // not sealed
+      if (block.valid >= config_.pages_per_block) continue;   // no space gain
+      if (block.valid > capacity) continue;                   // cannot relocate
+      if (block.valid < fewest_valid) {
+        fewest_valid = block.valid;
+        victim = b;
+      }
+    }
+    if (victim == ~0u) continue;
+
+    GcPlan plan;
+    plan.chip = chip_index;
+    plan.block = victim;
+    const Block& block = chip.blocks[victim];
+    for (std::uint32_t slot = 0; slot < config_.pages_per_block; ++slot) {
+      if (block.owners[slot] != kInvalid) {
+        plan.valid_logical_pages.push_back(block.owners[slot]);
+      }
+    }
+    return plan;
+  }
+  return std::nullopt;
+}
+
+void Ftl::finish_gc(const GcPlan& plan) {
+  Block& block = chips_[plan.chip].blocks[plan.block];
+  // All valid pages must have been rewritten elsewhere by now.
+  block.owners.assign(config_.pages_per_block, kInvalid);
+  block.valid = 0;
+  block.written = 0;
+  ++block.erase_count;
+  chips_[plan.chip].free_blocks.push_back(plan.block);
+  ++stats_.erases;
+  stats_.gc_writes += plan.valid_logical_pages.size();
+}
+
+Ftl::WearSummary Ftl::wear_summary() const {
+  WearSummary summary;
+  summary.min_erases = ~0u;
+  std::uint64_t total = 0, blocks = 0;
+  for (const Chip& chip : chips_) {
+    for (const Block& block : chip.blocks) {
+      summary.min_erases = std::min(summary.min_erases, block.erase_count);
+      summary.max_erases = std::max(summary.max_erases, block.erase_count);
+      total += block.erase_count;
+      ++blocks;
+    }
+  }
+  if (blocks == 0) summary.min_erases = 0;
+  summary.mean_erases = blocks ? static_cast<double>(total) / static_cast<double>(blocks) : 0.0;
+  return summary;
+}
+
+std::uint32_t Ftl::free_blocks(std::uint32_t chip) const {
+  return static_cast<std::uint32_t>(chips_.at(chip).free_blocks.size());
+}
+
+}  // namespace src::ssd

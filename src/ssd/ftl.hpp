@@ -1,0 +1,140 @@
+// Log-structured FTL with garbage collection.
+//
+// Physical pages are organized into per-chip erase blocks; writes append to
+// each chip's active block (chips chosen round-robin, preserving the
+// backend's parallelism), overwrites invalidate the old physical page, and
+// when the free-block pool of a chip drops below the GC threshold a greedy
+// (min-valid-pages) victim is selected: its valid pages are relocated and
+// the block is erased. The device model charges the relocation reads,
+// programs, and the erase to the flash backend, so sustained random writes
+// exhibit the classic write cliff and read/GC interference.
+//
+// The FTL only steers *mapped* pages: logical pages never written read from
+// their static striped location (simulators serve uninitialized reads).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace src::ssd {
+
+struct FtlConfig {
+  std::uint64_t logical_pages = 1 << 16;
+  std::uint32_t pages_per_block = 64;
+  std::uint32_t chips = 8;
+  /// Physical capacity = logical capacity * (1 + over-provisioning).
+  /// Values below 0.10 are clamped: greedy GC needs that much slack to
+  /// avoid near-full victims wedging the free pool.
+  double overprovision = 0.15;
+  /// Run GC on a chip when its free blocks drop to/below this count.
+  std::uint32_t gc_free_block_threshold = 3;
+};
+
+struct FtlStats {
+  std::uint64_t host_writes = 0;   ///< pages written by the host
+  std::uint64_t gc_writes = 0;     ///< pages relocated by GC
+  std::uint64_t erases = 0;
+  std::uint64_t trims = 0;
+  double write_amplification() const {
+    return host_writes == 0
+               ? 1.0
+               : static_cast<double>(host_writes + gc_writes) /
+                     static_cast<double>(host_writes);
+  }
+};
+
+/// Physical page address: (chip, block within chip, page within block).
+struct PhysicalPage {
+  std::uint32_t chip = 0;
+  std::uint32_t block = 0;
+  std::uint32_t page = 0;
+};
+
+/// One planned GC step: relocate `valid` logical pages, then erase.
+struct GcPlan {
+  std::uint32_t chip = 0;
+  std::uint32_t block = 0;
+  std::vector<std::uint64_t> valid_logical_pages;
+};
+
+class Ftl {
+ public:
+  explicit Ftl(FtlConfig config);
+
+  /// Translate a logical page for reading; nullopt = never written (caller
+  /// falls back to the static stripe).
+  std::optional<PhysicalPage> translate(std::uint64_t logical_page) const;
+
+  /// Allocate a physical page for (over)writing a logical page. Invalidates
+  /// any previous mapping.
+  PhysicalPage write(std::uint64_t logical_page);
+
+  /// GC relocation: rewrite a logical page on its own chip without counting
+  /// it as a host write.
+  PhysicalPage rewrite_for_gc(std::uint64_t logical_page, std::uint32_t chip);
+
+  /// TRIM / Deallocate: drop the mapping so the physical page becomes
+  /// garbage immediately (reclaimed by the next GC pass). Returns true if
+  /// the page was mapped.
+  bool trim(std::uint64_t logical_page);
+
+  /// True when some chip's free-block pool is at/below the GC threshold.
+  bool gc_needed() const;
+
+  /// Greedy victim selection on the neediest chip. The caller performs the
+  /// data movement (charging the flash backend) by calling write() for each
+  /// valid page, then finish_gc() to erase. Returns nullopt if no chip
+  /// needs GC or no victim is eligible.
+  std::optional<GcPlan> plan_gc();
+
+  /// Erase the plan's block, returning it to the free pool.
+  void finish_gc(const GcPlan& plan);
+
+  const FtlStats& stats() const { return stats_; }
+  std::uint32_t free_blocks(std::uint32_t chip) const;
+  std::size_t mapped_pages() const { return mapping_.size(); }
+
+  /// Wear accounting: min/max per-block erase counts across the device.
+  /// A large spread indicates hot blocks wearing out early (this FTL does
+  /// greedy GC without explicit wear leveling; the spread quantifies it).
+  struct WearSummary {
+    std::uint32_t min_erases = 0;
+    std::uint32_t max_erases = 0;
+    double mean_erases = 0.0;
+  };
+  WearSummary wear_summary() const;
+
+ private:
+  struct Block {
+    std::uint32_t valid = 0;       ///< currently-valid pages
+    std::uint32_t written = 0;     ///< append cursor
+    std::uint32_t erase_count = 0;
+    std::vector<std::uint64_t> owners;  ///< logical page per slot (or ~0)
+  };
+  struct Chip {
+    std::vector<Block> blocks;
+    std::vector<std::uint32_t> free_blocks;  ///< stack of erased block ids
+    std::uint32_t active_block = 0;
+    bool has_active = false;
+    std::uint32_t gc_reserved_block = 0;  ///< destination during GC
+    bool gc_active = false;
+  };
+
+  static constexpr std::uint64_t kInvalid = ~0ull;
+
+  PhysicalPage append(std::uint32_t chip_index, std::uint64_t logical_page);
+  void invalidate(const PhysicalPage& physical);
+  void ensure_active(Chip& chip);
+
+  FtlConfig config_;
+  std::vector<Chip> chips_;
+  std::unordered_map<std::uint64_t, PhysicalPage> mapping_;
+  std::uint32_t next_chip_ = 0;  ///< round-robin write steering
+  FtlStats stats_;
+};
+
+}  // namespace src::ssd

@@ -1,0 +1,36 @@
+#include "workload/features.hpp"
+
+namespace src::workload {
+
+WorkloadFeatures features_from_stats(const TraceStats& stats) {
+  WorkloadFeatures f;
+  f.read_ratio = stats.read_ratio;
+  f.read_size_scv = stats.read.scv_size;
+  f.write_size_scv = stats.write.scv_size;
+  f.read_iat_scv = stats.read.scv_iat;
+  f.write_iat_scv = stats.write.scv_iat;
+  f.read_flow_speed = stats.read.flow_speed_bytes_per_sec;
+  f.write_flow_speed = stats.write.flow_speed_bytes_per_sec;
+  f.read_mean_size = stats.read.mean_size_bytes;
+  f.write_mean_size = stats.write.mean_size_bytes;
+  return f;
+}
+
+WorkloadFeatures extract_features(std::span<const TraceRecord> records,
+                                  common::SimTime window) {
+  TraceStats stats = analyze(records);
+  if (window > 0 && !records.empty()) {
+    // Recompute the flow speeds against the caller-provided window rather
+    // than the observed arrival span (a monitor window may be mostly idle).
+    std::uint64_t read_bytes = 0, write_bytes = 0;
+    for (const auto& rec : records) {
+      (rec.type == IoType::kRead ? read_bytes : write_bytes) += rec.bytes;
+    }
+    const double seconds = common::to_seconds(window);
+    stats.read.flow_speed_bytes_per_sec = static_cast<double>(read_bytes) / seconds;
+    stats.write.flow_speed_bytes_per_sec = static_cast<double>(write_bytes) / seconds;
+  }
+  return features_from_stats(stats);
+}
+
+}  // namespace src::workload

@@ -1,0 +1,101 @@
+#include "workload/micro.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+
+#include "common/rng.hpp"
+
+namespace src::workload {
+
+namespace {
+
+/// Bounded Zipf(theta) sampler over [0, n) via the Gray et al. analytic
+/// approximation (the YCSB generator): constant time per draw after O(1)
+/// setup, exact enough for workload modelling.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::uint64_t n, double theta) : n_(n), theta_(theta) {
+    const double nd = static_cast<double>(n_);
+    zetan_ = zeta_approx(nd, theta_);
+    zeta2_ = zeta_approx(2.0, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / nd, 1.0 - theta_)) / (1.0 - zeta2_ / zetan_);
+  }
+
+  std::uint64_t draw(common::Rng& rng) const {
+    const double u = rng.uniform();
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    const double nd = static_cast<double>(n_);
+    const auto index = static_cast<std::uint64_t>(
+        nd * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return index >= n_ ? n_ - 1 : index;
+  }
+
+ private:
+  // Integral approximation of the generalized harmonic number: fast and
+  // accurate to a few percent, which is all a synthetic workload needs.
+  static double zeta_approx(double n, double theta) {
+    if (theta == 1.0) return std::log(n) + 0.5772156649;
+    return (std::pow(n, 1.0 - theta) - 1.0) / (1.0 - theta) + 0.5772156649;
+  }
+
+  std::uint64_t n_;
+  double theta_;
+  double zetan_;
+  double zeta2_;
+  double alpha_;
+  double eta_;
+};
+
+std::uint32_t clamp_align(double raw, const MicroParams& params) {
+  auto bytes = static_cast<std::uint64_t>(raw);
+  bytes = (bytes / params.align_bytes) * params.align_bytes;
+  bytes = std::clamp<std::uint64_t>(bytes, params.min_size_bytes, params.max_size_bytes);
+  return static_cast<std::uint32_t>(bytes);
+}
+
+void generate_stream(const StreamParams& stream, IoType type,
+                     const MicroParams& params, common::Rng& rng, Trace& out) {
+  double clock_us = 0.0;
+  const std::uint64_t lba_pages = params.lba_space_bytes / params.align_bytes;
+  std::optional<ZipfSampler> zipf;
+  if (params.zipf_theta > 0.0) zipf.emplace(lba_pages, params.zipf_theta);
+  for (std::size_t i = 0; i < stream.count; ++i) {
+    clock_us += rng.exponential(stream.mean_iat_us);
+    TraceRecord rec;
+    rec.arrival = common::microseconds(clock_us);
+    rec.type = type;
+    rec.bytes = clamp_align(rng.exponential(stream.mean_size_bytes), params);
+    const std::uint64_t page = zipf ? zipf->draw(rng) : rng.uniform_index(lba_pages);
+    rec.lba = page * params.align_bytes;
+    out.push_back(rec);
+  }
+}
+
+}  // namespace
+
+MicroParams symmetric_micro(double mean_iat_us, double mean_size_bytes,
+                            std::size_t count_per_stream) {
+  MicroParams params;
+  params.read = StreamParams{mean_iat_us, mean_size_bytes, count_per_stream};
+  params.write = StreamParams{mean_iat_us, mean_size_bytes, count_per_stream};
+  return params;
+}
+
+Trace generate_micro(const MicroParams& params, std::uint64_t seed) {
+  common::Rng rng(seed);
+  common::Rng read_rng = rng.fork();
+  common::Rng write_rng = rng.fork();
+
+  Trace trace;
+  trace.reserve(params.read.count + params.write.count);
+  generate_stream(params.read, IoType::kRead, params, read_rng, trace);
+  generate_stream(params.write, IoType::kWrite, params, write_rng, trace);
+  sort_by_arrival(trace);
+  return trace;
+}
+
+}  // namespace src::workload

@@ -1,0 +1,174 @@
+#include "workload/mmpp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats.hpp"
+
+namespace src::workload {
+
+Mmpp2Generator::Mmpp2Generator(const Mmpp2Params& params, common::Rng rng)
+    : params_(params), rng_(rng) {
+  // Start from the stationary distribution for an unbiased stream head.
+  in_burst_ = rng_.bernoulli(params_.burst_fraction());
+  const double sojourn_s =
+      in_burst_ ? params_.sojourn_burst_s : params_.sojourn_quiet_s;
+  state_time_left_us_ = rng_.exponential(sojourn_s * 1e6);
+}
+
+double Mmpp2Generator::next_iat_us() {
+  double elapsed_us = 0.0;
+  for (;;) {
+    const double rate_per_us =
+        (in_burst_ ? params_.rate_burst : params_.rate_quiet) * 1e-6;
+    const double candidate_us = rng_.exponential(1.0 / rate_per_us);
+    if (candidate_us <= state_time_left_us_) {
+      state_time_left_us_ -= candidate_us;
+      return elapsed_us + candidate_us;
+    }
+    // No arrival before the state switches: advance to the switch point.
+    elapsed_us += state_time_left_us_;
+    in_burst_ = !in_burst_;
+    const double sojourn_s =
+        in_burst_ ? params_.sojourn_burst_s : params_.sojourn_quiet_s;
+    state_time_left_us_ = rng_.exponential(sojourn_s * 1e6);
+  }
+}
+
+namespace {
+
+/// Empirical IAT SCV of a parameter set, deterministic for the seed.
+double empirical_scv(const Mmpp2Params& params, std::uint64_t seed,
+                     std::size_t samples = 100'000) {
+  Mmpp2Generator gen(params, common::Rng(seed));
+  common::RunningStats stats;
+  for (std::size_t i = 0; i < samples; ++i) stats.add(gen.next_iat_us());
+  return stats.scv();
+}
+
+Mmpp2Params make_params(double mean_iat_us, double burst_rate_ratio,
+                        double burst_fraction, double sojourn_scale_s) {
+  const double mean_rate = 1e6 / mean_iat_us;  // arrivals per second
+  const double quiet_rate =
+      mean_rate / (1.0 - burst_fraction + burst_rate_ratio * burst_fraction);
+  Mmpp2Params params;
+  params.rate_quiet = quiet_rate;
+  params.rate_burst = burst_rate_ratio * quiet_rate;
+  params.sojourn_quiet_s = sojourn_scale_s * (1.0 - burst_fraction);
+  params.sojourn_burst_s = sojourn_scale_s * burst_fraction;
+  return params;
+}
+
+}  // namespace
+
+Mmpp2Params fit_mmpp2(double mean_iat_us, double target_scv,
+                      double burst_rate_ratio, std::uint64_t fit_seed) {
+  const double mean_rate = 1e6 / mean_iat_us;
+  if (target_scv <= 1.05) {
+    // Poisson: both states identical.
+    Mmpp2Params params;
+    params.rate_quiet = params.rate_burst = mean_rate;
+    params.sojourn_quiet_s = params.sojourn_burst_s = 1e-3;
+    return params;
+  }
+
+  constexpr double kBurstFraction = 0.2;
+  // Sojourn scale is capped at ~1000 inter-arrivals so that the process
+  // mixes quickly: an empirical run of 1e5 samples then covers ~100 regime
+  // cycles and SCV estimates are stable. Higher targets are reached by
+  // escalating the burst-rate ratio instead of stretching the sojourns.
+  const double lo_cap = mean_iat_us * 1e-6 * 2.0;
+  const double hi_cap = mean_iat_us * 1e-6 * 1e3;
+  double ratio = burst_rate_ratio;
+  for (int escalation = 0; escalation < 6; ++escalation, ratio *= 2.5) {
+    // SCV grows monotonically with the sojourn time scale, saturating at the
+    // hyper-exponential limit for this rate ratio; bisect on the scale.
+    double lo = lo_cap;
+    double hi = hi_cap;
+    if (empirical_scv(make_params(mean_iat_us, ratio, kBurstFraction, hi),
+                      fit_seed) < target_scv * 1.02) {
+      continue;  // (near-)unreachable with this ratio; escalate burstiness
+    }
+    for (int iter = 0; iter < 30; ++iter) {
+      const double mid = std::sqrt(lo * hi);  // geometric bisection
+      const double scv = empirical_scv(
+          make_params(mean_iat_us, ratio, kBurstFraction, mid), fit_seed);
+      if (scv < target_scv) lo = mid; else hi = mid;
+    }
+    return make_params(mean_iat_us, ratio, kBurstFraction, std::sqrt(lo * hi));
+  }
+  // Give the most bursty reachable configuration.
+  return make_params(mean_iat_us, ratio / 2.5, kBurstFraction, hi_cap);
+}
+
+namespace {
+
+std::uint32_t clamp_align(double raw, const SyntheticParams& params) {
+  auto bytes = static_cast<std::uint64_t>(std::max(raw, 0.0));
+  bytes = (bytes / params.align_bytes) * params.align_bytes;
+  bytes = std::clamp<std::uint64_t>(bytes, params.min_size_bytes, params.max_size_bytes);
+  return static_cast<std::uint32_t>(bytes);
+}
+
+void generate_stream(const SyntheticStreamParams& stream, IoType type,
+                     const SyntheticParams& params, common::Rng& rng,
+                     Trace& out) {
+  const Mmpp2Params arrival_params =
+      fit_mmpp2(stream.mean_iat_us, stream.iat_scv);
+  Mmpp2Generator arrivals(arrival_params, rng.fork());
+  common::Rng size_rng = rng.fork();
+  common::Rng lba_rng = rng.fork();
+
+  const std::uint64_t lba_pages = params.lba_space_bytes / params.align_bytes;
+  double clock_us = 0.0;
+  for (std::size_t i = 0; i < stream.count; ++i) {
+    clock_us += arrivals.next_iat_us();
+    TraceRecord rec;
+    rec.arrival = common::microseconds(clock_us);
+    rec.type = type;
+    rec.bytes = clamp_align(
+        size_rng.lognormal_mean_scv(stream.mean_size_bytes, stream.size_scv),
+        params);
+    rec.lba = lba_rng.uniform_index(lba_pages) * params.align_bytes;
+    out.push_back(rec);
+  }
+}
+
+}  // namespace
+
+Trace generate_synthetic(const SyntheticParams& params, std::uint64_t seed) {
+  common::Rng rng(seed);
+  common::Rng read_rng = rng.fork();
+  common::Rng write_rng = rng.fork();
+
+  Trace trace;
+  trace.reserve(params.read.count + params.write.count);
+  generate_stream(params.read, IoType::kRead, params, read_rng, trace);
+  generate_stream(params.write, IoType::kWrite, params, write_rng, trace);
+  sort_by_arrival(trace);
+  return trace;
+}
+
+SyntheticParams fujitsu_vdi_like(std::size_t requests_per_stream) {
+  SyntheticParams params;
+  params.read = SyntheticStreamParams{/*mean_iat_us=*/10.0, /*iat_scv=*/2.5,
+                                      /*mean_size_bytes=*/44.0 * 1024,
+                                      /*size_scv=*/1.0, requests_per_stream};
+  params.write = SyntheticStreamParams{/*mean_iat_us=*/10.0, /*iat_scv=*/2.5,
+                                       /*mean_size_bytes=*/23.0 * 1024,
+                                       /*size_scv=*/1.0, requests_per_stream};
+  return params;
+}
+
+SyntheticParams tencent_cbs_like(std::size_t requests_per_stream) {
+  SyntheticParams params;
+  params.read = SyntheticStreamParams{/*mean_iat_us=*/20.0, /*iat_scv=*/6.0,
+                                      /*mean_size_bytes=*/8.0 * 1024,
+                                      /*size_scv=*/3.0, requests_per_stream};
+  params.write = SyntheticStreamParams{/*mean_iat_us=*/8.0, /*iat_scv=*/6.0,
+                                       /*mean_size_bytes=*/16.0 * 1024,
+                                       /*size_scv=*/3.0, requests_per_stream};
+  return params;
+}
+
+}  // namespace src::workload

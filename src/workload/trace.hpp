@@ -1,0 +1,60 @@
+// Block I/O trace representation plus per-stream statistics (mean / SCV /
+// skewness / lag-1 autocorrelation of inter-arrival time and request size)
+// — the quantities the paper extracts from the SNIA traces to parameterise
+// its synthetic workloads.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace src::workload {
+
+using common::IoType;
+using common::SimTime;
+
+struct TraceRecord {
+  SimTime arrival = 0;
+  IoType type = IoType::kRead;
+  std::uint64_t lba = 0;
+  std::uint32_t bytes = 0;
+};
+
+using Trace = std::vector<TraceRecord>;
+
+/// Statistics of one request stream (read or write) within a trace.
+struct StreamStats {
+  std::size_t count = 0;
+  double mean_iat_us = 0.0;
+  double scv_iat = 0.0;
+  double skew_iat = 0.0;
+  double autocorr_iat = 0.0;
+  double mean_size_bytes = 0.0;
+  double scv_size = 0.0;
+  double skew_size = 0.0;
+  double autocorr_size = 0.0;
+  /// Arrival flow speed: bytes arriving per second.
+  double flow_speed_bytes_per_sec = 0.0;
+};
+
+struct TraceStats {
+  StreamStats read;
+  StreamStats write;
+  double read_ratio = 0.0;  ///< reads / (reads + writes), by request count
+  SimTime duration = 0;
+};
+
+/// Compute full per-stream statistics over a trace (assumed sorted by
+/// arrival time; `analyze` tolerates empty streams).
+TraceStats analyze(std::span<const TraceRecord> trace);
+
+/// Stable-merge two traces by arrival time.
+Trace merge_traces(const Trace& a, const Trace& b);
+
+/// Sort a trace in place by arrival time (stable).
+void sort_by_arrival(Trace& trace);
+
+}  // namespace src::workload

@@ -1,0 +1,95 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+
+namespace src::common {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, ForkIsIndependentAndDeterministic) {
+  Rng parent1(7);
+  Rng parent2(7);
+  Rng child1 = parent1.fork();
+  Rng child2 = parent2.fork();
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(child1.next_u64(), child2.next_u64());
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRange) {
+  Rng rng(4);
+  for (int i = 0; i < 1'000; ++i) {
+    const double u = rng.uniform(5.0, 9.0);
+    EXPECT_GE(u, 5.0);
+    EXPECT_LT(u, 9.0);
+  }
+}
+
+TEST(RngTest, UniformIndexBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 10'000; ++i) EXPECT_LT(rng.uniform_index(17), 17u);
+}
+
+TEST(RngTest, ExponentialMeanMatches) {
+  Rng rng(6);
+  RunningStats stats;
+  for (int i = 0; i < 200'000; ++i) stats.add(rng.exponential(10.0));
+  EXPECT_NEAR(stats.mean(), 10.0, 0.2);
+  // Exponential SCV = 1.
+  EXPECT_NEAR(stats.scv(), 1.0, 0.05);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(7);
+  RunningStats stats;
+  for (int i = 0; i < 200'000; ++i) stats.add(rng.normal(3.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 3.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.05);
+}
+
+TEST(RngTest, LognormalMeanScv) {
+  Rng rng(8);
+  RunningStats stats;
+  for (int i = 0; i < 400'000; ++i) stats.add(rng.lognormal_mean_scv(32.0, 0.5));
+  EXPECT_NEAR(stats.mean(), 32.0, 0.7);
+  EXPECT_NEAR(stats.scv(), 0.5, 0.08);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(9);
+  int hits = 0;
+  for (int i = 0; i < 100'000; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / 100'000.0, 0.3, 0.01);
+}
+
+TEST(SplitMix64Test, KnownSequenceIsStable) {
+  std::uint64_t state = 0;
+  const std::uint64_t first = splitmix64(state);
+  const std::uint64_t second = splitmix64(state);
+  EXPECT_NE(first, second);
+  std::uint64_t state2 = 0;
+  EXPECT_EQ(splitmix64(state2), first);
+}
+
+}  // namespace
+}  // namespace src::common

@@ -1,0 +1,37 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace src::common {
+namespace {
+
+TEST(TextTableTest, RendersHeadersAndRows) {
+  TextTable table({"Model", "Accuracy"});
+  table.add_row({"Random Forest", "0.94"});
+  table.add_row({"Linear", "0.77"});
+  std::ostringstream os;
+  table.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Model"), std::string::npos);
+  EXPECT_NE(out.find("Random Forest"), std::string::npos);
+  EXPECT_NE(out.find("0.94"), std::string::npos);
+}
+
+TEST(TextTableTest, HandlesShortRows) {
+  TextTable table({"a", "b", "c"});
+  table.add_row({"only-one"});
+  std::ostringstream os;
+  table.print(os);
+  EXPECT_NE(os.str().find("only-one"), std::string::npos);
+}
+
+TEST(FmtTest, Precision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+  EXPECT_EQ(fmt(-1.5, 1), "-1.5");
+}
+
+}  // namespace
+}  // namespace src::common

@@ -1,0 +1,66 @@
+#include "common/types.hpp"
+
+#include <gtest/gtest.h>
+
+namespace src::common {
+namespace {
+
+TEST(TimeTest, UnitConversions) {
+  EXPECT_EQ(microseconds(1.0), 1'000);
+  EXPECT_EQ(milliseconds(1.0), 1'000'000);
+  EXPECT_EQ(seconds(1.0), 1'000'000'000);
+  EXPECT_DOUBLE_EQ(to_seconds(kSecond), 1.0);
+  EXPECT_DOUBLE_EQ(to_milliseconds(kMillisecond), 1.0);
+  EXPECT_DOUBLE_EQ(to_microseconds(kMicrosecond), 1.0);
+}
+
+TEST(TimeTest, FractionalConversions) {
+  EXPECT_EQ(microseconds(2.5), 2'500);
+  EXPECT_EQ(milliseconds(0.001), 1'000);
+}
+
+TEST(RateTest, GbpsRoundTrip) {
+  const Rate r = Rate::gbps(40.0);
+  EXPECT_DOUBLE_EQ(r.as_gbps(), 40.0);
+  EXPECT_DOUBLE_EQ(r.as_bytes_per_second(), 5e9);
+}
+
+TEST(RateTest, MbpsRoundTrip) {
+  const Rate r = Rate::mbps(100.0);
+  EXPECT_DOUBLE_EQ(r.as_mbps(), 100.0);
+}
+
+TEST(RateTest, TransmissionTime) {
+  // 1 KB at 8 Gbps = 1e9 B/s -> 1024 ns.
+  const Rate r = Rate::gbps(8.0);
+  EXPECT_EQ(r.transmission_time(1024), 1024);
+}
+
+TEST(RateTest, ZeroRateNeverTransmits) {
+  EXPECT_EQ(Rate::zero().transmission_time(1), kTimeInfinity);
+  EXPECT_TRUE(Rate::zero().is_zero());
+}
+
+TEST(RateTest, Arithmetic) {
+  const Rate a = Rate::gbps(10.0);
+  const Rate b = Rate::gbps(30.0);
+  EXPECT_DOUBLE_EQ((a + b).as_gbps(), 40.0);
+  EXPECT_DOUBLE_EQ((b - a).as_gbps(), 20.0);
+  EXPECT_DOUBLE_EQ((a * 2.0).as_gbps(), 20.0);
+  EXPECT_DOUBLE_EQ((b / 3.0).as_gbps(), 10.0);
+  EXPECT_LT(a, b);
+}
+
+TEST(ByteLiteralsTest, Values) {
+  EXPECT_EQ(4_KiB, 4096u);
+  EXPECT_EQ(1_MiB, 1048576u);
+  EXPECT_EQ(1_GiB, 1073741824u);
+}
+
+TEST(IoTypeTest, ToString) {
+  EXPECT_STREQ(to_string(IoType::kRead), "read");
+  EXPECT_STREQ(to_string(IoType::kWrite), "write");
+}
+
+}  // namespace
+}  // namespace src::common

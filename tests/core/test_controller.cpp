@@ -1,0 +1,137 @@
+#include "core/src_controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/presets.hpp"
+#include "workload/micro.hpp"
+
+namespace src::core {
+namespace {
+
+struct Rig {
+  Tpm tpm;
+  WorkloadMonitor monitor{10 * common::kMillisecond};
+  workload::WorkloadFeatures heavy_ch;
+
+  Rig() {
+    TrainingGrid grid;
+    for (double iat : {15.0, 40.0}) {
+      grid.traces.push_back(workload::generate_micro(
+          workload::symmetric_micro(iat, 44.0 * 1024, 1500), 3 + (int)iat));
+    }
+    grid.weight_ratios = {1, 2, 3, 4, 6, 8};
+    tpm.fit(collect_training_data(ssd::ssd_a(), grid));
+    const auto trace = workload::generate_micro(
+        workload::symmetric_micro(15.0, 44.0 * 1024, 1500), 55);
+    heavy_ch = workload::extract_features(trace);
+  }
+};
+
+TEST(ControllerTest, HighDemandNeedsNoThrottle) {
+  Rig rig;
+  SrcController ctl(rig.tpm, rig.monitor);
+  // Demand far above what the SSD can read: Alg 1 line 15-17 returns 1.
+  EXPECT_EQ(ctl.predict_weight_ratio(100e9, rig.heavy_ch), 1u);
+}
+
+TEST(ControllerTest, LowDemandRaisesWeightRatio) {
+  Rig rig;
+  SrcController ctl(rig.tpm, rig.monitor);
+  const auto at_w1 = rig.tpm.predict(rig.heavy_ch, 1.0);
+  // Demand well below the w=1 read throughput forces a search upward.
+  const std::uint32_t w =
+      ctl.predict_weight_ratio(at_w1.read_bytes_per_sec * 0.3, rig.heavy_ch);
+  EXPECT_GT(w, 1u);
+}
+
+TEST(ControllerTest, LowerDemandNeverLowersWeight) {
+  Rig rig;
+  SrcController ctl(rig.tpm, rig.monitor);
+  const auto at_w1 = rig.tpm.predict(rig.heavy_ch, 1.0);
+  const std::uint32_t w_mild =
+      ctl.predict_weight_ratio(at_w1.read_bytes_per_sec * 0.7, rig.heavy_ch);
+  const std::uint32_t w_harsh =
+      ctl.predict_weight_ratio(at_w1.read_bytes_per_sec * 0.3, rig.heavy_ch);
+  EXPECT_GE(w_harsh, w_mild);
+}
+
+TEST(ControllerTest, ChosenWeightMinimizesDistance) {
+  Rig rig;
+  SrcController ctl(rig.tpm, rig.monitor);
+  const double demanded = rig.tpm.predict(rig.heavy_ch, 1.0).read_bytes_per_sec * 0.5;
+  const std::uint32_t w_star = ctl.predict_weight_ratio(demanded, rig.heavy_ch);
+  const double chosen_dist =
+      std::abs(rig.tpm.predict(rig.heavy_ch, w_star).read_bytes_per_sec - demanded);
+  // No smaller w gives a strictly better match (w* is the argmin over the
+  // visited prefix; smaller w are always visited).
+  for (std::uint32_t w = 1; w < w_star; ++w) {
+    const double dist =
+        std::abs(rig.tpm.predict(rig.heavy_ch, w).read_bytes_per_sec - demanded);
+    EXPECT_GE(dist, chosen_dist) << "w=" << w;
+  }
+}
+
+TEST(ControllerTest, EventAppliesWeightThroughSetter) {
+  Rig rig;
+  SrcController ctl(rig.tpm, rig.monitor);
+  std::vector<std::uint32_t> applied;
+  ctl.set_weight_setter([&](std::uint32_t w) { applied.push_back(w); });
+
+  // Feed the monitor a heavy workload so Ch is meaningful.
+  for (int i = 0; i < 400; ++i) {
+    rig.monitor.observe(common::microseconds(15.0 * i),
+                        i % 2 ? common::IoType::kWrite : common::IoType::kRead,
+                        static_cast<std::uint64_t>(i) << 20, 44 * 1024);
+  }
+  const auto at_w1 = rig.tpm.predict(rig.monitor.features(common::microseconds(6000)), 1.0);
+  ctl.on_congestion_event(common::microseconds(6000),
+                          at_w1.read_bytes_per_sec * 0.3, true);
+  ASSERT_EQ(applied.size(), 1u);
+  EXPECT_GT(applied[0], 1u);
+  EXPECT_EQ(ctl.current_weight_ratio(), applied[0]);
+  EXPECT_EQ(ctl.adjustments().size(), 1u);
+}
+
+TEST(ControllerTest, DebounceSuppressesRapidEvents) {
+  Rig rig;
+  SrcParams params;
+  params.min_adjust_interval = common::kMillisecond;
+  SrcController ctl(rig.tpm, rig.monitor, params);
+  ctl.on_congestion_event(10 * common::kMillisecond, 1e9, true);
+  ctl.on_congestion_event(10 * common::kMillisecond + 100, 2e9, true);  // 100 ns later
+  EXPECT_EQ(ctl.adjustments().size(), 1u);
+  ctl.on_congestion_event(12 * common::kMillisecond, 2e9, true);
+  EXPECT_EQ(ctl.adjustments().size(), 2u);
+}
+
+TEST(ControllerTest, SetterOnlyCalledOnChange) {
+  Rig rig;
+  SrcController ctl(rig.tpm, rig.monitor);
+  int calls = 0;
+  ctl.set_weight_setter([&](std::uint32_t) { ++calls; });
+  // Demand so high that w stays 1 (the initial value): no setter call.
+  ctl.on_congestion_event(10 * common::kMillisecond, 100e9, true);
+  ctl.on_congestion_event(20 * common::kMillisecond, 100e9, true);
+  EXPECT_EQ(calls, 0);
+  EXPECT_EQ(ctl.adjustments().size(), 2u);
+}
+
+TEST(ControllerTest, MaxWeightRatioBoundsSearch) {
+  Rig rig;
+  SrcParams params;
+  params.max_weight_ratio = 3;
+  SrcController ctl(rig.tpm, rig.monitor, params);
+  const std::uint32_t w = ctl.predict_weight_ratio(1.0, rig.heavy_ch);  // ~zero demand
+  EXPECT_LE(w, 3u);
+}
+
+TEST(ControllerTest, RetrievalEventsLogged) {
+  Rig rig;
+  SrcController ctl(rig.tpm, rig.monitor);
+  ctl.on_congestion_event(10 * common::kMillisecond, 1e9, false);
+  ASSERT_EQ(ctl.adjustments().size(), 1u);
+  EXPECT_FALSE(ctl.adjustments()[0].decrease);
+}
+
+}  // namespace
+}  // namespace src::core

@@ -1,0 +1,65 @@
+#include "core/workload_monitor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace src::core {
+namespace {
+
+using common::IoType;
+using common::kMillisecond;
+using common::microseconds;
+
+TEST(MonitorTest, TracksRecentRequests) {
+  WorkloadMonitor monitor(10 * kMillisecond);
+  monitor.observe(microseconds(100), IoType::kRead, 0, 4096);
+  monitor.observe(microseconds(200), IoType::kWrite, 8192, 8192);
+  EXPECT_EQ(monitor.tracked_requests(), 2u);
+}
+
+TEST(MonitorTest, PrunesOutsideWindow) {
+  WorkloadMonitor monitor(1 * kMillisecond);
+  monitor.observe(microseconds(0), IoType::kRead, 0, 4096);
+  monitor.observe(microseconds(500), IoType::kRead, 0, 4096);
+  monitor.observe(microseconds(1600), IoType::kRead, 0, 4096);
+  // Cutoff is 1600 - 1000 = 600 us: the records at 0 and 500 us are gone.
+  EXPECT_EQ(monitor.tracked_requests(), 1u);
+}
+
+TEST(MonitorTest, FeaturesUseWindowForFlowSpeed) {
+  WorkloadMonitor monitor(10 * kMillisecond);
+  // 1 MB of reads inside a 10 ms window -> 100 MB/s.
+  for (int i = 0; i < 10; ++i) {
+    monitor.observe(microseconds(100.0 * i), IoType::kRead, 0, 100'000);
+  }
+  const auto features = monitor.features(microseconds(1000));
+  EXPECT_NEAR(features.read_flow_speed, 1'000'000 / 10e-3, 1.0);
+}
+
+TEST(MonitorTest, EmptyWindowYieldsZeroFeatures) {
+  WorkloadMonitor monitor(kMillisecond);
+  const auto features = monitor.features(100 * kMillisecond);
+  EXPECT_DOUBLE_EQ(features.read_flow_speed, 0.0);
+  EXPECT_DOUBLE_EQ(features.read_ratio, 0.0);
+}
+
+TEST(MonitorTest, ReadRatioReflectsMix) {
+  WorkloadMonitor monitor(10 * kMillisecond);
+  for (int i = 0; i < 30; ++i) {
+    monitor.observe(microseconds(10.0 * i), i % 3 == 0 ? IoType::kWrite : IoType::kRead,
+                    0, 4096);
+  }
+  const auto features = monitor.features(microseconds(300));
+  EXPECT_NEAR(features.read_ratio, 2.0 / 3.0, 0.01);
+}
+
+TEST(MonitorTest, CompactionKeepsLongRunsBounded) {
+  WorkloadMonitor monitor(kMillisecond);
+  for (int i = 0; i < 100'000; ++i) {
+    monitor.observe(microseconds(10.0 * i), IoType::kRead, 0, 4096);
+  }
+  // ~100 records fit a 1 ms window at 10 us spacing.
+  EXPECT_LE(monitor.tracked_requests(), 110u);
+}
+
+}  // namespace
+}  // namespace src::core

@@ -1,0 +1,57 @@
+#include "core/motivation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace src::core {
+namespace {
+
+// The paper's Fig. 2 numbers: SSD does 6 reads + 3 writes per unit; the
+// fabric carries 6; congestion halves the fabric rate.
+TEST(MotivationTest, PaperNumbersNoCongestion) {
+  const MotivationParams p;
+  const auto tput = no_congestion(p);
+  EXPECT_DOUBLE_EQ(tput.read, 6.0);
+  EXPECT_DOUBLE_EQ(tput.write, 3.0);
+  EXPECT_DOUBLE_EQ(tput.aggregate(), 9.0);
+}
+
+TEST(MotivationTest, PaperNumbersUnderDcqcn) {
+  const MotivationParams p;
+  const auto tput = under_dcqcn(p);
+  EXPECT_DOUBLE_EQ(tput.read, 3.0);
+  EXPECT_DOUBLE_EQ(tput.write, 3.0);
+  EXPECT_DOUBLE_EQ(tput.aggregate(), 6.0);
+}
+
+TEST(MotivationTest, PaperNumbersUnderSrc) {
+  const MotivationParams p;
+  const auto tput = under_src(p);
+  EXPECT_DOUBLE_EQ(tput.read, 3.0);
+  EXPECT_DOUBLE_EQ(tput.write, 6.0);
+  EXPECT_DOUBLE_EQ(tput.aggregate(), 9.0);
+}
+
+TEST(MotivationTest, SrcPreservesAggregateForAnyCut) {
+  MotivationParams p;
+  for (double cut : {0.25, 0.5, 0.75, 1.0}) {
+    p.congestion_factor = cut;
+    EXPECT_DOUBLE_EQ(under_src(p).aggregate(), no_congestion(p).aggregate());
+    EXPECT_LE(under_dcqcn(p).aggregate(), no_congestion(p).aggregate());
+  }
+}
+
+TEST(MotivationTest, SrcMatchesDcqcnReadRate) {
+  MotivationParams p;
+  p.congestion_factor = 0.4;
+  EXPECT_DOUBLE_EQ(under_src(p).read, under_dcqcn(p).read);
+}
+
+TEST(MotivationTest, FabricFasterThanSsdMeansNoLoss) {
+  MotivationParams p;
+  p.fabric_rate = 100.0;
+  p.congestion_factor = 0.5;  // still 50 > ssd_read_rate
+  EXPECT_DOUBLE_EQ(under_dcqcn(p).aggregate(), no_congestion(p).aggregate());
+}
+
+}  // namespace
+}  // namespace src::core

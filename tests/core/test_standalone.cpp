@@ -1,0 +1,107 @@
+#include "core/standalone.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/micro.hpp"
+
+namespace src::core {
+namespace {
+
+TEST(StandaloneTest, CompletesWholeTrace) {
+  const auto trace =
+      workload::generate_micro(workload::symmetric_micro(50.0, 16 * 1024, 200), 3);
+  const auto result = run_standalone(ssd::ssd_a(), trace);
+  EXPECT_EQ(result.reads_completed + result.writes_completed, trace.size());
+  EXPECT_GT(result.read_rate.as_bytes_per_second(), 0.0);
+  EXPECT_GT(result.mean_read_latency_us, 0.0);
+}
+
+TEST(StandaloneTest, DeterministicForSeed) {
+  const auto trace =
+      workload::generate_micro(workload::symmetric_micro(20.0, 16 * 1024, 300), 5);
+  const auto a = run_standalone(ssd::ssd_a(), trace);
+  const auto b = run_standalone(ssd::ssd_a(), trace);
+  EXPECT_DOUBLE_EQ(a.read_rate.as_bytes_per_second(), b.read_rate.as_bytes_per_second());
+  EXPECT_DOUBLE_EQ(a.write_rate.as_bytes_per_second(), b.write_rate.as_bytes_per_second());
+}
+
+TEST(StandaloneTest, HorizonStopsEarly) {
+  const auto trace =
+      workload::generate_micro(workload::symmetric_micro(5.0, 64 * 1024, 5000), 7);
+  StandaloneOptions options;
+  options.horizon = arrival_horizon(trace) / 2;
+  const auto result = run_standalone(ssd::ssd_a(), trace, options);
+  EXPECT_LT(result.reads_completed + result.writes_completed, trace.size());
+}
+
+TEST(StandaloneTest, ArrivalHorizonIsLastArrival) {
+  const auto trace =
+      workload::generate_micro(workload::symmetric_micro(10.0, 16 * 1024, 100), 9);
+  EXPECT_EQ(arrival_horizon(trace), trace.back().arrival);
+  EXPECT_EQ(arrival_horizon(workload::Trace{}), 0);
+}
+
+// The Fig. 5 property: under a sustained heavy workload, raising the weight
+// ratio shifts throughput from reads to writes.
+TEST(StandaloneTest, WeightRatioShiftsThroughput) {
+  const auto trace =
+      workload::generate_micro(workload::symmetric_micro(25.0, 40 * 1024, 4000), 11);
+  StandaloneOptions w1, w8;
+  w1.weight_ratio = 1;
+  w8.weight_ratio = 8;
+  w1.horizon = w8.horizon = arrival_horizon(trace);
+  const auto r1 = run_standalone(ssd::ssd_a(), trace, w1);
+  const auto r8 = run_standalone(ssd::ssd_a(), trace, w8);
+  EXPECT_LT(r8.read_rate.as_bytes_per_second(), r1.read_rate.as_bytes_per_second());
+  EXPECT_GT(r8.write_rate.as_bytes_per_second(), r1.write_rate.as_bytes_per_second());
+}
+
+// The paper's light-workload observation: WRR fades out when queues are
+// shallow.
+TEST(StandaloneTest, WeightRatioFadesForLightWorkload) {
+  const auto trace =
+      workload::generate_micro(workload::symmetric_micro(400.0, 10 * 1024, 1000), 13);
+  StandaloneOptions w1, w8;
+  w1.weight_ratio = 1;
+  w8.weight_ratio = 8;
+  w1.horizon = w8.horizon = arrival_horizon(trace);
+  const auto r1 = run_standalone(ssd::ssd_a(), trace, w1);
+  const auto r8 = run_standalone(ssd::ssd_a(), trace, w8);
+  const double read_change =
+      std::abs(r8.read_rate.as_bytes_per_second() - r1.read_rate.as_bytes_per_second()) /
+      r1.read_rate.as_bytes_per_second();
+  EXPECT_LT(read_change, 0.05);
+}
+
+TEST(StandaloneTest, FifoBaselineRuns) {
+  const auto trace =
+      workload::generate_micro(workload::symmetric_micro(50.0, 16 * 1024, 200), 15);
+  StandaloneOptions options;
+  options.use_ssq = false;
+  const auto result = run_standalone(ssd::ssd_a(), trace, options);
+  EXPECT_EQ(result.reads_completed + result.writes_completed, trace.size());
+}
+
+TEST(StandaloneTest, WorksForAllTableIIConfigs) {
+  const auto trace =
+      workload::generate_micro(workload::symmetric_micro(30.0, 16 * 1024, 300), 17);
+  for (const auto& cfg : {ssd::ssd_a(), ssd::ssd_b(), ssd::ssd_c()}) {
+    const auto result = run_standalone(cfg, trace);
+    EXPECT_EQ(result.reads_completed + result.writes_completed, trace.size())
+        << cfg.name;
+  }
+}
+
+TEST(StandaloneTest, SsdBFasterReadsThanSsdA) {
+  const auto trace =
+      workload::generate_micro(workload::symmetric_micro(10.0, 16 * 1024, 2000), 19);
+  StandaloneOptions options;
+  options.horizon = arrival_horizon(trace);
+  const auto a = run_standalone(ssd::ssd_a(), trace, options);
+  const auto b = run_standalone(ssd::ssd_b(), trace, options);
+  // SSD-B has 2 us read latency vs 75 us: reads must be faster.
+  EXPECT_GT(b.read_rate.as_bytes_per_second(), a.read_rate.as_bytes_per_second());
+}
+
+}  // namespace
+}  // namespace src::core

@@ -1,0 +1,154 @@
+// End-to-end integration tests: the full pipeline — workload generation,
+// NVMe-oF fabric over the congested network, SSD arrays, and the SRC
+// control loop — reproducing the paper's headline claims at test scale.
+#include <gtest/gtest.h>
+
+#include "core/presets.hpp"
+
+namespace src::core {
+namespace {
+
+// One trained TPM shared by every test in this binary (training costs ~1 s).
+class EndToEndTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { tpm_ = new Tpm(train_default_tpm(ssd::ssd_a())); }
+  static void TearDownTestSuite() {
+    delete tpm_;
+    tpm_ = nullptr;
+  }
+  static Tpm* tpm_;
+};
+
+Tpm* EndToEndTest::tpm_ = nullptr;
+
+TEST_F(EndToEndTest, TpmIsAccurate) {
+  // Table I headline: the Random Forest TPM is a good predictor.
+  const auto data = collect_training_data(ssd::ssd_a(), default_training_grid());
+  const auto [train, test] = data.split(0.6, 42);
+  Tpm tpm;
+  tpm.fit(train);
+  const auto [read_r2, write_r2] = tpm.score(test);
+  EXPECT_GT(read_r2, 0.75);
+  EXPECT_GT(write_r2, 0.75);
+}
+
+TEST_F(EndToEndTest, DcqcnOnlyStarvesWrites) {
+  // The paper's motivating pathology: under inbound congestion, DCQCN-only
+  // keeps the SSD busy with reads whose data strands in the TXQ, while
+  // writes starve at the device.
+  const auto result = run_experiment(vdi_experiment(false, nullptr));
+  EXPECT_GT(result.total_cnps, 0u);  // congestion actually happened
+  EXPECT_LT(result.write_rate.as_gbps(), result.read_rate.as_gbps() / 2.0);
+}
+
+TEST_F(EndToEndTest, SrcImprovesAggregateThroughput) {
+  // The headline Fig. 7 result: DCQCN-SRC preserves aggregate throughput
+  // that DCQCN-only sacrifices.
+  const auto baseline = run_experiment(vdi_experiment(false, nullptr));
+  const auto with_src = run_experiment(vdi_experiment(true, tpm_));
+  EXPECT_GT(with_src.aggregate_rate().as_bytes_per_second(),
+            1.1 * baseline.aggregate_rate().as_bytes_per_second());
+  // The gain comes from writes, not from cheating on reads.
+  EXPECT_GT(with_src.write_rate.as_bytes_per_second(),
+            1.5 * baseline.write_rate.as_bytes_per_second());
+}
+
+TEST_F(EndToEndTest, SrcControllerActuallyAdjusts) {
+  const auto result = run_experiment(vdi_experiment(true, tpm_));
+  EXPECT_FALSE(result.adjustments.empty());
+}
+
+TEST_F(EndToEndTest, CongestionSignalsRecorded) {
+  // Fig. 8's metric: congestion signals received by targets, binned per ms.
+  const auto result = run_experiment(vdi_experiment(false, nullptr));
+  EXPECT_GT(result.pause_timeline.total(), 0u);
+  EXPECT_GT(result.pause_timeline.bin_count(), 10u);
+}
+
+TEST_F(EndToEndTest, LightWorkloadSeesNoSrcEffect) {
+  // Fig. 10-a: when both the network and the SSD are underloaded, SRC and
+  // DCQCN-only are indistinguishable.
+  const auto baseline =
+      run_experiment(intensity_experiment(Intensity::kLight, false, nullptr));
+  const auto with_src =
+      run_experiment(intensity_experiment(Intensity::kLight, true, tpm_));
+  const double rel =
+      std::abs(with_src.aggregate_rate().as_bytes_per_second() -
+               baseline.aggregate_rate().as_bytes_per_second()) /
+      baseline.aggregate_rate().as_bytes_per_second();
+  EXPECT_LT(rel, 0.10);
+}
+
+TEST_F(EndToEndTest, HeavyWorkloadSeesLargeSrcEffect) {
+  // Fig. 10-c.
+  const auto baseline =
+      run_experiment(intensity_experiment(Intensity::kHeavy, false, nullptr));
+  const auto with_src =
+      run_experiment(intensity_experiment(Intensity::kHeavy, true, tpm_));
+  EXPECT_GT(with_src.write_rate.as_bytes_per_second(),
+            2.0 * baseline.write_rate.as_bytes_per_second());
+}
+
+TEST_F(EndToEndTest, IncastImprovementFadesWithRatio) {
+  // Table IV's trend: the SRC improvement at in-cast ratio 2:1 exceeds the
+  // improvement at 4:1 (where per-target load is too light for WRR).
+  auto improvement = [&](std::size_t targets, std::size_t initiators) {
+    const auto only =
+        run_experiment(incast_experiment(targets, initiators, false, nullptr));
+    const auto with =
+        run_experiment(incast_experiment(targets, initiators, true, tpm_));
+    return (with.aggregate_rate().as_bytes_per_second() -
+            only.aggregate_rate().as_bytes_per_second()) /
+           only.aggregate_rate().as_bytes_per_second();
+  };
+  EXPECT_GT(improvement(2, 1), improvement(4, 1));
+}
+
+TEST_F(EndToEndTest, ExperimentsAreDeterministic) {
+  const auto a = run_experiment(vdi_experiment(false, nullptr));
+  const auto b = run_experiment(vdi_experiment(false, nullptr));
+  EXPECT_DOUBLE_EQ(a.read_rate.as_bytes_per_second(), b.read_rate.as_bytes_per_second());
+  EXPECT_DOUBLE_EQ(a.write_rate.as_bytes_per_second(), b.write_rate.as_bytes_per_second());
+  EXPECT_EQ(a.total_cnps, b.total_cnps);
+}
+
+TEST_F(EndToEndTest, SrcDoesNotRegressWriteHeavyWorkloads) {
+  // The converse regime (CBS-like write-dominated traffic): SRC's premise
+  // — stranded read capacity — is absent, and it must not hurt. (It in
+  // fact helps slightly: the separate read queue shields reads from the
+  // write flood; see bench/analysis_cbs.)
+  auto configure = [&](bool use_src) {
+    auto config = vdi_experiment(use_src, use_src ? tpm_ : nullptr);
+    config.max_time = 100 * common::kMillisecond;
+    config.trace_for = [](std::size_t index) {
+      workload::SyntheticParams params = workload::tencent_cbs_like(4000);
+      params.write.mean_iat_us = 16.0;
+      params.read.mean_iat_us = 30.0;
+      params.read.count = 2000;
+      return workload::generate_synthetic(params, 77 + index);
+    };
+    return config;
+  };
+  const auto baseline = run_experiment(configure(false));
+  const auto with_src = run_experiment(configure(true));
+  EXPECT_GE(with_src.aggregate_rate().as_bytes_per_second(),
+            0.9 * baseline.aggregate_rate().as_bytes_per_second());
+}
+
+TEST_F(EndToEndTest, SrcThroughputGainIsNotPaidInReadLatency) {
+  // analysis_latency's finding, pinned: under the VDI experiment SRC must
+  // not inflate read latency materially while it slashes write latency.
+  const auto baseline = run_experiment(vdi_experiment(false, nullptr));
+  const auto with_src = run_experiment(vdi_experiment(true, tpm_));
+  EXPECT_LT(with_src.read_latency.p50_us(), 1.3 * baseline.read_latency.p50_us());
+  EXPECT_LT(with_src.write_latency.p50_us(), 0.7 * baseline.write_latency.p50_us());
+}
+
+TEST_F(EndToEndTest, SrcModeRequiresFittedTpm) {
+  EXPECT_THROW(run_experiment(vdi_experiment(true, nullptr)), std::invalid_argument);
+  Tpm unfitted;
+  EXPECT_THROW(run_experiment(vdi_experiment(true, &unfitted)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace src::core

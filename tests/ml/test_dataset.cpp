@@ -1,0 +1,100 @@
+#include "ml/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+namespace src::ml {
+namespace {
+
+Dataset tiny() {
+  Dataset d(2, 1);
+  for (double i = 0; i < 10; ++i) {
+    const double x[2] = {i, 2 * i};
+    d.add(x, 3 * i);
+  }
+  return d;
+}
+
+TEST(DatasetTest, ShapeAndAccess) {
+  const Dataset d = tiny();
+  EXPECT_EQ(d.size(), 10u);
+  EXPECT_EQ(d.feature_count(), 2u);
+  EXPECT_EQ(d.target_count(), 1u);
+  EXPECT_DOUBLE_EQ(d.row(3)[0], 3.0);
+  EXPECT_DOUBLE_EQ(d.row(3)[1], 6.0);
+  EXPECT_DOUBLE_EQ(d.target(3), 9.0);
+}
+
+TEST(DatasetTest, MultiTarget) {
+  Dataset d(1, 2);
+  const double x[1] = {1.0};
+  const double y[2] = {10.0, 20.0};
+  d.add(x, y);
+  EXPECT_DOUBLE_EQ(d.target(0, 0), 10.0);
+  EXPECT_DOUBLE_EQ(d.target(0, 1), 20.0);
+}
+
+TEST(DatasetTest, ShapeMismatchThrows) {
+  Dataset d(2, 1);
+  const double x[1] = {1.0};
+  EXPECT_THROW(d.add(x, 1.0), std::invalid_argument);
+  EXPECT_THROW(Dataset(0, 1), std::invalid_argument);
+}
+
+TEST(DatasetTest, ShuffledIndicesArePermutation) {
+  const Dataset d = tiny();
+  auto idx = d.shuffled_indices(5);
+  std::sort(idx.begin(), idx.end());
+  for (std::size_t i = 0; i < idx.size(); ++i) EXPECT_EQ(idx[i], i);
+}
+
+TEST(DatasetTest, ShuffleDeterministic) {
+  const Dataset d = tiny();
+  EXPECT_EQ(d.shuffled_indices(5), d.shuffled_indices(5));
+  EXPECT_NE(d.shuffled_indices(5), d.shuffled_indices(6));
+}
+
+TEST(DatasetTest, SubsetSelectsRows) {
+  const Dataset d = tiny();
+  const std::size_t idx[] = {1, 4};
+  const Dataset s = d.subset(idx);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.row(0)[0], 1.0);
+  EXPECT_DOUBLE_EQ(s.row(1)[0], 4.0);
+}
+
+TEST(DatasetTest, SplitFractions) {
+  const Dataset d = tiny();
+  const auto [train, test] = d.split(0.6, 3);
+  EXPECT_EQ(train.size(), 6u);
+  EXPECT_EQ(test.size(), 4u);
+}
+
+TEST(DatasetTest, AppendConcatenates) {
+  Dataset a = tiny();
+  const Dataset b = tiny();
+  a.append(b);
+  EXPECT_EQ(a.size(), 20u);
+  Dataset wrong(3, 1);
+  EXPECT_THROW(a.append(wrong), std::invalid_argument);
+}
+
+TEST(KFoldsTest, PartitionCoversAllRows) {
+  const auto folds = k_folds(20, 4, 9);
+  ASSERT_EQ(folds.size(), 4u);
+  std::vector<std::size_t> all_test;
+  for (const auto& fold : folds) {
+    EXPECT_EQ(fold.train.size() + fold.test.size(), 20u);
+    all_test.insert(all_test.end(), fold.test.begin(), fold.test.end());
+  }
+  std::sort(all_test.begin(), all_test.end());
+  ASSERT_EQ(all_test.size(), 20u);
+  for (std::size_t i = 0; i < 20; ++i) EXPECT_EQ(all_test[i], i);
+}
+
+TEST(KFoldsTest, InvalidArgumentsThrow) {
+  EXPECT_THROW(k_folds(3, 5, 1), std::invalid_argument);
+  EXPECT_THROW(k_folds(10, 1, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace src::ml

@@ -1,0 +1,154 @@
+#include "ml/forest.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "ml/knn.hpp"
+#include "ml/linear.hpp"
+
+namespace src::ml {
+namespace {
+
+Dataset friedman_like(std::size_t n, std::uint64_t seed) {
+  // Nonlinear benchmark target over 5 features.
+  Dataset data(5, 1);
+  common::Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    double x[5];
+    for (double& v : x) v = rng.uniform();
+    const double y = 10 * std::sin(M_PI * x[0] * x[1]) +
+                     20 * (x[2] - 0.5) * (x[2] - 0.5) + 10 * x[3] + 5 * x[4] +
+                     rng.normal(0.0, 0.5);
+    data.add(x, y);
+  }
+  return data;
+}
+
+TEST(ForestTest, FitsNonlinearTarget) {
+  const Dataset train = friedman_like(800, 1);
+  const Dataset test = friedman_like(200, 2);
+  ForestConfig config;
+  config.n_trees = 100;
+  RandomForestRegressor forest(config);
+  forest.fit(train);
+  EXPECT_GT(forest.score(test), 0.82);
+}
+
+TEST(ForestTest, BeatsSingleTreeOutOfSample) {
+  const Dataset train = friedman_like(600, 3);
+  const Dataset test = friedman_like(200, 4);
+  ForestConfig fc;
+  fc.n_trees = 80;
+  RandomForestRegressor forest(fc);
+  forest.fit(train);
+  TreeConfig tc;
+  DecisionTreeRegressor tree(tc);
+  tree.fit(train);
+  EXPECT_GT(forest.score(test), tree.score(test));
+}
+
+TEST(ForestTest, DeterministicAcrossThreadCounts) {
+  const Dataset train = friedman_like(300, 5);
+  ForestConfig one_thread;
+  one_thread.n_trees = 16;
+  one_thread.threads = 1;
+  one_thread.seed = 9;
+  ForestConfig many_threads = one_thread;
+  many_threads.threads = 8;
+
+  RandomForestRegressor a(one_thread), b(many_threads);
+  a.fit(train);
+  b.fit(train);
+  const Dataset probe = friedman_like(50, 6);
+  for (std::size_t i = 0; i < probe.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.predict(probe.row(i)), b.predict(probe.row(i)));
+  }
+}
+
+TEST(ForestTest, FeatureImportancesSumToOne) {
+  const Dataset train = friedman_like(400, 7);
+  ForestConfig config;
+  config.n_trees = 30;
+  RandomForestRegressor forest(config);
+  forest.fit(train);
+  const auto imp = forest.feature_importances();
+  ASSERT_EQ(imp.size(), 5u);
+  double total = 0.0;
+  for (double v : imp) {
+    EXPECT_GE(v, 0.0);
+    total += v;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ForestTest, ImportanceIdentifiesInformativeFeatures) {
+  Dataset data(4, 1);
+  common::Rng rng(8);
+  for (int i = 0; i < 600; ++i) {
+    double x[4];
+    for (double& v : x) v = rng.uniform();
+    data.add(x, 5.0 * x[2]);  // only feature 2 matters
+  }
+  ForestConfig config;
+  config.n_trees = 40;
+  RandomForestRegressor forest(config);
+  forest.fit(data);
+  const auto imp = forest.feature_importances();
+  EXPECT_GT(imp[2], 0.6);
+}
+
+TEST(ForestTest, TreeCountMatchesConfig) {
+  ForestConfig config;
+  config.n_trees = 7;
+  RandomForestRegressor forest(config);
+  forest.fit(friedman_like(100, 9));
+  EXPECT_EQ(forest.tree_count(), 7u);
+}
+
+TEST(ForestTest, UnfittedThrows) {
+  RandomForestRegressor forest;
+  const double x[5] = {0, 0, 0, 0, 0};
+  EXPECT_THROW(forest.predict(std::span{x, 5}), std::runtime_error);
+}
+
+TEST(CrossValTest, ReasonableScoreOnLearnableData) {
+  const Dataset data = friedman_like(500, 10);
+  ForestConfig config;
+  config.n_trees = 30;
+  const double cv = cross_val_r2(RandomForestRegressor(config), data, 5, 11);
+  EXPECT_GT(cv, 0.8);
+}
+
+TEST(CrossValTest, RandomForestBeatsItsIngredients) {
+  // The ensemble must beat both a single tree and the linear baseline on
+  // nonlinear data — the property behind the paper's Table I winner. (The
+  // full five-model Table I ordering is regenerated on actual TPM data by
+  // bench/table1_regression_accuracy.)
+  const Dataset data = friedman_like(600, 12);
+  ForestConfig fc;
+  fc.n_trees = 50;
+  const double rf = cross_val_r2(RandomForestRegressor(fc), data, 4, 13);
+  const double tree = cross_val_r2(DecisionTreeRegressor(), data, 4, 13);
+  const double linear = cross_val_r2(LinearRegression(), data, 4, 13);
+  EXPECT_GT(rf, tree);
+  EXPECT_GT(rf, linear);
+}
+
+TEST(MultiOutputTest, IndependentTargets) {
+  Dataset data(1, 2);
+  common::Rng rng(14);
+  for (int i = 0; i < 200; ++i) {
+    const double x[1] = {rng.uniform(0, 10)};
+    const double y[2] = {2.0 * x[0], -3.0 * x[0] + 1.0};
+    data.add(x, y);
+  }
+  MultiOutputRegressor multi(LinearRegression(), 2);
+  multi.fit(data);
+  const double probe[1] = {4.0};
+  const auto out = multi.predict(probe);
+  EXPECT_NEAR(out[0], 8.0, 1e-6);
+  EXPECT_NEAR(out[1], -11.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace src::ml

@@ -1,0 +1,74 @@
+#include "ml/knn.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace src::ml {
+namespace {
+
+TEST(KnnTest, ExactNeighborWinsWithK1) {
+  Dataset data(1, 1);
+  for (double v : {0.0, 1.0, 2.0, 3.0}) {
+    data.add(std::span{&v, 1}, 10.0 * v);
+  }
+  KnnRegressor model(1);
+  model.fit(data);
+  const double probe[1] = {2.1};
+  EXPECT_DOUBLE_EQ(model.predict(probe), 20.0);
+}
+
+TEST(KnnTest, AveragesKNeighbors) {
+  Dataset data(1, 1);
+  for (double v : {0.0, 1.0, 2.0}) {
+    data.add(std::span{&v, 1}, v);
+  }
+  KnnRegressor model(3);
+  model.fit(data);
+  const double probe[1] = {1.0};
+  EXPECT_DOUBLE_EQ(model.predict(probe), 1.0);  // (0+1+2)/3
+}
+
+TEST(KnnTest, KLargerThanDatasetClamps) {
+  Dataset data(1, 1);
+  const double x[1] = {1.0};
+  data.add(x, 5.0);
+  KnnRegressor model(10);
+  model.fit(data);
+  EXPECT_DOUBLE_EQ(model.predict(x), 5.0);
+}
+
+TEST(KnnTest, StandardizationBalancesScales) {
+  // Feature 1 spans 1e9, feature 0 spans 1; without standardization feature
+  // 0 would be irrelevant. Target depends only on feature 0.
+  Dataset data(2, 1);
+  common::Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    const double x[2] = {rng.uniform(0, 1), rng.uniform(0, 1e9)};
+    data.add(x, x[0] > 0.5 ? 1.0 : 0.0);
+  }
+  KnnRegressor model(5);
+  model.fit(data);
+  EXPECT_GT(model.score(data), 0.7);
+}
+
+TEST(KnnTest, SmoothFunctionApproximation) {
+  Dataset data(1, 1);
+  common::Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const double x[1] = {rng.uniform(0, 6.28)};
+    data.add(x, std::sin(x[0]));
+  }
+  KnnRegressor model(5);
+  model.fit(data);
+  EXPECT_GT(model.score(data), 0.98);
+}
+
+TEST(KnnTest, UnfittedPredictThrows) {
+  KnnRegressor model(3);
+  const double x[1] = {1.0};
+  EXPECT_THROW(model.predict(std::span{x, 1}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace src::ml

@@ -1,0 +1,136 @@
+#include "ml/linear.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace src::ml {
+namespace {
+
+TEST(SolverTest, SolvesKnownSystem) {
+  // [2 1; 1 3] x = [5; 10] -> x = (1, 3).
+  const auto x = solve_linear_system({2, 1, 1, 3}, {5, 10}, 2);
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(SolverTest, PivotingHandlesZeroDiagonal) {
+  // [0 1; 1 0] x = [2; 3] -> x = (3, 2).
+  const auto x = solve_linear_system({0, 1, 1, 0}, {2, 3}, 2);
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(SolverTest, SingularThrows) {
+  EXPECT_THROW(solve_linear_system({1, 2, 2, 4}, {1, 2}, 2), std::runtime_error);
+}
+
+TEST(LinearRegressionTest, RecoversExactLinearModel) {
+  Dataset data(2, 1);
+  common::Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const double x[2] = {rng.uniform(0, 10), rng.uniform(-5, 5)};
+    data.add(x, 3.0 * x[0] - 2.0 * x[1] + 7.0);
+  }
+  LinearRegression model;
+  model.fit(data);
+  EXPECT_NEAR(model.coefficients()[0], 3.0, 1e-6);
+  EXPECT_NEAR(model.coefficients()[1], -2.0, 1e-6);
+  EXPECT_NEAR(model.intercept(), 7.0, 1e-6);
+  EXPECT_NEAR(model.score(data), 1.0, 1e-9);
+}
+
+TEST(LinearRegressionTest, HandlesWildFeatureScales) {
+  // One feature ~1e9 (flow speed), one ~1 (ratio): standardization keeps the
+  // normal equations well conditioned.
+  Dataset data(2, 1);
+  common::Rng rng(2);
+  for (int i = 0; i < 300; ++i) {
+    const double x[2] = {rng.uniform(0, 1), rng.uniform(0, 5e9)};
+    data.add(x, 2.0 * x[0] + 1e-9 * x[1]);
+  }
+  LinearRegression model;
+  model.fit(data);
+  EXPECT_GT(model.score(data), 0.999);
+}
+
+TEST(LinearRegressionTest, ConstantFeatureDoesNotBreakFit) {
+  Dataset data(2, 1);
+  common::Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const double x[2] = {rng.uniform(0, 1), 42.0};
+    data.add(x, 5.0 * x[0]);
+  }
+  LinearRegression model;
+  model.fit(data);
+  EXPECT_GT(model.score(data), 0.999);
+}
+
+TEST(LinearRegressionTest, PredictShapeMismatchThrows) {
+  Dataset data(2, 1);
+  const double x[2] = {1, 2};
+  data.add(x, 3.0);
+  LinearRegression model;
+  model.fit(data);
+  const double wrong[3] = {1, 2, 3};
+  EXPECT_THROW(model.predict(wrong), std::invalid_argument);
+}
+
+TEST(LinearRegressionTest, CloneIsUnfitted) {
+  LinearRegression model;
+  auto clone = model.clone();
+  EXPECT_EQ(clone->name(), "Linear Regression");
+  const double x[1] = {1};
+  EXPECT_THROW(clone->predict(std::span{x, 1}), std::invalid_argument);
+}
+
+TEST(PolynomialRegressionTest, FitsQuadraticExactly) {
+  Dataset data(1, 1);
+  common::Rng rng(4);
+  for (int i = 0; i < 200; ++i) {
+    const double x[1] = {rng.uniform(-3, 3)};
+    data.add(x, 2.0 * x[0] * x[0] - x[0] + 1.0);
+  }
+  PolynomialRegression model;
+  model.fit(data);
+  EXPECT_GT(model.score(data), 0.9999);
+  const double probe[1] = {2.0};
+  EXPECT_NEAR(model.predict(probe), 2 * 4.0 - 2.0 + 1.0, 0.01);
+}
+
+TEST(PolynomialRegressionTest, CrossTermsCaptured) {
+  Dataset data(2, 1);
+  common::Rng rng(5);
+  for (int i = 0; i < 300; ++i) {
+    const double x[2] = {rng.uniform(-2, 2), rng.uniform(-2, 2)};
+    data.add(x, x[0] * x[1]);
+  }
+  PolynomialRegression model;
+  model.fit(data);
+  EXPECT_GT(model.score(data), 0.999);
+}
+
+TEST(PolynomialRegressionTest, BeatsLinearOnCurvedData) {
+  Dataset data(1, 1);
+  common::Rng rng(6);
+  for (int i = 0; i < 300; ++i) {
+    const double x[1] = {rng.uniform(0, 4)};
+    data.add(x, x[0] * x[0]);
+  }
+  LinearRegression linear;
+  PolynomialRegression poly;
+  linear.fit(data);
+  poly.fit(data);
+  EXPECT_GT(poly.score(data), linear.score(data));
+}
+
+TEST(PolynomialRegressionTest, UnsupportedDegreeThrows) {
+  Dataset data(1, 1);
+  const double x[1] = {1.0};
+  data.add(x, 1.0);
+  PolynomialRegression cubic(3);
+  EXPECT_THROW(cubic.fit(data), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace src::ml

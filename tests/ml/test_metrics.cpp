@@ -1,0 +1,51 @@
+#include "ml/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace src::ml {
+namespace {
+
+TEST(MetricsTest, PerfectPredictionIsOne) {
+  const double y[] = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(r2_score(y, y), 1.0);
+  EXPECT_DOUBLE_EQ(mean_squared_error(y, y), 0.0);
+  EXPECT_DOUBLE_EQ(mean_absolute_error(y, y), 0.0);
+}
+
+TEST(MetricsTest, MeanPredictorIsZero) {
+  const double y_true[] = {1.0, 2.0, 3.0};
+  const double y_pred[] = {2.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(r2_score(y_true, y_pred), 0.0);
+}
+
+TEST(MetricsTest, WorseThanMeanIsNegative) {
+  const double y_true[] = {1.0, 2.0, 3.0};
+  const double y_pred[] = {3.0, 2.0, 1.0};
+  EXPECT_LT(r2_score(y_true, y_pred), 0.0);
+}
+
+TEST(MetricsTest, ConstantTargetEdgeCases) {
+  const double y_true[] = {5.0, 5.0};
+  const double exact[] = {5.0, 5.0};
+  const double off[] = {4.0, 6.0};
+  EXPECT_DOUBLE_EQ(r2_score(y_true, exact), 1.0);
+  EXPECT_DOUBLE_EQ(r2_score(y_true, off), 0.0);
+}
+
+TEST(MetricsTest, MseAndMaeValues) {
+  const double y_true[] = {0.0, 0.0};
+  const double y_pred[] = {3.0, -1.0};
+  EXPECT_DOUBLE_EQ(mean_squared_error(y_true, y_pred), 5.0);
+  EXPECT_DOUBLE_EQ(mean_absolute_error(y_true, y_pred), 2.0);
+}
+
+TEST(MetricsTest, MismatchThrows) {
+  const double a[] = {1.0};
+  const double b[] = {1.0, 2.0};
+  EXPECT_THROW(r2_score(a, b), std::invalid_argument);
+  EXPECT_THROW(r2_score(std::span<const double>{}, std::span<const double>{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace src::ml

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "core/presets.hpp"
+#include "ml/forest.hpp"
+
+namespace src::ml {
+namespace {
+
+Dataset nonlinear(std::size_t n, std::uint64_t seed) {
+  Dataset data(3, 1);
+  common::Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x[3] = {rng.uniform(), rng.uniform(), rng.uniform()};
+    data.add(x, std::sin(6.0 * x[0]) + x[1] * x[2]);
+  }
+  return data;
+}
+
+TEST(SerializeTest, TreeRoundTripsExactly) {
+  const Dataset data = nonlinear(300, 1);
+  DecisionTreeRegressor original;
+  original.fit(data);
+  std::stringstream buffer;
+  original.save(buffer);
+
+  DecisionTreeRegressor restored;
+  restored.load(buffer);
+  EXPECT_EQ(restored.node_count(), original.node_count());
+  EXPECT_EQ(restored.depth(), original.depth());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_DOUBLE_EQ(restored.predict(data.row(i)), original.predict(data.row(i)));
+  }
+}
+
+TEST(SerializeTest, ForestRoundTripsExactly) {
+  const Dataset data = nonlinear(300, 2);
+  ForestConfig config;
+  config.n_trees = 12;
+  RandomForestRegressor original(config);
+  original.fit(data);
+  std::stringstream buffer;
+  original.save(buffer);
+
+  RandomForestRegressor restored;
+  restored.load(buffer);
+  EXPECT_EQ(restored.tree_count(), 12u);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_DOUBLE_EQ(restored.predict(data.row(i)), original.predict(data.row(i)));
+  }
+  // Importances survive the trip too.
+  EXPECT_EQ(restored.feature_importances(), original.feature_importances());
+}
+
+TEST(SerializeTest, UnfittedSaveThrows) {
+  DecisionTreeRegressor tree;
+  std::stringstream buffer;
+  EXPECT_THROW(tree.save(buffer), std::runtime_error);
+  RandomForestRegressor forest;
+  EXPECT_THROW(forest.save(buffer), std::runtime_error);
+}
+
+TEST(SerializeTest, CorruptInputThrows) {
+  auto expect_throw = [](const char* text) {
+    std::stringstream buffer(text);
+    DecisionTreeRegressor tree;
+    EXPECT_THROW(tree.load(buffer), std::runtime_error) << text;
+  };
+  expect_throw("nonsense 1 2 3");
+  expect_throw("tree 99 2 1 1");             // bad version
+  expect_throw("tree 1 2 1 1\n0 0.5 9 9 1.0\n0 0");  // node refs out of range
+  expect_throw("tree 1 2 1 1\n");            // truncated
+}
+
+TEST(SerializeTest, TpmFileRoundTrip) {
+  // Small grid for speed; file round-trip must preserve predictions.
+  core::TrainingGrid grid;
+  grid.traces.push_back(workload::generate_micro(
+      workload::symmetric_micro(15.0, 32 * 1024, 1200), 3));
+  grid.traces.push_back(workload::generate_micro(
+      workload::symmetric_micro(30.0, 44 * 1024, 1200), 4));
+  grid.weight_ratios = {1, 2, 4};
+  core::Tpm original;
+  original.fit(core::collect_training_data(ssd::ssd_a(), grid));
+
+  const std::string path = ::testing::TempDir() + "/tpm_roundtrip.model";
+  original.save_file(path);
+  const core::Tpm restored = core::Tpm::load_file(path);
+  EXPECT_TRUE(restored.fitted());
+
+  workload::WorkloadFeatures ch = workload::extract_features(grid.traces[0]);
+  for (double w : {1.0, 2.0, 4.0, 8.0}) {
+    const auto a = original.predict(ch, w);
+    const auto b = restored.predict(ch, w);
+    EXPECT_DOUBLE_EQ(a.read_bytes_per_sec, b.read_bytes_per_sec);
+    EXPECT_DOUBLE_EQ(a.write_bytes_per_sec, b.write_bytes_per_sec);
+  }
+}
+
+TEST(SerializeTest, TpmLoadRejectsWrongShape) {
+  const std::string path = ::testing::TempDir() + "/tpm_bad.model";
+  {
+    std::ofstream out(path);
+    out << "tpm 1 3 2\n";  // wrong feature count
+  }
+  EXPECT_THROW(core::Tpm::load_file(path), std::runtime_error);
+  EXPECT_THROW(core::Tpm::load_file("/nonexistent/x.model"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace src::ml

@@ -1,0 +1,119 @@
+#include "ml/tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace src::ml {
+namespace {
+
+TEST(TreeTest, FitsStepFunctionExactly) {
+  Dataset data(1, 1);
+  common::Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const double x[1] = {rng.uniform(0, 10)};
+    data.add(x, x[0] < 5.0 ? 1.0 : 9.0);
+  }
+  DecisionTreeRegressor tree;
+  tree.fit(data);
+  const double lo[1] = {2.0}, hi[1] = {8.0};
+  EXPECT_DOUBLE_EQ(tree.predict(lo), 1.0);
+  EXPECT_DOUBLE_EQ(tree.predict(hi), 9.0);
+}
+
+TEST(TreeTest, ConstantTargetIsSingleLeaf) {
+  Dataset data(1, 1);
+  common::Rng rng(2);
+  for (int i = 0; i < 50; ++i) {
+    const double x[1] = {rng.uniform(0, 1)};
+    data.add(x, 7.0);
+  }
+  DecisionTreeRegressor tree;
+  tree.fit(data);
+  EXPECT_EQ(tree.node_count(), 1u);
+  const double probe[1] = {0.3};
+  EXPECT_DOUBLE_EQ(tree.predict(probe), 7.0);
+}
+
+TEST(TreeTest, MaxDepthRespected) {
+  Dataset data(1, 1);
+  common::Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const double x[1] = {rng.uniform(0, 1)};
+    data.add(x, rng.uniform(0, 1));  // noise forces deep splits
+  }
+  TreeConfig config;
+  config.max_depth = 3;
+  DecisionTreeRegressor tree(config);
+  tree.fit(data);
+  EXPECT_LE(tree.depth(), 3u);
+  EXPECT_LE(tree.node_count(), 15u);  // 2^(3+1) - 1
+}
+
+TEST(TreeTest, MinSamplesLeafRespected) {
+  Dataset data(1, 1);
+  for (double v = 0; v < 8; ++v) data.add(std::span{&v, 1}, v);
+  TreeConfig config;
+  config.min_samples_leaf = 4;
+  DecisionTreeRegressor tree(config);
+  tree.fit(data);
+  // Only one split (4|4) is possible.
+  EXPECT_LE(tree.node_count(), 3u);
+}
+
+TEST(TreeTest, ImportanceConcentratesOnInformativeFeature) {
+  Dataset data(3, 1);
+  common::Rng rng(4);
+  for (int i = 0; i < 400; ++i) {
+    const double x[3] = {rng.uniform(0, 1), rng.uniform(0, 1), rng.uniform(0, 1)};
+    data.add(x, x[1] > 0.5 ? 10.0 : 0.0);
+  }
+  DecisionTreeRegressor tree;
+  tree.fit(data);
+  const auto& imp = tree.impurity_decrease();
+  EXPECT_GT(imp[1], imp[0]);
+  EXPECT_GT(imp[1], imp[2]);
+}
+
+TEST(TreeTest, GeneralizesPiecewiseFunction) {
+  Dataset train(1, 1), test(1, 1);
+  common::Rng rng(5);
+  auto fn = [](double x) { return x < 3 ? 1.0 : (x < 7 ? 5.0 : 2.0); };
+  for (int i = 0; i < 500; ++i) {
+    const double x[1] = {rng.uniform(0, 10)};
+    train.add(x, fn(x[0]));
+  }
+  for (int i = 0; i < 100; ++i) {
+    const double x[1] = {rng.uniform(0, 10)};
+    test.add(x, fn(x[0]));
+  }
+  DecisionTreeRegressor tree;
+  tree.fit(train);
+  EXPECT_GT(tree.score(test), 0.95);
+}
+
+TEST(TreeTest, EmptyFitThrows) {
+  Dataset data(1, 1);
+  DecisionTreeRegressor tree;
+  EXPECT_THROW(tree.fit(data), std::invalid_argument);
+}
+
+TEST(TreeTest, UnfittedPredictThrows) {
+  DecisionTreeRegressor tree;
+  const double x[1] = {0.0};
+  EXPECT_THROW(tree.predict(std::span{x, 1}), std::runtime_error);
+}
+
+TEST(TreeTest, DuplicateFeatureValuesNoBoundary) {
+  // All x identical: no split boundary exists; must stay a leaf.
+  Dataset data(1, 1);
+  for (double v : {5.0, 5.0, 5.0, 5.0}) {
+    data.add(std::span{&v, 1}, v);
+  }
+  DecisionTreeRegressor tree;
+  tree.fit(data);
+  EXPECT_EQ(tree.node_count(), 1u);
+}
+
+}  // namespace
+}  // namespace src::ml

@@ -1,0 +1,131 @@
+#include "net/dcqcn.hpp"
+
+#include <gtest/gtest.h>
+
+namespace src::net {
+namespace {
+
+using common::Rate;
+
+struct Harness {
+  sim::Simulator sim;
+  DcqcnParams params;
+  Rate line = Rate::gbps(40.0);
+
+  DcqcnController make() { return DcqcnController(sim, params, line); }
+};
+
+TEST(DcqcnTest, StartsAtLineRate) {
+  Harness h;
+  auto ctl = h.make();
+  EXPECT_DOUBLE_EQ(ctl.current_rate().as_gbps(), 40.0);
+  EXPECT_DOUBLE_EQ(ctl.alpha(), 1.0);
+}
+
+TEST(DcqcnTest, CnpCutsRate) {
+  Harness h;
+  auto ctl = h.make();
+  ctl.on_cnp();
+  // First CNP with alpha=1 cuts the rate in half.
+  EXPECT_NEAR(ctl.current_rate().as_gbps(), 20.0, 1e-9);
+  EXPECT_EQ(ctl.cnps_received(), 1u);
+}
+
+TEST(DcqcnTest, RepeatedCnpsCompound) {
+  Harness h;
+  auto ctl = h.make();
+  for (int i = 0; i < 10; ++i) ctl.on_cnp();
+  EXPECT_LT(ctl.current_rate().as_gbps(), 1.0);
+  EXPECT_GE(ctl.current_rate(), h.params.min_rate);
+}
+
+TEST(DcqcnTest, RateNeverBelowMinimum) {
+  Harness h;
+  auto ctl = h.make();
+  for (int i = 0; i < 200; ++i) ctl.on_cnp();
+  EXPECT_GE(ctl.current_rate().as_bytes_per_second(),
+            h.params.min_rate.as_bytes_per_second());
+}
+
+TEST(DcqcnTest, AlphaRisesOnCnpAndDecaysAfter) {
+  Harness h;
+  auto ctl = h.make();
+  ctl.on_cnp();
+  const double alpha_after_cnp = ctl.alpha();
+  EXPECT_GT(alpha_after_cnp, 0.9);
+  // Let alpha-decay timers run.
+  h.sim.run_until(h.params.alpha_timer * 20);
+  EXPECT_LT(ctl.alpha(), alpha_after_cnp);
+}
+
+TEST(DcqcnTest, TimerDrivenRecoveryReachesLineRate) {
+  Harness h;
+  auto ctl = h.make();
+  ctl.on_cnp();
+  EXPECT_LT(ctl.current_rate().as_gbps(), 40.0);
+  // Fast recovery halves toward target every rate_timer tick; give it ample
+  // time plus additive increase.
+  h.sim.run_until(h.params.rate_timer * 2000);
+  EXPECT_DOUBLE_EQ(ctl.current_rate().as_gbps(), 40.0);
+}
+
+TEST(DcqcnTest, FastRecoveryApproachesTargetGeometrically) {
+  Harness h;
+  auto ctl = h.make();
+  ctl.on_cnp();  // target = 40, current = 20
+  h.sim.run_until(h.params.rate_timer + 1);
+  // One fast-recovery step: (20+40)/2 = 30.
+  EXPECT_NEAR(ctl.current_rate().as_gbps(), 30.0, 0.01);
+  h.sim.run_until(2 * h.params.rate_timer + 1);
+  EXPECT_NEAR(ctl.current_rate().as_gbps(), 35.0, 0.01);
+}
+
+TEST(DcqcnTest, ByteCounterDrivesRecovery) {
+  Harness h;
+  auto ctl = h.make();
+  ctl.on_cnp();
+  const double before = ctl.current_rate().as_gbps();
+  ctl.on_bytes_sent(h.params.byte_counter);
+  EXPECT_GT(ctl.current_rate().as_gbps(), before);
+}
+
+TEST(DcqcnTest, BytesIgnoredAtLineRate) {
+  Harness h;
+  auto ctl = h.make();
+  ctl.on_bytes_sent(100 * h.params.byte_counter);
+  EXPECT_DOUBLE_EQ(ctl.current_rate().as_gbps(), 40.0);
+}
+
+TEST(DcqcnTest, RateChangeHandlerFires) {
+  Harness h;
+  auto ctl = h.make();
+  int decreases = 0, increases = 0;
+  ctl.set_rate_change_handler([&](Rate, bool decrease) {
+    (decrease ? decreases : increases)++;
+  });
+  ctl.on_cnp();
+  EXPECT_EQ(decreases, 1);
+  h.sim.run_until(h.params.rate_timer * 2000);
+  EXPECT_GT(increases, 0);
+}
+
+TEST(DcqcnTest, DisabledControllerIgnoresCnps) {
+  Harness h;
+  h.params.enabled = false;
+  auto ctl = h.make();
+  ctl.on_cnp();
+  EXPECT_DOUBLE_EQ(ctl.current_rate().as_gbps(), 40.0);
+}
+
+TEST(DcqcnTest, NewCnpResetsRecoveryStages) {
+  Harness h;
+  auto ctl = h.make();
+  ctl.on_cnp();
+  h.sim.run_until(h.params.rate_timer * 3);
+  const double recovering = ctl.current_rate().as_gbps();
+  ctl.on_cnp();
+  EXPECT_LT(ctl.current_rate().as_gbps(), recovering);
+}
+
+}  // namespace
+}  // namespace src::net

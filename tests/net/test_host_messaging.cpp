@@ -1,0 +1,119 @@
+#include "net/host.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+
+namespace src::net {
+namespace {
+
+using common::Rate;
+
+struct Rig {
+  sim::Simulator sim;
+  NetConfig config;
+  Network net;
+  NodeId a, b, s;
+
+  explicit Rig(NetConfig cfg = NetConfig{}) : config(cfg), net(sim, config) {
+    a = net.add_host("a");
+    b = net.add_host("b");
+    s = net.add_switch("s");
+    net.connect(a, s, Rate::gbps(10.0), common::kMicrosecond);
+    net.connect(b, s, Rate::gbps(10.0), common::kMicrosecond);
+    net.finalize();
+  }
+};
+
+TEST(HostMessagingTest, MessageIdsAreUnique) {
+  Rig rig;
+  const auto id1 = rig.net.host(rig.a).send_message(rig.b, 100);
+  const auto id2 = rig.net.host(rig.a).send_message(rig.b, 100);
+  const auto id3 = rig.net.host(rig.b).send_message(rig.a, 100);
+  EXPECT_NE(id1, id2);
+  EXPECT_NE(id1, id3);
+  EXPECT_NE(id2, id3);
+}
+
+TEST(HostMessagingTest, TagsArePreserved) {
+  Rig rig;
+  std::uint32_t seen_tag = 0;
+  rig.net.host(rig.b).set_message_handler(
+      [&](NodeId, std::uint64_t, std::uint64_t, std::uint32_t tag) { seen_tag = tag; });
+  rig.net.host(rig.a).send_message(rig.b, 100, /*tag=*/42);
+  rig.sim.run();
+  EXPECT_EQ(seen_tag, 42u);
+}
+
+TEST(HostMessagingTest, InterleavedMessagesReassembleIndependently) {
+  Rig rig;
+  std::vector<std::uint64_t> sizes;
+  rig.net.host(rig.b).set_message_handler(
+      [&](NodeId, std::uint64_t, std::uint64_t bytes, std::uint32_t) {
+        sizes.push_back(bytes);
+      });
+  rig.net.host(rig.a).send_message(rig.b, 5000, 1);
+  rig.net.host(rig.a).send_message(rig.b, 3000, 2);
+  rig.sim.run();
+  ASSERT_EQ(sizes.size(), 2u);
+  EXPECT_EQ(sizes[0] + sizes[1], 8000u);
+}
+
+TEST(HostMessagingTest, ChannelsAreIndependentFlows) {
+  Rig rig;
+  // A big message on channel 0 must not delay a capsule on channel 1 by the
+  // full message length: round-robin interleaves the flows.
+  common::SimTime capsule_at = -1, bulk_at = -1;
+  rig.net.host(rig.b).set_message_handler(
+      [&](NodeId, std::uint64_t, std::uint64_t bytes, std::uint32_t) {
+        if (bytes == 64) capsule_at = rig.sim.now();
+        else bulk_at = rig.sim.now();
+      });
+  rig.net.host(rig.a).send_message(rig.b, 1'000'000, 0, /*channel=*/0);
+  rig.net.host(rig.a).send_message(rig.b, 64, 0, /*channel=*/1);
+  rig.sim.run();
+  ASSERT_GT(capsule_at, 0);
+  ASSERT_GT(bulk_at, 0);
+  EXPECT_LT(capsule_at, bulk_at / 10);  // capsule overtakes the bulk payload
+}
+
+TEST(HostMessagingTest, SameChannelIsFifo) {
+  Rig rig;
+  std::vector<std::uint64_t> order;
+  rig.net.host(rig.b).set_message_handler(
+      [&](NodeId, std::uint64_t, std::uint64_t bytes, std::uint32_t) {
+        order.push_back(bytes);
+      });
+  rig.net.host(rig.a).send_message(rig.b, 50'000, 0, 0);
+  rig.net.host(rig.a).send_message(rig.b, 64, 0, 0);
+  rig.sim.run();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 50'000u);  // FIFO within a channel
+  EXPECT_EQ(order[1], 64u);
+}
+
+TEST(HostMessagingTest, TxqBytesReflectBacklog) {
+  Rig rig;
+  rig.net.host(rig.a).send_message(rig.b, 1'000'000);
+  EXPECT_GT(rig.net.host(rig.a).txq_bytes(rig.b), 900'000u);
+  rig.sim.run();
+  EXPECT_EQ(rig.net.host(rig.a).txq_bytes(rig.b), 0u);
+}
+
+TEST(HostMessagingTest, StatsCount) {
+  Rig rig;
+  rig.net.host(rig.a).send_message(rig.b, 5000);
+  rig.sim.run();
+  EXPECT_EQ(rig.net.host(rig.a).stats().messages_sent, 1u);
+  EXPECT_EQ(rig.net.host(rig.a).stats().bytes_sent, 5000u);
+  EXPECT_EQ(rig.net.host(rig.b).stats().messages_received, 1u);
+  EXPECT_EQ(rig.net.host(rig.b).stats().bytes_received, 5000u);
+}
+
+TEST(HostMessagingTest, FlowRateDefaultsToLineRate) {
+  Rig rig;
+  EXPECT_DOUBLE_EQ(rig.net.host(rig.a).flow_rate(rig.b).as_gbps(), 10.0);
+}
+
+}  // namespace
+}  // namespace src::net

@@ -1,0 +1,74 @@
+#include "nvme/consistency.hpp"
+
+#include <gtest/gtest.h>
+
+namespace src::nvme {
+namespace {
+
+using common::IoType;
+
+TEST(ConsistencyTest, NaturalQueueMapping) {
+  EXPECT_EQ(natural_queue(IoType::kRead), QueueKind::kReadQueue);
+  EXPECT_EQ(natural_queue(IoType::kWrite), QueueKind::kWriteQueue);
+}
+
+TEST(ConsistencyTest, NoOverlapInitially) {
+  ConsistencyTracker tracker(4096);
+  EXPECT_FALSE(tracker.overlapping_queue(0, 4096).has_value());
+}
+
+TEST(ConsistencyTest, ExactOverlapDetected) {
+  ConsistencyTracker tracker(4096);
+  tracker.note_queued(0, 4096, QueueKind::kReadQueue);
+  const auto hit = tracker.overlapping_queue(0, 4096);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, QueueKind::kReadQueue);
+}
+
+TEST(ConsistencyTest, PartialOverlapDetected) {
+  ConsistencyTracker tracker(4096);
+  tracker.note_queued(0, 8192, QueueKind::kWriteQueue);  // pages 0,1
+  const auto hit = tracker.overlapping_queue(4096, 4096);  // page 1
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, QueueKind::kWriteQueue);
+}
+
+TEST(ConsistencyTest, AdjacentPagesDoNotOverlap) {
+  ConsistencyTracker tracker(4096);
+  tracker.note_queued(0, 4096, QueueKind::kReadQueue);  // page 0 only
+  EXPECT_FALSE(tracker.overlapping_queue(4096, 4096).has_value());
+}
+
+TEST(ConsistencyTest, FetchClearsTracking) {
+  ConsistencyTracker tracker(4096);
+  tracker.note_queued(0, 4096, QueueKind::kReadQueue);
+  tracker.note_fetched(0, 4096);
+  EXPECT_FALSE(tracker.overlapping_queue(0, 4096).has_value());
+  EXPECT_EQ(tracker.tracked_pages(), 0u);
+}
+
+TEST(ConsistencyTest, RefCountSurvivesPartialFetch) {
+  ConsistencyTracker tracker(4096);
+  tracker.note_queued(0, 4096, QueueKind::kWriteQueue);
+  tracker.note_queued(0, 4096, QueueKind::kWriteQueue);
+  tracker.note_fetched(0, 4096);
+  // One request still queued on page 0.
+  ASSERT_TRUE(tracker.overlapping_queue(0, 4096).has_value());
+  tracker.note_fetched(0, 4096);
+  EXPECT_FALSE(tracker.overlapping_queue(0, 4096).has_value());
+}
+
+TEST(ConsistencyTest, FetchOfUntrackedRangeIsSafe) {
+  ConsistencyTracker tracker(4096);
+  tracker.note_fetched(1 << 20, 4096);  // no-op
+  EXPECT_EQ(tracker.tracked_pages(), 0u);
+}
+
+TEST(ConsistencyTest, ZeroByteRequestTouchesOnePage) {
+  ConsistencyTracker tracker(4096);
+  tracker.note_queued(8192, 0, QueueKind::kReadQueue);
+  EXPECT_TRUE(tracker.overlapping_queue(8192, 1).has_value());
+}
+
+}  // namespace
+}  // namespace src::nvme

@@ -1,0 +1,118 @@
+#include "nvme/fifo_driver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ssd/device.hpp"
+
+namespace src::nvme {
+namespace {
+
+using common::IoType;
+
+ssd::SsdConfig open_admission() {
+  // QD-focused tests want the admission gate out of the way.
+  ssd::SsdConfig cfg = ssd::ssd_a();
+  cfg.admission_window_ops = 1e9;
+  return cfg;
+}
+
+struct Harness {
+  sim::Simulator sim;
+  ssd::SsdDevice device{sim, open_admission(), 1};
+  FifoDriver driver{sim, device};
+  std::vector<IoRequest> completed;
+
+  Harness() {
+    driver.set_completion_handler(
+        [this](const IoRequest& req, const ssd::NvmeCompletion&) {
+          completed.push_back(req);
+        });
+  }
+
+  IoRequest make(std::uint64_t id, IoType type, std::uint64_t lba,
+                 std::uint32_t bytes) {
+    IoRequest r;
+    r.id = id;
+    r.type = type;
+    r.lba = lba;
+    r.bytes = bytes;
+    r.arrival = sim.now();
+    return r;
+  }
+};
+
+TEST(FifoDriverTest, CompletesSubmittedRequests) {
+  Harness h;
+  h.driver.submit(h.make(1, IoType::kRead, 0, 16384));
+  h.driver.submit(h.make(2, IoType::kWrite, 1 << 20, 16384));
+  h.sim.run();
+  EXPECT_EQ(h.completed.size(), 2u);
+  EXPECT_EQ(h.driver.stats().completed_reads, 1u);
+  EXPECT_EQ(h.driver.stats().completed_writes, 1u);
+  EXPECT_EQ(h.driver.in_flight(), 0u);
+  EXPECT_EQ(h.driver.queued(), 0u);
+}
+
+TEST(FifoDriverTest, RespectsQueueDepth) {
+  Harness h;
+  const std::uint32_t qd = h.driver.queue_depth();
+  for (std::uint64_t i = 0; i < qd + 50; ++i) {
+    h.driver.submit(h.make(i, IoType::kRead, i * 16384, 16384));
+  }
+  // Before any completions, exactly QD commands are on the device.
+  EXPECT_EQ(h.driver.in_flight(), qd);
+  EXPECT_EQ(h.driver.queued(), 50u);
+  h.sim.run();
+  EXPECT_EQ(h.completed.size(), static_cast<std::size_t>(qd) + 50u);
+}
+
+TEST(FifoDriverTest, FetchResumesAfterCompletion) {
+  Harness h;
+  const std::uint32_t qd = h.driver.queue_depth();
+  for (std::uint64_t i = 0; i < 2 * qd; ++i) {
+    h.driver.submit(h.make(i, IoType::kRead, i * 16384, 16384));
+  }
+  // Run until at least one completion lands; backlog must shrink.
+  while (h.completed.empty() && h.sim.step()) {}
+  EXPECT_LT(h.driver.queued(), static_cast<std::size_t>(qd));
+}
+
+TEST(FifoDriverTest, LatencyStatsPopulated) {
+  Harness h;
+  h.driver.submit(h.make(1, IoType::kRead, 0, 16384));
+  h.driver.submit(h.make(2, IoType::kWrite, 1 << 20, 16384));
+  h.sim.run();
+  EXPECT_GT(h.driver.stats().mean_read_latency_us(), 0.0);
+  EXPECT_GT(h.driver.stats().mean_write_latency_us(), 0.0);
+  EXPECT_EQ(h.driver.stats().read_latency.count(), 1u);
+  EXPECT_EQ(h.driver.stats().write_latency.count(), 1u);
+  EXPECT_GT(h.driver.stats().read_latency.p50_us(), 0.0);
+}
+
+TEST(FifoDriverTest, PercentilesReflectQueueing) {
+  // A deep backlog must push p99 well beyond p50.
+  Harness h;
+  for (std::uint64_t i = 0; i < 400; ++i) {
+    h.driver.submit(h.make(i, IoType::kRead, i << 20, 16384));
+  }
+  h.sim.run();
+  const auto& lat = h.driver.stats().read_latency;
+  EXPECT_EQ(lat.count(), 400u);
+  EXPECT_GT(lat.p99_us(), 1.5 * lat.p50_us());
+}
+
+TEST(FifoDriverTest, InFlightTypeCounters) {
+  Harness h;
+  h.driver.submit(h.make(1, IoType::kRead, 0, 16384));
+  h.driver.submit(h.make(2, IoType::kWrite, 1 << 20, 16384));
+  EXPECT_EQ(h.driver.in_flight_reads(), 1u);
+  EXPECT_EQ(h.driver.in_flight_writes(), 1u);
+  h.sim.run();
+  EXPECT_EQ(h.driver.in_flight_reads(), 0u);
+  EXPECT_EQ(h.driver.in_flight_writes(), 0u);
+}
+
+}  // namespace
+}  // namespace src::nvme

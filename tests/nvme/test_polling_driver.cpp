@@ -1,0 +1,94 @@
+#include "nvme/polling_driver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "nvme/fifo_driver.hpp"
+#include "ssd/device.hpp"
+
+namespace src::nvme {
+namespace {
+
+using common::IoType;
+
+struct Harness {
+  sim::Simulator sim;
+  ssd::SsdDevice device{sim, ssd::ssd_a(), 1};
+  FifoDriver lower{sim, device};
+  UserspacePollingDriver driver;
+  std::vector<std::pair<std::uint64_t, common::SimTime>> completions;
+
+  explicit Harness(common::SimTime poll = 5 * common::kMicrosecond)
+      : driver(sim, lower, poll) {
+    driver.set_completion_handler(
+        [this](const IoRequest& request, const ssd::NvmeCompletion& completion) {
+          completions.emplace_back(request.id, completion.complete_time);
+        });
+  }
+
+  void submit(std::uint64_t id, IoType type = IoType::kRead) {
+    IoRequest r;
+    r.id = id;
+    r.type = type;
+    r.lba = id << 20;
+    r.bytes = 16384;
+    r.arrival = sim.now();
+    driver.submit(r);
+  }
+};
+
+TEST(PollingDriverTest, DeliversAllCompletions) {
+  Harness h;
+  for (std::uint64_t i = 0; i < 40; ++i) h.submit(i);
+  h.sim.run();
+  EXPECT_EQ(h.completions.size(), 40u);
+  EXPECT_EQ(h.driver.pending_completions(), 0u);
+}
+
+TEST(PollingDriverTest, CompletionsQuantizedToPollGrid) {
+  const common::SimTime poll = 10 * common::kMicrosecond;
+  Harness h(poll);
+  h.submit(1);
+  h.sim.run();
+  ASSERT_EQ(h.completions.size(), 1u);
+  EXPECT_EQ(h.completions[0].second % poll, 0);
+}
+
+TEST(PollingDriverTest, PollDelayBoundedByInterval) {
+  const common::SimTime poll = 20 * common::kMicrosecond;
+  Harness h(poll);
+  for (std::uint64_t i = 0; i < 100; ++i) h.submit(i);
+  h.sim.run();
+  const auto& stats = h.driver.polling_stats();
+  EXPECT_EQ(stats.completions_delivered, 100u);
+  EXPECT_LE(stats.mean_poll_delay_us(), common::to_microseconds(poll));
+  EXPECT_GT(stats.mean_poll_delay_us(), 0.0);
+}
+
+TEST(PollingDriverTest, CoarserPollingAddsMoreLatency) {
+  auto mean_delay = [](common::SimTime poll) {
+    Harness h(poll);
+    for (std::uint64_t i = 0; i < 200; ++i) h.submit(i);
+    h.sim.run();
+    return h.driver.polling_stats().mean_poll_delay_us();
+  };
+  EXPECT_LT(mean_delay(2 * common::kMicrosecond),
+            mean_delay(50 * common::kMicrosecond));
+}
+
+TEST(PollingDriverTest, BatchesCompletionsPerTick) {
+  // Many commands finishing within one interval arrive in one poll batch.
+  const common::SimTime poll = 1 * common::kMillisecond;
+  Harness h(poll);
+  for (std::uint64_t i = 0; i < 16; ++i) h.submit(i);
+  h.sim.run();
+  ASSERT_EQ(h.completions.size(), 16u);
+  // All delivered at identical (few) tick timestamps.
+  std::set<common::SimTime> ticks;
+  for (const auto& [id, when] : h.completions) ticks.insert(when);
+  EXPECT_LE(ticks.size(), 3u);
+}
+
+}  // namespace
+}  // namespace src::nvme

@@ -1,0 +1,125 @@
+// Property sweeps over the ML library: every regressor must satisfy basic
+// sanity laws on every dataset shape in the sweep.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "ml/forest.hpp"
+#include "ml/knn.hpp"
+#include "ml/linear.hpp"
+
+namespace src::ml {
+namespace {
+
+enum class ModelKind { kLinear, kPoly, kKnn, kTree, kForest };
+
+struct MlCell {
+  ModelKind kind;
+  std::size_t n;
+  std::size_t d;
+};
+
+std::string ml_cell_name(const ::testing::TestParamInfo<MlCell>& info) {
+  const char* names[] = {"Linear", "Poly", "Knn", "Tree", "Forest"};
+  return std::string(names[static_cast<int>(info.param.kind)]) + "_n" +
+         std::to_string(info.param.n) + "_d" + std::to_string(info.param.d);
+}
+
+std::unique_ptr<Regressor> make_model(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kLinear: return std::make_unique<LinearRegression>();
+    case ModelKind::kPoly: return std::make_unique<PolynomialRegression>();
+    case ModelKind::kKnn: return std::make_unique<KnnRegressor>(5);
+    case ModelKind::kTree: return std::make_unique<DecisionTreeRegressor>();
+    case ModelKind::kForest: {
+      ForestConfig config;
+      config.n_trees = 25;
+      return std::make_unique<RandomForestRegressor>(config);
+    }
+  }
+  return nullptr;
+}
+
+Dataset smooth_dataset(std::size_t n, std::size_t d, std::uint64_t seed) {
+  Dataset data(d, 1);
+  common::Rng rng(seed);
+  std::vector<double> x(d);
+  for (std::size_t i = 0; i < n; ++i) {
+    double y = 1.0;
+    for (std::size_t j = 0; j < d; ++j) {
+      x[j] = rng.uniform(-2, 2);
+      y += (static_cast<double>(j) + 1.0) * x[j];
+    }
+    data.add(x, y + 0.01 * rng.normal());
+  }
+  return data;
+}
+
+class RegressorPropertyTest : public ::testing::TestWithParam<MlCell> {};
+
+TEST_P(RegressorPropertyTest, LearnsSmoothTargetInSample) {
+  const MlCell cell = GetParam();
+  const Dataset data = smooth_dataset(cell.n, cell.d, 3);
+  auto model = make_model(cell.kind);
+  model->fit(data);
+  EXPECT_GT(model->score(data), 0.8) << model->name();
+}
+
+TEST_P(RegressorPropertyTest, PredictionsAreFiniteAndBounded) {
+  const MlCell cell = GetParam();
+  const Dataset data = smooth_dataset(cell.n, cell.d, 4);
+  auto model = make_model(cell.kind);
+  model->fit(data);
+  common::Rng rng(5);
+  std::vector<double> probe(cell.d);
+  for (int trial = 0; trial < 50; ++trial) {
+    for (auto& v : probe) v = rng.uniform(-3, 3);  // slight extrapolation
+    const double prediction = model->predict(probe);
+    EXPECT_TRUE(std::isfinite(prediction)) << model->name();
+    EXPECT_LT(std::abs(prediction), 1e4) << model->name();
+  }
+}
+
+TEST_P(RegressorPropertyTest, RefitOverwritesOldFit) {
+  const MlCell cell = GetParam();
+  const Dataset first = smooth_dataset(cell.n, cell.d, 6);
+  // Second dataset: target negated.
+  Dataset second(cell.d, 1);
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    second.add(first.row(i), -first.target(i));
+  }
+  auto model = make_model(cell.kind);
+  model->fit(first);
+  model->fit(second);
+  EXPECT_GT(model->score(second), 0.8) << model->name();
+}
+
+TEST_P(RegressorPropertyTest, CloneTrainsIndependently) {
+  const MlCell cell = GetParam();
+  const Dataset data = smooth_dataset(cell.n, cell.d, 7);
+  auto original = make_model(cell.kind);
+  original->fit(data);
+  auto clone = original->clone();
+  clone->fit(data);
+  // Same hyper-parameters + same data -> identical predictions.
+  for (std::size_t i = 0; i < 20 && i < data.size(); ++i) {
+    EXPECT_DOUBLE_EQ(original->predict(data.row(i)), clone->predict(data.row(i)))
+        << original->name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModelShapeSweep, RegressorPropertyTest,
+    ::testing::Values(MlCell{ModelKind::kLinear, 100, 2},
+                      MlCell{ModelKind::kLinear, 500, 8},
+                      MlCell{ModelKind::kPoly, 200, 3},
+                      MlCell{ModelKind::kKnn, 400, 2},
+                      MlCell{ModelKind::kKnn, 400, 5},
+                      MlCell{ModelKind::kTree, 300, 4},
+                      MlCell{ModelKind::kForest, 300, 4},
+                      MlCell{ModelKind::kForest, 600, 8}),
+    ml_cell_name);
+
+}  // namespace
+}  // namespace src::ml

@@ -1,0 +1,155 @@
+// Property-style parameterized sweeps over the SSQ driver: invariants that
+// must hold for every (weight ratio, queue depth, workload mix) cell.
+#include <gtest/gtest.h>
+
+#include "nvme/ssq_driver.hpp"
+#include "ssd/device.hpp"
+#include "workload/micro.hpp"
+
+namespace src::nvme {
+namespace {
+
+using common::IoType;
+
+struct SsqCell {
+  std::uint32_t write_weight;
+  std::uint32_t queue_depth;
+  double write_iat_factor;  ///< write IAT = read IAT * factor
+};
+
+std::string cell_name(const ::testing::TestParamInfo<SsqCell>& info) {
+  return "w" + std::to_string(info.param.write_weight) + "_qd" +
+         std::to_string(info.param.queue_depth) + "_wf" +
+         std::to_string(static_cast<int>(info.param.write_iat_factor * 10));
+}
+
+class SsqPropertyTest : public ::testing::TestWithParam<SsqCell> {
+ protected:
+  struct Run {
+    std::uint64_t completed_reads = 0;
+    std::uint64_t completed_writes = 0;
+    std::uint64_t submitted = 0;
+    std::uint32_t max_in_flight = 0;
+    std::uint32_t max_in_flight_reads = 0;
+    std::uint32_t max_in_flight_writes = 0;
+    bool caps_respected = true;
+    SsqStats ssq;
+  };
+
+  Run run_cell(const SsqCell& cell) {
+    sim::Simulator sim;
+    ssd::SsdConfig config = ssd::ssd_a();
+    config.queue_depth = cell.queue_depth;
+    ssd::SsdDevice device(sim, config, 1);
+    SsqDriver driver(sim, device, 1, cell.write_weight);
+
+    Run run;
+    driver.set_completion_handler(
+        [&](const IoRequest& request, const ssd::NvmeCompletion&) {
+          (request.type == IoType::kRead ? run.completed_reads
+                                         : run.completed_writes)++;
+        });
+    driver.set_dispatch_handler([&](const IoRequest&) {
+      run.max_in_flight = std::max(run.max_in_flight, driver.in_flight() + 1);
+      run.max_in_flight_reads =
+          std::max(run.max_in_flight_reads, driver.in_flight_reads() + 1);
+      run.max_in_flight_writes =
+          std::max(run.max_in_flight_writes, driver.in_flight_writes() + 1);
+    });
+
+    workload::MicroParams params =
+        workload::symmetric_micro(14.0, 28.0 * 1024, 1500);
+    params.write.mean_iat_us = 14.0 * cell.write_iat_factor;
+    params.write.count = static_cast<std::size_t>(1500 / cell.write_iat_factor);
+    const auto trace = workload::generate_micro(params, 77);
+    run.submitted = trace.size();
+    for (const auto& rec : trace) {
+      sim.schedule_at(rec.arrival, [&driver, rec, &sim] {
+        IoRequest request;
+        request.type = rec.type;
+        request.lba = rec.lba;
+        request.bytes = rec.bytes;
+        request.arrival = sim.now();
+        driver.submit(request);
+      });
+    }
+    sim.run();
+    run.ssq = driver.ssq_stats();
+    return run;
+  }
+};
+
+TEST_P(SsqPropertyTest, EveryRequestCompletesExactlyOnce) {
+  const Run run = run_cell(GetParam());
+  EXPECT_EQ(run.completed_reads + run.completed_writes, run.submitted);
+}
+
+TEST_P(SsqPropertyTest, QueueDepthNeverExceeded) {
+  const Run run = run_cell(GetParam());
+  EXPECT_LE(run.max_in_flight, GetParam().queue_depth);
+}
+
+TEST_P(SsqPropertyTest, EveryFetchComesFromExactlyOneQueue) {
+  const Run run = run_cell(GetParam());
+  EXPECT_EQ(run.ssq.fetched_from_rsq + run.ssq.fetched_from_wsq, run.submitted);
+}
+
+TEST_P(SsqPropertyTest, DeterministicAcrossRuns) {
+  const Run a = run_cell(GetParam());
+  const Run b = run_cell(GetParam());
+  EXPECT_EQ(a.completed_reads, b.completed_reads);
+  EXPECT_EQ(a.completed_writes, b.completed_writes);
+  EXPECT_EQ(a.max_in_flight, b.max_in_flight);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WeightQdMixSweep, SsqPropertyTest,
+    ::testing::Values(SsqCell{1, 16, 1.0}, SsqCell{1, 128, 1.0},
+                      SsqCell{2, 64, 1.0}, SsqCell{4, 16, 2.0},
+                      SsqCell{4, 128, 4.0}, SsqCell{8, 32, 1.0},
+                      SsqCell{8, 128, 2.0}, SsqCell{16, 64, 4.0},
+                      SsqCell{32, 256, 1.0}),
+    cell_name);
+
+// Monotonicity sweep: holding everything else fixed, a larger write weight
+// never *increases* read completions over a fixed horizon under a
+// saturated mixed workload.
+class SsqMonotonicityTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(SsqMonotonicityTest, ReadServiceNonIncreasingInWeight) {
+  auto completed_reads = [](std::uint32_t w) {
+    sim::Simulator sim;
+    ssd::SsdDevice device(sim, ssd::ssd_a(), 1);
+    SsqDriver driver(sim, device, 1, w);
+    std::uint64_t reads = 0;
+    driver.set_completion_handler(
+        [&](const IoRequest& request, const ssd::NvmeCompletion&) {
+          reads += request.type == IoType::kRead;
+        });
+    const auto trace = workload::generate_micro(
+        workload::symmetric_micro(12.0, 32.0 * 1024, 4000), 5);
+    for (const auto& rec : trace) {
+      sim.schedule_at(rec.arrival, [&driver, rec, &sim] {
+        IoRequest request;
+        request.type = rec.type;
+        request.lba = rec.lba;
+        request.bytes = rec.bytes;
+        request.arrival = sim.now();
+        driver.submit(request);
+      });
+    }
+    sim.run_until(40 * common::kMillisecond);
+    return reads;
+  };
+  const std::uint32_t w = GetParam();
+  // Allow 5% slack: token quantization can locally reorder service.
+  EXPECT_LE(static_cast<double>(completed_reads(w * 2)),
+            static_cast<double>(completed_reads(w)) * 1.05)
+      << "w=" << w << " vs " << w * 2;
+}
+
+INSTANTIATE_TEST_SUITE_P(DoublingWeights, SsqMonotonicityTest,
+                         ::testing::Values(1u, 2u, 4u, 8u));
+
+}  // namespace
+}  // namespace src::nvme

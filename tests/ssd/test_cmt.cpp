@@ -1,0 +1,65 @@
+#include "ssd/cmt.hpp"
+
+#include <gtest/gtest.h>
+
+namespace src::ssd {
+namespace {
+
+TEST(CmtTest, FirstAccessIsMiss) {
+  CachedMappingTable cmt(4);
+  EXPECT_FALSE(cmt.access(1));
+  EXPECT_EQ(cmt.misses(), 1u);
+  EXPECT_EQ(cmt.hits(), 0u);
+}
+
+TEST(CmtTest, RepeatAccessIsHit) {
+  CachedMappingTable cmt(4);
+  cmt.access(1);
+  EXPECT_TRUE(cmt.access(1));
+  EXPECT_EQ(cmt.hits(), 1u);
+}
+
+TEST(CmtTest, EvictsLeastRecentlyUsed) {
+  CachedMappingTable cmt(2);
+  cmt.access(1);
+  cmt.access(2);
+  cmt.access(1);      // 1 is now MRU
+  cmt.access(3);      // evicts 2
+  EXPECT_TRUE(cmt.access(1));
+  EXPECT_TRUE(cmt.access(3));
+  EXPECT_FALSE(cmt.access(2));  // was evicted
+}
+
+TEST(CmtTest, CapacityRespected) {
+  CachedMappingTable cmt(8);
+  for (std::uint64_t p = 0; p < 100; ++p) cmt.access(p);
+  EXPECT_EQ(cmt.size(), 8u);
+}
+
+TEST(CmtTest, ZeroCapacityClampsToOne) {
+  CachedMappingTable cmt(0);
+  EXPECT_EQ(cmt.capacity(), 1u);
+  cmt.access(1);
+  EXPECT_TRUE(cmt.access(1));
+  cmt.access(2);
+  EXPECT_FALSE(cmt.access(1));
+}
+
+TEST(CmtTest, HitRatio) {
+  CachedMappingTable cmt(16);
+  for (int round = 0; round < 4; ++round) {
+    for (std::uint64_t p = 0; p < 8; ++p) cmt.access(p);
+  }
+  // 8 misses, 24 hits.
+  EXPECT_DOUBLE_EQ(cmt.hit_ratio(), 24.0 / 32.0);
+}
+
+TEST(CmtTest, SequentialScanLargerThanCapacityAlwaysMisses) {
+  CachedMappingTable cmt(4);
+  for (int round = 0; round < 3; ++round) {
+    for (std::uint64_t p = 0; p < 16; ++p) EXPECT_FALSE(cmt.access(p));
+  }
+}
+
+}  // namespace
+}  // namespace src::ssd

@@ -1,0 +1,64 @@
+#include "ssd/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace src::ssd {
+namespace {
+
+using common::kMicrosecond;
+
+// Table II of the paper.
+TEST(SsdConfigTest, SsdAMatchesTableII) {
+  const SsdConfig cfg = ssd_a();
+  EXPECT_EQ(cfg.queue_depth, 128u);
+  EXPECT_EQ(cfg.write_cache_bytes, 256ull << 20);
+  EXPECT_EQ(cfg.cmt_bytes, 2ull << 20);
+  EXPECT_EQ(cfg.page_bytes, 16ull << 10);
+  EXPECT_EQ(cfg.read_latency, 75 * kMicrosecond);
+  EXPECT_EQ(cfg.write_latency, 300 * kMicrosecond);
+}
+
+TEST(SsdConfigTest, SsdBMatchesTableII) {
+  const SsdConfig cfg = ssd_b();
+  EXPECT_EQ(cfg.queue_depth, 512u);
+  EXPECT_EQ(cfg.write_cache_bytes, 256ull << 20);
+  EXPECT_EQ(cfg.cmt_bytes, 2ull << 20);
+  EXPECT_EQ(cfg.page_bytes, 16ull << 10);
+  EXPECT_EQ(cfg.read_latency, 2 * kMicrosecond);
+  EXPECT_EQ(cfg.write_latency, 100 * kMicrosecond);
+}
+
+TEST(SsdConfigTest, SsdCMatchesTableII) {
+  const SsdConfig cfg = ssd_c();
+  EXPECT_EQ(cfg.queue_depth, 512u);
+  EXPECT_EQ(cfg.write_cache_bytes, 512ull << 20);
+  EXPECT_EQ(cfg.cmt_bytes, 8ull << 20);
+  EXPECT_EQ(cfg.page_bytes, 8ull << 10);
+  EXPECT_EQ(cfg.read_latency, 30 * kMicrosecond);
+  EXPECT_EQ(cfg.write_latency, 200 * kMicrosecond);
+}
+
+TEST(SsdConfigTest, LookupByName) {
+  EXPECT_EQ(config_by_name("SSD-A").name, "SSD-A");
+  EXPECT_EQ(config_by_name("SSD-B").name, "SSD-B");
+  EXPECT_EQ(config_by_name("SSD-C").name, "SSD-C");
+  EXPECT_THROW(config_by_name("SSD-Z"), std::invalid_argument);
+}
+
+TEST(SsdConfigTest, DerivedQuantities) {
+  const SsdConfig cfg = ssd_a();
+  EXPECT_EQ(cfg.parallel_units(), cfg.channels * cfg.chips_per_channel);
+  EXPECT_EQ(cfg.total_pages(), cfg.capacity_bytes / cfg.page_bytes);
+  EXPECT_EQ(cfg.cmt_entries(), cfg.cmt_bytes / cfg.mapping_entry_bytes);
+  EXPECT_EQ(cfg.mapping_miss_penalty(), cfg.read_latency);
+  EXPECT_GT(cfg.channel_transfer_time(), 0);
+}
+
+TEST(SsdConfigTest, ExplicitMissPenaltyOverrides) {
+  SsdConfig cfg = ssd_a();
+  cfg.cmt_miss_penalty = 5 * kMicrosecond;
+  EXPECT_EQ(cfg.mapping_miss_penalty(), 5 * kMicrosecond);
+}
+
+}  // namespace
+}  // namespace src::ssd

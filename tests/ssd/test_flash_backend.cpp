@@ -1,0 +1,91 @@
+#include "ssd/flash_backend.hpp"
+
+#include <gtest/gtest.h>
+
+namespace src::ssd {
+namespace {
+
+SsdConfig tiny_config() {
+  SsdConfig cfg;
+  cfg.channels = 2;
+  cfg.chips_per_channel = 2;
+  cfg.read_latency = 100;
+  cfg.write_latency = 300;
+  cfg.page_bytes = 1000;
+  cfg.channel_bandwidth = common::Rate::bytes_per_second(1e9);  // 1 us/page
+  return cfg;
+}
+
+TEST(FlashBackendTest, PlacementStripesChannelsFirst) {
+  const FlashBackend backend(tiny_config());
+  EXPECT_EQ(backend.place(0).channel, 0u);
+  EXPECT_EQ(backend.place(1).channel, 1u);
+  EXPECT_EQ(backend.place(2).channel, 0u);
+  EXPECT_EQ(backend.place(0).chip, 0u);
+  EXPECT_EQ(backend.place(2).chip, 1u);  // second round on channel 0
+  EXPECT_EQ(backend.place(4).chip, 0u);  // wraps at chips_per_channel
+}
+
+TEST(FlashBackendTest, ReadIsSenseThenTransfer) {
+  FlashBackend backend(tiny_config());
+  const auto finish = backend.schedule_read_page(backend.place(0), 0);
+  // sense 100 ns + transfer 1000 ns.
+  EXPECT_EQ(finish, 1100);
+}
+
+TEST(FlashBackendTest, ProgramIsTransferThenProgram) {
+  FlashBackend backend(tiny_config());
+  const auto finish = backend.schedule_program_page(backend.place(0), 0);
+  EXPECT_EQ(finish, 1300);
+}
+
+TEST(FlashBackendTest, SameChipSerializes) {
+  FlashBackend backend(tiny_config());
+  const auto p = backend.place(0);
+  const auto first = backend.schedule_read_page(p, 0);
+  const auto second = backend.schedule_read_page(p, 0);
+  EXPECT_GT(second, first);
+  // Second sense waits for the first sense (100..200); its bus transfer then
+  // waits for the first transfer to release the channel (until 1100), so it
+  // finishes at 2100 — the channel, not the chip, is the bottleneck here.
+  EXPECT_EQ(second, 2100);
+}
+
+TEST(FlashBackendTest, DifferentChannelsRunInParallel) {
+  FlashBackend backend(tiny_config());
+  const auto a = backend.schedule_read_page(backend.place(0), 0);
+  const auto b = backend.schedule_read_page(backend.place(1), 0);
+  EXPECT_EQ(a, b);  // fully parallel
+}
+
+TEST(FlashBackendTest, SameChannelDifferentChipsShareBus) {
+  FlashBackend backend(tiny_config());
+  // Pages 0 and 2 are channel 0, chips 0 and 1.
+  const auto a = backend.schedule_read_page(backend.place(0), 0);
+  const auto b = backend.schedule_read_page(backend.place(2), 0);
+  // Senses overlap; second transfer waits for the first one's bus slot.
+  EXPECT_EQ(a, 1100);
+  EXPECT_EQ(b, 2100);
+}
+
+TEST(FlashBackendTest, ReadsAndWritesInterfereOnChip) {
+  FlashBackend backend(tiny_config());
+  const auto p = backend.place(0);
+  backend.schedule_program_page(p, 0);              // chip busy until 1300
+  const auto read_done = backend.schedule_read_page(p, 0);
+  EXPECT_GE(read_done, 1300 + 100);
+}
+
+TEST(FlashBackendTest, UtilizationGrowsWithWork) {
+  FlashBackend backend(tiny_config());
+  EXPECT_DOUBLE_EQ(backend.mean_chip_utilization(1000), 0.0);
+  backend.schedule_read_page(backend.place(0), 0);
+  EXPECT_GT(backend.mean_chip_utilization(1000), 0.0);
+}
+
+TEST(FlashBackendTest, ChipCount) {
+  EXPECT_EQ(FlashBackend(tiny_config()).chip_count(), 4u);
+}
+
+}  // namespace
+}  // namespace src::ssd

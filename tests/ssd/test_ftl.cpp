@@ -1,0 +1,271 @@
+#include "ssd/ftl.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "ssd/device.hpp"
+
+namespace src::ssd {
+namespace {
+
+FtlConfig tiny_config() {
+  FtlConfig config;
+  config.logical_pages = 256;
+  config.pages_per_block = 8;
+  config.chips = 4;
+  config.overprovision = 0.25;
+  config.gc_free_block_threshold = 2;
+  return config;
+}
+
+TEST(FtlTest, UnmappedPagesHaveNoTranslation) {
+  Ftl ftl(tiny_config());
+  EXPECT_FALSE(ftl.translate(0).has_value());
+  EXPECT_EQ(ftl.mapped_pages(), 0u);
+}
+
+TEST(FtlTest, WriteCreatesMapping) {
+  Ftl ftl(tiny_config());
+  const PhysicalPage physical = ftl.write(42);
+  const auto mapped = ftl.translate(42);
+  ASSERT_TRUE(mapped.has_value());
+  EXPECT_EQ(mapped->chip, physical.chip);
+  EXPECT_EQ(mapped->block, physical.block);
+  EXPECT_EQ(mapped->page, physical.page);
+  EXPECT_EQ(ftl.stats().host_writes, 1u);
+}
+
+TEST(FtlTest, OverwriteRemapsToFreshPage) {
+  Ftl ftl(tiny_config());
+  const PhysicalPage first = ftl.write(7);
+  const PhysicalPage second = ftl.write(7);
+  const bool same_slot = first.chip == second.chip &&
+                         first.block == second.block && first.page == second.page;
+  EXPECT_FALSE(same_slot);  // log-structured: never in place
+  EXPECT_EQ(ftl.mapped_pages(), 1u);
+}
+
+TEST(FtlTest, DistinctLogicalPagesGetDistinctPhysicalPages) {
+  Ftl ftl(tiny_config());
+  std::set<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>> seen;
+  for (std::uint64_t p = 0; p < 64; ++p) {
+    const PhysicalPage physical = ftl.write(p);
+    EXPECT_TRUE(seen.insert({physical.chip, physical.block, physical.page}).second);
+  }
+}
+
+TEST(FtlTest, GcNotNeededWhileFresh) {
+  Ftl ftl(tiny_config());
+  EXPECT_FALSE(ftl.gc_needed());
+  EXPECT_FALSE(ftl.plan_gc().has_value());
+}
+
+TEST(FtlTest, SustainedOverwritesTriggerGcAndReclaim) {
+  Ftl ftl(tiny_config());
+  common::Rng rng(5);
+  std::uint64_t erases_done = 0;
+  for (int i = 0; i < 4000; ++i) {
+    int guard = 128;
+    while (ftl.gc_needed() && guard-- > 0) {
+      const auto plan = ftl.plan_gc();
+      if (!plan) break;
+      for (const auto logical : plan->valid_logical_pages) {
+        ftl.rewrite_for_gc(logical, plan->chip);
+      }
+      ftl.finish_gc(*plan);
+      ++erases_done;
+    }
+    ftl.write(rng.uniform_index(256));
+  }
+  EXPECT_GT(erases_done, 0u);
+  EXPECT_EQ(ftl.stats().erases, erases_done);
+  EXPECT_GT(ftl.stats().write_amplification(), 1.0);
+  // Every logical page ever written must still translate.
+  EXPECT_LE(ftl.mapped_pages(), 256u);
+}
+
+TEST(FtlTest, MappingSurvivesGc) {
+  Ftl ftl(tiny_config());
+  common::Rng rng(6);
+  // Stamp each logical page with its own writes and verify translation
+  // always points somewhere valid after heavy churn.
+  for (int i = 0; i < 3000; ++i) {
+    int guard = 128;
+    while (ftl.gc_needed() && guard-- > 0) {
+      const auto plan = ftl.plan_gc();
+      if (!plan) break;
+      for (const auto logical : plan->valid_logical_pages) {
+        ftl.rewrite_for_gc(logical, plan->chip);
+      }
+      ftl.finish_gc(*plan);
+    }
+    ftl.write(rng.uniform_index(64));  // hot small set -> heavy churn
+  }
+  for (std::uint64_t p = 0; p < 64; ++p) {
+    EXPECT_TRUE(ftl.translate(p).has_value()) << "page " << p;
+  }
+}
+
+TEST(FtlTest, GcPlanOnlyListsValidPages) {
+  FtlConfig config = tiny_config();
+  config.chips = 1;
+  Ftl ftl(config);
+  // Fill one block (8 pages), then overwrite half of them, then write fresh
+  // pages until the free pool reaches the GC threshold.
+  for (std::uint64_t p = 0; p < 8; ++p) ftl.write(p);
+  for (std::uint64_t p = 0; p < 4; ++p) ftl.write(p);
+  std::uint64_t fresh = 100;
+  while (!ftl.gc_needed()) ftl.write(fresh++);
+  const auto plan = ftl.plan_gc();
+  ASSERT_TRUE(plan.has_value());
+  // Block 0 (the only one with garbage) is the greedy victim; it must list
+  // only the still-valid owners 4..7.
+  EXPECT_EQ(plan->valid_logical_pages.size(), 4u);
+  for (const auto logical : plan->valid_logical_pages) {
+    EXPECT_GE(logical, 4u);
+    EXPECT_LE(logical, 7u);
+  }
+}
+
+TEST(FtlTest, OverprovisionClampedToFloor) {
+  FtlConfig config = tiny_config();
+  config.overprovision = 0.0;
+  Ftl ftl(config);  // must not throw; clamped internally to 0.10
+  for (std::uint64_t p = 0; p < 64; ++p) ftl.write(p);
+  EXPECT_EQ(ftl.mapped_pages(), 64u);
+}
+
+TEST(FtlTest, DegenerateGeometryThrows) {
+  FtlConfig config = tiny_config();
+  config.chips = 0;
+  EXPECT_THROW(Ftl{config}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace src::ssd
+
+namespace src::ssd {
+namespace {
+
+TEST(FtlTrimTest, TrimDropsMappingAndCountsGarbage) {
+  FtlConfig config;
+  config.logical_pages = 256;
+  config.pages_per_block = 8;
+  config.chips = 4;
+  config.overprovision = 0.25;
+  Ftl ftl(config);
+  ftl.write(5);
+  EXPECT_TRUE(ftl.translate(5).has_value());
+  EXPECT_TRUE(ftl.trim(5));
+  EXPECT_FALSE(ftl.translate(5).has_value());
+  EXPECT_FALSE(ftl.trim(5));  // second trim is a no-op
+  EXPECT_EQ(ftl.stats().trims, 1u);
+}
+
+TEST(FtlTrimTest, DeviceDeallocateCoversRange) {
+  sim::Simulator sim;
+  SsdConfig cfg = ssd_a();
+  cfg.enable_gc = true;
+  cfg.capacity_bytes = 1024ull * 16384;
+  cfg.gc_pages_per_block = 16;
+  cfg.write_cache_bytes = 0;
+  SsdDevice device(sim, cfg, 1);
+  for (std::uint64_t p = 0; p < 8; ++p) {
+    NvmeCommand cmd;
+    cmd.id = p;
+    cmd.type = common::IoType::kWrite;
+    cmd.lba = p * 16384;
+    cmd.bytes = 16384;
+    device.execute(cmd, [](const NvmeCompletion&) {});
+  }
+  sim.run();
+  EXPECT_EQ(device.deallocate(0, 4 * 16384), 4u);  // pages 0..3
+  EXPECT_EQ(device.deallocate(0, 4 * 16384), 0u);  // already trimmed
+}
+
+TEST(FtlTrimTest, DeallocateNoopWithoutFtl) {
+  sim::Simulator sim;
+  SsdDevice device(sim, ssd_a(), 1);  // GC disabled -> no FTL
+  EXPECT_EQ(device.deallocate(0, 1 << 20), 0u);
+}
+
+TEST(FtlTrimTest, TrimReducesGcPressure) {
+  // Fill the device, then TRIM the cold half (a deleted file) and churn the
+  // hot half: with the trim, GC reclaims the freed blocks cheaply and write
+  // amplification drops versus leaving the stale data valid.
+  auto wa = [](bool use_trim) {
+    sim::Simulator sim;
+    SsdConfig cfg = ssd_a();
+    cfg.enable_gc = true;
+    cfg.capacity_bytes = 1024ull * 16384;
+    cfg.gc_pages_per_block = 16;
+    cfg.gc_overprovision = 0.12;
+    cfg.write_cache_bytes = 0;
+    SsdDevice device(sim, cfg, 1);
+    common::Rng rng(5);
+    std::uint64_t id = 0;
+    auto write_page = [&](std::uint64_t page) {
+      NvmeCommand cmd;
+      cmd.id = id++;
+      cmd.type = common::IoType::kWrite;
+      cmd.lba = page * 16384;
+      cmd.bytes = 16384;
+      device.execute(cmd, [](const NvmeCompletion&) {});
+    };
+    for (std::uint64_t p = 0; p < 1024; ++p) write_page(p);
+    sim.run();
+    if (use_trim) device.deallocate(512 * 16384, 512 * 16384);  // cold half
+    for (int i = 0; i < 4000; ++i) write_page(rng.uniform_index(512));  // hot half
+    sim.run();
+    return device.write_amplification();
+  };
+  EXPECT_LT(wa(true), wa(false) * 0.9);
+}
+
+}  // namespace
+}  // namespace src::ssd
+
+namespace src::ssd {
+namespace {
+
+TEST(FtlWearTest, FreshDeviceHasZeroWear) {
+  FtlConfig config;
+  config.logical_pages = 256;
+  config.pages_per_block = 8;
+  config.chips = 4;
+  const Ftl ftl(config);
+  const auto wear = ftl.wear_summary();
+  EXPECT_EQ(wear.min_erases, 0u);
+  EXPECT_EQ(wear.max_erases, 0u);
+  EXPECT_DOUBLE_EQ(wear.mean_erases, 0.0);
+}
+
+TEST(FtlWearTest, ChurnAccumulatesErasesConsistently) {
+  FtlConfig config;
+  config.logical_pages = 256;
+  config.pages_per_block = 8;
+  config.chips = 4;
+  config.overprovision = 0.25;
+  Ftl ftl(config);
+  common::Rng rng(9);
+  for (int i = 0; i < 5000; ++i) {
+    int guard = 64;
+    while (ftl.gc_needed() && guard-- > 0) {
+      const auto plan = ftl.plan_gc();
+      if (!plan) break;
+      for (const auto logical : plan->valid_logical_pages) {
+        ftl.rewrite_for_gc(logical, plan->chip);
+      }
+      ftl.finish_gc(*plan);
+    }
+    ftl.write(rng.uniform_index(256));
+  }
+  const auto wear = ftl.wear_summary();
+  EXPECT_GT(wear.max_erases, 0u);
+  EXPECT_GE(wear.max_erases, wear.min_erases);
+  EXPECT_GT(wear.mean_erases, 0.0);
+  EXPECT_GT(ftl.stats().erases, 0u);
+}
+
+}  // namespace
+}  // namespace src::ssd

@@ -1,0 +1,78 @@
+#include "workload/micro.hpp"
+
+#include <gtest/gtest.h>
+
+namespace src::workload {
+namespace {
+
+TEST(MicroTest, DeterministicForSeed) {
+  const auto params = symmetric_micro(10.0, 32 * 1024, 500);
+  const Trace a = generate_micro(params, 7);
+  const Trace b = generate_micro(params, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].arrival, b[i].arrival);
+    EXPECT_EQ(a[i].lba, b[i].lba);
+    EXPECT_EQ(a[i].bytes, b[i].bytes);
+  }
+}
+
+TEST(MicroTest, DifferentSeedsDiffer) {
+  const auto params = symmetric_micro(10.0, 32 * 1024, 100);
+  const Trace a = generate_micro(params, 1);
+  const Trace b = generate_micro(params, 2);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].arrival != b[i].arrival) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(MicroTest, CountsMatchParams) {
+  MicroParams params = symmetric_micro(10.0, 32 * 1024, 300);
+  params.write.count = 100;
+  const Trace trace = generate_micro(params, 3);
+  const auto stats = analyze(trace);
+  EXPECT_EQ(stats.read.count, 300u);
+  EXPECT_EQ(stats.write.count, 100u);
+}
+
+TEST(MicroTest, SortedByArrival) {
+  const Trace trace = generate_micro(symmetric_micro(10.0, 32 * 1024, 1000), 5);
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_LE(trace[i - 1].arrival, trace[i].arrival);
+  }
+}
+
+TEST(MicroTest, MeanIatApproximatesTarget) {
+  const Trace trace = generate_micro(symmetric_micro(25.0, 32 * 1024, 20'000), 9);
+  const auto stats = analyze(trace);
+  EXPECT_NEAR(stats.read.mean_iat_us, 25.0, 1.0);
+  EXPECT_NEAR(stats.write.mean_iat_us, 25.0, 1.0);
+  // Exponential IAT: SCV ~ 1.
+  EXPECT_NEAR(stats.read.scv_iat, 1.0, 0.1);
+}
+
+TEST(MicroTest, MeanSizeApproximatesTarget) {
+  const Trace trace = generate_micro(symmetric_micro(10.0, 32 * 1024, 20'000), 11);
+  const auto stats = analyze(trace);
+  EXPECT_NEAR(stats.read.mean_size_bytes, 32.0 * 1024, 2000.0);
+}
+
+TEST(MicroTest, SizesAlignedAndBounded) {
+  MicroParams params = symmetric_micro(10.0, 64 * 1024, 5000);
+  params.align_bytes = 4096;
+  params.min_size_bytes = 4096;
+  params.max_size_bytes = 256 * 1024;
+  const Trace trace = generate_micro(params, 13);
+  for (const auto& rec : trace) {
+    EXPECT_EQ(rec.bytes % 4096, 0u);
+    EXPECT_GE(rec.bytes, 4096u);
+    EXPECT_LE(rec.bytes, 256u * 1024);
+    EXPECT_EQ(rec.lba % 4096, 0u);
+    EXPECT_LT(rec.lba, params.lba_space_bytes);
+  }
+}
+
+}  // namespace
+}  // namespace src::workload

@@ -1,0 +1,101 @@
+#include "workload/mmpp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+
+namespace src::workload {
+namespace {
+
+TEST(Mmpp2Test, StationaryMeanRate) {
+  Mmpp2Params params;
+  params.rate_quiet = 10'000;
+  params.rate_burst = 100'000;
+  params.sojourn_quiet_s = 4e-3;
+  params.sojourn_burst_s = 1e-3;
+  // pi_burst = 0.2 -> mean = 0.8*10k + 0.2*100k = 28k.
+  EXPECT_NEAR(params.mean_rate(), 28'000.0, 1e-6);
+  EXPECT_NEAR(params.burst_fraction(), 0.2, 1e-12);
+}
+
+TEST(Mmpp2Test, GeneratorMatchesAnalyticMean) {
+  Mmpp2Params params;
+  params.rate_quiet = 20'000;
+  params.rate_burst = 200'000;
+  params.sojourn_quiet_s = 2e-3;
+  params.sojourn_burst_s = 0.5e-3;
+  Mmpp2Generator gen(params, common::Rng(3));
+  common::RunningStats stats;
+  for (int i = 0; i < 300'000; ++i) stats.add(gen.next_iat_us());
+  EXPECT_NEAR(stats.mean(), params.mean_iat_us(), params.mean_iat_us() * 0.03);
+}
+
+TEST(Mmpp2Test, BurstyProcessHasHighScv) {
+  Mmpp2Params params;
+  params.rate_quiet = 5'000;
+  params.rate_burst = 500'000;
+  params.sojourn_quiet_s = 10e-3;
+  params.sojourn_burst_s = 2e-3;
+  Mmpp2Generator gen(params, common::Rng(4));
+  common::RunningStats stats;
+  for (int i = 0; i < 200'000; ++i) stats.add(gen.next_iat_us());
+  EXPECT_GT(stats.scv(), 2.0);
+}
+
+TEST(FitMmpp2Test, PoissonWhenScvIsOne) {
+  const auto params = fit_mmpp2(10.0, 1.0);
+  EXPECT_DOUBLE_EQ(params.rate_quiet, params.rate_burst);
+  EXPECT_NEAR(params.mean_iat_us(), 10.0, 1e-9);
+}
+
+TEST(FitMmpp2Test, HitsTargetScv) {
+  for (double target : {2.0, 4.0, 8.0}) {
+    const auto params = fit_mmpp2(10.0, target);
+    Mmpp2Generator gen(params, common::Rng(99));
+    common::RunningStats stats;
+    for (int i = 0; i < 200'000; ++i) stats.add(gen.next_iat_us());
+    EXPECT_NEAR(stats.mean(), 10.0, 1.0) << "target scv " << target;
+    EXPECT_NEAR(stats.scv(), target, target * 0.25) << "target scv " << target;
+  }
+}
+
+TEST(SyntheticTest, DeterministicAndSorted) {
+  const auto params = fujitsu_vdi_like(500);
+  const Trace a = generate_synthetic(params, 5);
+  const Trace b = generate_synthetic(params, 5);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].arrival, b[i].arrival);
+    if (i > 0) EXPECT_LE(a[i - 1].arrival, a[i].arrival);
+  }
+}
+
+TEST(SyntheticTest, VdiPresetMatchesPaperStatistics) {
+  const Trace trace = generate_synthetic(fujitsu_vdi_like(20'000), 21);
+  const auto stats = analyze(trace);
+  // Paper SIV-D: read 44 KB / write 23 KB mean sizes, ~10 us IATs both.
+  EXPECT_NEAR(stats.read.mean_size_bytes, 44.0 * 1024, 4000.0);
+  EXPECT_NEAR(stats.write.mean_size_bytes, 23.0 * 1024, 2500.0);
+  EXPECT_NEAR(stats.read.mean_iat_us, 10.0, 1.0);
+  EXPECT_NEAR(stats.write.mean_iat_us, 10.0, 1.0);
+  // Bursty arrivals: SCV well above Poisson.
+  EXPECT_GT(stats.read.scv_iat, 1.5);
+}
+
+TEST(SyntheticTest, CbsPresetIsWriteHeavy) {
+  const Trace trace = generate_synthetic(tencent_cbs_like(10'000), 23);
+  const auto stats = analyze(trace);
+  EXPECT_GT(stats.write.flow_speed_bytes_per_sec, stats.read.flow_speed_bytes_per_sec);
+}
+
+TEST(SyntheticTest, SizeScvControlled) {
+  SyntheticParams params = fujitsu_vdi_like(20'000);
+  params.read.size_scv = 0.1;
+  const Trace low = generate_synthetic(params, 31);
+  params.read.size_scv = 3.0;
+  const Trace high = generate_synthetic(params, 31);
+  EXPECT_LT(analyze(low).read.scv_size, analyze(high).read.scv_size);
+}
+
+}  // namespace
+}  // namespace src::workload

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "nvme/fifo_driver.hpp"
+#include "ssd/device.hpp"
+
+#include "workload/micro.hpp"
+
+namespace src::workload {
+namespace {
+
+std::map<std::uint64_t, std::size_t> lba_histogram(const Trace& trace) {
+  std::map<std::uint64_t, std::size_t> hist;
+  for (const auto& rec : trace) ++hist[rec.lba];
+  return hist;
+}
+
+TEST(ZipfWorkloadTest, UniformByDefault) {
+  MicroParams params = symmetric_micro(10.0, 16 * 1024, 20'000);
+  params.lba_space_bytes = 256ull * 4096;  // small space -> measurable counts
+  const auto hist = lba_histogram(generate_micro(params, 3));
+  // Max/mean ratio stays small for uniform draws.
+  std::size_t max_count = 0, total = 0;
+  for (const auto& [lba, count] : hist) {
+    max_count = std::max(max_count, count);
+    total += count;
+  }
+  const double mean = static_cast<double>(total) / 256.0;
+  EXPECT_LT(static_cast<double>(max_count), 2.5 * mean);
+}
+
+TEST(ZipfWorkloadTest, SkewConcentratesAccesses) {
+  MicroParams params = symmetric_micro(10.0, 16 * 1024, 20'000);
+  params.lba_space_bytes = 4096ull * 4096;
+  params.zipf_theta = 0.99;
+  const auto hist = lba_histogram(generate_micro(params, 3));
+  // The hottest 1% of pages must absorb a large share of accesses.
+  std::vector<std::size_t> counts;
+  std::size_t total = 0;
+  for (const auto& [lba, count] : hist) {
+    counts.push_back(count);
+    total += count;
+  }
+  std::sort(counts.rbegin(), counts.rend());
+  std::size_t hot = 0;
+  for (std::size_t i = 0; i < counts.size() / 100 + 1; ++i) hot += counts[i];
+  EXPECT_GT(static_cast<double>(hot) / static_cast<double>(total), 0.25);
+}
+
+TEST(ZipfWorkloadTest, SkewImprovesCmtHitRate) {
+  // The practical consequence: hot-set locality lifts the CMT hit ratio on
+  // a device whose CMT covers a fraction of the address space.
+  auto hit_ratio = [](double theta) {
+    MicroParams params = symmetric_micro(20.0, 16 * 1024, 4000);
+    params.lba_space_bytes = 16ull << 30;  // 4x the default CMT coverage
+    params.zipf_theta = theta;
+    const auto trace = generate_micro(params, 7);
+    sim::Simulator sim;
+    ssd::SsdDevice device(sim, ssd::ssd_a(), 1);
+    nvme::FifoDriver driver(sim, device);
+    for (const auto& rec : trace) {
+      sim.schedule_at(rec.arrival, [&driver, rec, &sim] {
+        nvme::IoRequest request;
+        request.type = rec.type;
+        request.lba = rec.lba;
+        request.bytes = rec.bytes;
+        request.arrival = sim.now();
+        driver.submit(request);
+      });
+    }
+    sim.run();
+    return device.cmt_hit_ratio();
+  };
+  EXPECT_GT(hit_ratio(0.99), hit_ratio(0.0) + 0.1);
+}
+
+TEST(ZipfWorkloadTest, DeterministicForSeed) {
+  MicroParams params = symmetric_micro(10.0, 16 * 1024, 1000);
+  params.zipf_theta = 0.8;
+  const Trace a = generate_micro(params, 5);
+  const Trace b = generate_micro(params, 5);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].lba, b[i].lba);
+}
+
+}  // namespace
+}  // namespace src::workload

@@ -1,0 +1,283 @@
+// srcctl — command-line front end for the SRC simulator library.
+//
+//   srcctl sweep       fig-5-style weight-ratio sweep on one workload
+//   srcctl experiment  DCQCN-only vs DCQCN-SRC on an evaluation preset
+//   srcctl tpm         train a throughput prediction model and inspect it
+//   srcctl trace-gen   generate a CSV block trace (micro / vdi / cbs)
+//   srcctl replay      replay a CSV trace against a simulated SSD
+//
+// Run `srcctl <command> --help` for per-command flags.
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "core/presets.hpp"
+#include "core/standalone.hpp"
+#include "workload/trace_io.hpp"
+
+using namespace src;
+
+namespace {
+
+/// Tiny --flag=value / --flag value parser.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string token = argv[i];
+      if (token.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "unexpected argument '%s'\n", token.c_str());
+        std::exit(2);
+      }
+      token = token.substr(2);
+      const auto eq = token.find('=');
+      if (eq != std::string::npos) {
+        values_[token.substr(0, eq)] = token.substr(eq + 1);
+      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[token] = argv[++i];
+      } else {
+        values_[token] = "true";
+      }
+    }
+  }
+
+  std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  double get_double(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stod(it->second);
+  }
+  std::uint64_t get_u64(const std::string& key, std::uint64_t fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stoull(it->second);
+  }
+  bool has(const std::string& key) const { return values_.count(key) > 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int cmd_sweep(const Args& args) {
+  if (args.has("help")) {
+    std::puts("srcctl sweep [--ssd SSD-A] [--iat 15] [--size-kb 32] "
+              "[--count 6000] [--seed 7]");
+    return 0;
+  }
+  const auto config = ssd::config_by_name(args.get("ssd", "SSD-A"));
+  const double iat = args.get_double("iat", 15.0);
+  const double size_kb = args.get_double("size-kb", 32.0);
+  const auto trace = workload::generate_micro(
+      workload::symmetric_micro(iat, size_kb * 1024,
+                                args.get_u64("count", 6000)),
+      args.get_u64("seed", 7));
+
+  common::TextTable table({"w", "read Gbps", "write Gbps", "aggregate"});
+  for (const std::uint32_t w : {1u, 2u, 3u, 4u, 6u, 8u, 12u, 16u}) {
+    core::StandaloneOptions options;
+    options.weight_ratio = w;
+    options.horizon = core::arrival_horizon(trace);
+    const auto result = core::run_standalone(config, trace, options);
+    table.add_row({std::to_string(w) + ":1",
+                   common::fmt(result.read_rate.as_gbps()),
+                   common::fmt(result.write_rate.as_gbps()),
+                   common::fmt(result.aggregate_rate().as_gbps())});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_experiment(const Args& args) {
+  if (args.has("help")) {
+    std::puts("srcctl experiment [--preset vdi|light|moderate|heavy|incast]\n"
+              "                  [--targets 2] [--initiators 1] [--seed 99]\n"
+              "                  [--model file.tpm]");
+    return 0;
+  }
+  const std::string preset = args.get("preset", "vdi");
+  core::Tpm tpm;
+  if (args.has("model")) {
+    tpm = core::Tpm::load_file(args.get("model", ""));
+    std::printf("loaded TPM from %s\n", args.get("model", "").c_str());
+  } else {
+    std::printf("training TPM for SSD-A (use --model file.tpm to skip)...\n");
+    tpm = core::train_default_tpm(ssd::ssd_a());
+  }
+
+  auto build = [&](bool use_src) -> core::ExperimentConfig {
+    const std::uint64_t seed = args.get_u64("seed", 99);
+    const core::Tpm* model = use_src ? &tpm : nullptr;
+    if (preset == "vdi") return core::vdi_experiment(use_src, model, seed);
+    if (preset == "light")
+      return core::intensity_experiment(core::Intensity::kLight, use_src, model, seed);
+    if (preset == "moderate")
+      return core::intensity_experiment(core::Intensity::kModerate, use_src, model, seed);
+    if (preset == "heavy")
+      return core::intensity_experiment(core::Intensity::kHeavy, use_src, model, seed);
+    if (preset == "incast")
+      return core::incast_experiment(args.get_u64("targets", 2),
+                                     args.get_u64("initiators", 1), use_src,
+                                     model, seed);
+    std::fprintf(stderr, "unknown preset '%s'\n", preset.c_str());
+    std::exit(2);
+  };
+
+  const auto only = core::run_experiment(build(false));
+  const auto with_src = core::run_experiment(build(true));
+
+  common::TextTable table({"Mode", "read", "write", "aggregate", "signals"});
+  auto row = [&](const char* name, const core::ExperimentResult& r) {
+    table.add_row({name, common::fmt(r.read_rate.as_gbps()),
+                   common::fmt(r.write_rate.as_gbps()),
+                   common::fmt(r.aggregate_rate().as_gbps()),
+                   std::to_string(r.pause_timeline.total())});
+  };
+  row("DCQCN-only", only);
+  row("DCQCN-SRC", with_src);
+  table.print(std::cout);
+  const double gain = (with_src.aggregate_rate().as_bytes_per_second() /
+                           only.aggregate_rate().as_bytes_per_second() -
+                       1.0) * 100.0;
+  std::printf("aggregate improvement: %+.0f%% (rates in Gbps)\n", gain);
+  return 0;
+}
+
+int cmd_tpm(const Args& args) {
+  if (args.has("help")) {
+    std::puts("srcctl tpm [--ssd SSD-A] [--seed 11] [--save model.tpm]");
+    return 0;
+  }
+  const auto config = ssd::config_by_name(args.get("ssd", "SSD-A"));
+  std::printf("collecting training data on %s...\n", config.name.c_str());
+  const auto data = core::collect_training_data(
+      config, core::default_training_grid(6000, args.get_u64("seed", 11)));
+  const auto [train, test] = data.split(0.6, 42);
+  core::Tpm tpm;
+  tpm.fit(train);
+  const auto [read_r2, write_r2] = tpm.score(test);
+  std::printf("%zu samples; held-out R^2: read %.3f, write %.3f\n",
+              data.size(), read_r2, write_r2);
+
+  common::TextTable table({"feature", "importance"});
+  const auto importances = tpm.feature_importances();
+  const auto names = workload::WorkloadFeatures::names();
+  for (std::size_t i = 0; i < importances.size(); ++i) {
+    table.add_row({i < names.size() ? names[i] : "weight_ratio_w",
+                   common::fmt(importances[i], 3)});
+  }
+  table.print(std::cout);
+  if (args.has("save")) {
+    const std::string out = args.get("save", "");
+    tpm.save_file(out);
+    std::printf("model written to %s\n", out.c_str());
+  }
+  return 0;
+}
+
+int cmd_trace_gen(const Args& args) {
+  if (args.has("help")) {
+    std::puts("srcctl trace-gen --out trace.csv [--preset micro|vdi|cbs]\n"
+              "                 [--count 5000] [--iat 15] [--size-kb 32] [--seed 7]");
+    return 0;
+  }
+  const std::string out = args.get("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "--out is required\n");
+    return 2;
+  }
+  const std::string preset = args.get("preset", "micro");
+  const std::size_t count = args.get_u64("count", 5000);
+  const std::uint64_t seed = args.get_u64("seed", 7);
+
+  workload::Trace trace;
+  if (preset == "micro") {
+    trace = workload::generate_micro(
+        workload::symmetric_micro(args.get_double("iat", 15.0),
+                                  args.get_double("size-kb", 32.0) * 1024, count),
+        seed);
+  } else if (preset == "vdi") {
+    trace = workload::generate_synthetic(workload::fujitsu_vdi_like(count), seed);
+  } else if (preset == "cbs") {
+    trace = workload::generate_synthetic(workload::tencent_cbs_like(count), seed);
+  } else {
+    std::fprintf(stderr, "unknown preset '%s'\n", preset.c_str());
+    return 2;
+  }
+  workload::write_csv_trace_file(out, trace);
+  std::printf("wrote %zu requests to %s\n", trace.size(), out.c_str());
+  return 0;
+}
+
+int cmd_trace_stats(const Args& args) {
+  if (args.has("help")) {
+    std::puts("srcctl trace-stats --trace trace.csv");
+    return 0;
+  }
+  const std::string path = args.get("trace", "");
+  if (path.empty()) {
+    std::fprintf(stderr, "--trace is required\n");
+    return 2;
+  }
+  const auto trace = workload::read_csv_trace_file(path);
+  const auto stats = workload::analyze(trace);
+  common::TextTable table({"stream", "count", "mean IAT us", "IAT SCV",
+                           "mean size KB", "size SCV", "flow Gbps"});
+  auto row = [&](const char* name, const workload::StreamStats& s) {
+    table.add_row({name, std::to_string(s.count), common::fmt(s.mean_iat_us, 1),
+                   common::fmt(s.scv_iat), common::fmt(s.mean_size_bytes / 1024.0, 1),
+                   common::fmt(s.scv_size),
+                   common::fmt(s.flow_speed_bytes_per_sec * 8 / 1e9)});
+  };
+  row("read", stats.read);
+  row("write", stats.write);
+  table.print(std::cout);
+  std::printf("duration %.1f ms, read ratio %.2f\n",
+              common::to_milliseconds(stats.duration), stats.read_ratio);
+  return 0;
+}
+
+int cmd_replay(const Args& args) {
+  if (args.has("help")) {
+    std::puts("srcctl replay --trace trace.csv [--ssd SSD-A] [--weight 1]");
+    return 0;
+  }
+  const std::string path = args.get("trace", "");
+  if (path.empty()) {
+    std::fprintf(stderr, "--trace is required\n");
+    return 2;
+  }
+  const auto trace = workload::read_csv_trace_file(path);
+  core::StandaloneOptions options;
+  options.weight_ratio = static_cast<std::uint32_t>(args.get_u64("weight", 1));
+  options.horizon = core::arrival_horizon(trace);
+  const auto result = core::run_standalone(
+      ssd::config_by_name(args.get("ssd", "SSD-A")), trace, options);
+  std::printf("%zu requests: read %.2f Gbps, write %.2f Gbps, "
+              "read latency %.0f us, write latency %.0f us\n",
+              trace.size(), result.read_rate.as_gbps(),
+              result.write_rate.as_gbps(), result.mean_read_latency_us,
+              result.mean_write_latency_us);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string command = argc > 1 ? argv[1] : "";
+  const Args args(argc, argv, 2);
+  if (command == "sweep") return cmd_sweep(args);
+  if (command == "experiment") return cmd_experiment(args);
+  if (command == "tpm") return cmd_tpm(args);
+  if (command == "trace-gen") return cmd_trace_gen(args);
+  if (command == "replay") return cmd_replay(args);
+  if (command == "trace-stats") return cmd_trace_stats(args);
+  std::fprintf(stderr,
+               "usage: srcctl <sweep|experiment|tpm|trace-gen|trace-stats|replay> [--flags]\n"
+               "       srcctl <command> --help\n");
+  return command.empty() ? 2 : 2;
+}
