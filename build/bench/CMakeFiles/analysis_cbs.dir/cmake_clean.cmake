@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_cbs.dir/analysis_cbs.cpp.o"
+  "CMakeFiles/analysis_cbs.dir/analysis_cbs.cpp.o.d"
+  "analysis_cbs"
+  "analysis_cbs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_cbs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

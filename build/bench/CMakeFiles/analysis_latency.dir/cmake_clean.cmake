@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_latency.dir/analysis_latency.cpp.o"
+  "CMakeFiles/analysis_latency.dir/analysis_latency.cpp.o.d"
+  "analysis_latency"
+  "analysis_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clos_testbed.dir/clos_testbed.cpp.o"
+  "CMakeFiles/clos_testbed.dir/clos_testbed.cpp.o.d"
+  "clos_testbed"
+  "clos_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clos_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_workload_intensity.dir/fig10_workload_intensity.cpp.o"
+  "CMakeFiles/fig10_workload_intensity.dir/fig10_workload_intensity.cpp.o.d"
+  "fig10_workload_intensity"
+  "fig10_workload_intensity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_workload_intensity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

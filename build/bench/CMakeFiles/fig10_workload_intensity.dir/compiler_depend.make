@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig10_workload_intensity.
+# This may be replaced when dependencies are built.

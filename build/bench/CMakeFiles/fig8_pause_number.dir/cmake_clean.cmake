@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_pause_number.dir/fig8_pause_number.cpp.o"
+  "CMakeFiles/fig8_pause_number.dir/fig8_pause_number.cpp.o.d"
+  "fig8_pause_number"
+  "fig8_pause_number.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_pause_number.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_dynamic_control.dir/fig9_dynamic_control.cpp.o"
+  "CMakeFiles/fig9_dynamic_control.dir/fig9_dynamic_control.cpp.o.d"
+  "fig9_dynamic_control"
+  "fig9_dynamic_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_dynamic_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

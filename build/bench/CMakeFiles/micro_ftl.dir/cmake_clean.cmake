@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_ftl.dir/micro_ftl.cpp.o"
+  "CMakeFiles/micro_ftl.dir/micro_ftl.cpp.o.d"
+  "micro_ftl"
+  "micro_ftl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_ftl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

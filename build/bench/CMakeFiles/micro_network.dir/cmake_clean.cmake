@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_network.dir/micro_network.cpp.o"
+  "CMakeFiles/micro_network.dir/micro_network.cpp.o.d"
+  "micro_network"
+  "micro_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_rf_inference.dir/micro_rf_inference.cpp.o"
+  "CMakeFiles/micro_rf_inference.dir/micro_rf_inference.cpp.o.d"
+  "micro_rf_inference"
+  "micro_rf_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_rf_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_workload_gen.dir/micro_workload_gen.cpp.o"
+  "CMakeFiles/micro_workload_gen.dir/micro_workload_gen.cpp.o.d"
+  "micro_workload_gen"
+  "micro_workload_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_workload_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_wrr_arbiter.dir/micro_wrr_arbiter.cpp.o"
+  "CMakeFiles/micro_wrr_arbiter.dir/micro_wrr_arbiter.cpp.o.d"
+  "micro_wrr_arbiter"
+  "micro_wrr_arbiter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_wrr_arbiter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

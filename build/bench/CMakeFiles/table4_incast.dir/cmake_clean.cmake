@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_incast.dir/table4_incast.cpp.o"
+  "CMakeFiles/table4_incast.dir/table4_incast.cpp.o.d"
+  "table4_incast"
+  "table4_incast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_incast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alg1_walkthrough.dir/alg1_walkthrough.cpp.o"
+  "CMakeFiles/alg1_walkthrough.dir/alg1_walkthrough.cpp.o.d"
+  "alg1_walkthrough"
+  "alg1_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alg1_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

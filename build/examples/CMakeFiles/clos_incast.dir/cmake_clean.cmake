@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clos_incast.dir/clos_incast.cpp.o"
+  "CMakeFiles/clos_incast.dir/clos_incast.cpp.o.d"
+  "clos_incast"
+  "clos_incast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clos_incast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

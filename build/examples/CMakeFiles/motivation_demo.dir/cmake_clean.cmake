@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motivation_demo.dir/motivation_demo.cpp.o"
+  "CMakeFiles/motivation_demo.dir/motivation_demo.cpp.o.d"
+  "motivation_demo"
+  "motivation_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motivation_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpm_training.dir/tpm_training.cpp.o"
+  "CMakeFiles/tpm_training.dir/tpm_training.cpp.o.d"
+  "tpm_training"
+  "tpm_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpm_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

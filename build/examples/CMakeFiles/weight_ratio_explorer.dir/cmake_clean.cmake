@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weight_ratio_explorer.dir/weight_ratio_explorer.cpp.o"
+  "CMakeFiles/weight_ratio_explorer.dir/weight_ratio_explorer.cpp.o.d"
+  "weight_ratio_explorer"
+  "weight_ratio_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weight_ratio_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/src_core.dir/experiment.cpp.o"
+  "CMakeFiles/src_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/src_core.dir/presets.cpp.o"
+  "CMakeFiles/src_core.dir/presets.cpp.o.d"
+  "CMakeFiles/src_core.dir/src_controller.cpp.o"
+  "CMakeFiles/src_core.dir/src_controller.cpp.o.d"
+  "CMakeFiles/src_core.dir/standalone.cpp.o"
+  "CMakeFiles/src_core.dir/standalone.cpp.o.d"
+  "CMakeFiles/src_core.dir/tpm.cpp.o"
+  "CMakeFiles/src_core.dir/tpm.cpp.o.d"
+  "libsrc_core.a"
+  "libsrc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/src_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/src_fabric.dir/initiator.cpp.o"
+  "CMakeFiles/src_fabric.dir/initiator.cpp.o.d"
+  "CMakeFiles/src_fabric.dir/target.cpp.o"
+  "CMakeFiles/src_fabric.dir/target.cpp.o.d"
+  "libsrc_fabric.a"
+  "libsrc_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/src_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

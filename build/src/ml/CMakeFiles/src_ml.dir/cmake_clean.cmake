@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/src_ml.dir/dataset.cpp.o"
+  "CMakeFiles/src_ml.dir/dataset.cpp.o.d"
+  "CMakeFiles/src_ml.dir/forest.cpp.o"
+  "CMakeFiles/src_ml.dir/forest.cpp.o.d"
+  "CMakeFiles/src_ml.dir/knn.cpp.o"
+  "CMakeFiles/src_ml.dir/knn.cpp.o.d"
+  "CMakeFiles/src_ml.dir/linear.cpp.o"
+  "CMakeFiles/src_ml.dir/linear.cpp.o.d"
+  "CMakeFiles/src_ml.dir/regressor.cpp.o"
+  "CMakeFiles/src_ml.dir/regressor.cpp.o.d"
+  "CMakeFiles/src_ml.dir/serialize.cpp.o"
+  "CMakeFiles/src_ml.dir/serialize.cpp.o.d"
+  "CMakeFiles/src_ml.dir/tree.cpp.o"
+  "CMakeFiles/src_ml.dir/tree.cpp.o.d"
+  "libsrc_ml.a"
+  "libsrc_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/src_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

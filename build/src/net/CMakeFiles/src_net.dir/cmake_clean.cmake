@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/src_net.dir/host.cpp.o"
+  "CMakeFiles/src_net.dir/host.cpp.o.d"
+  "CMakeFiles/src_net.dir/network.cpp.o"
+  "CMakeFiles/src_net.dir/network.cpp.o.d"
+  "CMakeFiles/src_net.dir/port.cpp.o"
+  "CMakeFiles/src_net.dir/port.cpp.o.d"
+  "CMakeFiles/src_net.dir/switch.cpp.o"
+  "CMakeFiles/src_net.dir/switch.cpp.o.d"
+  "CMakeFiles/src_net.dir/topology.cpp.o"
+  "CMakeFiles/src_net.dir/topology.cpp.o.d"
+  "libsrc_net.a"
+  "libsrc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/src_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsrc_net.a"
+)

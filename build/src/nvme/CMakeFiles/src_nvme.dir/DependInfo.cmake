@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nvme/blk_scheduler.cpp" "src/nvme/CMakeFiles/src_nvme.dir/blk_scheduler.cpp.o" "gcc" "src/nvme/CMakeFiles/src_nvme.dir/blk_scheduler.cpp.o.d"
+  "/root/repo/src/nvme/driver.cpp" "src/nvme/CMakeFiles/src_nvme.dir/driver.cpp.o" "gcc" "src/nvme/CMakeFiles/src_nvme.dir/driver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ssd/CMakeFiles/src_ssd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/src_nvme.dir/blk_scheduler.cpp.o"
+  "CMakeFiles/src_nvme.dir/blk_scheduler.cpp.o.d"
+  "CMakeFiles/src_nvme.dir/driver.cpp.o"
+  "CMakeFiles/src_nvme.dir/driver.cpp.o.d"
+  "libsrc_nvme.a"
+  "libsrc_nvme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/src_nvme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

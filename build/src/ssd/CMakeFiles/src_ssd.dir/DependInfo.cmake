@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ssd/config.cpp" "src/ssd/CMakeFiles/src_ssd.dir/config.cpp.o" "gcc" "src/ssd/CMakeFiles/src_ssd.dir/config.cpp.o.d"
+  "/root/repo/src/ssd/device.cpp" "src/ssd/CMakeFiles/src_ssd.dir/device.cpp.o" "gcc" "src/ssd/CMakeFiles/src_ssd.dir/device.cpp.o.d"
+  "/root/repo/src/ssd/ftl.cpp" "src/ssd/CMakeFiles/src_ssd.dir/ftl.cpp.o" "gcc" "src/ssd/CMakeFiles/src_ssd.dir/ftl.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

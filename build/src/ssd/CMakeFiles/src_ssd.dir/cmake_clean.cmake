@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/src_ssd.dir/config.cpp.o"
+  "CMakeFiles/src_ssd.dir/config.cpp.o.d"
+  "CMakeFiles/src_ssd.dir/device.cpp.o"
+  "CMakeFiles/src_ssd.dir/device.cpp.o.d"
+  "CMakeFiles/src_ssd.dir/ftl.cpp.o"
+  "CMakeFiles/src_ssd.dir/ftl.cpp.o.d"
+  "libsrc_ssd.a"
+  "libsrc_ssd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/src_ssd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/src_workload.dir/features.cpp.o"
+  "CMakeFiles/src_workload.dir/features.cpp.o.d"
+  "CMakeFiles/src_workload.dir/micro.cpp.o"
+  "CMakeFiles/src_workload.dir/micro.cpp.o.d"
+  "CMakeFiles/src_workload.dir/mmpp.cpp.o"
+  "CMakeFiles/src_workload.dir/mmpp.cpp.o.d"
+  "CMakeFiles/src_workload.dir/trace.cpp.o"
+  "CMakeFiles/src_workload.dir/trace.cpp.o.d"
+  "CMakeFiles/src_workload.dir/trace_io.cpp.o"
+  "CMakeFiles/src_workload.dir/trace_io.cpp.o.d"
+  "libsrc_workload.a"
+  "libsrc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/src_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

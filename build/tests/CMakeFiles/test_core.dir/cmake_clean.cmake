@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_controller.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_controller.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_monitor.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_monitor.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_motivation.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_motivation.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_standalone.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_standalone.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_tpm.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_tpm.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

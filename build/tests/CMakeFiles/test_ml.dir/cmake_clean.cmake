@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ml.dir/ml/test_dataset.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/test_dataset.cpp.o.d"
+  "CMakeFiles/test_ml.dir/ml/test_forest.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/test_forest.cpp.o.d"
+  "CMakeFiles/test_ml.dir/ml/test_knn.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/test_knn.cpp.o.d"
+  "CMakeFiles/test_ml.dir/ml/test_linear.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/test_linear.cpp.o.d"
+  "CMakeFiles/test_ml.dir/ml/test_metrics.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/test_metrics.cpp.o.d"
+  "CMakeFiles/test_ml.dir/ml/test_serialize.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/test_serialize.cpp.o.d"
+  "CMakeFiles/test_ml.dir/ml/test_tree.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/test_tree.cpp.o.d"
+  "test_ml"
+  "test_ml.pdb"
+  "test_ml[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

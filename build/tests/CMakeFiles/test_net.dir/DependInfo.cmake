@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/net/test_dcqcn.cpp" "tests/CMakeFiles/test_net.dir/net/test_dcqcn.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_dcqcn.cpp.o.d"
+  "/root/repo/tests/net/test_dctcp.cpp" "tests/CMakeFiles/test_net.dir/net/test_dctcp.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_dctcp.cpp.o.d"
+  "/root/repo/tests/net/test_ecmp.cpp" "tests/CMakeFiles/test_net.dir/net/test_ecmp.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_ecmp.cpp.o.d"
+  "/root/repo/tests/net/test_flow_fairness.cpp" "tests/CMakeFiles/test_net.dir/net/test_flow_fairness.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_flow_fairness.cpp.o.d"
+  "/root/repo/tests/net/test_host_messaging.cpp" "tests/CMakeFiles/test_net.dir/net/test_host_messaging.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_host_messaging.cpp.o.d"
+  "/root/repo/tests/net/test_pfc_ecn.cpp" "tests/CMakeFiles/test_net.dir/net/test_pfc_ecn.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_pfc_ecn.cpp.o.d"
+  "/root/repo/tests/net/test_port_switch.cpp" "tests/CMakeFiles/test_net.dir/net/test_port_switch.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_port_switch.cpp.o.d"
+  "/root/repo/tests/net/test_topology.cpp" "tests/CMakeFiles/test_net.dir/net/test_topology.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/src_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/src_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/src_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvme/CMakeFiles/src_nvme.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssd/CMakeFiles/src_ssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/src_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/src_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net.dir/net/test_dcqcn.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_dcqcn.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_dctcp.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_dctcp.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_ecmp.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_ecmp.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_flow_fairness.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_flow_fairness.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_host_messaging.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_host_messaging.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_pfc_ecn.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_pfc_ecn.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_port_switch.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_port_switch.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_topology.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_topology.cpp.o.d"
+  "test_net"
+  "test_net.pdb"
+  "test_net[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nvme.dir/nvme/test_blk_scheduler.cpp.o"
+  "CMakeFiles/test_nvme.dir/nvme/test_blk_scheduler.cpp.o.d"
+  "CMakeFiles/test_nvme.dir/nvme/test_consistency.cpp.o"
+  "CMakeFiles/test_nvme.dir/nvme/test_consistency.cpp.o.d"
+  "CMakeFiles/test_nvme.dir/nvme/test_fifo_driver.cpp.o"
+  "CMakeFiles/test_nvme.dir/nvme/test_fifo_driver.cpp.o.d"
+  "CMakeFiles/test_nvme.dir/nvme/test_polling_driver.cpp.o"
+  "CMakeFiles/test_nvme.dir/nvme/test_polling_driver.cpp.o.d"
+  "CMakeFiles/test_nvme.dir/nvme/test_priority_driver.cpp.o"
+  "CMakeFiles/test_nvme.dir/nvme/test_priority_driver.cpp.o.d"
+  "CMakeFiles/test_nvme.dir/nvme/test_ssq_driver.cpp.o"
+  "CMakeFiles/test_nvme.dir/nvme/test_ssq_driver.cpp.o.d"
+  "test_nvme"
+  "test_nvme.pdb"
+  "test_nvme[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nvme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

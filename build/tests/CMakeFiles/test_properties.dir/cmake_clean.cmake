@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_properties.dir/properties/test_device_properties.cpp.o"
+  "CMakeFiles/test_properties.dir/properties/test_device_properties.cpp.o.d"
+  "CMakeFiles/test_properties.dir/properties/test_driver_properties.cpp.o"
+  "CMakeFiles/test_properties.dir/properties/test_driver_properties.cpp.o.d"
+  "CMakeFiles/test_properties.dir/properties/test_experiment_properties.cpp.o"
+  "CMakeFiles/test_properties.dir/properties/test_experiment_properties.cpp.o.d"
+  "CMakeFiles/test_properties.dir/properties/test_ml_properties.cpp.o"
+  "CMakeFiles/test_properties.dir/properties/test_ml_properties.cpp.o.d"
+  "CMakeFiles/test_properties.dir/properties/test_net_properties.cpp.o"
+  "CMakeFiles/test_properties.dir/properties/test_net_properties.cpp.o.d"
+  "CMakeFiles/test_properties.dir/properties/test_ssq_properties.cpp.o"
+  "CMakeFiles/test_properties.dir/properties/test_ssq_properties.cpp.o.d"
+  "test_properties"
+  "test_properties.pdb"
+  "test_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

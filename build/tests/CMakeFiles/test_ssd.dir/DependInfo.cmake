@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ssd/test_cmt.cpp" "tests/CMakeFiles/test_ssd.dir/ssd/test_cmt.cpp.o" "gcc" "tests/CMakeFiles/test_ssd.dir/ssd/test_cmt.cpp.o.d"
+  "/root/repo/tests/ssd/test_config.cpp" "tests/CMakeFiles/test_ssd.dir/ssd/test_config.cpp.o" "gcc" "tests/CMakeFiles/test_ssd.dir/ssd/test_config.cpp.o.d"
+  "/root/repo/tests/ssd/test_device.cpp" "tests/CMakeFiles/test_ssd.dir/ssd/test_device.cpp.o" "gcc" "tests/CMakeFiles/test_ssd.dir/ssd/test_device.cpp.o.d"
+  "/root/repo/tests/ssd/test_flash_backend.cpp" "tests/CMakeFiles/test_ssd.dir/ssd/test_flash_backend.cpp.o" "gcc" "tests/CMakeFiles/test_ssd.dir/ssd/test_flash_backend.cpp.o.d"
+  "/root/repo/tests/ssd/test_ftl.cpp" "tests/CMakeFiles/test_ssd.dir/ssd/test_ftl.cpp.o" "gcc" "tests/CMakeFiles/test_ssd.dir/ssd/test_ftl.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/src_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/src_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/src_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvme/CMakeFiles/src_nvme.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssd/CMakeFiles/src_ssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/src_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/src_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ssd.dir/ssd/test_cmt.cpp.o"
+  "CMakeFiles/test_ssd.dir/ssd/test_cmt.cpp.o.d"
+  "CMakeFiles/test_ssd.dir/ssd/test_config.cpp.o"
+  "CMakeFiles/test_ssd.dir/ssd/test_config.cpp.o.d"
+  "CMakeFiles/test_ssd.dir/ssd/test_device.cpp.o"
+  "CMakeFiles/test_ssd.dir/ssd/test_device.cpp.o.d"
+  "CMakeFiles/test_ssd.dir/ssd/test_flash_backend.cpp.o"
+  "CMakeFiles/test_ssd.dir/ssd/test_flash_backend.cpp.o.d"
+  "CMakeFiles/test_ssd.dir/ssd/test_ftl.cpp.o"
+  "CMakeFiles/test_ssd.dir/ssd/test_ftl.cpp.o.d"
+  "test_ssd"
+  "test_ssd.pdb"
+  "test_ssd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ssd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workload/test_features.cpp" "tests/CMakeFiles/test_workload.dir/workload/test_features.cpp.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/test_features.cpp.o.d"
+  "/root/repo/tests/workload/test_micro.cpp" "tests/CMakeFiles/test_workload.dir/workload/test_micro.cpp.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/test_micro.cpp.o.d"
+  "/root/repo/tests/workload/test_mmpp.cpp" "tests/CMakeFiles/test_workload.dir/workload/test_mmpp.cpp.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/test_mmpp.cpp.o.d"
+  "/root/repo/tests/workload/test_trace.cpp" "tests/CMakeFiles/test_workload.dir/workload/test_trace.cpp.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/test_trace.cpp.o.d"
+  "/root/repo/tests/workload/test_trace_io.cpp" "tests/CMakeFiles/test_workload.dir/workload/test_trace_io.cpp.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/test_trace_io.cpp.o.d"
+  "/root/repo/tests/workload/test_zipf.cpp" "tests/CMakeFiles/test_workload.dir/workload/test_zipf.cpp.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/test_zipf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/src_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/src_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/src_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvme/CMakeFiles/src_nvme.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssd/CMakeFiles/src_ssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/src_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/src_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload.dir/workload/test_features.cpp.o"
+  "CMakeFiles/test_workload.dir/workload/test_features.cpp.o.d"
+  "CMakeFiles/test_workload.dir/workload/test_micro.cpp.o"
+  "CMakeFiles/test_workload.dir/workload/test_micro.cpp.o.d"
+  "CMakeFiles/test_workload.dir/workload/test_mmpp.cpp.o"
+  "CMakeFiles/test_workload.dir/workload/test_mmpp.cpp.o.d"
+  "CMakeFiles/test_workload.dir/workload/test_trace.cpp.o"
+  "CMakeFiles/test_workload.dir/workload/test_trace.cpp.o.d"
+  "CMakeFiles/test_workload.dir/workload/test_trace_io.cpp.o"
+  "CMakeFiles/test_workload.dir/workload/test_trace_io.cpp.o.d"
+  "CMakeFiles/test_workload.dir/workload/test_zipf.cpp.o"
+  "CMakeFiles/test_workload.dir/workload/test_zipf.cpp.o.d"
+  "test_workload"
+  "test_workload.pdb"
+  "test_workload[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srcctl.dir/srcctl.cpp.o"
+  "CMakeFiles/srcctl.dir/srcctl.cpp.o.d"
+  "srcctl"
+  "srcctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srcctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
