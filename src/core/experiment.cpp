@@ -25,6 +25,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   for (std::size_t i = 0; i < config.initiator_count; ++i) {
     initiators.push_back(std::make_unique<fabric::Initiator>(
         network, topo.hosts[i], context));
+    initiators.back()->set_retry_policy(config.retry_policy);
   }
 
   std::vector<net::NodeId> target_nodes;
@@ -94,6 +95,11 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   while (deadline < config.max_time) {
     deadline += slice;
     sim.run_until(deadline);
+    // Staleness watchdog poll: a no-op returning immediately unless
+    // SrcParams::staleness_window opted in, so healthy runs are untouched.
+    for (const auto& controller : controllers) {
+      controller->check_staleness(sim.now());
+    }
     all_done = true;
     for (const auto& initiator : initiators) {
       if (!initiator->all_complete()) {
@@ -111,6 +117,11 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     result.read_timeline.merge(initiator->read_timeline());
     result.reads_completed += initiator->stats().reads_completed;
     result.writes_completed += initiator->stats().writes_completed;
+    result.reads_failed += initiator->stats().reads_failed;
+    result.writes_failed += initiator->stats().writes_failed;
+    result.retries += initiator->stats().retries;
+    result.timeouts += initiator->stats().timeouts;
+    result.error_completions += initiator->stats().error_completions;
     result.read_latency.merge(initiator->stats().read_latency);
     result.write_latency.merge(initiator->stats().write_latency);
   }
@@ -118,11 +129,20 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     result.pause_timeline.merge(targets[t]->pause_timeline());
     result.total_pauses += targets[t]->stats().pauses_received;
     result.total_cnps += network.host(target_nodes[t]).stats().cnps_received;
+    result.errors_returned += targets[t]->stats().errors_returned;
+    result.rerouted_requests += targets[t]->stats().rerouted_requests;
+    result.signals_suppressed += targets[t]->stats().signals_suppressed;
   }
   for (const auto& controller : controllers) {
     result.adjustments.insert(result.adjustments.end(),
                               controller->adjustments().begin(),
                               controller->adjustments().end());
+    result.controller_stats.invalid_demand_events +=
+        controller->stats().invalid_demand_events;
+    result.controller_stats.rejected_predictions +=
+        controller->stats().rejected_predictions;
+    result.controller_stats.watchdog_decays +=
+        controller->stats().watchdog_decays;
   }
 
   result.read_timeline.extend_to(result.end_time);

@@ -37,6 +37,11 @@ struct ExperimentConfig {
   /// Per-initiator workload (index -> trace). Required.
   std::function<workload::Trace(std::size_t initiator_index)> trace_for;
 
+  /// Initiator-side timeout/retry policy. Disabled by default: the lossless
+  /// fabric needs none, and an enabled policy arms one timer per request,
+  /// which perturbs event ordering. Enable it for fault-injection runs.
+  fabric::RetryPolicy retry_policy;
+
   /// Safety cap on simulated time.
   common::SimTime max_time = 5 * common::kSecond;
   std::uint64_t seed = 1;
@@ -59,6 +64,18 @@ struct ExperimentResult {
   std::uint64_t total_cnps = 0;
   std::uint64_t reads_completed = 0;
   std::uint64_t writes_completed = 0;
+
+  // Robustness counters (all zero in healthy runs).
+  std::uint64_t reads_failed = 0;        ///< retry budget exhausted
+  std::uint64_t writes_failed = 0;
+  std::uint64_t retries = 0;             ///< initiator retransmissions
+  std::uint64_t timeouts = 0;            ///< request timers that fired
+  std::uint64_t error_completions = 0;   ///< kErrorComp capsules received
+  std::uint64_t errors_returned = 0;     ///< error capsules sent by targets
+  std::uint64_t rerouted_requests = 0;   ///< re-striped around offline devices
+  std::uint64_t signals_suppressed = 0;  ///< congestion signals lost to faults
+  SrcControllerStats controller_stats;   ///< summed guardrail counters
+
   bool completed = false;  ///< all issued requests finished before max_time
   common::SimTime end_time = 0;
   std::vector<AdjustmentRecord> adjustments;  ///< SRC weight changes

@@ -1,18 +1,42 @@
 #include "core/src_controller.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
 namespace src::core {
 
+bool SrcController::sane_prediction(const workload::WorkloadFeatures& ch,
+                                    double w, TpmPrediction& out) const {
+  TpmPrediction prediction = tpm_.predict(ch, w);
+  if (prediction_hook_) prediction = prediction_hook_(prediction);
+  if (!std::isfinite(prediction.read_bytes_per_sec) ||
+      prediction.read_bytes_per_sec < 0.0 ||
+      prediction.read_bytes_per_sec > params_.max_sane_throughput) {
+    ++stats_.rejected_predictions;
+    return false;
+  }
+  out = prediction;
+  return true;
+}
+
 std::uint32_t SrcController::predict_weight_ratio(
     double demanded, const workload::WorkloadFeatures& ch) const {
+  // Guardrail: a congestion controller can only demand a finite positive
+  // rate; anything else (lost signal decoded as garbage, uninitialised
+  // state) must not drive the search. Keep the last-known-good weight.
+  if (!std::isfinite(demanded) || demanded <= 0.0) {
+    ++stats_.invalid_demand_events;
+    return current_w_;
+  }
+
   // Lines 11-13: w <- 1, w* <- 1, min_dis <- INF.
   std::uint32_t w = 1;
   std::uint32_t w_star = 1;
 
   // Line 14: predict at w = 1.
-  TpmPrediction prediction = tpm_.predict(ch, static_cast<double>(w));
+  TpmPrediction prediction;
+  if (!sane_prediction(ch, static_cast<double>(w), prediction)) return current_w_;
 
   // Lines 15-17: if the SSD cannot even reach r at equal priority, no
   // throttling is needed.
@@ -28,7 +52,11 @@ std::uint32_t SrcController::predict_weight_ratio(
     ++w;
     if (w > params_.max_weight_ratio) break;
     prev_tput = cur_tput;
-    prediction = tpm_.predict(ch, static_cast<double>(w));
+    if (!sane_prediction(ch, static_cast<double>(w), prediction)) {
+      // Model went insane mid-search: act on the best point validated so
+      // far rather than discarding the whole search.
+      return w_star;
+    }
     const double dis = std::abs(prediction.read_bytes_per_sec - demanded);
     if (dis < min_dis) {
       min_dis = dis;
@@ -44,6 +72,7 @@ std::uint32_t SrcController::predict_weight_ratio(
 
 void SrcController::on_congestion_event(common::SimTime now, double demanded,
                                         bool decrease) {
+  last_signal_ = now;  // even a debounced signal proves the path is alive
   if (now - last_adjust_ < params_.min_adjust_interval) return;
 
   const workload::WorkloadFeatures ch = monitor_.features(now);
@@ -54,6 +83,18 @@ void SrcController::on_congestion_event(common::SimTime now, double demanded,
     if (setter_) setter_(w);
   }
   log_.push_back(AdjustmentRecord{now, demanded, w, decrease});
+}
+
+void SrcController::check_staleness(common::SimTime now) {
+  if (params_.staleness_window <= 0) return;
+  if (now - last_signal_ < params_.staleness_window) return;
+  if (current_w_ <= 1) return;
+  // Rate-limit decays so a tight polling loop still steps once per window.
+  if (now - last_decay_ < params_.staleness_window) return;
+  last_decay_ = now;
+  current_w_ = std::max(1u, current_w_ / 2);
+  ++stats_.watchdog_decays;
+  if (setter_) setter_(current_w_);
 }
 
 }  // namespace src::core

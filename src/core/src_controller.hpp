@@ -9,6 +9,14 @@
 // DynamicAdjustment: for each congestion event (pause or retrieval),
 // extract Ch over the previous prediction window and apply the predicted
 // weight ratio to the SSQ.
+//
+// Robustness guardrails (always on — they are pure finite-value checks):
+// non-finite or wildly out-of-range TPM predictions, and non-finite or
+// non-positive demanded rates, make the controller fall back to the
+// last-known-good weight ratio instead of acting on garbage. A staleness
+// watchdog (opt-in via SrcParams::staleness_window) decays the weight
+// ratio back toward 1 when no congestion signal has arrived within the
+// window, so a lost control plane cannot pin writes down forever.
 #pragma once
 
 #include <cstdint>
@@ -32,6 +40,14 @@ struct SrcParams {
   common::SimTime min_adjust_interval = common::kMillisecond;
   /// Prediction window delta over which the workload monitor collects Ch.
   common::SimTime prediction_window = 10 * common::kMillisecond;
+  /// Staleness window for the signal watchdog: when check_staleness(now)
+  /// observes no congestion signal for this long, the weight ratio halves
+  /// toward 1 (congestion evidently cleared — or the signal path died).
+  /// 0 (default) disables the watchdog.
+  common::SimTime staleness_window = 0;
+  /// Reject TPM throughput predictions above this (bytes/sec); such values
+  /// cannot come from a sane model of a real device.
+  double max_sane_throughput = 1e12;
 };
 
 /// One applied adjustment, for the Fig. 9-style control-delay analysis.
@@ -42,16 +58,28 @@ struct AdjustmentRecord {
   bool decrease = false;  ///< pause (true) vs retrieval (false) event
 };
 
+/// Robustness counters: how often the guardrails had to step in.
+struct SrcControllerStats {
+  std::uint64_t invalid_demand_events = 0;   ///< NaN/inf/<=0 demanded rate
+  std::uint64_t rejected_predictions = 0;    ///< TPM output failed sanity checks
+  std::uint64_t watchdog_decays = 0;         ///< staleness-driven weight decays
+};
+
 class SrcController {
  public:
   using WeightSetter = std::function<void(std::uint32_t weight_ratio)>;
+  /// Fault-injection hook: corrupts TPM predictions before the guardrails
+  /// see them (the guardrails are the code under test).
+  using PredictionHook = std::function<TpmPrediction(const TpmPrediction&)>;
 
   SrcController(const Tpm& tpm, WorkloadMonitor& monitor, SrcParams params = {})
       : tpm_(tpm), monitor_(monitor), params_(params) {}
 
   void set_weight_setter(WeightSetter fn) { setter_ = std::move(fn); }
+  void set_prediction_hook(PredictionHook fn) { prediction_hook_ = std::move(fn); }
 
-  /// Paper Algorithm 1, PredictWeightRatio (lines 10-29).
+  /// Paper Algorithm 1, PredictWeightRatio (lines 10-29). Falls back to the
+  /// current (last-known-good) weight ratio on invalid inputs/predictions.
   std::uint32_t predict_weight_ratio(double demanded_bytes_per_sec,
                                      const workload::WorkloadFeatures& ch) const;
 
@@ -61,17 +89,34 @@ class SrcController {
   void on_congestion_event(common::SimTime now, double demanded_bytes_per_sec,
                            bool decrease);
 
+  /// Signal watchdog: call periodically. When no congestion signal has
+  /// arrived within params.staleness_window, halves the weight ratio
+  /// toward 1 (at most once per window interval). No-op when the watchdog
+  /// is disabled or w is already 1.
+  void check_staleness(common::SimTime now);
+
   std::uint32_t current_weight_ratio() const { return current_w_; }
+  common::SimTime last_signal_time() const { return last_signal_; }
   const std::vector<AdjustmentRecord>& adjustments() const { return log_; }
+  const SrcControllerStats& stats() const { return stats_; }
 
  private:
+  /// Predict through the fault hook (if any) and validate; returns false
+  /// when the prediction must not be acted upon.
+  bool sane_prediction(const workload::WorkloadFeatures& ch, double w,
+                       TpmPrediction& out) const;
+
   const Tpm& tpm_;
   WorkloadMonitor& monitor_;
   SrcParams params_;
   WeightSetter setter_;
+  PredictionHook prediction_hook_;
   std::uint32_t current_w_ = 1;
   common::SimTime last_adjust_ = -common::kSecond;
+  common::SimTime last_signal_ = 0;
+  common::SimTime last_decay_ = 0;
   std::vector<AdjustmentRecord> log_;
+  mutable SrcControllerStats stats_;
 };
 
 }  // namespace src::core

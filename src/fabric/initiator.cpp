@@ -59,32 +59,123 @@ std::uint64_t Initiator::issue(common::IoType type, std::uint64_t lba,
   info.bytes = bytes;
   info.issue_time = sim.now();
   const std::uint64_t request_id = context_.new_request(info);
+  info.id = request_id;
   ++outstanding_;
 
-  net::Host& host = network_.host(host_id_);
-  std::uint64_t message_id = 0;
   if (type == common::IoType::kRead) {
     ++stats_.reads_issued;
-    // Command capsules ride the command queue pair (channel 1) so they are
-    // not queued behind throttled bulk write data.
-    message_id = host.send_message(target, kCapsuleBytes, kReadCmd, /*channel=*/1);
   } else {
     ++stats_.writes_issued;
-    // Write command capsule travels with the data (in-capsule data model).
-    message_id = host.send_message(target, kCapsuleBytes + bytes, kWriteCmd,
-                                   /*channel=*/0);
   }
-  context_.bind_message(message_id, request_id);
+  send_command(info);
+  if (retry_.enabled) {
+    pending_.emplace(request_id, Pending{});
+    arm_timer(request_id);
+  }
   return request_id;
+}
+
+void Initiator::send_command(const RequestInfo& info) {
+  net::Host& host = network_.host(host_id_);
+  std::uint64_t message_id = 0;
+  if (info.type == common::IoType::kRead) {
+    // Command capsules ride the command queue pair (channel 1) so they are
+    // not queued behind throttled bulk write data.
+    message_id = host.send_message(info.target, kCapsuleBytes, kReadCmd,
+                                   /*channel=*/1);
+  } else {
+    // Write command capsule travels with the data (in-capsule data model).
+    message_id = host.send_message(info.target, kCapsuleBytes + info.bytes,
+                                   kWriteCmd, /*channel=*/0);
+  }
+  context_.bind_message(message_id, info.id);
+}
+
+void Initiator::arm_timer(std::uint64_t request_id) {
+  Pending& pending = pending_.at(request_id);
+  pending.timer = network_.simulator().schedule_in(
+      retry_.timeout_for(pending.attempts),
+      [this, request_id] { on_timeout(request_id); });
+}
+
+void Initiator::on_timeout(std::uint64_t request_id) {
+  if (!pending_.contains(request_id)) return;  // completed at the same tick
+  ++stats_.timeouts;
+  attempt_retry(request_id, /*delay=*/0);
+}
+
+void Initiator::attempt_retry(std::uint64_t request_id, common::SimTime delay) {
+  const auto it = pending_.find(request_id);
+  if (!retry_.enabled || it == pending_.end() ||
+      it->second.attempts >= retry_.max_retries) {
+    fail_request(request_id);
+    return;
+  }
+  Pending& pending = it->second;
+  network_.simulator().cancel(pending.timer);
+  ++pending.attempts;
+  ++stats_.retries;
+  // Kill every stale binding first: a straggling original capsule or a
+  // duplicated response must not race the retransmission.
+  context_.expire_request_messages(request_id);
+  if (delay == 0) {
+    resend(request_id);
+  } else {
+    pending.timer = network_.simulator().schedule_in(
+        delay, [this, request_id] { resend(request_id); });
+  }
+}
+
+void Initiator::resend(std::uint64_t request_id) {
+  if (!pending_.contains(request_id) || !context_.has_request(request_id)) return;
+  send_command(context_.request(request_id));
+  arm_timer(request_id);
+}
+
+void Initiator::fail_request(std::uint64_t request_id) {
+  if (!context_.has_request(request_id)) return;
+  const RequestInfo info = context_.request(request_id);
+  if (info.type == common::IoType::kRead) {
+    ++stats_.reads_failed;
+  } else {
+    ++stats_.writes_failed;
+  }
+  finish_request(request_id);
+}
+
+void Initiator::finish_request(std::uint64_t request_id) {
+  if (const auto it = pending_.find(request_id); it != pending_.end()) {
+    network_.simulator().cancel(it->second.timer);
+    pending_.erase(it);
+  }
+  context_.complete_request(request_id);  // also expires stale bindings
+  if (outstanding_ > 0) --outstanding_;
+  drain_deferred();
 }
 
 void Initiator::on_fabric_message(net::NodeId /*src*/, std::uint64_t message_id,
                                   std::uint64_t /*bytes*/, std::uint32_t tag) {
-  if (tag != kReadData && tag != kWriteAck) return;
+  if (tag != kReadData && tag != kWriteAck && tag != kErrorComp) return;
   const std::uint64_t request_id = context_.take_message_binding(message_id);
+  if (request_id == kNoBinding || !context_.has_request(request_id)) {
+    // Lost the race with our own retry (or the request already failed):
+    // the delivery is a dead letter.
+    ++stats_.stale_messages;
+    return;
+  }
+
+  if (tag == kErrorComp) {
+    // Explicit error from the target (offline device / transient failure):
+    // back off and retry, or fail once the budget is exhausted.
+    ++stats_.error_completions;
+    const auto it = pending_.find(request_id);
+    const std::uint32_t attempts = it != pending_.end() ? it->second.attempts : 0;
+    attempt_retry(request_id, retry_.timeout_for(attempts));
+    return;
+  }
+
   const RequestInfo& info = context_.request(request_id);
   const common::SimTime latency = network_.simulator().now() - info.issue_time;
-
   if (tag == kReadData) {
     ++stats_.reads_completed;
     stats_.total_read_latency += latency;
@@ -94,9 +185,7 @@ void Initiator::on_fabric_message(net::NodeId /*src*/, std::uint64_t message_id,
     stats_.total_write_latency += latency;
     stats_.write_latency.record(latency);
   }
-  context_.complete_request(request_id);
-  if (outstanding_ > 0) --outstanding_;
-  drain_deferred();
+  finish_request(request_id);
 }
 
 }  // namespace src::fabric

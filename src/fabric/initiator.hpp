@@ -5,10 +5,18 @@
 // Per the paper's metric definitions, read throughput is measured here —
 // as read-data bytes *received at the initiator* (binned into a 1 ms
 // timeline) — while write throughput is measured at the target.
+//
+// Reliability: with a RetryPolicy enabled, every request arms a timeout
+// timer; lost capsules/responses are retransmitted with capped exponential
+// backoff, explicit error completions from the target are retried after a
+// backoff, and requests that exhaust their retry budget fail with an
+// explicit error status (they never hang). With the policy disabled (the
+// default) no timers exist and the hot path is untouched.
 #pragma once
 
 #include <deque>
 #include <functional>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -25,7 +33,13 @@ struct InitiatorStats {
   std::uint64_t writes_issued = 0;
   std::uint64_t reads_completed = 0;
   std::uint64_t writes_completed = 0;
+  std::uint64_t reads_failed = 0;   ///< retry budget exhausted (reads)
+  std::uint64_t writes_failed = 0;  ///< retry budget exhausted (writes)
   std::uint64_t read_bytes_received = 0;
+  std::uint64_t timeouts = 0;           ///< request timers that fired
+  std::uint64_t retries = 0;            ///< command capsules re-sent
+  std::uint64_t error_completions = 0;  ///< explicit error capsules received
+  std::uint64_t stale_messages = 0;     ///< deliveries with no live binding
   common::SimTime total_read_latency = 0;   ///< issue -> data fully received
   common::SimTime total_write_latency = 0;  ///< issue -> ack received
 
@@ -39,6 +53,8 @@ struct InitiatorStats {
                                   static_cast<double>(writes_completed)
                             : 0.0;
   }
+
+  std::uint64_t requests_failed() const { return reads_failed + writes_failed; }
 
   common::LatencyRecorder read_latency;   ///< issue -> data fully received
   common::LatencyRecorder write_latency;  ///< issue -> ack received
@@ -64,6 +80,11 @@ class Initiator {
   void set_max_outstanding(std::size_t limit) { max_outstanding_ = limit; }
   std::size_t outstanding() const { return outstanding_; }
 
+  /// Enable/configure per-request timeout tracking and retransmission.
+  /// Must be set before requests are issued.
+  void set_retry_policy(RetryPolicy policy) { retry_ = policy; }
+  const RetryPolicy& retry_policy() const { return retry_; }
+
   /// Issue a single request immediately.
   std::uint64_t issue(common::IoType type, std::uint64_t lba,
                       std::uint32_t bytes, net::NodeId target);
@@ -74,26 +95,46 @@ class Initiator {
   /// Read-data arrival timeline (1 ms bins).
   const common::ThroughputTimeline& read_timeline() const { return read_timeline_; }
 
+  /// Every issued request reached a terminal state — completed, possibly
+  /// via retries, or explicitly failed. Nothing is still in flight.
   bool all_complete() const {
-    return stats_.reads_completed == stats_.reads_issued &&
-           stats_.writes_completed == stats_.writes_issued;
+    return stats_.reads_completed + stats_.reads_failed == stats_.reads_issued &&
+           stats_.writes_completed + stats_.writes_failed == stats_.writes_issued;
   }
 
  private:
+  struct Pending {
+    std::uint32_t attempts = 0;  ///< retransmissions performed so far
+    sim::EventId timer;          ///< timeout or delayed-resend event
+  };
+
   void on_fabric_message(net::NodeId src, std::uint64_t message_id,
                          std::uint64_t bytes, std::uint32_t tag);
 
   void issue_or_defer(const workload::TraceRecord& rec, net::NodeId target);
   void drain_deferred();
 
+  /// Transmit (or retransmit) the command capsule for a request and bind
+  /// the new message to it.
+  void send_command(const RequestInfo& info);
+  void arm_timer(std::uint64_t request_id);
+  void on_timeout(std::uint64_t request_id);
+  /// Retry after `delay` (0 = immediately), or fail if the budget is gone.
+  void attempt_retry(std::uint64_t request_id, common::SimTime delay);
+  void resend(std::uint64_t request_id);
+  void fail_request(std::uint64_t request_id);
+  void finish_request(std::uint64_t request_id);
+
   net::Network& network_;
   net::NodeId host_id_;
   FabricContext& context_;
   InitiatorStats stats_;
   common::ThroughputTimeline read_timeline_{common::kMillisecond};
+  RetryPolicy retry_;
   std::size_t max_outstanding_ = 0;
   std::size_t outstanding_ = 0;
   std::deque<std::pair<workload::TraceRecord, net::NodeId>> deferred_;
+  std::unordered_map<std::uint64_t, Pending> pending_;  ///< by request id
 };
 
 }  // namespace src::fabric

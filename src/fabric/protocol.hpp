@@ -4,10 +4,20 @@
 // Capsules occupy real bytes on the simulated wire; the request metadata
 // (LBA, length) rides out-of-band through FabricContext, which is the usual
 // simulator shortcut — the simulated bytes already account for the capsule.
+//
+// Loss semantics: message-id -> request-id bindings are consumed on
+// delivery, explicitly cancelled when a request is retried, and expired in
+// bulk when a request reaches a terminal state (completed or failed). A
+// delivery whose binding is gone — a capsule that lost a race with its own
+// retry, or a duplicated response — resolves to kNoBinding and is ignored
+// by both ends, which is what makes the retransmit path double-completion
+// safe.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "common/types.hpp"
 #include "net/packet.hpp"
@@ -20,14 +30,19 @@ using net::NodeId;
 
 /// Message tags on the fabric (net::Packet::tag).
 enum Opcode : std::uint32_t {
-  kReadCmd = 1,   ///< initiator -> target: read command capsule
-  kWriteCmd = 2,  ///< initiator -> target: write command capsule + data
-  kReadData = 3,  ///< target -> initiator: read payload
-  kWriteAck = 4,  ///< target -> initiator: write completion capsule
+  kReadCmd = 1,    ///< initiator -> target: read command capsule
+  kWriteCmd = 2,   ///< initiator -> target: write command capsule + data
+  kReadData = 3,   ///< target -> initiator: read payload
+  kWriteAck = 4,   ///< target -> initiator: write completion capsule
+  kErrorComp = 5,  ///< target -> initiator: explicit error completion
 };
 
 /// NVMe-oF command capsule size (bytes on the wire).
 inline constexpr std::uint32_t kCapsuleBytes = 64;
+
+/// Sentinel returned by FabricContext::take_message_binding when the
+/// message has no live binding (lost, cancelled, or already consumed).
+inline constexpr std::uint64_t kNoBinding = 0;
 
 struct RequestInfo {
   std::uint64_t id = 0;
@@ -39,8 +54,32 @@ struct RequestInfo {
   SimTime issue_time = 0;
 };
 
+/// Per-request timeout/retry behaviour of an initiator. Disabled by
+/// default: no timers are armed and no simulator events are scheduled, so
+/// fault-free runs are bit-identical with or without the retry machinery
+/// (scheduling even a never-firing event would shift event sequence
+/// numbers and perturb tie-breaking).
+struct RetryPolicy {
+  bool enabled = false;
+  /// Timeout for the first attempt; attempt n waits
+  /// min(base_timeout * backoff_factor^n, max_timeout).
+  SimTime base_timeout = 5 * common::kMillisecond;
+  double backoff_factor = 2.0;
+  SimTime max_timeout = 40 * common::kMillisecond;
+  /// Retransmissions after the initial attempt; past this the request
+  /// fails with an explicit error.
+  std::uint32_t max_retries = 4;
+
+  SimTime timeout_for(std::uint32_t attempt) const {
+    double t = static_cast<double>(base_timeout);
+    for (std::uint32_t i = 0; i < attempt; ++i) t *= backoff_factor;
+    const double capped = std::min(t, static_cast<double>(max_timeout));
+    return static_cast<SimTime>(capped);
+  }
+};
+
 /// Shared bookkeeping for one simulated fabric: request-id allocation and
-/// the message-id -> request-id correlation map (consumed on delivery).
+/// the message-id -> request-id correlation map.
 class FabricContext {
  public:
   std::uint64_t new_request(RequestInfo info) {
@@ -50,22 +89,53 @@ class FabricContext {
   }
 
   const RequestInfo& request(std::uint64_t id) const { return requests_.at(id); }
+  bool has_request(std::uint64_t id) const { return requests_.contains(id); }
 
-  void complete_request(std::uint64_t id) { requests_.erase(id); }
+  /// Remove a request that reached a terminal state, expiring any bindings
+  /// still pointing at it (e.g. a duplicated response from a retried read)
+  /// so late deliveries cannot double-complete it.
+  void complete_request(std::uint64_t id) {
+    requests_.erase(id);
+    expire_request_messages(id);
+  }
 
   void bind_message(std::uint64_t message_id, std::uint64_t request_id) {
     message_to_request_.emplace(message_id, request_id);
   }
 
-  /// Resolve and consume the binding for a delivered message.
+  /// Resolve and consume the binding for a delivered message. Returns
+  /// kNoBinding when the message was cancelled/expired (the delivery must
+  /// then be ignored).
   std::uint64_t take_message_binding(std::uint64_t message_id) {
     const auto it = message_to_request_.find(message_id);
+    if (it == message_to_request_.end()) return kNoBinding;
     const std::uint64_t request_id = it->second;
     message_to_request_.erase(it);
     return request_id;
   }
 
+  /// Cancel one in-flight message's binding (retry path: the original
+  /// capsule must not be honoured if it straggles in after the resend).
+  void cancel_message(std::uint64_t message_id) {
+    message_to_request_.erase(message_id);
+  }
+
+  /// Drop every binding that points at `request_id` — used when a request
+  /// is retried (stale capsule AND stale response become dead letters) or
+  /// failed. Without this, any message lost in the network would leak its
+  /// map entry forever.
+  void expire_request_messages(std::uint64_t request_id) {
+    std::vector<std::uint64_t> stale;
+    for (const auto& [message_id, bound] : message_to_request_) {
+      if (bound == request_id) stale.push_back(message_id);
+    }
+    for (const std::uint64_t message_id : stale) {
+      message_to_request_.erase(message_id);
+    }
+  }
+
   std::size_t outstanding_requests() const { return requests_.size(); }
+  std::size_t outstanding_bindings() const { return message_to_request_.size(); }
 
  private:
   std::uint64_t next_request_id_ = 0;

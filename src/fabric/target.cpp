@@ -26,6 +26,7 @@ Target::Target(net::Network& network, net::NodeId host_id,
           on_request_complete(request, completion);
         });
   }
+  online_.assign(config_.device_count, true);
 
   net::Host& host = network_.host(host_id_);
   host.set_message_handler([this](net::NodeId src, std::uint64_t message_id,
@@ -41,6 +42,10 @@ Target::Target(net::Network& network, net::NodeId host_id,
     if (decrease) {
       ++stats_.congestion_signals;
       pause_timeline_.record(network_.simulator().now());
+    }
+    if (signal_loss_) {
+      ++stats_.signals_suppressed;
+      return;
     }
     if (on_congestion_) {
       // The demanded data sending rate is what DCQCN currently grants this
@@ -63,16 +68,58 @@ void Target::set_weight_ratio(std::uint32_t w) {
   }
 }
 
-std::size_t Target::device_for(std::uint64_t lba) const {
-  // Stripe whole requests across the flash array by address.
-  return (lba / (1ull << 20)) % devices_.size();
+void Target::set_device_online(std::size_t i, bool online) {
+  online_.at(i) = online;
+  devices_.at(i)->set_offline(!online);
+}
+
+std::size_t Target::online_device_count() const {
+  std::size_t n = 0;
+  for (const bool up : online_) n += up;
+  return n;
+}
+
+std::size_t Target::device_for(std::uint64_t lba) {
+  // Stripe whole requests across the flash array by address; linear-probe
+  // past offline devices so the array degrades instead of black-holing a
+  // slice of the address space.
+  const std::size_t base = (lba / (1ull << 20)) % devices_.size();
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    const std::size_t idx = (base + i) % devices_.size();
+    if (online_[idx]) {
+      if (i != 0) ++stats_.rerouted_requests;
+      return idx;
+    }
+  }
+  return kNoDevice;
+}
+
+void Target::send_error_completion(const RequestInfo& info) {
+  ++stats_.errors_returned;
+  // Error capsules ride the command channel like write acks.
+  const std::uint64_t message_id = network_.host(host_id_).send_message(
+      info.initiator, kCapsuleBytes, kErrorComp, /*channel=*/1);
+  context_.bind_message(message_id, info.id);
 }
 
 void Target::on_fabric_message(net::NodeId /*src*/, std::uint64_t message_id,
                                std::uint64_t /*bytes*/, std::uint32_t tag) {
   if (tag != kReadCmd && tag != kWriteCmd) return;
   const std::uint64_t request_id = context_.take_message_binding(message_id);
+  if (request_id == kNoBinding || !context_.has_request(request_id)) {
+    // The initiator retried or failed this request before the capsule got
+    // here; serving it now could double-complete the request.
+    ++stats_.stale_capsules;
+    return;
+  }
   const RequestInfo& info = context_.request(request_id);
+
+  const std::size_t device = device_for(info.lba);
+  if (device == kNoDevice) {
+    // Whole array offline: reject explicitly instead of dropping the work.
+    send_error_completion(info);
+    return;
+  }
 
   nvme::IoRequest request;
   request.id = request_id;
@@ -81,13 +128,25 @@ void Target::on_fabric_message(net::NodeId /*src*/, std::uint64_t message_id,
   request.bytes = info.bytes;
   request.arrival = network_.simulator().now();
   if (on_submit_) on_submit_(info);
-  drivers_[device_for(info.lba)]->submit(request);
+  drivers_[device]->submit(request);
 }
 
 void Target::on_request_complete(const nvme::IoRequest& request,
-                                 const ssd::NvmeCompletion& /*completion*/) {
+                                 const ssd::NvmeCompletion& completion) {
+  if (!context_.has_request(request.id)) {
+    // Initiator gave up on this request while it sat in the device; the
+    // completion has nobody to go to.
+    ++stats_.stale_capsules;
+    return;
+  }
   const RequestInfo& info = context_.request(request.id);
   net::Host& host = network_.host(host_id_);
+
+  if (!completion.ok()) {
+    // Failed or offline device: explicit error completion, never silence.
+    send_error_completion(info);
+    return;
+  }
 
   if (request.type == common::IoType::kRead) {
     ++stats_.reads_served;

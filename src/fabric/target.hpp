@@ -39,6 +39,10 @@ struct TargetStats {
   std::uint64_t write_bytes = 0;
   std::uint64_t pauses_received = 0;      ///< PFC pause frames
   std::uint64_t congestion_signals = 0;   ///< CNP-driven rate cuts + pauses
+  std::uint64_t errors_returned = 0;      ///< explicit error completions sent
+  std::uint64_t rerouted_requests = 0;    ///< re-striped around offline devices
+  std::uint64_t stale_capsules = 0;       ///< capsules whose binding was gone
+  std::uint64_t signals_suppressed = 0;   ///< congestion signals lost (fault)
 };
 
 class Target {
@@ -69,6 +73,19 @@ class Target {
   /// Set the write weight ratio on every SSQ driver (no-op in FIFO mode).
   void set_weight_ratio(std::uint32_t w);
 
+  /// Fault injection: take one device of the flash array offline (new
+  /// requests re-stripe to the remaining online devices; the device itself
+  /// rejects anything already queued for it) or bring it back.
+  void set_device_online(std::size_t i, bool online);
+  bool device_online(std::size_t i) const { return online_.at(i); }
+  std::size_t online_device_count() const;
+
+  /// Fault injection: while set, congestion signals from the network layer
+  /// are not forwarded to the congestion listener (models a lost/partitioned
+  /// control plane; the SRC controller's staleness watchdog covers this).
+  void set_signal_loss(bool lost) { signal_loss_ = lost; }
+  bool signal_loss() const { return signal_loss_; }
+
   void set_congestion_listener(CongestionListener fn) { on_congestion_ = std::move(fn); }
   void set_submit_listener(SubmitListener fn) { on_submit_ = std::move(fn); }
   void set_write_complete_listener(WriteCompleteListener fn) {
@@ -85,7 +102,11 @@ class Target {
                          std::uint64_t bytes, std::uint32_t tag);
   void on_request_complete(const nvme::IoRequest& request,
                            const ssd::NvmeCompletion& completion);
-  std::size_t device_for(std::uint64_t lba) const;
+  /// Stripe by LBA over online devices; npos when the whole array is down.
+  std::size_t device_for(std::uint64_t lba);
+  void send_error_completion(const RequestInfo& info);
+
+  static constexpr std::size_t kNoDevice = static_cast<std::size_t>(-1);
 
   net::Network& network_;
   net::NodeId host_id_;
@@ -93,6 +114,8 @@ class Target {
   TargetConfig config_;
   std::vector<std::unique_ptr<ssd::SsdDevice>> devices_;
   std::vector<std::unique_ptr<nvme::NvmeDriver>> drivers_;
+  std::vector<bool> online_;
+  bool signal_loss_ = false;
   // request id is threaded through the NVMe layer in IoRequest::id.
   TargetStats stats_;
   common::EventTimeline pause_timeline_{common::kMillisecond};

@@ -1,0 +1,199 @@
+#include "fault/fault_injector.hpp"
+
+#include <limits>
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+namespace src::fault {
+
+FaultInjector::FaultInjector(net::Network& network, FaultPlan plan)
+    : network_(network), plan_(std::move(plan)), rng_(plan_.seed) {}
+
+void FaultInjector::add_target(fabric::Target& target) {
+  if (armed_) throw std::logic_error("FaultInjector: add_target after arm()");
+  targets_.push_back(&target);
+}
+
+void FaultInjector::add_controller(core::SrcController& controller) {
+  if (armed_) throw std::logic_error("FaultInjector: add_controller after arm()");
+  controllers_.push_back(&controller);
+}
+
+net::Node& FaultInjector::node(NodeId id) {
+  if (network_.is_host(id)) return network_.host(id);
+  return network_.switch_at(id);
+}
+
+void FaultInjector::arm() {
+  if (armed_) throw std::logic_error("FaultInjector: arm() called twice");
+  armed_ = true;
+
+  // Expand the plan's network faults into per-port windows. Link-down
+  // faults cover both directions (this port and its peer's reverse port)
+  // and drop with certainty — no RNG draw — so they cannot shift the
+  // draw sequence seen by probabilistic windows.
+  for (const auto& f : plan_.packet_drops) {
+    windows_.push_back(PortWindow{f.node, f.port, f.start, f.end,
+                                  f.probability, /*certain=*/false});
+  }
+  for (const auto& f : plan_.link_downs) {
+    net::Port& fwd = node(f.node).port(f.port);
+    net::Node* peer = fwd.peer();
+    if (peer == nullptr) {
+      throw std::out_of_range("FaultInjector: link-down on an unattached port");
+    }
+    windows_.push_back(PortWindow{f.node, static_cast<std::int32_t>(f.port),
+                                  f.down_at, f.up_at, 1.0, /*certain=*/true});
+    windows_.push_back(PortWindow{peer->id(), fwd.peer_port(),
+                                  f.down_at, f.up_at, 1.0, /*certain=*/true});
+  }
+
+  // One filter per concrete port; a -1 port index fans out to all ports.
+  std::set<std::pair<NodeId, std::int32_t>> filtered;
+  for (const auto& w : windows_) {
+    if (w.port >= 0) {
+      filtered.emplace(w.node, w.port);
+    } else {
+      net::Node& n = node(w.node);
+      for (std::size_t p = 0; p < n.port_count(); ++p) {
+        filtered.emplace(w.node, static_cast<std::int32_t>(p));
+      }
+    }
+  }
+  for (const auto& [id, port] : filtered) install_drop_filter(id, port);
+
+  schedule_device_faults();
+  schedule_signal_loss();
+  install_prediction_hooks();
+}
+
+void FaultInjector::install_drop_filter(NodeId id, std::int32_t port) {
+  node(id).port(static_cast<std::size_t>(port))
+      .set_drop_filter([this, id, port](const net::Packet&) {
+        return should_drop(id, port);
+      });
+}
+
+bool FaultInjector::should_drop(NodeId id, std::int32_t port) {
+  const SimTime now = network_.simulator().now();
+  // Certain (link-down) windows first and draw-free: see arm().
+  for (const auto& w : windows_) {
+    if (!w.certain || w.node != id) continue;
+    if (w.port >= 0 && w.port != port) continue;
+    if (now >= w.start && now < w.end) {
+      ++stats_.packets_dropped;
+      return true;
+    }
+  }
+  for (const auto& w : windows_) {
+    if (w.certain || w.node != id) continue;
+    if (w.port >= 0 && w.port != port) continue;
+    if (now < w.start || now >= w.end) continue;
+    if (rng_.bernoulli(w.probability)) {
+      ++stats_.packets_dropped;
+      return true;
+    }
+  }
+  return false;
+}
+
+void FaultInjector::schedule_device_faults() {
+  auto& sim = network_.simulator();
+  auto device = [this](std::size_t target, std::size_t dev) -> ssd::SsdDevice& {
+    if (target >= targets_.size()) {
+      throw std::out_of_range("FaultInjector: fault names an unregistered target");
+    }
+    if (dev >= targets_[target]->device_count()) {
+      throw std::out_of_range("FaultInjector: fault names a missing device");
+    }
+    return targets_[target]->device(dev);
+  };
+
+  for (const auto& f : plan_.latency_spikes) {
+    ssd::SsdDevice& d = device(f.target, f.device);
+    sim.schedule_at(f.start, [this, &d, scale = f.scale] {
+      d.inject_latency_scale(scale);
+      ++stats_.device_faults_applied;
+    });
+    sim.schedule_at(f.end, [&d] { d.inject_latency_scale(1.0); });
+  }
+  for (const auto& f : plan_.transient_errors) {
+    ssd::SsdDevice& d = device(f.target, f.device);
+    sim.schedule_at(f.start, [this, &d, p = f.probability] {
+      d.set_transient_failure_rate(p);
+      ++stats_.device_faults_applied;
+    });
+    sim.schedule_at(f.end, [&d] { d.set_transient_failure_rate(0.0); });
+  }
+  for (const auto& f : plan_.outages) {
+    device(f.target, f.device);  // validate indices up front
+    fabric::Target* t = targets_[f.target];
+    sim.schedule_at(f.offline_at, [this, t, dev = f.device] {
+      t->set_device_online(dev, false);
+      ++stats_.device_faults_applied;
+    });
+    sim.schedule_at(f.online_at, [t, dev = f.device] {
+      t->set_device_online(dev, true);
+    });
+  }
+}
+
+void FaultInjector::schedule_signal_loss() {
+  auto& sim = network_.simulator();
+  for (const auto& f : plan_.signal_losses) {
+    if (f.target >= targets_.size()) {
+      throw std::out_of_range("FaultInjector: signal loss on unregistered target");
+    }
+    fabric::Target* t = targets_[f.target];
+    sim.schedule_at(f.start, [this, t] {
+      t->set_signal_loss(true);
+      ++stats_.signal_loss_windows;
+    });
+    sim.schedule_at(f.end, [t] { t->set_signal_loss(false); });
+  }
+}
+
+void FaultInjector::install_prediction_hooks() {
+  // Hook only the controllers a fault actually names, so untouched
+  // controllers keep a null (zero-cost) hook.
+  std::set<std::size_t> hooked;
+  for (const auto& f : plan_.tpm_faults) {
+    if (f.controller >= controllers_.size()) {
+      throw std::out_of_range("FaultInjector: TPM fault on unregistered controller");
+    }
+    hooked.insert(f.controller);
+  }
+  for (const std::size_t index : hooked) {
+    controllers_[index]->set_prediction_hook(
+        [this, index](const core::TpmPrediction& p) { return corrupt(index, p); });
+  }
+}
+
+core::TpmPrediction FaultInjector::corrupt(std::size_t controller_index,
+                                           const core::TpmPrediction& prediction) {
+  const SimTime now = network_.simulator().now();
+  core::TpmPrediction out = prediction;
+  for (const auto& f : plan_.tpm_faults) {
+    if (f.controller != controller_index) continue;
+    if (now < f.start || now >= f.end) continue;
+    switch (f.kind) {
+      case TpmFaultKind::kNan:
+        out.read_bytes_per_sec = std::numeric_limits<double>::quiet_NaN();
+        break;
+      case TpmFaultKind::kInf:
+        out.read_bytes_per_sec = std::numeric_limits<double>::infinity();
+        break;
+      case TpmFaultKind::kNegative:
+        out.read_bytes_per_sec = -1.0e9;
+        break;
+      case TpmFaultKind::kHuge:
+        out.read_bytes_per_sec = 1.0e30;
+        break;
+    }
+    ++stats_.tpm_corruptions;
+  }
+  return out;
+}
+
+}  // namespace src::fault

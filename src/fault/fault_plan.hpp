@@ -1,0 +1,131 @@
+// Declarative, seed-driven fault schedules. A FaultPlan is pure data: it
+// names which component misbehaves, how, and over which simulated-time
+// window. The FaultInjector turns a plan into scheduled simulator events
+// and per-port packet filters; identical (plan, seed) pairs produce
+// bit-identical fault patterns.
+//
+// Three fault families, mirroring the layers of the stack:
+//  * network  — probabilistic/windowed packet drops at switch or host
+//               ports, and whole-link down/up transitions;
+//  * storage  — per-device latency spikes, transient command failures,
+//               and whole-device offline/online cycles;
+//  * control  — TPM predictions corrupted to NaN/inf/garbage, and
+//               congestion-signal loss between network and controller.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "net/packet.hpp"
+
+namespace src::fault {
+
+using common::SimTime;
+using net::NodeId;
+
+/// Drop each data/CNP packet enqueued at a port with `probability` while
+/// the window is open. PFC control frames are never dropped (a lost
+/// resume frame would deadlock the lossless fabric — out of scope).
+struct PacketDropFault {
+  NodeId node = net::kInvalidNode;
+  std::int32_t port = -1;  ///< port index on `node`; -1 = every port
+  SimTime start = 0;
+  SimTime end = 0;
+  double probability = 1.0;
+};
+
+/// Both directions of the link on (`node`, `port`) discard all traffic
+/// during [down_at, up_at).
+struct LinkDownFault {
+  NodeId node = net::kInvalidNode;
+  std::size_t port = 0;
+  SimTime down_at = 0;
+  SimTime up_at = 0;
+};
+
+/// Scale one device's flash latencies by `scale` during the window
+/// (models internal error recovery / a degrading die).
+struct DeviceLatencyFault {
+  std::size_t target = 0;  ///< index into FaultInjector::add_target order
+  std::size_t device = 0;
+  SimTime start = 0;
+  SimTime end = 0;
+  double scale = 4.0;
+};
+
+/// Take one device fully offline during the window; the target re-stripes
+/// new requests around it and the device rejects queued work explicitly.
+struct DeviceOutageFault {
+  std::size_t target = 0;
+  std::size_t device = 0;
+  SimTime offline_at = 0;
+  SimTime online_at = 0;
+};
+
+/// Each command executed by the device fails with a transient error with
+/// `probability` during the window (seed-deterministic draws).
+struct TransientErrorFault {
+  std::size_t target = 0;
+  std::size_t device = 0;
+  SimTime start = 0;
+  SimTime end = 0;
+  double probability = 0.1;
+};
+
+/// How a TPM prediction is corrupted while a TpmFault window is open.
+enum class TpmFaultKind : std::uint8_t {
+  kNan,       ///< prediction becomes NaN
+  kInf,       ///< prediction becomes +infinity
+  kNegative,  ///< prediction becomes a large negative rate
+  kHuge,      ///< prediction becomes an absurdly large finite rate
+};
+
+/// Corrupt the read-throughput predictions a controller sees.
+struct TpmFault {
+  std::size_t controller = 0;  ///< index into add_controller order
+  SimTime start = 0;
+  SimTime end = 0;
+  TpmFaultKind kind = TpmFaultKind::kNan;
+};
+
+/// Congestion signals to one target's listener are lost in the window.
+struct SignalLossFault {
+  std::size_t target = 0;
+  SimTime start = 0;
+  SimTime end = 0;
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 1;  ///< drives every probabilistic draw in the plan
+
+  std::vector<PacketDropFault> packet_drops;
+  std::vector<LinkDownFault> link_downs;
+  std::vector<DeviceLatencyFault> latency_spikes;
+  std::vector<DeviceOutageFault> outages;
+  std::vector<TransientErrorFault> transient_errors;
+  std::vector<TpmFault> tpm_faults;
+  std::vector<SignalLossFault> signal_losses;
+
+  bool empty() const {
+    return packet_drops.empty() && link_downs.empty() &&
+           latency_spikes.empty() && outages.empty() &&
+           transient_errors.empty() && tpm_faults.empty() &&
+           signal_losses.empty();
+  }
+
+  /// Latest time at which any fault in the plan is still active.
+  SimTime horizon() const {
+    SimTime h = 0;
+    for (const auto& f : packet_drops) h = std::max(h, f.end);
+    for (const auto& f : link_downs) h = std::max(h, f.up_at);
+    for (const auto& f : latency_spikes) h = std::max(h, f.end);
+    for (const auto& f : outages) h = std::max(h, f.online_at);
+    for (const auto& f : transient_errors) h = std::max(h, f.end);
+    for (const auto& f : tpm_faults) h = std::max(h, f.end);
+    for (const auto& f : signal_losses) h = std::max(h, f.end);
+    return h;
+  }
+};
+
+}  // namespace src::fault

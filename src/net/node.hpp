@@ -38,7 +38,9 @@ class Port {
   void set_ecn(const EcnConfig& ecn) { ecn_ = ecn; }
 
   /// Enqueue a data/CNP packet for transmission (ECN marking applied here).
-  void enqueue(Packet packet);
+  /// Returns false when the drop filter discarded the packet (the caller
+  /// must then undo any buffer accounting it performed for it).
+  bool enqueue(Packet packet);
 
   /// Send a link-local control frame (PFC pause/resume): bypasses the data
   /// queue and arrives after the propagation delay only.
@@ -53,6 +55,16 @@ class Port {
   /// time; subsequent transmissions use the new rate.
   void set_rate(Rate rate) { rate_ = rate; }
 
+  /// Failure injection: a filter consulted on every data/CNP enqueue;
+  /// returning true discards the packet before it occupies the queue.
+  /// Link-local PFC control frames are NOT filtered — modelling lost
+  /// pause/resume frames would deadlock the lossless fabric, which is out
+  /// of scope (see DESIGN.md "Fault model & recovery semantics").
+  using DropFilter = std::function<bool(const Packet&)>;
+  void set_drop_filter(DropFilter fn) { drop_filter_ = std::move(fn); }
+  std::uint64_t dropped_packets() const { return dropped_packets_; }
+  std::uint64_t dropped_bytes() const { return dropped_bytes_; }
+
   bool paused() const { return paused_; }
   bool busy() const { return busy_; }
   std::uint64_t queue_bytes() const { return queue_bytes_; }
@@ -63,6 +75,7 @@ class Port {
   SimTime delay() const { return delay_; }
   std::int32_t index() const { return index_; }
   Node* peer() const { return peer_; }
+  std::int32_t peer_port() const { return peer_port_; }
 
   /// Owner hook: packet left the queue and started transmission (used for
   /// switch PFC per-ingress accounting).
@@ -84,9 +97,12 @@ class Port {
   EcnConfig ecn_{.enabled = false};
 
   std::deque<Packet> queue_;
+  DropFilter drop_filter_;
   std::uint64_t queue_bytes_ = 0;
   std::uint64_t max_queue_bytes_ = 0;
   std::uint64_t ecn_marks_ = 0;
+  std::uint64_t dropped_packets_ = 0;
+  std::uint64_t dropped_bytes_ = 0;
   std::uint64_t rng_state_ = 0x9E3779B97F4A7C15ull;  ///< for ECN probability
   bool busy_ = false;
   bool paused_ = false;

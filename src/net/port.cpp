@@ -4,7 +4,13 @@
 
 namespace src::net {
 
-void Port::enqueue(Packet packet) {
+bool Port::enqueue(Packet packet) {
+  if (drop_filter_ && drop_filter_(packet)) {
+    ++dropped_packets_;
+    dropped_bytes_ += packet.wire_bytes();
+    return false;
+  }
+
   // RED-like ECN marking against the instantaneous queue length (DCQCN's
   // marking model), applied to data packets only.
   if (ecn_.enabled && packet.kind == PacketKind::kData) {
@@ -27,6 +33,7 @@ void Port::enqueue(Packet packet) {
   max_queue_bytes_ = std::max(max_queue_bytes_, queue_bytes_);
   queue_.push_back(packet);
   try_transmit();
+  return true;
 }
 
 void Port::send_control(Packet packet) {

@@ -39,8 +39,14 @@ void Switch::receive(Packet packet, std::int32_t ingress_port) {
   // egress transmitter picks it up.
   packet.ingress_port = ingress_port;
   ingress_bytes_[static_cast<std::size_t>(ingress_port)] += packet.wire_bytes();
-  ++stats_.packets_forwarded;
-  port(static_cast<std::size_t>(egress)).enqueue(packet);
+  if (port(static_cast<std::size_t>(egress)).enqueue(packet)) {
+    ++stats_.packets_forwarded;
+  } else {
+    // Dropped by fault injection before occupying the egress queue: undo
+    // the ingress accounting or PFC would count the ghost bytes forever.
+    ingress_bytes_[static_cast<std::size_t>(ingress_port)] -= packet.wire_bytes();
+    ++stats_.packets_dropped;
+  }
   check_pause(static_cast<std::size_t>(ingress_port));
 }
 

@@ -15,6 +15,7 @@ namespace src::net {
 
 struct SwitchStats {
   std::uint64_t packets_forwarded = 0;
+  std::uint64_t packets_dropped = 0;  ///< discarded by fault injection
   std::uint64_t pauses_sent = 0;
   std::uint64_t resumes_sent = 0;
   std::uint64_t pauses_received = 0;

@@ -30,6 +30,7 @@ void NvmeDriver::dispatch(const IoRequest& request) {
     outstanding_.erase(it);
 
     --in_flight_;
+    if (!completion.ok()) ++stats_.io_errors;
     if (completion.type == IoType::kRead) {
       --in_flight_reads_;
       ++stats_.completed_reads;

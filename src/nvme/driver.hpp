@@ -26,6 +26,7 @@ struct DriverStats {
   std::uint64_t completed_writes = 0;
   std::uint64_t completed_read_bytes = 0;
   std::uint64_t completed_write_bytes = 0;
+  std::uint64_t io_errors = 0;  ///< completions with a non-success status
   common::SimTime total_read_latency = 0;   ///< submit -> complete, summed
   common::SimTime total_write_latency = 0;
   common::LatencyRecorder read_latency;      ///< percentile histograms

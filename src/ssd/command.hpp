@@ -21,6 +21,24 @@ struct NvmeCommand {
   SimTime fetch_time = 0;     ///< when the device fetched it from the SQ
 };
 
+/// Command status posted with the completion entry. Anything other than
+/// kSuccess means no data was transferred; the fabric layer maps these to
+/// explicit error capsules so initiators can retry or fail the request.
+enum class NvmeStatus : std::uint8_t {
+  kSuccess = 0,
+  kTransientError = 1,  ///< media/firmware hiccup; retrying may succeed
+  kOffline = 2,         ///< device is offline; retry elsewhere or fail
+};
+
+constexpr const char* to_string(NvmeStatus s) {
+  switch (s) {
+    case NvmeStatus::kSuccess: return "success";
+    case NvmeStatus::kTransientError: return "transient-error";
+    case NvmeStatus::kOffline: return "offline";
+  }
+  return "?";
+}
+
 /// Completion entry posted to the CQ when a command finishes.
 struct NvmeCompletion {
   std::uint64_t id = 0;
@@ -28,6 +46,9 @@ struct NvmeCompletion {
   std::uint32_t bytes = 0;
   SimTime complete_time = 0;
   bool served_from_cache = false;  ///< write absorbed by the DRAM cache
+  NvmeStatus status = NvmeStatus::kSuccess;
+
+  bool ok() const { return status == NvmeStatus::kSuccess; }
 };
 
 }  // namespace src::ssd

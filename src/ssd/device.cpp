@@ -87,6 +87,30 @@ bool SsdDevice::admission_ok(std::uint64_t lba, std::uint32_t bytes) const {
 }
 
 void SsdDevice::execute(const NvmeCommand& cmd, CompletionFn on_complete) {
+  if (offline_) {
+    // Fail fast: the controller rejects the command after the firmware
+    // overhead without touching flash.
+    ++stats_.offline_rejections;
+    const SimTime finish = sim_.now() + cfg_.command_overhead;
+    const NvmeCompletion completion{cmd.id, cmd.type, cmd.bytes, finish, false,
+                                    NvmeStatus::kOffline};
+    sim_.schedule_at(finish, [on_complete = std::move(on_complete), completion] {
+      on_complete(completion);
+    });
+    return;
+  }
+  if (transient_fail_rate_ > 0.0 && rng_.bernoulli(transient_fail_rate_)) {
+    // Transient media error: surfaces after an internal retry, modelled as
+    // one flash read worth of recovery time.
+    ++stats_.transient_failures;
+    const SimTime finish = sim_.now() + cfg_.command_overhead + cfg_.read_latency;
+    const NvmeCompletion completion{cmd.id, cmd.type, cmd.bytes, finish, false,
+                                    NvmeStatus::kTransientError};
+    sim_.schedule_at(finish, [on_complete = std::move(on_complete), completion] {
+      on_complete(completion);
+    });
+    return;
+  }
   if (cmd.type == IoType::kRead) {
     execute_read(cmd, std::move(on_complete));
   } else {

@@ -14,6 +14,7 @@
 // (SSQ + WRR) manipulates.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -43,6 +44,8 @@ struct SsdStats {
   std::uint64_t gc_invocations = 0;
   std::uint64_t gc_pages_moved = 0;
   std::uint64_t gc_erases = 0;
+  std::uint64_t transient_failures = 0;    ///< commands failed by fault injection
+  std::uint64_t offline_rejections = 0;    ///< commands rejected while offline
 };
 
 class SsdDevice {
@@ -83,6 +86,20 @@ class SsdDevice {
   void inject_latency_scale(double scale) { backend_.set_latency_scale(scale); }
   double injected_latency_scale() const { return backend_.latency_scale(); }
 
+  /// Failure injection: take the device offline (every subsequent command
+  /// completes with NvmeStatus::kOffline after the firmware overhead) or
+  /// bring it back. Commands already executing complete normally.
+  void set_offline(bool offline) { offline_ = offline; }
+  bool offline() const { return offline_; }
+
+  /// Failure injection: probability that a command fails with a transient
+  /// error. Draws come from the device's own seeded RNG, so a fixed seed
+  /// yields an identical failure pattern; 0 (the default) draws nothing.
+  void set_transient_failure_rate(double p) {
+    transient_fail_rate_ = std::clamp(p, 0.0, 1.0);
+  }
+  double transient_failure_rate() const { return transient_fail_rate_; }
+
   /// Write amplification (1.0 when GC is disabled or idle).
   double write_amplification() const {
     return ftl_ ? ftl_->stats().write_amplification() : 1.0;
@@ -120,6 +137,11 @@ class SsdDevice {
   CachedMappingTable cmt_;
   common::Rng rng_;
   SsdStats stats_;
+
+  // Fault-injection state (see src/fault): healthy devices never consult
+  // the RNG, so enabling the subsystem elsewhere cannot perturb a run.
+  bool offline_ = false;
+  double transient_fail_rate_ = 0.0;
 
   // Write cache state.
   std::uint64_t cache_used_ = 0;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "core/presets.hpp"
 #include "workload/micro.hpp"
 
@@ -131,6 +133,142 @@ TEST(ControllerTest, RetrievalEventsLogged) {
   ctl.on_congestion_event(10 * common::kMillisecond, 1e9, false);
   ASSERT_EQ(ctl.adjustments().size(), 1u);
   EXPECT_FALSE(ctl.adjustments()[0].decrease);
+}
+
+// --- Robustness guardrails.
+
+TEST(ControllerTest, NonPositiveDemandKeepsLastKnownGoodWeight) {
+  Rig rig;
+  SrcController ctl(rig.tpm, rig.monitor);
+  EXPECT_EQ(ctl.predict_weight_ratio(0.0, rig.heavy_ch), 1u);
+  EXPECT_EQ(ctl.predict_weight_ratio(-5e8, rig.heavy_ch), 1u);
+  EXPECT_EQ(ctl.stats().invalid_demand_events, 2u);
+}
+
+TEST(ControllerTest, NonFiniteDemandKeepsLastKnownGoodWeight) {
+  Rig rig;
+  SrcController ctl(rig.tpm, rig.monitor);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(ctl.predict_weight_ratio(nan, rig.heavy_ch), 1u);
+  EXPECT_EQ(ctl.predict_weight_ratio(inf, rig.heavy_ch), 1u);
+  EXPECT_EQ(ctl.stats().invalid_demand_events, 2u);
+  EXPECT_TRUE(ctl.adjustments().empty());
+}
+
+TEST(ControllerTest, EmptyWorkloadWindowIsHandled) {
+  Rig rig;
+  SrcController ctl(rig.tpm, rig.monitor);
+  // No observations were fed to the monitor: features over an empty window
+  // must still produce a usable (if degenerate) Ch, not a crash.
+  const workload::WorkloadFeatures empty_ch =
+      rig.monitor.features(50 * common::kMillisecond);
+  const std::uint32_t w = ctl.predict_weight_ratio(1e8, empty_ch);
+  EXPECT_GE(w, 1u);
+  EXPECT_LE(w, SrcParams{}.max_weight_ratio);
+}
+
+TEST(ControllerTest, MaxWeightRatioOfOneSaturatesImmediately) {
+  Rig rig;
+  SrcParams params;
+  params.max_weight_ratio = 1;
+  SrcController ctl(rig.tpm, rig.monitor, params);
+  EXPECT_EQ(ctl.predict_weight_ratio(1.0, rig.heavy_ch), 1u);
+}
+
+TEST(ControllerTest, NanPredictionFallsBackToCurrentWeight) {
+  Rig rig;
+  SrcController ctl(rig.tpm, rig.monitor);
+  ctl.set_prediction_hook([](const TpmPrediction& p) {
+    TpmPrediction bad = p;
+    bad.read_bytes_per_sec = std::numeric_limits<double>::quiet_NaN();
+    return bad;
+  });
+  EXPECT_EQ(ctl.predict_weight_ratio(1e8, rig.heavy_ch), 1u);
+  EXPECT_GT(ctl.stats().rejected_predictions, 0u);
+}
+
+TEST(ControllerTest, AbsurdPredictionIsRejected) {
+  Rig rig;
+  SrcController ctl(rig.tpm, rig.monitor);
+  ctl.set_prediction_hook([](const TpmPrediction& p) {
+    TpmPrediction bad = p;
+    bad.read_bytes_per_sec = 1e30;  // > max_sane_throughput
+    return bad;
+  });
+  EXPECT_EQ(ctl.predict_weight_ratio(1e8, rig.heavy_ch), 1u);
+  EXPECT_GT(ctl.stats().rejected_predictions, 0u);
+}
+
+TEST(ControllerTest, MidSearchInsanityReturnsBestValidatedWeight) {
+  Rig rig;
+  SrcController ctl(rig.tpm, rig.monitor);
+  // The first prediction (w=1) passes; everything after goes insane, so
+  // only w=1 is ever validated and the search must settle there.
+  int calls = 0;
+  ctl.set_prediction_hook([&calls](const TpmPrediction& p) {
+    TpmPrediction out = p;
+    if (++calls > 1) out.read_bytes_per_sec = -1.0;
+    return out;
+  });
+  const double demanded =
+      rig.tpm.predict(rig.heavy_ch, 1.0).read_bytes_per_sec * 0.3;
+  EXPECT_EQ(ctl.predict_weight_ratio(demanded, rig.heavy_ch), 1u);
+  EXPECT_GT(ctl.stats().rejected_predictions, 0u);
+}
+
+TEST(ControllerTest, StalenessWatchdogDecaysWeightTowardOne) {
+  Rig rig;
+  SrcParams params;
+  params.staleness_window = 5 * common::kMillisecond;
+  SrcController ctl(rig.tpm, rig.monitor, params);
+  std::vector<std::uint32_t> applied;
+  ctl.set_weight_setter([&](std::uint32_t w) { applied.push_back(w); });
+
+  // Drive the weight up with a legitimate congestion event.
+  const double demanded =
+      rig.tpm.predict(rig.heavy_ch, 1.0).read_bytes_per_sec * 0.2;
+  for (int i = 0; i < 400; ++i) {
+    rig.monitor.observe(common::microseconds(15.0 * i),
+                        i % 2 ? common::IoType::kWrite : common::IoType::kRead,
+                        static_cast<std::uint64_t>(i) << 20, 44 * 1024);
+  }
+  ctl.on_congestion_event(6 * common::kMillisecond, demanded, true);
+  ASSERT_GT(ctl.current_weight_ratio(), 1u);
+  const std::uint32_t peak = ctl.current_weight_ratio();
+
+  // Within the window: no decay.
+  ctl.check_staleness(8 * common::kMillisecond);
+  EXPECT_EQ(ctl.current_weight_ratio(), peak);
+  EXPECT_EQ(ctl.stats().watchdog_decays, 0u);
+
+  // Signals stop arriving: each elapsed window halves w until it hits 1.
+  common::SimTime t = 12 * common::kMillisecond;
+  while (ctl.current_weight_ratio() > 1 && t < common::kSecond) {
+    ctl.check_staleness(t);
+    t += params.staleness_window;
+  }
+  EXPECT_EQ(ctl.current_weight_ratio(), 1u);
+  EXPECT_GT(ctl.stats().watchdog_decays, 0u);
+  // Every decay went through the setter (the SSQ must actually see it).
+  EXPECT_EQ(applied.back(), 1u);
+
+  // At w=1 the watchdog has nothing left to do.
+  const std::uint64_t decays = ctl.stats().watchdog_decays;
+  ctl.check_staleness(t + 10 * params.staleness_window);
+  EXPECT_EQ(ctl.stats().watchdog_decays, decays);
+}
+
+TEST(ControllerTest, FreshSignalArmsWatchdogTimer) {
+  Rig rig;
+  SrcParams params;
+  params.staleness_window = 5 * common::kMillisecond;
+  SrcController ctl(rig.tpm, rig.monitor, params);
+  ctl.on_congestion_event(10 * common::kMillisecond, 1e9, true);
+  EXPECT_EQ(ctl.last_signal_time(), 10 * common::kMillisecond);
+  // A debounced (ignored) event still proves the signal path is alive.
+  ctl.on_congestion_event(10 * common::kMillisecond + 100, 1e9, true);
+  EXPECT_EQ(ctl.last_signal_time(), 10 * common::kMillisecond + 100);
 }
 
 }  // namespace

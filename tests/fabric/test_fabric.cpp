@@ -208,6 +208,45 @@ TEST(FabricTest, LatencyPercentilesRecorded) {
   EXPECT_GT(initiator.stats().read_latency.p50_us(), 75.0);  // >= flash read
 }
 
+TEST(FabricContextTest, MissingBindingResolvesToSentinel) {
+  FabricContext context;
+  EXPECT_EQ(context.take_message_binding(12345), kNoBinding);
+}
+
+TEST(FabricContextTest, CancelMessageMakesDeliveryDeadLetter) {
+  FabricContext context;
+  const std::uint64_t id = context.new_request(RequestInfo{});
+  context.bind_message(7, id);
+  context.cancel_message(7);
+  EXPECT_EQ(context.take_message_binding(7), kNoBinding);
+  EXPECT_EQ(context.outstanding_bindings(), 0u);
+}
+
+TEST(FabricContextTest, ExpireDropsEveryBindingOfARequest) {
+  FabricContext context;
+  const std::uint64_t a = context.new_request(RequestInfo{});
+  const std::uint64_t b = context.new_request(RequestInfo{});
+  context.bind_message(1, a);
+  context.bind_message(2, a);  // e.g. original capsule + its response
+  context.bind_message(3, b);
+  context.expire_request_messages(a);
+  EXPECT_EQ(context.take_message_binding(1), kNoBinding);
+  EXPECT_EQ(context.take_message_binding(2), kNoBinding);
+  EXPECT_EQ(context.take_message_binding(3), b);  // other requests untouched
+}
+
+TEST(FabricContextTest, CompleteRequestExpiresStragglerBindings) {
+  // The leak this guards against: a message lost on the wire used to leave
+  // its binding in the map forever once the request finished another way.
+  FabricContext context;
+  const std::uint64_t id = context.new_request(RequestInfo{});
+  context.bind_message(9, id);  // never delivered (lost packet)
+  context.complete_request(id);
+  EXPECT_EQ(context.outstanding_requests(), 0u);
+  EXPECT_EQ(context.outstanding_bindings(), 0u);
+  EXPECT_EQ(context.take_message_binding(9), kNoBinding);
+}
+
 TEST(FabricTest, ClosedLoopLimitsQueueGrowthVsOpenLoop) {
   // Under SSD overload, a closed-loop initiator keeps latency bounded by
   // its window while the open-loop one lets it grow with the backlog.

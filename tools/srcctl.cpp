@@ -5,6 +5,7 @@
 //   srcctl tpm         train a throughput prediction model and inspect it
 //   srcctl trace-gen   generate a CSV block trace (micro / vdi / cbs)
 //   srcctl replay      replay a CSV trace against a simulated SSD
+//   srcctl faults      canned fault-injection scenario with timeout/retry
 //
 // Run `srcctl <command> --help` for per-command flags.
 #include <cstdio>
@@ -17,6 +18,7 @@
 #include "common/table.hpp"
 #include "core/presets.hpp"
 #include "core/standalone.hpp"
+#include "fault/fault_injector.hpp"
 #include "workload/trace_io.hpp"
 
 using namespace src;
@@ -144,7 +146,114 @@ int cmd_experiment(const Args& args) {
                            only.aggregate_rate().as_bytes_per_second() -
                        1.0) * 100.0;
   std::printf("aggregate improvement: %+.0f%% (rates in Gbps)\n", gain);
+
+  // Robustness counters: all zero on a healthy run, so only print when the
+  // fault/retry machinery actually did something.
+  auto robustness = [](const char* name, const core::ExperimentResult& r) {
+    const std::uint64_t activity = r.retries + r.timeouts + r.error_completions +
+                                   r.reads_failed + r.writes_failed +
+                                   r.errors_returned + r.rerouted_requests +
+                                   r.signals_suppressed +
+                                   r.controller_stats.invalid_demand_events +
+                                   r.controller_stats.rejected_predictions +
+                                   r.controller_stats.watchdog_decays;
+    if (activity == 0) return;
+    std::printf("%s robustness: %llu retries, %llu timeouts, %llu error "
+                "completions, %llu failed, %llu rerouted, %llu signals lost, "
+                "%llu bad demands, %llu bad predictions, %llu watchdog decays\n",
+                name, static_cast<unsigned long long>(r.retries),
+                static_cast<unsigned long long>(r.timeouts),
+                static_cast<unsigned long long>(r.error_completions),
+                static_cast<unsigned long long>(r.reads_failed + r.writes_failed),
+                static_cast<unsigned long long>(r.rerouted_requests),
+                static_cast<unsigned long long>(r.signals_suppressed),
+                static_cast<unsigned long long>(r.controller_stats.invalid_demand_events),
+                static_cast<unsigned long long>(r.controller_stats.rejected_predictions),
+                static_cast<unsigned long long>(r.controller_stats.watchdog_decays));
+  };
+  robustness("DCQCN-only", only);
+  robustness("DCQCN-SRC", with_src);
   return 0;
+}
+
+int cmd_faults(const Args& args) {
+  if (args.has("help")) {
+    std::puts("srcctl faults [--seed 42] [--requests 2000] [--devices 4]\n"
+              "              [--drop-prob 0.3] [--drop-start-ms 50] [--drop-end-ms 100]\n"
+              "              [--outage-device 1] [--outage-start-ms 80] [--outage-end-ms 140]\n"
+              "              [--max-retries 10] [--no-retry]");
+    return 0;
+  }
+  sim::Simulator sim;
+  net::Network network(sim, net::NetConfig{});
+  auto topo = net::make_star(network, 2, common::Rate::gbps(10.0),
+                             common::kMicrosecond);
+  fabric::FabricContext context;
+  fabric::Initiator initiator(network, topo.hosts[0], context);
+  fabric::TargetConfig target_config;
+  target_config.device_count = args.get_u64("devices", 4);
+  fabric::Target target(network, topo.hosts[1], context, target_config);
+
+  if (!args.has("no-retry")) {
+    fabric::RetryPolicy policy;
+    policy.enabled = true;
+    policy.base_timeout = 2 * common::kMillisecond;
+    policy.max_timeout = 16 * common::kMillisecond;
+    policy.max_retries = static_cast<std::uint32_t>(args.get_u64("max-retries", 10));
+    initiator.set_retry_policy(policy);
+  }
+
+  fault::FaultPlan plan;
+  plan.seed = args.get_u64("seed", 42);
+  plan.packet_drops.push_back(
+      {topo.hosts[0], 0,
+       static_cast<common::SimTime>(args.get_double("drop-start-ms", 50.0) *
+                                    common::kMillisecond),
+       static_cast<common::SimTime>(args.get_double("drop-end-ms", 100.0) *
+                                    common::kMillisecond),
+       args.get_double("drop-prob", 0.3)});
+  const std::size_t outage_device = args.get_u64("outage-device", 1);
+  if (outage_device < target_config.device_count) {
+    plan.outages.push_back(
+        {0, outage_device,
+         static_cast<common::SimTime>(args.get_double("outage-start-ms", 80.0) *
+                                      common::kMillisecond),
+         static_cast<common::SimTime>(args.get_double("outage-end-ms", 140.0) *
+                                      common::kMillisecond)});
+  }
+  fault::FaultInjector injector(network, plan);
+  injector.add_target(target);
+  injector.arm();
+
+  workload::Trace trace;
+  const std::size_t requests = args.get_u64("requests", 2000);
+  for (std::size_t i = 0; i < requests; ++i) {
+    trace.push_back({common::microseconds(100.0 * static_cast<double>(i)),
+                     i % 3 == 0 ? common::IoType::kWrite : common::IoType::kRead,
+                     static_cast<std::uint64_t>(i) << 20, 32768});
+  }
+  initiator.run_trace(trace, [&](const workload::TraceRecord&, std::size_t) {
+    return target.node_id();
+  });
+  sim.run_until(2 * common::kSecond);
+
+  const auto& stats = initiator.stats();
+  common::TextTable table({"metric", "value"});
+  table.add_row({"requests issued",
+                 std::to_string(stats.reads_issued + stats.writes_issued)});
+  table.add_row({"completed",
+                 std::to_string(stats.reads_completed + stats.writes_completed)});
+  table.add_row({"failed explicitly", std::to_string(stats.requests_failed())});
+  table.add_row({"timeouts", std::to_string(stats.timeouts)});
+  table.add_row({"retries", std::to_string(stats.retries)});
+  table.add_row({"error completions", std::to_string(stats.error_completions)});
+  table.add_row({"stale messages", std::to_string(stats.stale_messages)});
+  table.add_row({"packets dropped", std::to_string(injector.stats().packets_dropped)});
+  table.add_row({"errors returned", std::to_string(target.stats().errors_returned)});
+  table.add_row({"rerouted requests", std::to_string(target.stats().rerouted_requests)});
+  table.add_row({"all terminated", initiator.all_complete() ? "yes" : "NO"});
+  table.print(std::cout);
+  return initiator.all_complete() ? 0 : 1;
 }
 
 int cmd_tpm(const Args& args) {
@@ -276,8 +385,9 @@ int main(int argc, char** argv) {
   if (command == "trace-gen") return cmd_trace_gen(args);
   if (command == "replay") return cmd_replay(args);
   if (command == "trace-stats") return cmd_trace_stats(args);
+  if (command == "faults") return cmd_faults(args);
   std::fprintf(stderr,
-               "usage: srcctl <sweep|experiment|tpm|trace-gen|trace-stats|replay> [--flags]\n"
+               "usage: srcctl <sweep|experiment|tpm|trace-gen|trace-stats|replay|faults> [--flags]\n"
                "       srcctl <command> --help\n");
   return command.empty() ? 2 : 2;
 }
