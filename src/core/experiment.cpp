@@ -13,6 +13,10 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     throw std::invalid_argument("run_experiment: SRC mode needs a fitted TPM");
   }
 
+  // Route the instrumentation macros in every layer at this experiment's
+  // observatory (or nowhere) for the duration of the run.
+  obs::ObsScope obs_scope(config.observatory);
+
   sim::Simulator sim;
   net::Network network(sim, config.net);
   const net::StarTopology topo = net::make_star(
@@ -149,6 +153,14 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   result.write_timeline.extend_to(result.end_time);
   result.read_rate = result.read_timeline.trimmed_mean_rate();
   result.write_rate = result.write_timeline.trimmed_mean_rate();
+
+  // Core-layer summary gauges, recorded once per run.
+  SRC_OBS_GAUGE("core.read_rate_mbps", result.read_rate.as_mbps());
+  SRC_OBS_GAUGE("core.write_rate_mbps", result.write_rate.as_mbps());
+  SRC_OBS_GAUGE("core.total_pauses", static_cast<double>(result.total_pauses));
+  SRC_OBS_GAUGE("core.final_weight_ratio",
+                static_cast<double>(result.final_weight_ratio()));
+  SRC_OBS_GAUGE("core.end_time_ms", common::to_milliseconds(result.end_time));
   return result;
 }
 

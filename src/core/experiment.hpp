@@ -15,6 +15,7 @@
 #include "fabric/initiator.hpp"
 #include "fabric/target.hpp"
 #include "net/topology.hpp"
+#include "obs/obs.hpp"
 #include "workload/trace.hpp"
 
 namespace src::core {
@@ -45,6 +46,11 @@ struct ExperimentConfig {
   /// Safety cap on simulated time.
   common::SimTime max_time = 5 * common::kSecond;
   std::uint64_t seed = 1;
+
+  /// Optional observability sink. When set, the run records counters,
+  /// histograms, and (if the observatory's tracing flag is on) trace events
+  /// into it; recording is passive, so results are identical either way.
+  obs::Observatory* observatory = nullptr;
 };
 
 struct ExperimentResult {
@@ -79,6 +85,11 @@ struct ExperimentResult {
   bool completed = false;  ///< all issued requests finished before max_time
   common::SimTime end_time = 0;
   std::vector<AdjustmentRecord> adjustments;  ///< SRC weight changes
+
+  /// Final WRR weight ratio (1 when SRC never adjusted or was disabled).
+  std::uint32_t final_weight_ratio() const {
+    return adjustments.empty() ? 1 : adjustments.back().weight_ratio;
+  }
 };
 
 ExperimentResult run_experiment(const ExperimentConfig& config);

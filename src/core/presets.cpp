@@ -1,5 +1,7 @@
 #include "core/presets.hpp"
 
+#include <stdexcept>
+
 namespace src::core {
 
 using common::Rate;
@@ -146,6 +148,29 @@ ExperimentConfig incast_experiment(std::size_t targets, std::size_t initiators,
     return workload::generate_micro(params, seed + 17 * index);
   };
   return cfg;
+}
+
+ExperimentConfig preset_by_name(const std::string& name, const Tpm* tpm) {
+  if (name == "fig7") return vdi_experiment(/*use_src=*/false, nullptr);
+  if (name == "fig9") return vdi_experiment(/*use_src=*/true, tpm);
+  if (name == "fig10-light") {
+    return intensity_experiment(Intensity::kLight, /*use_src=*/true, tpm);
+  }
+  if (name == "fig10-moderate") {
+    return intensity_experiment(Intensity::kModerate, /*use_src=*/true, tpm);
+  }
+  if (name == "fig10-heavy") {
+    return intensity_experiment(Intensity::kHeavy, /*use_src=*/true, tpm);
+  }
+  if (name == "table4") {
+    return incast_experiment(/*targets=*/2, /*initiators=*/1, /*use_src=*/true, tpm);
+  }
+  throw std::invalid_argument("unknown preset: " + name);
+}
+
+std::vector<std::string> preset_names() {
+  return {"fig7", "fig9", "fig10-light", "fig10-moderate", "fig10-heavy",
+          "table4"};
 }
 
 }  // namespace src::core

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/obs.hpp"
+
 namespace src::core {
 
 bool SrcController::sane_prediction(const workload::WorkloadFeatures& ch,
@@ -14,6 +16,7 @@ bool SrcController::sane_prediction(const workload::WorkloadFeatures& ch,
       prediction.read_bytes_per_sec < 0.0 ||
       prediction.read_bytes_per_sec > params_.max_sane_throughput) {
     ++stats_.rejected_predictions;
+    SRC_OBS_COUNT("src.rejected_predictions");
     return false;
   }
   out = prediction;
@@ -27,6 +30,7 @@ std::uint32_t SrcController::predict_weight_ratio(
   // state) must not drive the search. Keep the last-known-good weight.
   if (!std::isfinite(demanded) || demanded <= 0.0) {
     ++stats_.invalid_demand_events;
+    SRC_OBS_COUNT("src.invalid_demand_events");
     return current_w_;
   }
 
@@ -78,10 +82,15 @@ void SrcController::on_congestion_event(common::SimTime now, double demanded,
   const workload::WorkloadFeatures ch = monitor_.features(now);
   const std::uint32_t w = predict_weight_ratio(demanded, ch);
   last_adjust_ = now;
+  SRC_OBS_COUNT("src.adjustments");
   if (w != current_w_) {
     current_w_ = w;
     if (setter_) setter_(w);
+    SRC_OBS_COUNT("src.weight_changes");
+    SRC_OBS_INSTANT("core", "src.adjust", now, 0, static_cast<double>(w));
   }
+  SRC_OBS_TRACE_COUNTER("core", "src.weight_ratio", now, 0,
+                        static_cast<double>(current_w_));
   log_.push_back(AdjustmentRecord{now, demanded, w, decrease});
 }
 
@@ -94,6 +103,11 @@ void SrcController::check_staleness(common::SimTime now) {
   last_decay_ = now;
   current_w_ = std::max(1u, current_w_ / 2);
   ++stats_.watchdog_decays;
+  SRC_OBS_COUNT("src.watchdog_decays");
+  SRC_OBS_INSTANT("core", "src.watchdog_decay", now, 0,
+                  static_cast<double>(current_w_));
+  SRC_OBS_TRACE_COUNTER("core", "src.weight_ratio", now, 0,
+                        static_cast<double>(current_w_));
   if (setter_) setter_(current_w_);
 }
 

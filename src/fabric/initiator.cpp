@@ -1,5 +1,7 @@
 #include "fabric/initiator.hpp"
 
+#include "obs/obs.hpp"
+
 namespace src::fabric {
 
 Initiator::Initiator(net::Network& network, net::NodeId host_id,
@@ -64,8 +66,10 @@ std::uint64_t Initiator::issue(common::IoType type, std::uint64_t lba,
 
   if (type == common::IoType::kRead) {
     ++stats_.reads_issued;
+    SRC_OBS_COUNT("fabric.reads_issued");
   } else {
     ++stats_.writes_issued;
+    SRC_OBS_COUNT("fabric.writes_issued");
   }
   send_command(info);
   if (retry_.enabled) {
@@ -101,6 +105,10 @@ void Initiator::arm_timer(std::uint64_t request_id) {
 void Initiator::on_timeout(std::uint64_t request_id) {
   if (!pending_.contains(request_id)) return;  // completed at the same tick
   ++stats_.timeouts;
+  SRC_OBS_COUNT("fabric.timeouts");
+  SRC_OBS_INSTANT("fabric", "timeout", network_.simulator().now(),
+                  static_cast<std::uint32_t>(host_id_),
+                  static_cast<double>(request_id));
   attempt_retry(request_id, /*delay=*/0);
 }
 
@@ -115,6 +123,7 @@ void Initiator::attempt_retry(std::uint64_t request_id, common::SimTime delay) {
   network_.simulator().cancel(pending.timer);
   ++pending.attempts;
   ++stats_.retries;
+  SRC_OBS_COUNT("fabric.retries");
   // Kill every stale binding first: a straggling original capsule or a
   // duplicated response must not race the retransmission.
   context_.expire_request_messages(request_id);
@@ -140,6 +149,7 @@ void Initiator::fail_request(std::uint64_t request_id) {
   } else {
     ++stats_.writes_failed;
   }
+  SRC_OBS_COUNT("fabric.requests_failed");
   finish_request(request_id);
 }
 
@@ -161,6 +171,7 @@ void Initiator::on_fabric_message(net::NodeId /*src*/, std::uint64_t message_id,
     // Lost the race with our own retry (or the request already failed):
     // the delivery is a dead letter.
     ++stats_.stale_messages;
+    SRC_OBS_COUNT("fabric.stale_messages");
     return;
   }
 
@@ -168,6 +179,7 @@ void Initiator::on_fabric_message(net::NodeId /*src*/, std::uint64_t message_id,
     // Explicit error from the target (offline device / transient failure):
     // back off and retry, or fail once the budget is exhausted.
     ++stats_.error_completions;
+    SRC_OBS_COUNT("fabric.error_completions");
     const auto it = pending_.find(request_id);
     const std::uint32_t attempts = it != pending_.end() ? it->second.attempts : 0;
     attempt_retry(request_id, retry_.timeout_for(attempts));
@@ -180,10 +192,20 @@ void Initiator::on_fabric_message(net::NodeId /*src*/, std::uint64_t message_id,
     ++stats_.reads_completed;
     stats_.total_read_latency += latency;
     stats_.read_latency.record(latency);
+    SRC_OBS_COUNT("fabric.reads_completed");
+    SRC_OBS_LATENCY_US("fabric.read_latency_us", common::to_microseconds(latency));
+    SRC_OBS_SPAN("fabric", "read", info.issue_time, latency,
+                 static_cast<std::uint32_t>(host_id_),
+                 static_cast<double>(info.bytes));
   } else {
     ++stats_.writes_completed;
     stats_.total_write_latency += latency;
     stats_.write_latency.record(latency);
+    SRC_OBS_COUNT("fabric.writes_completed");
+    SRC_OBS_LATENCY_US("fabric.write_latency_us", common::to_microseconds(latency));
+    SRC_OBS_SPAN("fabric", "write", info.issue_time, latency,
+                 static_cast<std::uint32_t>(host_id_),
+                 static_cast<double>(info.bytes));
   }
   finish_request(request_id);
 }

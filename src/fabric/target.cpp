@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace src::fabric {
 
 Target::Target(net::Network& network, net::NodeId host_id,
@@ -25,6 +27,12 @@ Target::Target(net::Network& network, net::NodeId host_id,
         [this](const nvme::IoRequest& request, const ssd::NvmeCompletion& completion) {
           on_request_complete(request, completion);
         });
+    // Tracer lane = target node id * 64 + device index: deterministic and
+    // unique across a multi-target topology (targets own <= 64 devices).
+    const auto lane =
+        static_cast<std::uint32_t>(host_id_) * 64 + static_cast<std::uint32_t>(i);
+    drivers_.back()->set_trace_lane(lane);
+    devices_.back()->set_trace_lane(lane);
   }
   online_.assign(config_.device_count, true);
 
@@ -36,15 +44,18 @@ Target::Target(net::Network& network, net::NodeId host_id,
   host.set_pause_handler([this] {
     ++stats_.pauses_received;
     ++stats_.congestion_signals;
+    SRC_OBS_COUNT("fabric.congestion_signals");
     pause_timeline_.record(network_.simulator().now());
   });
   host.set_rate_change_handler([this](net::NodeId, common::Rate, bool decrease) {
     if (decrease) {
       ++stats_.congestion_signals;
+      SRC_OBS_COUNT("fabric.congestion_signals");
       pause_timeline_.record(network_.simulator().now());
     }
     if (signal_loss_) {
       ++stats_.signals_suppressed;
+      SRC_OBS_COUNT("fabric.signals_suppressed");
       return;
     }
     if (on_congestion_) {
@@ -110,9 +121,11 @@ void Target::on_fabric_message(net::NodeId /*src*/, std::uint64_t message_id,
     // The initiator retried or failed this request before the capsule got
     // here; serving it now could double-complete the request.
     ++stats_.stale_capsules;
+    SRC_OBS_COUNT("fabric.stale_capsules");
     return;
   }
   const RequestInfo& info = context_.request(request_id);
+  SRC_OBS_COUNT("fabric.capsules_received");
 
   const std::size_t device = device_for(info.lba);
   if (device == kNoDevice) {
@@ -151,6 +164,7 @@ void Target::on_request_complete(const nvme::IoRequest& request,
   if (request.type == common::IoType::kRead) {
     ++stats_.reads_served;
     stats_.read_bytes += request.bytes;
+    SRC_OBS_COUNT("fabric.reads_served");
     // Ship the data back: this is the inbound flow DCQCN throttles.
     const std::uint64_t message_id =
         host.send_message(info.initiator, request.bytes, kReadData, /*channel=*/0);
@@ -158,6 +172,7 @@ void Target::on_request_complete(const nvme::IoRequest& request,
   } else {
     ++stats_.writes_served;
     stats_.write_bytes += request.bytes;
+    SRC_OBS_COUNT("fabric.writes_served");
     if (on_write_complete_) {
       on_write_complete_(network_.simulator().now(), request.bytes);
     }

@@ -17,6 +17,7 @@
 
 #include "net/config.hpp"
 #include "net/rate_control.hpp"
+#include "obs/obs.hpp"
 #include "sim/simulator.hpp"
 
 namespace src::net {
@@ -54,6 +55,10 @@ class DcqcnController final : public RateController {
     timer_stage_ = 0;
     byte_stage_ = 0;
     bytes_since_increase_ = 0;
+    SRC_OBS_COUNT("net.dcqcn.cnps");
+    SRC_OBS_COUNT("net.dcqcn.rate_cuts");
+    SRC_OBS_TRACE_COUNTER("net", "dcqcn.rate_mbps", sim_.now(), trace_lane(),
+                          current_.as_mbps());
     notify(true);
     restart_timers();
   }
@@ -92,6 +97,9 @@ class DcqcnController final : public RateController {
       target_ = line_rate_;
       stop_timers();
     }
+    SRC_OBS_COUNT("net.dcqcn.rate_increases");
+    SRC_OBS_TRACE_COUNTER("net", "dcqcn.rate_mbps", sim_.now(), trace_lane(),
+                          current_.as_mbps());
     notify(false);
   }
 

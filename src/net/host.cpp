@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
+
 namespace src::net {
 
 Host::Flow& Host::flow_to(NodeId dst, std::uint32_t channel) {
@@ -21,6 +23,8 @@ Host::Flow& Host::flow_to(NodeId dst, std::uint32_t channel) {
   } else {
     flow.cc = std::make_unique<DcqcnController>(sim_, config_.dcqcn, port(0).rate());
   }
+  // Tracer lane = network-global flow id: deterministic, unique per flow.
+  flow.cc->set_trace_lane(static_cast<std::uint32_t>(flow.id));
   flow.cc->set_rate_change_handler([this, dst](Rate rate, bool decrease) {
     if (on_rate_change_) on_rate_change_(dst, rate, decrease);
     if (!decrease) pump();  // a recovered rate may unblock pacing
@@ -89,6 +93,17 @@ void Host::pump() {
     uplink.enqueue(packet);
   }
 
+  // TXQ occupancy sample (the paper's Fig. 3/5 evidence: throttled flows
+  // back their messages up here). Computed only when tracing is on.
+  SRC_OBS_TRACE_COUNTER("net", "host.txq_bytes", sim_.now(),
+                        static_cast<std::uint32_t>(id()), [this] {
+                          std::uint64_t total = 0;
+                          for (const auto& [key, flow] : flows_) {
+                            total += flow.queued_bytes;
+                          }
+                          return static_cast<double>(total);
+                        }());
+
   // Nothing sendable right now: wake when the earliest pacing gate opens.
   sim_.cancel(wake_event_);
   wake_event_ = {};
@@ -101,14 +116,19 @@ void Host::receive(Packet packet, std::int32_t /*ingress_port*/) {
   switch (packet.kind) {
     case PacketKind::kPause:
       ++stats_.pauses_received;
+      SRC_OBS_COUNT("net.pfc.pauses_received");
+      SRC_OBS_INSTANT("net", "pfc.pause", sim_.now(),
+                      static_cast<std::uint32_t>(id()), 0.0);
       port(0).pause();
       if (on_pause_) on_pause_();
       return;
     case PacketKind::kResume:
+      SRC_OBS_COUNT("net.pfc.resumes_received");
       port(0).resume();
       return;
     case PacketKind::kCnp: {
       ++stats_.cnps_received;
+      SRC_OBS_COUNT("net.cnps_delivered");
       if (auto it = flows_by_id_.find(packet.flow_id); it != flows_by_id_.end()) {
         it->second->cc->on_congestion_feedback();
       }
@@ -121,6 +141,7 @@ void Host::receive(Packet packet, std::int32_t /*ingress_port*/) {
   stats_.bytes_received += packet.bytes;
   if (packet.ecn_marked) {
     ++stats_.ecn_marked_received;
+    SRC_OBS_COUNT("net.ecn_marked_received");
     send_cnp(packet);
   }
   if (on_data_) on_data_(packet.src, packet.bytes, packet.tag);

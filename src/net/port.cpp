@@ -1,6 +1,7 @@
 #include "net/node.hpp"
 
 #include "common/rng.hpp"
+#include "obs/obs.hpp"
 
 namespace src::net {
 
@@ -8,6 +9,7 @@ bool Port::enqueue(Packet packet) {
   if (drop_filter_ && drop_filter_(packet)) {
     ++dropped_packets_;
     dropped_bytes_ += packet.wire_bytes();
+    SRC_OBS_COUNT("net.port.packets_dropped");
     return false;
   }
 
@@ -18,6 +20,7 @@ bool Port::enqueue(Packet packet) {
     if (depth > ecn_.kmax_bytes) {
       packet.ecn_marked = true;
       ++ecn_marks_;
+      SRC_OBS_COUNT("net.port.ecn_marks");
     } else if (depth > ecn_.kmin_bytes) {
       const double p = ecn_.pmax * static_cast<double>(depth - ecn_.kmin_bytes) /
                        static_cast<double>(ecn_.kmax_bytes - ecn_.kmin_bytes);
@@ -25,6 +28,7 @@ bool Port::enqueue(Packet packet) {
       if (draw < p) {
         packet.ecn_marked = true;
         ++ecn_marks_;
+        SRC_OBS_COUNT("net.port.ecn_marks");
       }
     }
   }

@@ -27,6 +27,14 @@ class RateController {
 
   /// The sender transmitted `bytes` of this flow.
   virtual void on_bytes_sent(std::uint64_t bytes) = 0;
+
+  /// Deterministic lane id used by the event tracer to separate per-flow
+  /// rate series (the host assigns the flow id). Purely observational.
+  void set_trace_lane(std::uint32_t lane) { trace_lane_ = lane; }
+  std::uint32_t trace_lane() const { return trace_lane_; }
+
+ private:
+  std::uint32_t trace_lane_ = 0;
 };
 
 /// Which congestion control algorithm hosts run, and how receivers echo

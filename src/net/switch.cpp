@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace src::net {
 
 void Switch::finalize_ports() {
@@ -39,6 +41,10 @@ void Switch::receive(Packet packet, std::int32_t ingress_port) {
   // egress transmitter picks it up.
   packet.ingress_port = ingress_port;
   ingress_bytes_[static_cast<std::size_t>(ingress_port)] += packet.wire_bytes();
+  SRC_OBS_TRACE_COUNTER(
+      "net", "switch.ingress_bytes", sim_.now(),
+      static_cast<std::uint32_t>(ingress_port),
+      static_cast<double>(ingress_bytes_[static_cast<std::size_t>(ingress_port)]));
   if (port(static_cast<std::size_t>(egress)).enqueue(packet)) {
     ++stats_.packets_forwarded;
   } else {
@@ -63,6 +69,10 @@ void Switch::check_pause(std::size_t ingress) {
   if (!pause_sent_[ingress] && ingress_bytes_[ingress] > config_.pfc.xoff_bytes) {
     pause_sent_[ingress] = true;
     ++stats_.pauses_sent;
+    SRC_OBS_COUNT("net.pfc.pauses_sent");
+    SRC_OBS_INSTANT("net", "pfc.xoff", sim_.now(),
+                    static_cast<std::uint32_t>(ingress),
+                    static_cast<double>(ingress_bytes_[ingress]));
     Packet pause;
     pause.kind = PacketKind::kPause;
     pause.src = id();
@@ -71,6 +81,10 @@ void Switch::check_pause(std::size_t ingress) {
   } else if (pause_sent_[ingress] && ingress_bytes_[ingress] < config_.pfc.xon_bytes) {
     pause_sent_[ingress] = false;
     ++stats_.resumes_sent;
+    SRC_OBS_COUNT("net.pfc.resumes_sent");
+    SRC_OBS_INSTANT("net", "pfc.xon", sim_.now(),
+                    static_cast<std::uint32_t>(ingress),
+                    static_cast<double>(ingress_bytes_[ingress]));
     Packet resume;
     resume.kind = PacketKind::kResume;
     resume.src = id();

@@ -11,10 +11,14 @@ void NvmeDriver::dispatch(const IoRequest& request) {
   if (request.type == IoType::kRead) {
     ++in_flight_reads_;
     ++stats_.submitted_reads;
+    SRC_OBS_COUNT("nvme.dispatched_reads");
   } else {
     ++in_flight_writes_;
     ++stats_.submitted_writes;
+    SRC_OBS_COUNT("nvme.dispatched_writes");
   }
+  SRC_OBS_TRACE_COUNTER("nvme", "driver.in_flight", sim_.now(), trace_lane_,
+                        static_cast<double>(in_flight_));
 
   ssd::NvmeCommand cmd;
   cmd.id = cmd_id;
@@ -30,19 +34,31 @@ void NvmeDriver::dispatch(const IoRequest& request) {
     outstanding_.erase(it);
 
     --in_flight_;
-    if (!completion.ok()) ++stats_.io_errors;
+    if (!completion.ok()) {
+      ++stats_.io_errors;
+      SRC_OBS_COUNT("nvme.io_errors");
+    }
+    const common::SimTime latency = completion.complete_time - original.arrival;
     if (completion.type == IoType::kRead) {
       --in_flight_reads_;
       ++stats_.completed_reads;
       stats_.completed_read_bytes += completion.bytes;
-      stats_.total_read_latency += completion.complete_time - original.arrival;
-      stats_.read_latency.record(completion.complete_time - original.arrival);
+      stats_.total_read_latency += latency;
+      stats_.read_latency.record(latency);
+      SRC_OBS_COUNT("nvme.completed_reads");
+      SRC_OBS_LATENCY_US("nvme.read_latency_us", common::to_microseconds(latency));
+      SRC_OBS_SPAN("nvme", "read", original.arrival, latency, trace_lane_,
+                   static_cast<double>(completion.bytes));
     } else {
       --in_flight_writes_;
       ++stats_.completed_writes;
       stats_.completed_write_bytes += completion.bytes;
-      stats_.total_write_latency += completion.complete_time - original.arrival;
-      stats_.write_latency.record(completion.complete_time - original.arrival);
+      stats_.total_write_latency += latency;
+      stats_.write_latency.record(latency);
+      SRC_OBS_COUNT("nvme.completed_writes");
+      SRC_OBS_LATENCY_US("nvme.write_latency_us", common::to_microseconds(latency));
+      SRC_OBS_SPAN("nvme", "write", original.arrival, latency, trace_lane_,
+                   static_cast<double>(completion.bytes));
     }
 
     if (on_complete_) on_complete_(original, completion);

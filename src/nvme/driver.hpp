@@ -14,6 +14,7 @@
 #include "common/latency.hpp"
 #include "common/types.hpp"
 #include "nvme/io_request.hpp"
+#include "obs/obs.hpp"
 #include "sim/simulator.hpp"
 #include "ssd/device.hpp"
 
@@ -78,6 +79,11 @@ class NvmeDriver {
   const DriverStats& stats() const { return stats_; }
   std::uint32_t queue_depth() const { return device_.config().queue_depth; }
 
+  /// Deterministic lane id for the event tracer (set by the owning target:
+  /// node id and device index). Purely observational.
+  void set_trace_lane(std::uint32_t lane) { trace_lane_ = lane; }
+  std::uint32_t trace_lane() const { return trace_lane_; }
+
  protected:
   /// Hand a request to the device; called by subclasses from their fetch
   /// logic. Tracks in-flight counts and re-enters fetch on completion.
@@ -112,6 +118,7 @@ class NvmeDriver {
   CompletionFn on_complete_;
   DispatchFn on_dispatch_;
   DriverStats stats_;
+  std::uint32_t trace_lane_ = 0;
   bool retry_pending_ = false;
   std::uint32_t in_flight_ = 0;
   std::uint32_t in_flight_reads_ = 0;

@@ -49,6 +49,9 @@ class SsqDriver final : public NvmeDriver {
     read_weight_ = std::max<std::uint32_t>(1, read_weight);
     write_weight_ = std::max<std::uint32_t>(1, write_weight);
     ++ssq_stats_.weight_adjustments;
+    SRC_OBS_COUNT("nvme.ssq.weight_adjustments");
+    SRC_OBS_TRACE_COUNTER("nvme", "ssq.weight_ratio", sim_.now(), trace_lane(),
+                          weight_ratio());
     recompute_qd_partition();
     try_fetch();
   }
@@ -131,6 +134,7 @@ class SsqDriver final : public NvmeDriver {
       tokens_read_ = read_weight_;
       tokens_write_ = write_weight_;
       ++ssq_stats_.token_resets;
+      SRC_OBS_COUNT("nvme.ssq.token_resets");
     }
     --pool;
   }
@@ -153,6 +157,7 @@ class SsqDriver final : public NvmeDriver {
           tokens_read_ = read_weight_;
           tokens_write_ = write_weight_;
           ++ssq_stats_.token_resets;
+          SRC_OBS_COUNT("nvme.ssq.token_resets");
         }
         pick = tokens_write_ > 0 ? QueueKind::kWriteQueue : QueueKind::kReadQueue;
       } else {
@@ -166,14 +171,21 @@ class SsqDriver final : public NvmeDriver {
       queue.pop_front();
       if (pick == QueueKind::kReadQueue) {
         ++ssq_stats_.fetched_from_rsq;
+        SRC_OBS_COUNT("nvme.ssq.fetched_from_rsq");
       } else {
         ++ssq_stats_.fetched_from_wsq;
+        SRC_OBS_COUNT("nvme.ssq.fetched_from_wsq");
       }
       if (borrow) {
         ++ssq_stats_.borrowed_fetches;
+        SRC_OBS_COUNT("nvme.ssq.borrowed_fetches");
       } else {
         charge_token(request.type);
       }
+      SRC_OBS_TRACE_COUNTER("nvme", "ssq.rsq_depth", sim_.now(), trace_lane(),
+                            static_cast<double>(rsq_.size()));
+      SRC_OBS_TRACE_COUNTER("nvme", "ssq.wsq_depth", sim_.now(), trace_lane(),
+                            static_cast<double>(wsq_.size()));
       if (consistency_enabled_) {
         consistency_.note_fetched(request.lba, request.bytes);
       }

@@ -1,0 +1,341 @@
+// Minimal JSON value with a recursive-descent parser and a deterministic
+// serializer. This is the interchange format of the observability layer:
+// metric snapshots, Chrome trace_event exports, and the golden-metric
+// regression snapshots all read and write through it, so exports can be
+// round-trip tested without an external dependency.
+//
+// Scope: the JSON subset the observability layer emits — objects (with
+// lexicographically ordered keys on serialization of maps we build, and
+// insertion order preserved on parse), arrays, finite doubles, strings with
+// standard escapes, booleans, and null. Numbers are stored as double; exact
+// for integers up to 2^53, which covers every counter this simulator can
+// realistically accumulate.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace src::obs {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<Json>;
+  /// Key/value pairs in insertion order (parse order, or the order the
+  /// builder added them) so serialization is deterministic.
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  Json() = default;
+  Json(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+  Json(bool b) : type_(Type::kBool), bool_(b) {}  // NOLINT
+  Json(double d) : type_(Type::kNumber), number_(d) {}  // NOLINT
+  Json(std::int64_t i) : type_(Type::kNumber), number_(static_cast<double>(i)) {}  // NOLINT
+  Json(std::uint64_t u) : type_(Type::kNumber), number_(static_cast<double>(u)) {}  // NOLINT
+  Json(int i) : type_(Type::kNumber), number_(i) {}  // NOLINT
+  Json(std::string s) : type_(Type::kString), string_(std::move(s)) {}  // NOLINT
+  Json(const char* s) : type_(Type::kString), string_(s) {}  // NOLINT
+  Json(Array a) : type_(Type::kArray), array_(std::move(a)) {}  // NOLINT
+  Json(Object o) : type_(Type::kObject), object_(std::move(o)) {}  // NOLINT
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_string() const { return type_ == Type::kString; }
+
+  bool as_bool() const { expect(Type::kBool); return bool_; }
+  double as_number() const { expect(Type::kNumber); return number_; }
+  double as_double() const { return as_number(); }
+  std::int64_t as_int64() const { return static_cast<std::int64_t>(as_number()); }
+  std::uint64_t as_uint64() const { return static_cast<std::uint64_t>(as_number()); }
+  const std::string& as_string() const { expect(Type::kString); return string_; }
+  const Array& as_array() const { expect(Type::kArray); return array_; }
+  const Object& as_object() const { expect(Type::kObject); return object_; }
+
+  /// Object field lookup; nullptr when absent or not an object.
+  const Json* find(std::string_view key) const {
+    if (type_ != Type::kObject) return nullptr;
+    for (const auto& [k, v] : object_) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+
+  /// Builder helper: append a field to an object (converts null -> object).
+  void set(std::string key, Json value) {
+    if (type_ == Type::kNull) type_ = Type::kObject;
+    expect(Type::kObject);
+    object_.emplace_back(std::move(key), std::move(value));
+  }
+
+  /// Builder helper: append an element to an array (converts null -> array).
+  void push_back(Json value) {
+    if (type_ == Type::kNull) type_ = Type::kArray;
+    expect(Type::kArray);
+    array_.push_back(std::move(value));
+  }
+
+  /// Parse a complete JSON document; throws std::runtime_error on malformed
+  /// input (including trailing garbage).
+  static Json parse(std::string_view text) {
+    Parser parser{text, 0};
+    Json value = parser.parse_value();
+    parser.skip_ws();
+    if (parser.pos != text.size()) {
+      throw std::runtime_error("Json::parse: trailing characters at offset " +
+                               std::to_string(parser.pos));
+    }
+    return value;
+  }
+
+  /// Serialize. `indent` < 0 emits compact single-line JSON; >= 0 pretty
+  /// prints with that many spaces per level.
+  std::string dump(int indent = -1) const {
+    std::string out;
+    write(out, indent, 0);
+    return out;
+  }
+
+ private:
+  struct Parser {
+    std::string_view text;
+    std::size_t pos;
+
+    [[noreturn]] void fail(const std::string& what) const {
+      throw std::runtime_error("Json::parse: " + what + " at offset " +
+                               std::to_string(pos));
+    }
+
+    void skip_ws() {
+      while (pos < text.size() && (text[pos] == ' ' || text[pos] == '\t' ||
+                                   text[pos] == '\n' || text[pos] == '\r')) {
+        ++pos;
+      }
+    }
+
+    char peek() {
+      if (pos >= text.size()) fail("unexpected end of input");
+      return text[pos];
+    }
+
+    bool consume_literal(std::string_view literal) {
+      if (text.substr(pos, literal.size()) != literal) return false;
+      pos += literal.size();
+      return true;
+    }
+
+    Json parse_value() {
+      skip_ws();
+      switch (peek()) {
+        case '{': return parse_object();
+        case '[': return parse_array();
+        case '"': return Json{parse_string()};
+        case 't': if (consume_literal("true")) return Json{true}; fail("bad literal");
+        case 'f': if (consume_literal("false")) return Json{false}; fail("bad literal");
+        case 'n': if (consume_literal("null")) return Json{}; fail("bad literal");
+        default:  return parse_number();
+      }
+    }
+
+    Json parse_object() {
+      ++pos;  // '{'
+      Object object;
+      skip_ws();
+      if (peek() == '}') { ++pos; return Json{std::move(object)}; }
+      while (true) {
+        skip_ws();
+        if (peek() != '"') fail("expected object key");
+        std::string key = parse_string();
+        skip_ws();
+        if (peek() != ':') fail("expected ':'");
+        ++pos;
+        object.emplace_back(std::move(key), parse_value());
+        skip_ws();
+        if (peek() == ',') { ++pos; continue; }
+        if (peek() == '}') { ++pos; return Json{std::move(object)}; }
+        fail("expected ',' or '}'");
+      }
+    }
+
+    Json parse_array() {
+      ++pos;  // '['
+      Array array;
+      skip_ws();
+      if (peek() == ']') { ++pos; return Json{std::move(array)}; }
+      while (true) {
+        array.push_back(parse_value());
+        skip_ws();
+        if (peek() == ',') { ++pos; continue; }
+        if (peek() == ']') { ++pos; return Json{std::move(array)}; }
+        fail("expected ',' or ']'");
+      }
+    }
+
+    std::string parse_string() {
+      ++pos;  // '"'
+      std::string out;
+      while (true) {
+        if (pos >= text.size()) fail("unterminated string");
+        const char c = text[pos++];
+        if (c == '"') return out;
+        if (c != '\\') { out.push_back(c); continue; }
+        if (pos >= text.size()) fail("unterminated escape");
+        const char esc = text[pos++];
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            if (pos + 4 > text.size()) fail("truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text[pos++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else fail("bad \\u escape");
+            }
+            // UTF-8 encode (BMP only; the tracer never emits surrogates).
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default: fail("unknown escape");
+        }
+      }
+    }
+
+    Json parse_number() {
+      const std::size_t start = pos;
+      if (peek() == '-') ++pos;
+      while (pos < text.size() &&
+             ((text[pos] >= '0' && text[pos] <= '9') || text[pos] == '.' ||
+              text[pos] == 'e' || text[pos] == 'E' || text[pos] == '+' ||
+              text[pos] == '-')) {
+        ++pos;
+      }
+      if (pos == start) fail("expected a value");
+      const std::string token{text.substr(start, pos - start)};
+      try {
+        std::size_t used = 0;
+        const double value = std::stod(token, &used);
+        if (used != token.size()) fail("malformed number");
+        return Json{value};
+      } catch (const std::logic_error&) {
+        fail("malformed number '" + token + "'");
+      }
+    }
+  };
+
+  void expect(Type t) const {
+    if (type_ != t) throw std::runtime_error("Json: wrong type access");
+  }
+
+  static void write_string(std::string& out, const std::string& s) {
+    out.push_back('"');
+    for (const char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+          } else {
+            out.push_back(c);
+          }
+      }
+    }
+    out.push_back('"');
+  }
+
+  static void write_number(std::string& out, double value) {
+    if (!std::isfinite(value)) { out += "null"; return; }
+    // Integers print exactly (counters must round-trip bit-for-bit);
+    // everything else uses enough digits for a lossless double round trip.
+    if (value == std::floor(value) && std::abs(value) < 9.007199254740992e15) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.0f", value);
+      out += buf;
+    } else {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.17g", value);
+      out += buf;
+    }
+  }
+
+  void write(std::string& out, int indent, int depth) const {
+    const auto newline = [&](int d) {
+      if (indent < 0) return;
+      out.push_back('\n');
+      out.append(static_cast<std::size_t>(indent * d), ' ');
+    };
+    switch (type_) {
+      case Type::kNull: out += "null"; return;
+      case Type::kBool: out += bool_ ? "true" : "false"; return;
+      case Type::kNumber: write_number(out, number_); return;
+      case Type::kString: write_string(out, string_); return;
+      case Type::kArray: {
+        out.push_back('[');
+        for (std::size_t i = 0; i < array_.size(); ++i) {
+          if (i > 0) out.push_back(',');
+          newline(depth + 1);
+          array_[i].write(out, indent, depth + 1);
+        }
+        if (!array_.empty()) newline(depth);
+        out.push_back(']');
+        return;
+      }
+      case Type::kObject: {
+        out.push_back('{');
+        for (std::size_t i = 0; i < object_.size(); ++i) {
+          if (i > 0) out.push_back(',');
+          newline(depth + 1);
+          write_string(out, object_[i].first);
+          out.push_back(':');
+          if (indent >= 0) out.push_back(' ');
+          object_[i].second.write(out, indent, depth + 1);
+        }
+        if (!object_.empty()) newline(depth);
+        out.push_back('}');
+        return;
+      }
+    }
+  }
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+}  // namespace src::obs

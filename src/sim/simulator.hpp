@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "obs/obs.hpp"
 
 namespace src::sim {
 
@@ -71,6 +72,7 @@ class Simulator {
       }
       now_ = e.when;
       ++executed_;
+      SRC_OBS_COUNT("sim.events_executed");
       e.fn();
       return true;
     }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
+
 namespace src::ssd {
 
 using common::IoType;
@@ -56,6 +58,10 @@ bool SsdDevice::run_gc_once(SimTime ready) {
   const auto plan = ftl_->plan_gc();
   if (!plan) return false;
   ++stats_.gc_invocations;
+  SRC_OBS_COUNT("ssd.gc.invocations");
+  SRC_OBS_COUNT_ADD("ssd.gc.pages_moved", plan->valid_logical_pages.size());
+  SRC_OBS_INSTANT("ssd", "gc", sim_.now(), trace_lane_,
+                  static_cast<double>(plan->valid_logical_pages.size()));
   for (const std::uint64_t logical : plan->valid_logical_pages) {
     const auto old_physical = ftl_->translate(logical);
     const auto src_placement = old_physical
@@ -71,6 +77,7 @@ bool SsdDevice::run_gc_once(SimTime ready) {
                           cfg_.erase_latency);
   ftl_->finish_gc(*plan);
   ++stats_.gc_erases;
+  SRC_OBS_COUNT("ssd.gc.erases");
   return true;
 }
 
@@ -173,6 +180,9 @@ void SsdDevice::execute_write(const NvmeCommand& cmd, CompletionFn on_complete) 
     entry.page_count = pages;
     entry.bytes = footprint;
     ++stats_.cache_absorbed_writes;
+    SRC_OBS_COUNT("ssd.cache_absorbed_writes");
+    SRC_OBS_TRACE_COUNTER("ssd", "cache_used_bytes", sim_.now(), trace_lane_,
+                          static_cast<double>(cache_used_));
     const SimTime finish = ready + cfg_.dram_bandwidth.transmission_time(cmd.bytes);
     const NvmeCompletion completion{cmd.id, IoType::kWrite, cmd.bytes, finish, true};
     sim_.schedule_at(finish, [on_complete = std::move(on_complete), completion] {
@@ -189,6 +199,7 @@ void SsdDevice::execute_write(const NvmeCommand& cmd, CompletionFn on_complete) 
   // time share writes receive. This is the regime the paper's throughput
   // control operates in.
   ++stats_.sync_writes;
+  SRC_OBS_COUNT("ssd.sync_writes");
   SimTime finish = ready;
   for (std::uint32_t i = 0; i < pages; ++i) {
     finish = std::max(finish, program_page(base + i, ready));

@@ -100,6 +100,11 @@ class SsdDevice {
   }
   double transient_failure_rate() const { return transient_fail_rate_; }
 
+  /// Deterministic lane id for the event tracer (set by the owning target:
+  /// node id and device index). Purely observational.
+  void set_trace_lane(std::uint32_t lane) { trace_lane_ = lane; }
+  std::uint32_t trace_lane() const { return trace_lane_; }
+
   /// Write amplification (1.0 when GC is disabled or idle).
   double write_amplification() const {
     return ftl_ ? ftl_->stats().write_amplification() : 1.0;
@@ -137,6 +142,8 @@ class SsdDevice {
   CachedMappingTable cmt_;
   common::Rng rng_;
   SsdStats stats_;
+
+  std::uint32_t trace_lane_ = 0;
 
   // Fault-injection state (see src/fault): healthy devices never consult
   // the RNG, so enabling the subsystem elsewhere cannot perturb a run.

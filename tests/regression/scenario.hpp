@@ -1,0 +1,221 @@
+// Shared machinery for the golden-metric regression suite: reduced-scale
+// variants of the paper's evaluation presets, a small shared TPM, golden
+// snapshot I/O (regenerate with SRC_UPDATE_GOLDEN=1), and a metric-level
+// snapshot comparator.
+//
+// The reduced scenarios keep the presets' topology and calibration but
+// shrink the request counts ~10x so the `regression` ctest label stays
+// inside CI budgets; the goldens pin their exact seeded outcomes.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/presets.hpp"
+#include "obs/obs.hpp"
+
+namespace src::regression {
+
+/// One small Random Forest TPM shared by every SRC-mode scenario. Training
+/// replays a 4-trace x 4-weight grid on the standalone rig (a few seconds);
+/// function-local static so only suites that need it pay for it.
+inline const core::Tpm& shared_tpm() {
+  static const core::Tpm tpm = [] {
+    core::TrainingGrid grid;
+    std::uint64_t trace_seed = 11;
+    for (const double iat_us : {10.0, 25.0}) {
+      for (const double size_kb : {20.0, 44.0}) {
+        grid.traces.push_back(workload::generate_micro(
+            workload::symmetric_micro(iat_us, size_kb * 1024, 800),
+            ++trace_seed));
+      }
+    }
+    grid.weight_ratios = {1, 2, 4, 8};
+    grid.seed = 11;
+    const ml::Dataset data = core::collect_training_data(ssd::ssd_a(), grid);
+    core::Tpm model;
+    model.fit(data);
+    return model;
+  }();
+  return tpm;
+}
+
+/// Reduced Fig. 7 scenario: VDI-like congestion, DCQCN-only.
+inline core::ExperimentConfig fig7_reduced() {
+  core::ExperimentConfig cfg = core::vdi_experiment(/*use_src=*/false, nullptr);
+  cfg.max_time = 80 * common::kMillisecond;
+  const std::uint64_t seed = cfg.seed;
+  cfg.trace_for = [seed](std::size_t index) {
+    workload::SyntheticParams params = workload::fujitsu_vdi_like(1500);
+    params.write.mean_iat_us = 48.0;
+    params.write.count = 300;
+    return workload::generate_synthetic(params, seed + index);
+  };
+  return cfg;
+}
+
+/// Reduced Fig. 9 scenario: the same VDI congestion with DCQCN-SRC.
+inline core::ExperimentConfig fig9_reduced() {
+  core::ExperimentConfig cfg = fig7_reduced();
+  cfg.use_src = true;
+  cfg.tpm = &shared_tpm();
+  return cfg;
+}
+
+/// Reduced Table IV scenario: 2-target / 1-initiator in-cast under SRC.
+inline core::ExperimentConfig table4_reduced() {
+  core::ExperimentConfig cfg = core::incast_experiment(
+      /*targets=*/2, /*initiators=*/1, /*use_src=*/true, &shared_tpm());
+  cfg.max_time = 100 * common::kMillisecond;
+  const std::uint64_t seed = cfg.seed;
+  cfg.trace_for = [seed](std::size_t index) {
+    workload::MicroParams params;
+    params.read = workload::StreamParams{32.0, 44.0 * 1024, 1200};
+    params.write = workload::StreamParams{70.0, 23.0 * 1024, 550};
+    return workload::generate_micro(params, seed + 17 * index);
+  };
+  return cfg;
+}
+
+/// Golden-relevant metrics of one experiment run, as a JSON snapshot:
+/// throughputs, pause count, final weight, completion counts, plus every
+/// obs counter (the counters are compared exactly — any behavioural drift
+/// in an instrumented path shows up as a named counter diff).
+inline obs::Json experiment_snapshot(const core::ExperimentResult& result,
+                                     const obs::Observatory& observatory) {
+  obs::Json snap{obs::Json::Object{}};
+  snap.set("read_gbps", obs::Json{result.read_rate.as_gbps()});
+  snap.set("write_gbps", obs::Json{result.write_rate.as_gbps()});
+  snap.set("aggregate_gbps", obs::Json{result.aggregate_rate().as_gbps()});
+  snap.set("total_pauses", obs::Json{result.total_pauses});
+  snap.set("total_cnps", obs::Json{result.total_cnps});
+  snap.set("final_weight_ratio",
+           obs::Json{static_cast<std::uint64_t>(result.final_weight_ratio())});
+  snap.set("weight_adjustments",
+           obs::Json{static_cast<std::uint64_t>(result.adjustments.size())});
+  snap.set("reads_completed", obs::Json{result.reads_completed});
+  snap.set("writes_completed", obs::Json{result.writes_completed});
+  snap.set("completed", obs::Json{result.completed});
+#if defined(SRC_OBS_DISABLE)
+  (void)observatory;
+  snap.set("counters", obs::Json{obs::Json::Object{}});
+#else
+  obs::Json metrics = observatory.metrics().snapshot();
+  snap.set("counters", *metrics.find("counters"));
+#endif
+  return snap;
+}
+
+/// True when the run should (re)write goldens instead of comparing.
+inline bool update_golden() {
+  const char* flag = std::getenv("SRC_UPDATE_GOLDEN");
+  return flag != nullptr && std::string(flag) != "0";
+}
+
+inline std::string golden_path(const std::string& name) {
+  return std::string(SRC_GOLDEN_DIR) + "/" + name + ".json";
+}
+
+/// Compare `actual` against `golden`, metric by metric. Keys ending in
+/// `_gbps` are rates and compare within `rate_tolerance` (relative);
+/// every other number is exact. Only keys present in the golden are
+/// checked, so adding new instrumentation later does not invalidate old
+/// goldens. Returns one human-readable line per mismatch.
+inline std::vector<std::string> compare_snapshots(const obs::Json& golden,
+                                                  const obs::Json& actual,
+                                                  double rate_tolerance = 0.005,
+                                                  const std::string& prefix = "") {
+  std::vector<std::string> diffs;
+  for (const auto& [key, expected] : golden.as_object()) {
+    const std::string label = prefix.empty() ? key : prefix + "." + key;
+    const obs::Json* got = actual.find(key);
+    if (got == nullptr) {
+      diffs.push_back(label + ": missing from the run (golden has it)");
+      continue;
+    }
+    if (expected.is_object()) {
+      const auto nested =
+          compare_snapshots(expected, *got, rate_tolerance, label);
+      diffs.insert(diffs.end(), nested.begin(), nested.end());
+      continue;
+    }
+    if (!expected.is_number()) continue;  // "completed" etc. compare below
+    const double want = expected.as_double();
+    const double have = got->as_double();
+    const bool is_rate = key.size() > 5 && key.ends_with("_gbps");
+    if (is_rate) {
+      const double rel = want == 0.0 ? std::abs(have)
+                                     : std::abs(have - want) / std::abs(want);
+      if (rel > rate_tolerance) {
+        std::ostringstream line;
+        line << label << ": golden " << want << ", got " << have << " ("
+             << rel * 100.0 << "% off, tolerance "
+             << rate_tolerance * 100.0 << "%)";
+        diffs.push_back(line.str());
+      }
+    } else if (want != have) {
+      std::ostringstream line;
+      line << label << ": golden " << want << ", got " << have;
+      diffs.push_back(line.str());
+    }
+  }
+  // Non-numeric scalars (booleans) compare exactly.
+  for (const auto& [key, expected] : golden.as_object()) {
+    if (expected.type() != obs::Json::Type::kBool) continue;
+    const obs::Json* got = actual.find(key);
+    if (got != nullptr && got->as_bool() != expected.as_bool()) {
+      diffs.push_back((prefix.empty() ? key : prefix + "." + key) +
+                      ": golden " + (expected.as_bool() ? "true" : "false") +
+                      ", got " + (got->as_bool() ? "true" : "false"));
+    }
+  }
+  return diffs;
+}
+
+/// Compare the snapshot against the named golden, or rewrite the golden
+/// when SRC_UPDATE_GOLDEN is set. Fails the calling test with the full
+/// metric-level diff on any mismatch.
+inline void check_against_golden(const std::string& name,
+                                 const obs::Json& snapshot) {
+  const std::string path = golden_path(name);
+  if (update_golden()) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out) << "cannot write golden " << path;
+    out << snapshot.dump(2) << '\n';
+    GTEST_SKIP() << "golden regenerated: " << path;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in) << "missing golden " << path
+                  << " — regenerate with SRC_UPDATE_GOLDEN=1";
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  obs::Json golden = obs::Json::parse(buffer.str());
+#if defined(SRC_OBS_DISABLE)
+  // Obs-disabled builds record no counters; compare only the result-level
+  // metrics (which must be identical — that is the point of the build).
+  obs::Json filtered{obs::Json::Object{}};
+  for (const auto& [key, value] : golden.as_object()) {
+    if (key != "counters") filtered.set(key, value);
+  }
+  golden = std::move(filtered);
+#endif
+
+  const std::vector<std::string> diffs = compare_snapshots(golden, snapshot);
+  if (!diffs.empty()) {
+    std::ostringstream report;
+    report << name << ": " << diffs.size() << " metric(s) drifted from "
+           << path << ":";
+    for (const std::string& diff : diffs) report << "\n  " << diff;
+    report << "\nIf the change is intentional, regenerate with "
+              "SRC_UPDATE_GOLDEN=1.";
+    ADD_FAILURE() << report.str();
+  }
+}
+
+}  // namespace src::regression

@@ -1,0 +1,98 @@
+// Determinism guarantees of the observability layer (the "passive
+// recording" contract in src/obs/obs.hpp):
+//  1. Two traced runs of the same seeded scenario produce byte-identical
+//     trace streams and metric snapshots.
+//  2. A run with observability disabled produces a bit-identical
+//     ExperimentResult to a traced run — instrumentation must not perturb
+//     the simulation.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+
+#include "scenario.hpp"
+
+namespace src::regression {
+namespace {
+
+struct TracedRun {
+  core::ExperimentResult result;
+  std::unique_ptr<obs::Observatory> observatory;
+};
+
+TracedRun run_traced() {
+  TracedRun run;
+  run.observatory = std::make_unique<obs::Observatory>();
+  core::ExperimentConfig config = fig9_reduced();
+  config.observatory = run.observatory.get();
+  run.result = core::run_experiment(config);
+  return run;
+}
+
+// Exact (==) comparison throughout: "bit-identical" is the contract, so no
+// tolerances anywhere in this file.
+void expect_identical(const core::ExperimentResult& a,
+                      const core::ExperimentResult& b) {
+  EXPECT_EQ(a.read_rate.as_bytes_per_second(), b.read_rate.as_bytes_per_second());
+  EXPECT_EQ(a.write_rate.as_bytes_per_second(), b.write_rate.as_bytes_per_second());
+  EXPECT_EQ(a.total_pauses, b.total_pauses);
+  EXPECT_EQ(a.total_cnps, b.total_cnps);
+  EXPECT_EQ(a.reads_completed, b.reads_completed);
+  EXPECT_EQ(a.writes_completed, b.writes_completed);
+  EXPECT_EQ(a.end_time, b.end_time);
+  EXPECT_EQ(a.completed, b.completed);
+  ASSERT_EQ(a.adjustments.size(), b.adjustments.size());
+  for (std::size_t i = 0; i < a.adjustments.size(); ++i) {
+    EXPECT_EQ(a.adjustments[i].when, b.adjustments[i].when);
+    EXPECT_EQ(a.adjustments[i].weight_ratio, b.adjustments[i].weight_ratio);
+    EXPECT_EQ(a.adjustments[i].demanded_bytes_per_sec,
+              b.adjustments[i].demanded_bytes_per_sec);
+    EXPECT_EQ(a.adjustments[i].decrease, b.adjustments[i].decrease);
+  }
+}
+
+TEST(Determinism, TracedRunsAreReproducibleAndRecordingIsPassive) {
+  const TracedRun first = run_traced();
+  const TracedRun second = run_traced();
+
+  // Identical seeds -> byte-identical trace streams and metric snapshots.
+  EXPECT_EQ(first.observatory->trace_json(), second.observatory->trace_json());
+  EXPECT_EQ(first.observatory->metrics_json(),
+            second.observatory->metrics_json());
+  expect_identical(first.result, second.result);
+
+  // Observability off entirely: the simulation must not notice.
+  const core::ExperimentResult bare = core::run_experiment(fig9_reduced());
+  expect_identical(first.result, bare);
+
+#if !defined(SRC_OBS_DISABLE)
+  // The traced fig9 run must carry events from every instrumented layer the
+  // scenario exercises (acceptance criterion: spans from net, nvme, fabric,
+  // core are all present in the Perfetto export).
+  std::set<std::string> categories;
+  bool saw_span = false;
+  for (const obs::TraceEvent& event : first.observatory->tracer().events()) {
+    categories.insert(event.cat);
+    saw_span = saw_span || event.phase == 'X';
+  }
+  EXPECT_TRUE(categories.contains("net"));
+  EXPECT_TRUE(categories.contains("nvme"));
+  EXPECT_TRUE(categories.contains("fabric"));
+  EXPECT_TRUE(categories.contains("core"));
+  EXPECT_TRUE(saw_span);
+
+  // And the metric side saw the simulator heartbeat.
+  const obs::Counter* events_executed =
+      first.observatory->metrics().find_counter("sim.events_executed");
+  ASSERT_NE(events_executed, nullptr);
+  EXPECT_GT(events_executed->value(), 0u);
+
+  // SRC actually adjusted in this congested scenario (otherwise the "core"
+  // lane above would be vacuous).
+  EXPECT_FALSE(first.result.adjustments.empty());
+#endif
+}
+
+}  // namespace
+}  // namespace src::regression

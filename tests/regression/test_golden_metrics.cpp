@@ -1,0 +1,87 @@
+// Golden-metric regression tests: run the reduced evaluation scenarios and
+// compare their key metrics (throughputs, pause counts, final weight ratio,
+// obs counters) against golden JSON snapshots under tests/regression/golden.
+// Regenerate intentionally-changed goldens with:
+//
+//   SRC_UPDATE_GOLDEN=1 ctest -L regression
+#include <gtest/gtest.h>
+
+#include "core/standalone.hpp"
+#include "scenario.hpp"
+
+namespace src::regression {
+namespace {
+
+obs::Json run_and_snapshot(core::ExperimentConfig config) {
+  obs::ObsConfig obs_config;
+  obs_config.tracing = false;  // goldens pin metrics, not trace streams
+  obs::Observatory observatory(obs_config);
+  config.observatory = &observatory;
+  const core::ExperimentResult result = core::run_experiment(config);
+  return experiment_snapshot(result, observatory);
+}
+
+TEST(GoldenMetrics, Fig5WeightSweep) {
+  // Fig. 5: standalone weight-ratio sweep. The golden pins the monotone
+  // read/write throughput trade-off at three representative weights.
+  const workload::Trace trace = workload::generate_micro(
+      workload::symmetric_micro(15.0, 32.0 * 1024, 1200), 7);
+  obs::Json snap{obs::Json::Object{}};
+  for (const std::uint32_t w : {1u, 4u, 16u}) {
+    core::StandaloneOptions options;
+    options.weight_ratio = w;
+    options.horizon = core::arrival_horizon(trace);
+    const core::StandaloneResult result =
+        core::run_standalone(ssd::ssd_a(), trace, options);
+    obs::Json point{obs::Json::Object{}};
+    point.set("read_gbps", obs::Json{result.read_rate.as_gbps()});
+    point.set("write_gbps", obs::Json{result.write_rate.as_gbps()});
+    point.set("reads_completed", obs::Json{result.reads_completed});
+    point.set("writes_completed", obs::Json{result.writes_completed});
+    snap.set("w" + std::to_string(w), std::move(point));
+  }
+  check_against_golden("fig5", snap);
+}
+
+TEST(GoldenMetrics, Fig7VdiDcqcnOnly) {
+  check_against_golden("fig7", run_and_snapshot(fig7_reduced()));
+}
+
+TEST(GoldenMetrics, Table4Incast) {
+  check_against_golden("table4", run_and_snapshot(table4_reduced()));
+}
+
+// The comparator itself must fail loudly: a >1% throughput perturbation has
+// to surface as a named metric-level diff (this is what protects the suite
+// from silently-widened tolerances).
+TEST(GoldenComparator, FlagsThroughputPerturbationAboveOnePercent) {
+  obs::Json golden{obs::Json::Object{}};
+  golden.set("read_gbps", obs::Json{2.0});
+  golden.set("total_pauses", obs::Json{std::uint64_t{41}});
+
+  obs::Json perturbed{obs::Json::Object{}};
+  perturbed.set("read_gbps", obs::Json{2.0 * 1.015});  // +1.5%
+  perturbed.set("total_pauses", obs::Json{std::uint64_t{41}});
+
+  const auto diffs = compare_snapshots(golden, perturbed);
+  ASSERT_EQ(diffs.size(), 1u);
+  EXPECT_NE(diffs[0].find("read_gbps"), std::string::npos);
+  EXPECT_NE(diffs[0].find("golden 2"), std::string::npos);
+
+  // Within tolerance: no diff.
+  obs::Json close{obs::Json::Object{}};
+  close.set("read_gbps", obs::Json{2.0 * 1.001});  // +0.1%
+  close.set("total_pauses", obs::Json{std::uint64_t{41}});
+  EXPECT_TRUE(compare_snapshots(golden, close).empty());
+
+  // Counts are exact: off-by-one pause count is a diff.
+  obs::Json off_by_one{obs::Json::Object{}};
+  off_by_one.set("read_gbps", obs::Json{2.0});
+  off_by_one.set("total_pauses", obs::Json{std::uint64_t{42}});
+  const auto count_diffs = compare_snapshots(golden, off_by_one);
+  ASSERT_EQ(count_diffs.size(), 1u);
+  EXPECT_NE(count_diffs[0].find("total_pauses"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace src::regression

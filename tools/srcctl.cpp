@@ -2,6 +2,7 @@
 //
 //   srcctl sweep       fig-5-style weight-ratio sweep on one workload
 //   srcctl experiment  DCQCN-only vs DCQCN-SRC on an evaluation preset
+//   srcctl trace       run a preset with tracing on; emit Chrome trace JSON
 //   srcctl tpm         train a throughput prediction model and inspect it
 //   srcctl trace-gen   generate a CSV block trace (micro / vdi / cbs)
 //   srcctl replay      replay a CSV trace against a simulated SSD
@@ -10,6 +11,7 @@
 // Run `srcctl <command> --help` for per-command flags.
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
@@ -19,6 +21,7 @@
 #include "core/presets.hpp"
 #include "core/standalone.hpp"
 #include "fault/fault_injector.hpp"
+#include "obs/obs.hpp"
 #include "workload/trace_io.hpp"
 
 using namespace src;
@@ -31,6 +34,9 @@ class Args {
   Args(int argc, char** argv, int first) {
     for (int i = first; i < argc; ++i) {
       std::string token = argv[i];
+      if (token == "-o") {
+        token = "--out";  // conventional short form for output files
+      }
       if (token.rfind("--", 0) != 0) {
         std::fprintf(stderr, "unexpected argument '%s'\n", token.c_str());
         std::exit(2);
@@ -94,11 +100,21 @@ int cmd_sweep(const Args& args) {
   return 0;
 }
 
+/// Write `text` to `path`, exiting with a message on failure.
+void write_text_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    std::exit(1);
+  }
+  out << text << '\n';
+}
+
 int cmd_experiment(const Args& args) {
   if (args.has("help")) {
     std::puts("srcctl experiment [--preset vdi|light|moderate|heavy|incast]\n"
               "                  [--targets 2] [--initiators 1] [--seed 99]\n"
-              "                  [--model file.tpm]");
+              "                  [--model file.tpm] [--metrics-out metrics.json]");
     return 0;
   }
   const std::string preset = args.get("preset", "vdi");
@@ -129,8 +145,29 @@ int cmd_experiment(const Args& args) {
     std::exit(2);
   };
 
-  const auto only = core::run_experiment(build(false));
-  const auto with_src = core::run_experiment(build(true));
+  // Metrics observatories (tracing off: the counters are what we export).
+  obs::ObsConfig obs_config;
+  obs_config.tracing = false;
+  obs::Observatory only_obs(obs_config);
+  obs::Observatory src_obs(obs_config);
+
+  auto only_config = build(false);
+  auto src_config = build(true);
+  if (args.has("metrics-out")) {
+    only_config.observatory = &only_obs;
+    src_config.observatory = &src_obs;
+  }
+  const auto only = core::run_experiment(only_config);
+  const auto with_src = core::run_experiment(src_config);
+
+  if (args.has("metrics-out")) {
+    obs::Json combined = obs::Json::Object{};
+    combined.set("dcqcn_only", obs::Json::parse(only_obs.metrics_json()));
+    combined.set("dcqcn_src", obs::Json::parse(src_obs.metrics_json()));
+    const std::string path = args.get("metrics-out", "");
+    write_text_file(path, combined.dump(2));
+    std::printf("metrics written to %s\n", path.c_str());
+  }
 
   common::TextTable table({"Mode", "read", "write", "aggregate", "signals"});
   auto row = [&](const char* name, const core::ExperimentResult& r) {
@@ -173,6 +210,68 @@ int cmd_experiment(const Args& args) {
   };
   robustness("DCQCN-only", only);
   robustness("DCQCN-SRC", with_src);
+  return 0;
+}
+
+int cmd_trace(const Args& args) {
+  if (args.has("help")) {
+    std::puts("srcctl trace --preset fig7|fig9|fig10-light|fig10-moderate|\n"
+              "                      fig10-heavy|table4\n"
+              "             [-o|--out trace.json] [--metrics-out metrics.json]\n"
+              "             [--model file.tpm] [--capacity 65536]\n"
+              "\n"
+              "Runs the preset with event tracing enabled and writes a Chrome\n"
+              "trace_event JSON (load it at https://ui.perfetto.dev).");
+    return 0;
+  }
+  const std::string preset = args.get("preset", "fig9");
+  const std::string out = args.get("out", "trace.json");
+
+  core::Tpm tpm;
+  const core::Tpm* model = nullptr;
+  if (preset != "fig7") {  // every other preset runs SRC and needs a TPM
+    if (args.has("model")) {
+      tpm = core::Tpm::load_file(args.get("model", ""));
+      std::printf("loaded TPM from %s\n", args.get("model", "").c_str());
+    } else {
+      std::printf("training TPM for SSD-A (use --model file.tpm to skip)...\n");
+      tpm = core::train_default_tpm(ssd::ssd_a());
+    }
+    model = &tpm;
+  }
+
+  core::ExperimentConfig config;
+  try {
+    config = core::preset_by_name(preset, model);
+  } catch (const std::invalid_argument& err) {
+    std::fprintf(stderr, "%s\n", err.what());
+    return 2;
+  }
+
+  obs::ObsConfig obs_config;
+  obs_config.tracing = true;
+  obs_config.trace_capacity = args.get_u64("capacity", obs_config.trace_capacity);
+  obs::Observatory observatory(obs_config);
+  config.observatory = &observatory;
+
+  const auto result = core::run_experiment(config);
+
+  write_text_file(out, observatory.trace_json());
+  std::printf("%s: read %.2f Gbps, write %.2f Gbps, %llu pauses, final w=%u\n",
+              preset.c_str(), result.read_rate.as_gbps(),
+              result.write_rate.as_gbps(),
+              static_cast<unsigned long long>(result.total_pauses),
+              result.final_weight_ratio());
+  std::printf("trace: %zu events kept (%llu recorded, %llu dropped) -> %s\n",
+              observatory.tracer().size(),
+              static_cast<unsigned long long>(observatory.tracer().recorded()),
+              static_cast<unsigned long long>(observatory.tracer().dropped()),
+              out.c_str());
+  if (args.has("metrics-out")) {
+    const std::string metrics_path = args.get("metrics-out", "");
+    write_text_file(metrics_path, observatory.metrics_json());
+    std::printf("metrics written to %s\n", metrics_path.c_str());
+  }
   return 0;
 }
 
@@ -381,13 +480,14 @@ int main(int argc, char** argv) {
   const Args args(argc, argv, 2);
   if (command == "sweep") return cmd_sweep(args);
   if (command == "experiment") return cmd_experiment(args);
+  if (command == "trace") return cmd_trace(args);
   if (command == "tpm") return cmd_tpm(args);
   if (command == "trace-gen") return cmd_trace_gen(args);
   if (command == "replay") return cmd_replay(args);
   if (command == "trace-stats") return cmd_trace_stats(args);
   if (command == "faults") return cmd_faults(args);
   std::fprintf(stderr,
-               "usage: srcctl <sweep|experiment|tpm|trace-gen|trace-stats|replay|faults> [--flags]\n"
+               "usage: srcctl <sweep|experiment|trace|tpm|trace-gen|trace-stats|replay|faults> [--flags]\n"
                "       srcctl <command> --help\n");
   return command.empty() ? 2 : 2;
 }
