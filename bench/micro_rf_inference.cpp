@@ -17,9 +17,9 @@ const ml::Dataset& training_data() {
 
 const core::Tpm& trained_tpm() {
   static const core::Tpm tpm = [] {
-    core::Tpm tpm;
-    tpm.fit(training_data());
-    return tpm;
+    core::Tpm fitted;
+    fitted.fit(training_data());
+    return fitted;
   }();
   return tpm;
 }

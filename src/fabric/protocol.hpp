@@ -16,6 +16,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <map>
 #include <unordered_map>
 #include <vector>
 
@@ -140,7 +141,9 @@ class FabricContext {
  private:
   std::uint64_t next_request_id_ = 0;
   std::unordered_map<std::uint64_t, RequestInfo> requests_;
-  std::unordered_map<std::uint64_t, std::uint64_t> message_to_request_;
+  /// Ordered map: expire_request_messages() iterates it, and message-id
+  /// order (not hash-table layout) must decide the erase sequence.
+  std::map<std::uint64_t, std::uint64_t> message_to_request_;
 };
 
 }  // namespace src::fabric

@@ -23,8 +23,14 @@ class Dataset {
   void add(std::span<const double> x, std::span<const double> y) {
     if (x.size() != d_ || y.size() != m_)
       throw std::invalid_argument("sample shape mismatch");
-    x_.insert(x_.end(), x.begin(), x.end());
-    y_.insert(y_.end(), y.begin(), y.end());
+    // Element-wise append (not a range insert): GCC 12's -O3 object-size
+    // analysis reports false-positive -Wstringop-overflow on
+    // vector::insert from a span over a stack array, and the hardened
+    // -Werror profile builds this header into every test.
+    x_.reserve(x_.size() + x.size());
+    for (const double v : x) x_.push_back(v);
+    y_.reserve(y_.size() + y.size());
+    for (const double v : y) y_.push_back(v);
   }
 
   void add(std::span<const double> x, double y) { add(x, std::span{&y, 1}); }

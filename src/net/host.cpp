@@ -96,13 +96,8 @@ void Host::pump() {
   // TXQ occupancy sample (the paper's Fig. 3/5 evidence: throttled flows
   // back their messages up here). Computed only when tracing is on.
   SRC_OBS_TRACE_COUNTER("net", "host.txq_bytes", sim_.now(),
-                        static_cast<std::uint32_t>(id()), [this] {
-                          std::uint64_t total = 0;
-                          for (const auto& [key, flow] : flows_) {
-                            total += flow.queued_bytes;
-                          }
-                          return static_cast<double>(total);
-                        }());
+                        static_cast<std::uint32_t>(id()),
+                        static_cast<double>(total_txq_bytes()));
 
   // Nothing sendable right now: wake when the earliest pacing gate opens.
   sim_.cancel(wake_event_);
@@ -175,9 +170,18 @@ void Host::send_cnp(const Packet& data) {
   port(0).enqueue(cnp);
 }
 
+std::uint64_t Host::total_txq_bytes() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t key : flow_order_) {
+    total += flows_.at(key).queued_bytes;
+  }
+  return total;
+}
+
 std::uint64_t Host::txq_bytes(NodeId dst) const {
   std::uint64_t total = 0;
-  for (const auto& [key, flow] : flows_) {
+  for (const std::uint64_t key : flow_order_) {
+    const Flow& flow = flows_.at(key);
     if (flow.dst == dst) total += flow.queued_bytes;
   }
   return total;
@@ -189,9 +193,13 @@ Rate Host::flow_rate(NodeId dst, std::uint32_t channel) const {
 }
 
 Rate Host::total_allowed_rate() const {
+  // Iterate in flow creation order: the sum is floating point, so the
+  // iteration order is observable (it feeds the SRC congestion callback)
+  // and must not depend on hash-table layout.
   Rate total = Rate::zero();
   bool any = false;
-  for (const auto& [key, flow] : flows_) {
+  for (const std::uint64_t key : flow_order_) {
+    const Flow& flow = flows_.at(key);
     if (flow.queued_bytes == 0 && flow.messages.empty()) continue;
     total = total + flow.cc->current_rate();
     any = true;

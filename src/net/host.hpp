@@ -102,6 +102,8 @@ class Host final : public Node {
 
   Flow& flow_to(NodeId dst, std::uint32_t channel);
   void pump();
+  /// Total TXQ backlog over all flows, iterated in flow creation order.
+  std::uint64_t total_txq_bytes() const;
   static std::uint64_t flow_key(NodeId dst, std::uint32_t channel) {
     return (static_cast<std::uint64_t>(channel) << 32) | dst;
   }

@@ -1,0 +1,18 @@
+// srclint fixture: every marked line must trip R1 (nondeterminism source).
+// This file is never compiled; it only exists to be linted.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int fixture_r1() {
+  std::random_device rd;
+  auto wall = std::chrono::system_clock::now();
+  auto mono = std::chrono::steady_clock::now();
+  auto fine = std::chrono::high_resolution_clock::now();
+  std::srand(42);
+  int noise = std::rand();
+  std::time_t stamp = std::time(nullptr);
+  return static_cast<int>(rd() + static_cast<unsigned>(noise) +
+                          static_cast<unsigned>(stamp));
+}

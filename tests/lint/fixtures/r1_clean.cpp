@@ -1,0 +1,19 @@
+// srclint fixture: R1 must stay silent here — member functions named
+// time(), declarations named time, and seeded generators are all fine.
+#include <cstdint>
+
+struct Sim {
+  std::uint64_t time() const { return now; }
+  std::uint64_t now = 0;
+};
+
+std::uint64_t sim_time(const Sim& sim) { return sim.time(); }
+
+struct Trace {
+  // A declaration whose name is `time` is not a call.
+  std::uint64_t time(std::uint64_t at) const { return at; }
+};
+
+std::uint64_t replay(const Trace& trace, const Sim* sim) {
+  return trace.time(sim->time());
+}

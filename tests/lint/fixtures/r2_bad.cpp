@@ -1,0 +1,18 @@
+// srclint fixture: iteration over unordered containers must trip R2.
+// This file is never compiled; it only exists to be linted.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+struct FlowTable {
+  std::unordered_map<std::uint64_t, double> flows;
+  std::unordered_set<std::uint64_t> active;
+
+  double sum() const {
+    double total = 0.0;
+    for (const auto& [id, rate] : flows) total += rate;
+    return total;
+  }
+
+  std::uint64_t first() const { return *active.begin(); }
+};

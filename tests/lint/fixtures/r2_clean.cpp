@@ -1,0 +1,22 @@
+// srclint fixture: R2 must stay silent here — lookups into unordered
+// containers are fine (only iteration is an order hazard), and ordered
+// containers may be iterated freely.
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+struct CleanTable {
+  std::unordered_map<std::uint64_t, double> by_id;
+  std::map<std::uint64_t, double> ordered;
+
+  double lookup(std::uint64_t id) const {
+    if (auto it = by_id.find(id); it != by_id.end()) return it->second;
+    return 0.0;
+  }
+
+  double sum() const {
+    double total = 0.0;
+    for (const auto& [id, rate] : ordered) total += rate;
+    return total;
+  }
+};

@@ -1,0 +1,14 @@
+// srclint fixture: observability macro arguments that mutate state must
+// trip R3. This file is never compiled; it only exists to be linted.
+#include <cstdint>
+#include <vector>
+
+#define SRC_OBS_COUNT_ADD(name, delta) ((void)0)
+#define SRC_OBS_GAUGE(name, value) ((void)0)
+#define SRC_OBS_INSTANT(cat, name, ts, lane, value) ((void)0)
+
+void fixture_r3(std::uint64_t& counter, std::vector<int>& queue) {
+  SRC_OBS_COUNT_ADD("io.bytes", counter++);
+  SRC_OBS_GAUGE("queue.depth", counter = 4);
+  SRC_OBS_INSTANT("sim", "tick", 0, 0, (queue.push_back(1), 1.0));
+}

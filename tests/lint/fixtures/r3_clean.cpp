@@ -1,0 +1,15 @@
+// srclint fixture: R3 must stay silent here — comparisons, reads, and
+// calls to non-mutating accessors are passive.
+#include <cstdint>
+#include <vector>
+
+#define SRC_OBS_COUNT_ADD(name, delta) ((void)0)
+#define SRC_OBS_GAUGE(name, value) ((void)0)
+#define SRC_OBS_INSTANT(cat, name, ts, lane, value) ((void)0)
+
+void fixture_r3_clean(const std::uint64_t counter,
+                      const std::vector<int>& queue) {
+  SRC_OBS_COUNT_ADD("io.bytes", counter == 0 ? 1 : 2);
+  SRC_OBS_GAUGE("queue.depth", static_cast<double>(queue.size()));
+  SRC_OBS_INSTANT("sim", "tick", 0, 0, counter >= 4 ? 1.0 : 0.0);
+}

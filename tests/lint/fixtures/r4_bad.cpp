@@ -1,0 +1,14 @@
+// srclint fixture: default-constructed RNG engines must trip R4.
+// This file is never compiled; it only exists to be linted.
+#include <random>
+
+void fixture_r4() {
+  std::mt19937 gen;
+  std::default_random_engine engine;
+  auto tmp = std::mt19937();
+  std::mt19937_64 wide{};
+  (void)gen;
+  (void)engine;
+  (void)tmp;
+  (void)wide;
+}

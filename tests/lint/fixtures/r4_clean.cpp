@@ -1,0 +1,25 @@
+// srclint fixture: R4 must stay silent here — every engine threads an
+// explicit seed, and a member of a seed-requiring type (the repo's Rng
+// pattern: no default constructor) is initialized in the ctor init list.
+#include <cstdint>
+#include <random>
+
+struct Rng {
+  explicit Rng(std::uint64_t seed) : state(seed) {}
+  std::uint64_t state;
+};
+
+struct Seeded {
+  explicit Seeded(std::uint64_t seed) : rng_(seed), gen_(seed) {}
+  Rng rng_;
+  std::mt19937_64 gen_{0xBEEF};
+};
+
+void fixture_r4_clean(std::uint64_t seed) {
+  std::mt19937 gen(static_cast<std::mt19937::result_type>(seed));
+  std::mt19937_64 wide{seed};
+  Rng rng(seed);
+  (void)gen;
+  (void)wide;
+  (void)rng;
+}

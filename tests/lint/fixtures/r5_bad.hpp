@@ -1,0 +1,8 @@
+// srclint fixture: deliberately NOT self-contained — std::vector is used
+// without including <vector>, so a TU holding just this header must fail
+// to compile and trip R5.
+#pragma once
+
+struct R5Bad {
+  std::vector<int> values;
+};

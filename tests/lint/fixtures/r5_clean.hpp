@@ -1,0 +1,8 @@
+// srclint fixture: self-contained header — R5 must stay silent.
+#pragma once
+
+#include <vector>
+
+struct R5Clean {
+  std::vector<int> values;
+};

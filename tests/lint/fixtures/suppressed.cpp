@@ -1,0 +1,19 @@
+// srclint fixture: one violation per token rule, each silenced by a
+// suppression tag — the whole file must lint clean.
+#include <cstdlib>
+#include <random>
+#include <unordered_map>
+
+#define SRC_OBS_GAUGE(name, value) ((void)0)
+
+std::unordered_map<int, int> table;
+
+int fixture_suppressed(int x) {
+  int noise = std::rand();  // srclint:nondet-ok
+  int total = 0;
+  // srclint:ordered-ok — snapshot below is order-insensitive (max).
+  for (const auto& [key, value] : table) total += value;
+  SRC_OBS_GAUGE("x", total = x);  // srclint:obs-ok
+  std::mt19937 gen;               // srclint:seed-ok
+  return noise + total + static_cast<int>(gen());
+}

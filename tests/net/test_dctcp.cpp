@@ -95,7 +95,9 @@ TEST(DctcpTest, HostsRunDctcpEndToEnd) {
   net.connect(sink, hub, Rate::gbps(10.0), common::kMicrosecond);
   std::vector<NodeId> senders;
   for (int i = 0; i < 4; ++i) {
-    const NodeId s = net.add_host("s" + std::to_string(i));
+    std::string sender_name = "s";
+    sender_name += std::to_string(i);
+    const NodeId s = net.add_host(sender_name);
     net.connect(s, hub, Rate::gbps(10.0), common::kMicrosecond);
     senders.push_back(s);
   }

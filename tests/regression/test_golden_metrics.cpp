@@ -38,7 +38,9 @@ TEST(GoldenMetrics, Fig5WeightSweep) {
     point.set("write_gbps", obs::Json{result.write_rate.as_gbps()});
     point.set("reads_completed", obs::Json{result.reads_completed});
     point.set("writes_completed", obs::Json{result.writes_completed});
-    snap.set("w" + std::to_string(w), std::move(point));
+    std::string key = "w";
+    key += std::to_string(w);
+    snap.set(key, std::move(point));
   }
   check_against_golden("fig5", snap);
 }

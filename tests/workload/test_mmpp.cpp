@@ -66,7 +66,9 @@ TEST(SyntheticTest, DeterministicAndSorted) {
   ASSERT_EQ(a.size(), b.size());
   for (std::size_t i = 0; i < a.size(); ++i) {
     EXPECT_EQ(a[i].arrival, b[i].arrival);
-    if (i > 0) EXPECT_LE(a[i - 1].arrival, a[i].arrival);
+    if (i > 0) {
+      EXPECT_LE(a[i - 1].arrival, a[i].arrival);
+    }
   }
 }
 

@@ -1,0 +1,126 @@
+#include "header_check.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <fstream>
+#include <thread>
+
+namespace srclint {
+namespace fs = std::filesystem;
+namespace {
+
+/// Run a shell command, capturing stdout+stderr. Returns the process exit
+/// status, or -1 when the command could not be started.
+int run_command(const std::string& command, std::string& output) {
+  const std::string wrapped = command + " 2>&1";
+  FILE* pipe = popen(wrapped.c_str(), "r");
+  if (pipe == nullptr) return -1;
+  char buffer[4096];
+  std::size_t got = 0;
+  while ((got = fread(buffer, 1, sizeof buffer, pipe)) > 0) {
+    output.append(buffer, got);
+  }
+  const int status = pclose(pipe);
+  if (status == -1) return -1;
+  if (WIFEXITED(status)) return WEXITSTATUS(status);
+  return -1;
+}
+
+std::string shell_quote(const std::string& s) {
+  std::string out = "'";
+  for (char c : s) {
+    if (c == '\'') out += "'\\''";
+    else out.push_back(c);
+  }
+  out.push_back('\'');
+  return out;
+}
+
+std::string first_line(const std::string& text) {
+  const std::size_t nl = text.find('\n');
+  return nl == std::string::npos ? text : text.substr(0, nl);
+}
+
+}  // namespace
+
+bool check_headers(const std::vector<HeaderToCheck>& headers,
+                   const HeaderCheckConfig& config, std::vector<Finding>& out) {
+  if (headers.empty()) return true;
+
+  char temp_template[] = "/tmp/srclint-hdr-XXXXXX";
+  char* temp_dir = mkdtemp(temp_template);
+  if (temp_dir == nullptr) return false;
+  const fs::path tmp(temp_dir);
+
+  std::string include_flags;
+  for (const std::string& dir : config.include_dirs) {
+    include_flags += " -I " + shell_quote(dir);
+  }
+
+  struct Result {
+    bool failed = false;
+    bool infra_error = false;
+    std::string message;
+  };
+  std::vector<Result> results(headers.size());
+
+  const std::size_t hw = std::thread::hardware_concurrency();
+  const std::size_t jobs = std::min<std::size_t>(
+      headers.size(),
+      config.jobs != 0 ? config.jobs : (hw != 0 ? hw : 4));
+
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (std::size_t idx = next.fetch_add(1); idx < headers.size();
+         idx = next.fetch_add(1)) {
+      const HeaderToCheck& header = headers[idx];
+      const fs::path tu = tmp / ("tu_" + std::to_string(idx) + ".cpp");
+      {
+        std::ofstream tu_out(tu);
+        tu_out << "#include \"" << header.absolute.generic_string() << "\"\n"
+               << "int main() { return 0; }\n";
+        if (!tu_out) {
+          results[idx].infra_error = true;
+          continue;
+        }
+      }
+      const std::string cmd = config.compiler + " -std=c++20 -fsyntax-only" +
+                              include_flags + " " +
+                              shell_quote(tu.generic_string());
+      std::string output;
+      const int status = run_command(cmd, output);
+      if (status == -1) {
+        results[idx].infra_error = true;
+      } else if (status != 0) {
+        results[idx].failed = true;
+        results[idx].message = first_line(output);
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  for (std::size_t t = 0; t < jobs; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+
+  std::error_code ec;
+  fs::remove_all(tmp, ec);
+
+  bool ok = true;
+  for (std::size_t idx = 0; idx < headers.size(); ++idx) {
+    if (results[idx].infra_error) ok = false;
+    if (results[idx].failed) {
+      out.push_back({headers[idx].report_path, 1, "R5",
+                     "header is not self-contained (fails to compile "
+                     "standalone): " +
+                         results[idx].message});
+    }
+  }
+  return ok;
+}
+
+}  // namespace srclint

@@ -1,0 +1,34 @@
+// srclint rule R5: every public header must be self-contained — a
+// translation unit consisting of just `#include "header"` must compile.
+// Enforced by generating one TU per header and running the configured
+// compiler with -fsyntax-only; header TUs compile in parallel.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "rules.hpp"
+
+namespace srclint {
+
+struct HeaderCheckConfig {
+  std::string compiler = "c++";            ///< invoked via the shell
+  std::vector<std::string> include_dirs;   ///< -I directories
+  std::size_t jobs = 0;                    ///< 0 = hardware concurrency
+};
+
+/// Check each header (absolute path + reporting path pairs). A header whose
+/// lexed source carries the `header` file-suppression tag is skipped by the
+/// caller. Appends one R5 finding per non-compiling header. Returns false
+/// on infrastructure failure (temp dir or compiler unrunnable), which the
+/// caller must turn into exit code 2.
+struct HeaderToCheck {
+  std::filesystem::path absolute;
+  std::string report_path;
+};
+
+bool check_headers(const std::vector<HeaderToCheck>& headers,
+                   const HeaderCheckConfig& config, std::vector<Finding>& out);
+
+}  // namespace srclint

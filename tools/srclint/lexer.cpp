@@ -1,0 +1,154 @@
+#include "lexer.hpp"
+
+#include <array>
+#include <cctype>
+
+namespace srclint {
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '$';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '$';
+}
+
+/// Multi-character punctuators, longest first within each leading char.
+constexpr std::array<std::string_view, 26> kMultiPunct = {
+    "<<=", ">>=", "<=>", "->*", "...", "::", "->", "++", "--", "<<", ">>",
+    "<=",  ">=",  "==",  "!=",  "&&", "||", "+=", "-=", "*=", "/=", "%=",
+    "&=",  "|=",  "^=",  "##",
+};
+
+/// Scan a comment body for `srclint:<tag>-ok` / `srclint:<tag>-ok-file`.
+void collect_tags(std::string_view comment, int line, Suppressions& out) {
+  constexpr std::string_view kPrefix = "srclint:";
+  std::size_t pos = 0;
+  while ((pos = comment.find(kPrefix, pos)) != std::string_view::npos) {
+    pos += kPrefix.size();
+    std::size_t end = pos;
+    while (end < comment.size() &&
+           (ident_char(comment[end]) || comment[end] == '-')) {
+      ++end;
+    }
+    std::string_view word = comment.substr(pos, end - pos);
+    constexpr std::string_view kOkFile = "-ok-file";
+    constexpr std::string_view kOk = "-ok";
+    if (word.size() > kOkFile.size() && word.ends_with(kOkFile)) {
+      out.file_tags.emplace(word.substr(0, word.size() - kOkFile.size()));
+    } else if (word.size() > kOk.size() && word.ends_with(kOk)) {
+      out.line_tags[line].emplace(word.substr(0, word.size() - kOk.size()));
+    }
+    pos = end;
+  }
+}
+
+}  // namespace
+
+LexedFile lex(std::string path, std::string_view text) {
+  LexedFile out;
+  out.path = std::move(path);
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+
+  auto advance_over = [&](std::size_t count) {
+    for (std::size_t k = 0; k < count && i < n; ++k, ++i) {
+      if (text[i] == '\n') ++line;
+    }
+  };
+
+  while (i < n) {
+    const char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      const std::size_t end = text.find('\n', i);
+      const std::size_t stop = end == std::string_view::npos ? n : end;
+      collect_tags(text.substr(i, stop - i), line, out.suppressions);
+      i = stop;
+      continue;
+    }
+    // Block comment. Tags are attributed to the line the comment starts on.
+    if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      const std::size_t end = text.find("*/", i + 2);
+      const std::size_t stop = end == std::string_view::npos ? n : end + 2;
+      collect_tags(text.substr(i, stop - i), line, out.suppressions);
+      advance_over(stop - i);
+      continue;
+    }
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && text[i + 1] == '"') {
+      std::size_t open = text.find('(', i + 2);
+      if (open != std::string_view::npos) {
+        std::string closer = ")";
+        closer.append(text.substr(i + 2, open - (i + 2)));
+        closer.push_back('"');
+        std::size_t end = text.find(closer, open + 1);
+        const std::size_t stop =
+            end == std::string_view::npos ? n : end + closer.size();
+        advance_over(stop - i);
+        continue;
+      }
+    }
+    // String / char literal (with escape handling).
+    if (c == '"' || c == '\'') {
+      std::size_t j = i + 1;
+      while (j < n && text[j] != c) {
+        if (text[j] == '\\' && j + 1 < n) ++j;
+        ++j;
+      }
+      advance_over((j < n ? j + 1 : n) - i);
+      continue;
+    }
+    // Identifier.
+    if (ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < n && ident_char(text[j])) ++j;
+      out.tokens.push_back(
+          {TokKind::kIdentifier, std::string(text.substr(i, j - i)), line});
+      i = j;
+      continue;
+    }
+    // Number (pp-number is close enough: digits, dots, exponents, suffixes).
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(text[i + 1])))) {
+      std::size_t j = i + 1;
+      while (j < n && (ident_char(text[j]) || text[j] == '.' ||
+                       ((text[j] == '+' || text[j] == '-') &&
+                        (text[j - 1] == 'e' || text[j - 1] == 'E' ||
+                         text[j - 1] == 'p' || text[j - 1] == 'P')))) {
+        ++j;
+      }
+      out.tokens.push_back(
+          {TokKind::kNumber, std::string(text.substr(i, j - i)), line});
+      i = j;
+      continue;
+    }
+    // Punctuator: longest multi-char match first.
+    bool matched = false;
+    for (std::string_view p : kMultiPunct) {
+      if (text.substr(i, p.size()) == p) {
+        out.tokens.push_back({TokKind::kPunct, std::string(p), line});
+        i += p.size();
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    out.tokens.push_back({TokKind::kPunct, std::string(1, c), line});
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace srclint

@@ -1,0 +1,55 @@
+// srclint lexer: a minimal C++ tokenizer sufficient for token-level lint
+// rules. It is NOT a full C++ lexer — it strips comments, string literals
+// (including raw strings) and character literals, keeps file/line
+// provenance for every token, and records the text of every comment so
+// suppression tags (`// srclint:<rule>-ok`) can be resolved per line.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace srclint {
+
+enum class TokKind {
+  kIdentifier,  ///< identifiers and keywords (no distinction needed)
+  kNumber,      ///< numeric literal (pp-number)
+  kPunct,       ///< operator / punctuator, longest-match multi-char
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line = 0;
+};
+
+/// Suppression tags found in comments, keyed by line number. A finding of
+/// rule tag T at line L is suppressed when `srclint:T-ok` appears on line
+/// L or L-1, or `srclint:T-ok-file` appears anywhere in the file.
+struct Suppressions {
+  std::unordered_map<int, std::unordered_set<std::string>> line_tags;
+  std::unordered_set<std::string> file_tags;
+
+  bool active(const std::string& tag, int line) const {
+    if (file_tags.contains(tag)) return true;
+    for (int probe = line - 1; probe <= line; ++probe) {
+      auto it = line_tags.find(probe);
+      if (it != line_tags.end() && it->second.contains(tag)) return true;
+    }
+    return false;
+  }
+};
+
+struct LexedFile {
+  std::string path;      ///< path as reported in findings (relative when known)
+  std::vector<Token> tokens;
+  Suppressions suppressions;
+};
+
+/// Tokenize `text`. Comments and literals are consumed (never emitted as
+/// tokens); comment bodies are scanned for suppression tags.
+LexedFile lex(std::string path, std::string_view text);
+
+}  // namespace srclint

@@ -1,0 +1,350 @@
+#include "rules.hpp"
+
+#include <array>
+
+namespace srclint {
+namespace {
+
+const std::unordered_set<std::string> kUnorderedTypes = {
+    "unordered_map", "unordered_set", "unordered_multimap",
+    "unordered_multiset"};
+
+/// R1: banned wherever they appear (types / objects).
+const std::unordered_set<std::string> kNondetTypes = {
+    "random_device", "system_clock", "steady_clock", "high_resolution_clock"};
+
+/// R1: banned when invoked as free functions.
+const std::unordered_set<std::string> kNondetCalls = {
+    "time", "clock", "gettimeofday", "clock_gettime", "timespec_get",
+    "rand", "srand"};
+
+/// Keywords that may directly precede a call expression; an identifier
+/// before `time(` that is NOT one of these reads as a declaration
+/// (`SimTime time(...)`) and is not flagged.
+const std::unordered_set<std::string> kExprKeywords = {
+    "return", "else", "do", "case", "goto", "co_return", "co_yield",
+    "co_await", "throw"};
+
+/// R3: member calls that mutate simulation state (scheduling, container
+/// mutation, RNG consumption).
+const std::unordered_set<std::string> kMutatingApis = {
+    "schedule",     "schedule_at", "schedule_after", "cancel",
+    "push_back",    "pop_front",   "pop_back",       "emplace",
+    "emplace_back", "insert",      "erase",          "clear",
+    "reset",        "resize",      "fork",           "next_u64",
+    "uniform",      "uniform_index", "exponential",  "normal",
+    "lognormal_mean_scv", "bernoulli", "set_tracing", "advance",
+    "run",          "stop"};
+
+const std::unordered_set<std::string> kMutatingPunct = {
+    "=",  "+=", "-=", "*=", "/=", "%=", "&=",
+    "|=", "^=", "<<=", ">>=", "++", "--"};
+
+/// R4: RNG engine types that must never be default-constructed.
+const std::unordered_set<std::string> kEngineTypes = {
+    "Rng",          "mt19937",       "mt19937_64",   "minstd_rand",
+    "minstd_rand0", "default_random_engine", "ranlux24", "ranlux48",
+    "ranlux24_base", "ranlux48_base", "knuth_b"};
+
+/// Suppression tag per rule id.
+std::string rule_tag(const std::string& rule) {
+  if (rule == "R1") return "nondet";
+  if (rule == "R2") return "ordered";
+  if (rule == "R3") return "obs";
+  if (rule == "R4") return "seed";
+  return "header";
+}
+
+struct Ctx {
+  const LexedFile& file;
+  std::vector<Finding>& out;
+
+  void report(const std::string& rule, int line, std::string message) const {
+    if (file.suppressions.active(rule_tag(rule), line)) return;
+    out.push_back({file.path, line, rule, std::move(message)});
+  }
+};
+
+bool is_ident(const Token& t) { return t.kind == TokKind::kIdentifier; }
+bool is_punct(const Token& t, std::string_view text) {
+  return t.kind == TokKind::kPunct && t.text == text;
+}
+
+/// Starting at the index of a `<` token, return the index one past its
+/// matching `>` (treating `>>` as two closers), or `npos` on imbalance.
+std::size_t skip_template_args(const std::vector<Token>& toks, std::size_t i) {
+  int depth = 0;
+  for (; i < toks.size(); ++i) {
+    const std::string& t = toks[i].text;
+    if (toks[i].kind != TokKind::kPunct) continue;
+    if (t == "<") depth += 1;
+    else if (t == "<<") depth += 2;
+    else if (t == ">") depth -= 1;
+    else if (t == ">>") depth -= 2;
+    else if (t == ";") return std::string::npos;  // gave up: not a template
+    if (depth <= 0) return i + 1;
+  }
+  return std::string::npos;
+}
+
+/// Starting at the index of a `(` token, return the index of its matching
+/// `)`, or `npos`.
+std::size_t matching_paren(const std::vector<Token>& toks, std::size_t i) {
+  int depth = 0;
+  for (; i < toks.size(); ++i) {
+    if (is_punct(toks[i], "(")) ++depth;
+    else if (is_punct(toks[i], ")") && --depth == 0) return i;
+  }
+  return std::string::npos;
+}
+
+/// Name declared right after a type (skipping cv/ref/ptr tokens); empty
+/// when the next tokens do not form a declaration.
+std::string declared_name(const std::vector<Token>& toks, std::size_t i) {
+  while (i < toks.size() &&
+         (is_punct(toks[i], "&") || is_punct(toks[i], "*") ||
+          (is_ident(toks[i]) && toks[i].text == "const"))) {
+    ++i;
+  }
+  if (i < toks.size() && is_ident(toks[i])) return toks[i].text;
+  return {};
+}
+
+// ---------------------------------------------------------------------- R1
+
+void run_r1(const Ctx& ctx) {
+  const auto& toks = ctx.file.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!is_ident(toks[i])) continue;
+    const std::string& name = toks[i].text;
+    const Token* prev = i > 0 ? &toks[i - 1] : nullptr;
+    const Token* prev2 = i > 1 ? &toks[i - 2] : nullptr;
+
+    // Member access is never the banned entity.
+    if (prev && (is_punct(*prev, ".") || is_punct(*prev, "->"))) continue;
+    // `ns::name` for a non-std namespace is someone else's symbol.
+    if (prev && is_punct(*prev, "::") && prev2 && is_ident(*prev2) &&
+        prev2->text != "std" && prev2->text != "chrono") {
+      continue;
+    }
+
+    if (kNondetTypes.contains(name)) {
+      ctx.report("R1", toks[i].line,
+                 "nondeterminism source '" + name +
+                     "' — simulation code must derive all randomness and "
+                     "time from seeded Rng / sim clock");
+      continue;
+    }
+    if (kNondetCalls.contains(name)) {
+      const bool called = i + 1 < toks.size() && is_punct(toks[i + 1], "(");
+      if (!called) continue;
+      // An identifier immediately before reads as a declaration
+      // (`SimTime time(...)`) unless it is an expression keyword.
+      if (prev && is_ident(*prev) && !kExprKeywords.contains(prev->text)) {
+        continue;
+      }
+      if (prev && (is_punct(*prev, ">") || is_punct(*prev, "*") ||
+                   is_punct(*prev, "&") || is_punct(*prev, "~"))) {
+        continue;  // declarator / destructor context
+      }
+      ctx.report("R1", toks[i].line,
+                 "call to nondeterministic '" + name +
+                     "()' — use the simulator clock or a seeded Rng");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------- R2
+
+void run_r2(const Ctx& ctx,
+            const std::unordered_set<std::string>& unordered_names) {
+  const auto& toks = ctx.file.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    // Range-for whose range expression mentions an unordered container.
+    if (is_ident(toks[i]) && toks[i].text == "for" && i + 1 < toks.size() &&
+        is_punct(toks[i + 1], "(")) {
+      const std::size_t close = matching_paren(toks, i + 1);
+      if (close == std::string::npos) continue;
+      // Top-level `:` splits declaration from range expression.
+      std::size_t colon = std::string::npos;
+      int depth = 0;
+      for (std::size_t k = i + 2; k < close; ++k) {
+        if (is_punct(toks[k], "(")) ++depth;
+        else if (is_punct(toks[k], ")")) --depth;
+        else if (depth == 0 && is_punct(toks[k], ":")) { colon = k; break; }
+        else if (depth == 0 && is_punct(toks[k], ";")) break;  // classic for
+      }
+      if (colon == std::string::npos) continue;
+      for (std::size_t k = colon + 1; k < close; ++k) {
+        if (is_ident(toks[k]) && unordered_names.contains(toks[k].text)) {
+          ctx.report("R2", toks[i].line,
+                     "iteration over unordered container '" + toks[k].text +
+                         "' — hash-table order must not feed event or "
+                         "arithmetic order (use std::map, a sorted "
+                         "snapshot, or an insertion-order vector)");
+          break;
+        }
+      }
+      continue;
+    }
+    // Explicit iterator walk: `container.begin()`.
+    if (is_ident(toks[i]) &&
+        (toks[i].text == "begin" || toks[i].text == "cbegin" ||
+         toks[i].text == "rbegin") &&
+        i + 1 < toks.size() && is_punct(toks[i + 1], "(") && i >= 2 &&
+        (is_punct(toks[i - 1], ".") || is_punct(toks[i - 1], "->")) &&
+        is_ident(toks[i - 2]) && unordered_names.contains(toks[i - 2].text)) {
+      ctx.report("R2", toks[i].line,
+                 "iterator over unordered container '" + toks[i - 2].text +
+                     "' — hash-table order must not feed event or "
+                     "arithmetic order");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------- R3
+
+void run_r3(const Ctx& ctx) {
+  const auto& toks = ctx.file.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!is_ident(toks[i]) || !toks[i].text.starts_with("SRC_OBS_")) continue;
+    if (i + 1 >= toks.size() || !is_punct(toks[i + 1], "(")) continue;
+    // The macro definition's parameter list is not an argument expression.
+    if (i > 0 && is_ident(toks[i - 1]) && toks[i - 1].text == "define") continue;
+
+    const std::size_t close = matching_paren(toks, i + 1);
+    if (close == std::string::npos) continue;
+    for (std::size_t k = i + 2; k < close; ++k) {
+      const Token& t = toks[k];
+      if (t.kind == TokKind::kPunct && kMutatingPunct.contains(t.text)) {
+        ctx.report("R3", t.line,
+                   "observability macro argument mutates state ('" + t.text +
+                       "') — recording must be passive");
+        continue;
+      }
+      if (is_ident(t) && kMutatingApis.contains(t.text) && k + 1 < close &&
+          is_punct(toks[k + 1], "(") && k >= 1 &&
+          (is_punct(toks[k - 1], ".") || is_punct(toks[k - 1], "->"))) {
+        ctx.report("R3", t.line,
+                   "observability macro argument calls mutating API '" +
+                       t.text + "()' — recording must be passive");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------- R4
+
+void run_r4(const Ctx& ctx) {
+  const auto& toks = ctx.file.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!is_ident(toks[i]) || !kEngineTypes.contains(toks[i].text)) continue;
+    const std::string& type = toks[i].text;
+    // `#include <...>` tokens and qualified names are handled naturally:
+    // we only look at what FOLLOWS the type name.
+    if (i + 1 >= toks.size()) continue;
+
+    // `T()` / `T{}`: seedless temporary.
+    if ((is_punct(toks[i + 1], "(") && i + 2 < toks.size() &&
+         is_punct(toks[i + 2], ")")) ||
+        (is_punct(toks[i + 1], "{") && i + 2 < toks.size() &&
+         is_punct(toks[i + 2], "}"))) {
+      // `Rng() = delete;` style declarations are not constructions.
+      if (i + 3 < toks.size() && is_punct(toks[i + 3], "=")) continue;
+      ctx.report("R4", toks[i].line,
+                 "default-constructed RNG engine '" + type +
+                     "' — thread an explicit seed");
+      continue;
+    }
+    // `T name;` / `T name{};`: seedless variable or member. Not applied
+    // to the repo's own Rng: it has no default constructor, so a member
+    // declaration `Rng rng_;` is legal and forces seeding in the ctor
+    // init list — only std engines silently default-seed.
+    if (type != "Rng" && is_ident(toks[i + 1]) && i + 2 < toks.size()) {
+      const std::size_t after = i + 2;
+      const bool bare_semi = is_punct(toks[after], ";");
+      const bool empty_brace = is_punct(toks[after], "{") &&
+                               after + 1 < toks.size() &&
+                               is_punct(toks[after + 1], "}");
+      if (bare_semi || empty_brace) {
+        ctx.report("R4", toks[i].line,
+                   "default-constructed RNG engine '" + type + " " +
+                       toks[i + 1].text + "' — thread an explicit seed");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::unordered_set<std::string> collect_unordered_names(
+    const std::vector<LexedFile>& files) {
+  // Pass A: type aliases of unordered containers (`using Flows =
+  // std::unordered_map<...>;`).
+  std::unordered_set<std::string> alias_types;
+  for (const LexedFile& file : files) {
+    const auto& toks = file.tokens;
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+      if (!is_ident(toks[i]) ||
+          (toks[i].text != "using" && toks[i].text != "typedef")) {
+        continue;
+      }
+      // `using X = ...unordered_map...;`
+      if (toks[i].text == "using" && is_ident(toks[i + 1]) &&
+          is_punct(toks[i + 2], "=")) {
+        for (std::size_t k = i + 3;
+             k < toks.size() && !is_punct(toks[k], ";"); ++k) {
+          if (is_ident(toks[k]) && kUnorderedTypes.contains(toks[k].text)) {
+            alias_types.insert(toks[i + 1].text);
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  // Pass B: variables/members declared with an unordered type or alias.
+  std::unordered_set<std::string> names;
+  for (const LexedFile& file : files) {
+    const auto& toks = file.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (!is_ident(toks[i])) continue;
+      const bool direct = kUnorderedTypes.contains(toks[i].text);
+      const bool via_alias = alias_types.contains(toks[i].text);
+      if (!direct && !via_alias) continue;
+      std::size_t after = i + 1;
+      if (after < toks.size() && is_punct(toks[after], "<")) {
+        after = skip_template_args(toks, after);
+        if (after == std::string::npos) continue;
+      } else if (direct) {
+        continue;  // bare `unordered_map` without args: include line etc.
+      }
+      const std::string name = declared_name(toks, after);
+      if (!name.empty()) names.insert(name);
+    }
+  }
+  return names;
+}
+
+bool in_r2_scope_dir(const std::string& rel_path) {
+  static constexpr const char* kScopes[] = {
+      "src/sim/", "src/net/", "src/nvme/", "src/ssd/", "src/core/",
+      "src/fabric/"};
+  for (const char* scope : kScopes) {
+    if (rel_path.starts_with(scope)) return true;
+  }
+  return false;
+}
+
+void run_token_rules(const LexedFile& file, const RuleSet& rules,
+                     bool in_r2_scope,
+                     const std::unordered_set<std::string>& unordered_names,
+                     std::vector<Finding>& out) {
+  Ctx ctx{file, out};
+  if (rules.r1) run_r1(ctx);
+  if (rules.r2 && in_r2_scope) run_r2(ctx, unordered_names);
+  if (rules.r3) run_r3(ctx);
+  if (rules.r4) run_r4(ctx);
+}
+
+}  // namespace srclint

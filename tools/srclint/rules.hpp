@@ -1,0 +1,59 @@
+// srclint rules R1–R4 (token-level). R5 (header self-containment) lives in
+// header_check.hpp because it shells out to the compiler.
+//
+// Rule catalog (suppression tag in brackets; suppress a site with
+// `// srclint:<tag>-ok` on the same or preceding line, or a whole file
+// with `// srclint:<tag>-ok-file`):
+//   R1 [nondet]  no nondeterminism sources: std::rand/srand/random_device,
+//                system_clock/steady_clock/high_resolution_clock, and free
+//                calls to time()/clock()/gettimeofday()/clock_gettime().
+//   R2 [ordered] no iteration (range-for / .begin()) over unordered
+//                containers in simulation code — hash-table layout must
+//                never feed event or arithmetic order.
+//   R3 [obs]     observability macro arguments must be passive: no
+//                assignments, ++/--, or calls to known mutating APIs.
+//   R4 [seed]    no default-constructed RNG engines — every generator
+//                threads an explicit seed.
+#pragma once
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace srclint {
+
+struct Finding {
+  std::string path;
+  int line = 0;
+  std::string rule;  ///< "R1".."R5"
+  std::string message;
+};
+
+/// Which rules to run (default: all).
+struct RuleSet {
+  bool r1 = true, r2 = true, r3 = true, r4 = true, r5 = true;
+  static RuleSet none() { return {false, false, false, false, false}; }
+};
+
+/// Pass 1 of R2: names declared (directly or through a type alias) as
+/// std::unordered_{map,set,multimap,multiset} anywhere in the scanned
+/// tree. Shared across files because members are declared in headers but
+/// iterated in .cpp files.
+std::unordered_set<std::string> collect_unordered_names(
+    const std::vector<LexedFile>& files);
+
+/// Run R1–R4 on one file. `in_r2_scope` says whether the file lives in a
+/// simulation directory where R2 applies (always true in explicit-file
+/// mode). Findings are appended in source order.
+void run_token_rules(const LexedFile& file, const RuleSet& rules,
+                     bool in_r2_scope,
+                     const std::unordered_set<std::string>& unordered_names,
+                     std::vector<Finding>& out);
+
+/// True when `rel_path` is inside a directory where R2 applies
+/// (src/sim, src/net, src/nvme, src/ssd, src/core, src/fabric).
+bool in_r2_scope_dir(const std::string& rel_path);
+
+}  // namespace srclint

@@ -1,0 +1,236 @@
+// srclint — determinism & invariant static analysis for this repo.
+//
+// Two modes:
+//   srclint --root <repo>          lint the whole tree (src/ bench/ tests/
+//                                  tools/ examples/, minus gitignored paths
+//                                  and tests/lint/fixtures/)
+//   srclint [options] <file>...    lint explicit files (rule dir-scoping is
+//                                  disabled; used by the lint self-tests)
+//
+// Options:
+//   --rules R1,R2,...   run only the listed rules (default: all)
+//   --no-header-check   skip R5 (header self-containment)
+//   --cxx <compiler>    compiler for R5 TU checks (default: $CXX or c++)
+//   --jobs <n>          parallel R5 compile jobs (default: hardware)
+//   --list              print the files that would be linted, then exit 0
+//
+// Exit codes: 0 clean, 1 findings reported, 2 usage or I/O error — so CI
+// can distinguish "violations" from "the linter itself broke".
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "header_check.hpp"
+#include "lexer.hpp"
+#include "rules.hpp"
+#include "walker.hpp"
+
+namespace {
+namespace fs = std::filesystem;
+using namespace srclint;
+
+constexpr int kExitClean = 0;
+constexpr int kExitFindings = 1;
+constexpr int kExitError = 2;
+
+int usage_error(const std::string& message) {
+  std::cerr << "srclint: " << message << "\n"
+            << "usage: srclint --root <dir> [--rules R1,..] [--no-header-check]"
+               " [--cxx <compiler>] [--jobs <n>] [--list]\n"
+            << "       srclint [options] <file>...\n";
+  return kExitError;
+}
+
+bool read_file(const fs::path& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+struct Options {
+  fs::path root;
+  bool have_root = false;
+  bool header_check = true;
+  bool list_only = false;
+  std::string cxx;
+  std::size_t jobs = 0;
+  RuleSet rules;
+  std::vector<std::string> files;
+};
+
+bool parse_rules(const std::string& spec, RuleSet& out) {
+  out = RuleSet::none();
+  std::stringstream ss(spec);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item == "R1") out.r1 = true;
+    else if (item == "R2") out.r2 = true;
+    else if (item == "R3") out.r3 = true;
+    else if (item == "R4") out.r4 = true;
+    else if (item == "R5") out.r5 = true;
+    else return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (const char* env_cxx = std::getenv("CXX")) opt.cxx = env_cxx;
+  if (opt.cxx.empty()) opt.cxx = "c++";
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_value = [&](std::string& out) {
+      if (i + 1 >= argc) return false;
+      out = argv[++i];
+      return true;
+    };
+    if (arg == "--root") {
+      std::string value;
+      if (!next_value(value)) return usage_error("--root requires a value");
+      opt.root = value;
+      opt.have_root = true;
+    } else if (arg == "--rules") {
+      std::string value;
+      if (!next_value(value)) return usage_error("--rules requires a value");
+      if (!parse_rules(value, opt.rules)) {
+        return usage_error("unknown rule in --rules '" + value + "'");
+      }
+    } else if (arg == "--cxx") {
+      if (!next_value(opt.cxx)) return usage_error("--cxx requires a value");
+    } else if (arg == "--jobs") {
+      std::string value;
+      if (!next_value(value)) return usage_error("--jobs requires a value");
+      opt.jobs = static_cast<std::size_t>(std::strtoul(value.c_str(), nullptr, 10));
+    } else if (arg == "--no-header-check") {
+      opt.header_check = false;
+    } else if (arg == "--list") {
+      opt.list_only = true;
+    } else if (arg.starts_with("--")) {
+      return usage_error("unknown option '" + arg + "'");
+    } else {
+      opt.files.push_back(arg);
+    }
+  }
+
+  if (!opt.have_root && opt.files.empty()) {
+    return usage_error("nothing to lint: pass --root <dir> or files");
+  }
+  if (opt.have_root && !opt.files.empty()) {
+    return usage_error("--root and explicit files are mutually exclusive");
+  }
+
+  // Resolve the worklist: (absolute path, reporting path) pairs.
+  struct Work {
+    fs::path absolute;
+    std::string report;
+  };
+  std::vector<Work> work;
+  const bool tree_mode = opt.have_root;
+  if (tree_mode) {
+    std::error_code ec;
+    const fs::path root = fs::canonical(opt.root, ec);
+    if (ec || !fs::is_directory(root)) {
+      return usage_error("--root '" + opt.root.string() +
+                         "' is not a directory");
+    }
+    opt.root = root;
+    const GitIgnore ignore = GitIgnore::load(root);
+    for (const std::string& rel : discover(root, ignore)) {
+      work.push_back({root / rel, rel});
+    }
+  } else {
+    for (const std::string& file : opt.files) {
+      work.push_back({fs::path(file), file});
+    }
+  }
+
+  if (opt.list_only) {
+    for (const Work& w : work) std::cout << w.report << "\n";
+    return kExitClean;
+  }
+
+  // Lex everything up front: R2's container-name collection is global
+  // (members are declared in headers, iterated in .cpp files).
+  std::vector<LexedFile> lexed;
+  lexed.reserve(work.size());
+  for (const Work& w : work) {
+    std::string text;
+    if (!read_file(w.absolute, text)) {
+      std::cerr << "srclint: cannot read '" << w.report << "'\n";
+      return kExitError;
+    }
+    lexed.push_back(lex(w.report, text));
+  }
+  const std::unordered_set<std::string> unordered_names =
+      collect_unordered_names(lexed);
+
+  std::vector<Finding> findings;
+  for (const LexedFile& file : lexed) {
+    const bool r2_scope = tree_mode ? in_r2_scope_dir(file.path) : true;
+    run_token_rules(file, opt.rules, r2_scope, unordered_names, findings);
+  }
+
+  // R5: headers must compile standalone.
+  if (opt.rules.r5 && opt.header_check) {
+    std::vector<HeaderToCheck> headers;
+    for (std::size_t idx = 0; idx < work.size(); ++idx) {
+      const Work& w = work[idx];
+      if (w.absolute.extension() != ".hpp" && w.absolute.extension() != ".h") {
+        continue;
+      }
+      // Tree mode checks the public (src/) headers only.
+      if (tree_mode && !w.report.starts_with("src/")) continue;
+      if (lexed[idx].suppressions.file_tags.contains("header")) continue;
+      std::error_code ec;
+      const fs::path abs = fs::absolute(w.absolute, ec);
+      if (ec) return usage_error("cannot resolve '" + w.report + "'");
+      headers.push_back({abs, w.report});
+    }
+    HeaderCheckConfig config;
+    config.compiler = opt.cxx;
+    config.jobs = opt.jobs;
+    if (tree_mode) {
+      config.include_dirs.push_back((opt.root / "src").generic_string());
+    }
+    for (const HeaderToCheck& h : headers) {
+      config.include_dirs.push_back(h.absolute.parent_path().generic_string());
+    }
+    std::sort(config.include_dirs.begin(), config.include_dirs.end());
+    config.include_dirs.erase(
+        std::unique(config.include_dirs.begin(), config.include_dirs.end()),
+        config.include_dirs.end());
+    if (!check_headers(headers, config, findings)) {
+      std::cerr << "srclint: header check could not run (compiler '"
+                << opt.cxx << "' unavailable?)\n";
+      return kExitError;
+    }
+  }
+
+  // Deterministic report order: findings grouped per file in source order.
+  std::stable_sort(findings.begin(), findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     if (a.path != b.path) return a.path < b.path;
+                     return a.line < b.line;
+                   });
+  for (const Finding& f : findings) {
+    std::cout << f.path << ":" << f.line << ": " << f.rule << ": " << f.message
+              << "\n";
+  }
+  if (!findings.empty()) {
+    std::cerr << "srclint: " << findings.size() << " finding(s) in "
+              << work.size() << " file(s) scanned\n";
+    return kExitFindings;
+  }
+  return kExitClean;
+}

@@ -1,0 +1,104 @@
+#include "walker.hpp"
+
+#include <fnmatch.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace srclint {
+namespace fs = std::filesystem;
+
+GitIgnore GitIgnore::load(const fs::path& root) {
+  GitIgnore out;
+  std::ifstream in(root / ".gitignore");
+  if (!in) return out;
+  std::string raw;
+  while (std::getline(in, raw)) {
+    // Trim trailing whitespace / CR.
+    while (!raw.empty() &&
+           (raw.back() == ' ' || raw.back() == '\t' || raw.back() == '\r')) {
+      raw.pop_back();
+    }
+    if (raw.empty() || raw[0] == '#' || raw[0] == '!') continue;
+    Pattern p;
+    if (raw.back() == '/') {
+      p.dir_only = true;
+      raw.pop_back();
+    }
+    if (!raw.empty() && raw[0] == '/') {
+      p.anchored = true;
+      raw.erase(raw.begin());
+    }
+    if (raw.empty()) continue;
+    p.glob = raw;
+    out.patterns_.push_back(std::move(p));
+  }
+  return out;
+}
+
+bool GitIgnore::ignored(const std::string& rel_path) const {
+  // Split into components once; each pattern is then matched against the
+  // basename, every component (unanchored), or the leading path (anchored).
+  std::vector<std::string> components;
+  {
+    std::stringstream ss(rel_path);
+    std::string part;
+    while (std::getline(ss, part, '/')) {
+      if (!part.empty()) components.push_back(part);
+    }
+  }
+  if (components.empty()) return false;
+
+  for (const Pattern& p : this->patterns_) {
+    const bool has_slash = p.glob.find('/') != std::string::npos;
+    if (p.anchored || has_slash) {
+      // Match against the full relative path and every directory prefix
+      // (a matching prefix ignores everything below that directory).
+      std::string prefix;
+      for (std::size_t k = 0; k < components.size(); ++k) {
+        if (!prefix.empty()) prefix.push_back('/');
+        prefix += components[k];
+        const bool is_dir_prefix = k + 1 < components.size();
+        if (p.dir_only && !is_dir_prefix) continue;
+        if (fnmatch(p.glob.c_str(), prefix.c_str(), 0) == 0) return true;
+      }
+    } else {
+      for (std::size_t k = 0; k < components.size(); ++k) {
+        const bool is_dir_prefix = k + 1 < components.size();
+        if (p.dir_only && !is_dir_prefix) continue;
+        if (fnmatch(p.glob.c_str(), components[k].c_str(), 0) == 0) return true;
+      }
+    }
+  }
+  return false;
+}
+
+std::vector<std::string> discover(const fs::path& root, const GitIgnore& ignore) {
+  std::vector<std::string> out;
+  for (const char* subdir : kScannedDirs) {
+    const fs::path base = root / subdir;
+    std::error_code ec;
+    if (!fs::is_directory(base, ec)) continue;
+    for (fs::recursive_directory_iterator it(base, ec), end; it != end;
+         it.increment(ec)) {
+      if (ec) break;
+      const fs::path& path = it->path();
+      const std::string rel = fs::relative(path, root, ec).generic_string();
+      if (it->is_directory(ec)) {
+        if (rel == kFixtureDir || rel.starts_with(".") || ignore.ignored(rel)) {
+          it.disable_recursion_pending();
+        }
+        continue;
+      }
+      const std::string ext = path.extension().string();
+      if (ext != ".cpp" && ext != ".cc" && ext != ".hpp" && ext != ".h") continue;
+      if (ignore.ignored(rel)) continue;
+      out.push_back(rel);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace srclint

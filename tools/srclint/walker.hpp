@@ -1,0 +1,51 @@
+// srclint file discovery: walks the scanned subtrees of a repo root,
+// honoring the root .gitignore (simplified semantics) plus built-in skips
+// (`.git/`, lint fixtures). Paths are returned sorted so findings are
+// emitted in a deterministic order.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace srclint {
+
+/// Simplified .gitignore matcher. Supports the forms this repo uses:
+///   dir/        — ignore a directory anywhere (and everything below it)
+///   /anchored   — pattern anchored at the repo root
+///   *.ext, name — fnmatch-style globs against the basename and against
+///                 every path component
+/// Negations (`!`) and `**` are not supported and are ignored.
+class GitIgnore {
+ public:
+  /// Loads `<root>/.gitignore`; a missing file yields an empty matcher.
+  static GitIgnore load(const std::filesystem::path& root);
+
+  /// True when the path (relative to the repo root, '/' separators) is
+  /// ignored.
+  bool ignored(const std::string& rel_path) const;
+
+ private:
+  struct Pattern {
+    std::string glob;
+    bool anchored = false;  ///< leading '/'
+    bool dir_only = false;  ///< trailing '/'
+  };
+  std::vector<Pattern> patterns_;
+};
+
+/// Discover lintable sources (.cpp/.cc/.hpp/.h) under the scanned subtrees
+/// of `root`, skipping gitignored paths. Returned paths are relative to
+/// `root`, sorted.
+std::vector<std::string> discover(const std::filesystem::path& root,
+                                  const GitIgnore& ignore);
+
+/// Subtrees of the repo root that srclint scans.
+inline constexpr const char* kScannedDirs[] = {"src", "bench", "tests",
+                                               "tools", "examples"};
+
+/// Lint fixtures contain deliberate violations; the tree walk must never
+/// report them (the lint self-test lints them explicitly instead).
+inline constexpr const char* kFixtureDir = "tests/lint/fixtures";
+
+}  // namespace srclint
