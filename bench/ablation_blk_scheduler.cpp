@@ -5,14 +5,18 @@
 //   1. stock FIFO NVMe driver (no control),
 //   2. block-layer SSQ scheduler above the stock FIFO driver,
 //   3. the paper's in-driver SSQ.
+// The nine (placement, w) cells are independent simulations over a shared
+// trace and run as a deterministic sweep.
 #include <cstdio>
 #include <iostream>
 
+#include "bench/harness.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "nvme/blk_scheduler.hpp"
 #include "nvme/fifo_driver.hpp"
 #include "nvme/ssq_driver.hpp"
+#include "runner/runner.hpp"
 #include "ssd/device.hpp"
 #include "workload/micro.hpp"
 
@@ -24,6 +28,7 @@ namespace {
 struct Rates {
   double read_gbps = 0.0;
   double write_gbps = 0.0;
+  std::uint64_t events = 0;
 };
 
 workload::Trace the_workload() {
@@ -50,7 +55,7 @@ Rates measure(sim::Simulator& sim, const workload::Trace& trace,
   reads.extend_to(horizon);
   writes.extend_to(horizon);
   return Rates{reads.trimmed_mean_rate().as_gbps(),
-               writes.trimmed_mean_rate().as_gbps()};
+               writes.trimmed_mean_rate().as_gbps(), sim.executed_events()};
 }
 
 Rates run_fifo(const workload::Trace& trace) {
@@ -105,14 +110,31 @@ int main() {
   std::printf("(saturated mixed workload, SSD-A; the paper's future-work\n");
   std::printf(" block-layer scheduler vs the in-driver SSQ)\n\n");
 
+  bench::Harness harness("ablation_blk_scheduler");
   const auto trace = the_workload();
-  const Rates fifo = run_fifo(trace);
+
+  // Task 0 is the uncontrolled FIFO baseline; tasks 1.. are (w, placement)
+  // cells in row-major order (blk scheduler first, then in-driver SSQ).
+  const std::vector<std::uint32_t> weights = {1, 2, 4, 8};
+  std::vector<Rates> results;
+  {
+    auto scope = harness.scope("placement_grid");
+    runner::SweepRunner pool;
+    results = pool.map(1 + 2 * weights.size(), [&](std::size_t i) {
+      if (i == 0) return run_fifo(trace);
+      const std::uint32_t w = weights[(i - 1) / 2];
+      return (i - 1) % 2 == 0 ? run_blk(trace, w) : run_ssq(trace, w);
+    });
+    for (const Rates& r : results) scope.events(r.events);
+    scope.items(results.size());
+  }
 
   common::TextTable table({"w", "FIFO driver", "blk scheduler + FIFO",
                            "in-driver SSQ"});
-  for (const std::uint32_t w : {1u, 2u, 4u, 8u}) {
-    table.add_row({std::to_string(w) + ":1", w == 1 ? cell(fifo) : "(n/a)",
-                   cell(run_blk(trace, w)), cell(run_ssq(trace, w))});
+  for (std::size_t wi = 0; wi < weights.size(); ++wi) {
+    const std::uint32_t w = weights[wi];
+    table.add_row({std::to_string(w) + ":1", w == 1 ? cell(results[0]) : "(n/a)",
+                   cell(results[1 + 2 * wi]), cell(results[2 + 2 * wi])});
   }
   table.print(std::cout);
 

@@ -2,31 +2,48 @@
 // runs underneath? The paper builds on DCQCN; its related work discusses
 // DCTCP (TCP + ECN). SRC only consumes "demanded sending rate" events, so
 // it should compose with any rate-based controller.
+//
+// The four (congestion control, mode) experiments are independent and run
+// as a deterministic sweep over one trained TPM.
 #include <cstdio>
 #include <iostream>
 
+#include "bench/harness.hpp"
 #include "common/table.hpp"
 #include "core/presets.hpp"
 #include "net/rate_control.hpp"
+#include "runner/runner.hpp"
 
 using namespace src;
 
 int main() {
   std::printf("Ablation — SRC under DCQCN vs DCTCP (VDI experiment)\n\n");
+  bench::Harness harness("ablation_congestion_control");
   std::printf("training TPM...\n\n");
   const core::Tpm tpm = core::train_default_tpm(ssd::ssd_a());
 
+  const net::CcAlgorithm ccs[] = {net::CcAlgorithm::kDcqcn, net::CcAlgorithm::kDctcp};
+  // Row-major (cc, mode) grid: even tasks are the baseline, odd have SRC on.
+  std::vector<core::ExperimentResult> results;
+  {
+    auto scope = harness.scope("cc_grid");
+    runner::SweepRunner pool;
+    results = pool.map(4, [&](std::size_t i) {
+      const bool use_src = i % 2 == 1;
+      auto config = core::vdi_experiment(use_src, use_src ? &tpm : nullptr);
+      config.net.cc_algorithm = static_cast<int>(ccs[i / 2]);
+      return core::run_experiment(config);
+    });
+    for (const auto& result : results) scope.events(result.events_executed);
+    scope.items(results.size());
+  }
+
   common::TextTable table({"Congestion control", "Mode", "read", "write",
                            "aggregate", "improvement"});
-  for (const auto cc : {net::CcAlgorithm::kDcqcn, net::CcAlgorithm::kDctcp}) {
-    const char* cc_name = cc == net::CcAlgorithm::kDcqcn ? "DCQCN" : "DCTCP";
-    auto configure = [&](bool use_src) {
-      auto config = core::vdi_experiment(use_src, use_src ? &tpm : nullptr);
-      config.net.cc_algorithm = static_cast<int>(cc);
-      return config;
-    };
-    const auto only = core::run_experiment(configure(false));
-    const auto with_src = core::run_experiment(configure(true));
+  for (std::size_t c = 0; c < 2; ++c) {
+    const char* cc_name = ccs[c] == net::CcAlgorithm::kDcqcn ? "DCQCN" : "DCTCP";
+    const auto& only = results[2 * c];
+    const auto& with_src = results[2 * c + 1];
     const double gain = (with_src.aggregate_rate().as_bytes_per_second() -
                          only.aggregate_rate().as_bytes_per_second()) /
                         only.aggregate_rate().as_bytes_per_second() * 100.0;

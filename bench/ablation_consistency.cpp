@@ -4,14 +4,18 @@
 // workload with deliberate read-then-write dependences at a high write
 // weight (which would otherwise reorder them) with and without the
 // checker, counting ordering violations and measuring the throughput cost.
+// The two configurations are independent simulations and run as a
+// deterministic sweep.
 #include <cstdio>
 #include <iostream>
 #include <unordered_map>
 
+#include "bench/harness.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "nvme/ssq_driver.hpp"
+#include "runner/runner.hpp"
 #include "ssd/device.hpp"
 
 using namespace src;
@@ -24,6 +28,7 @@ struct Outcome {
   std::uint64_t redirects = 0;
   double read_gbps = 0.0;
   double write_gbps = 0.0;
+  std::uint64_t events = 0;
 };
 
 Outcome run(bool consistency) {
@@ -84,6 +89,7 @@ Outcome run(bool consistency) {
   outcome.redirects = driver.ssq_stats().consistency_redirects;
   outcome.read_gbps = reads.trimmed_mean_rate().as_gbps();
   outcome.write_gbps = writes.trimmed_mean_rate().as_gbps();
+  outcome.events = sim.executed_events();
   return outcome;
 }
 
@@ -92,9 +98,18 @@ Outcome run(bool consistency) {
 int main() {
   std::printf("Ablation — SSQ consistency checker (write-after-read pairs,\n");
   std::printf("w = 8 so the WSQ would overtake the RSQ without the checker)\n\n");
+  bench::Harness harness("ablation_consistency");
 
-  const Outcome with_checker = run(true);
-  const Outcome without_checker = run(false);
+  std::vector<Outcome> outcomes;
+  {
+    auto scope = harness.scope("checker_on_off");
+    runner::SweepRunner pool;
+    outcomes = pool.map(2, [&](std::size_t i) { return run(i == 0); });
+    for (const Outcome& outcome : outcomes) scope.events(outcome.events);
+    scope.items(outcomes.size());
+  }
+  const Outcome& with_checker = outcomes[0];
+  const Outcome& without_checker = outcomes[1];
 
   common::TextTable table({"Configuration", "ordering violations", "redirects",
                            "read Gbps", "write Gbps"});

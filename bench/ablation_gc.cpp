@@ -4,14 +4,17 @@
 // so that long-running deployments can be studied. This harness shows the
 // classic effects: the write cliff under sustained random overwrites, the
 // dependence of write amplification on over-provisioning, and the
-// read-latency cost of concurrent GC.
+// read-latency cost of concurrent GC. The four configurations are
+// independent simulations and run as a deterministic sweep.
 #include <cstdio>
 #include <iostream>
 
+#include "bench/harness.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "nvme/fifo_driver.hpp"
+#include "runner/runner.hpp"
 #include "ssd/device.hpp"
 
 using namespace src;
@@ -29,6 +32,7 @@ struct Outcome {
   Phase steady;  ///< after sustained random overwrites
   double write_amplification = 1.0;
   std::uint64_t erases = 0;
+  std::uint64_t events = 0;
 };
 
 Outcome run(bool gc, double overprovision, double utilization) {
@@ -104,6 +108,7 @@ Outcome run(bool gc, double overprovision, double utilization) {
   outcome.steady.read_latency_us = read_latency.mean();
   outcome.write_amplification = device.write_amplification();
   outcome.erases = device.stats().gc_erases;
+  outcome.events = sim.executed_events();
   return outcome;
 }
 
@@ -111,15 +116,34 @@ Outcome run(bool gc, double overprovision, double utilization) {
 
 int main() {
   std::printf("Ablation — FTL / garbage collection (write cliff)\n\n");
+  bench::Harness harness("ablation_gc");
+
+  struct Config {
+    bool gc;
+    double utilization;
+  };
+  const std::vector<Config> configs = {
+      {false, 0.95}, {true, 0.60}, {true, 0.80}, {true, 0.95}};
+
+  std::vector<Outcome> outcomes;
+  {
+    auto scope = harness.scope("gc_grid");
+    runner::SweepRunner pool;
+    outcomes = pool.map(configs.size(), [&](std::size_t i) {
+      return run(configs[i].gc, 0.15, configs[i].utilization);
+    });
+    for (const Outcome& outcome : outcomes) scope.events(outcome.events);
+    scope.items(outcomes.size());
+  }
 
   common::TextTable table({"Configuration", "fresh write Gbps",
                            "steady write Gbps", "WA", "erases"});
-  const Outcome off = run(false, 0.15, 0.95);
+  const Outcome& off = outcomes[0];
   table.add_row({"GC model off", common::fmt(off.fresh.write_gbps),
                  common::fmt(off.steady.write_gbps), "1.00", "0"});
-  for (const double utilization : {0.60, 0.80, 0.95}) {
-    const Outcome on = run(true, 0.15, utilization);
-    table.add_row({"GC on, util " + common::fmt(utilization, 2),
+  for (std::size_t i = 1; i < configs.size(); ++i) {
+    const Outcome& on = outcomes[i];
+    table.add_row({"GC on, util " + common::fmt(configs[i].utilization, 2),
                    common::fmt(on.fresh.write_gbps),
                    common::fmt(on.steady.write_gbps),
                    common::fmt(on.write_amplification),

@@ -1,13 +1,17 @@
 // Ablation: interrupt-style vs SPDK-style polled completions (the paper's
 // future-work SPDK direction). Sweeps the reactor poll cadence and reports
-// the latency cost and the poll efficiency under a steady workload.
+// the latency cost and the poll efficiency under a steady workload. The
+// cadence points (and the interrupt baseline) are independent simulations
+// and run as a deterministic sweep.
 #include <cstdio>
 #include <iostream>
 
+#include "bench/harness.hpp"
 #include "common/latency.hpp"
 #include "common/table.hpp"
 #include "nvme/fifo_driver.hpp"
 #include "nvme/polling_driver.hpp"
+#include "runner/runner.hpp"
 #include "ssd/device.hpp"
 #include "workload/micro.hpp"
 
@@ -21,6 +25,7 @@ struct Outcome {
   double read_p99_us = 0.0;
   double mean_poll_delay_us = 0.0;
   double empty_poll_fraction = 0.0;
+  std::uint64_t events = 0;
 };
 
 Outcome run(common::SimTime poll_interval) {
@@ -71,6 +76,7 @@ Outcome run(common::SimTime poll_interval) {
     outcome.mean_poll_delay_us = polled->polling_stats().mean_poll_delay_us();
     outcome.empty_poll_fraction = polled->polling_stats().empty_poll_fraction();
   }
+  outcome.events = sim.executed_events();
   return outcome;
 }
 
@@ -78,15 +84,29 @@ Outcome run(common::SimTime poll_interval) {
 
 int main() {
   std::printf("Ablation — interrupt vs user-space polled completions (SSD-B)\n\n");
+  bench::Harness harness("ablation_polling");
+
+  // Cadence 0 = the interrupt baseline.
+  const std::vector<double> cadences_us = {0.0, 1.0, 5.0, 20.0, 100.0};
+  std::vector<Outcome> outcomes;
+  {
+    auto scope = harness.scope("poll_cadence_sweep");
+    runner::SweepRunner pool;
+    outcomes = pool.map(cadences_us.size(), [&](std::size_t i) {
+      return run(common::microseconds(cadences_us[i]));
+    });
+    for (const Outcome& outcome : outcomes) scope.events(outcome.events);
+    scope.items(outcomes.size());
+  }
 
   common::TextTable table({"Completion model", "read p50 us", "read p99 us",
                            "mean poll delay us", "empty polls"});
-  const Outcome interrupt = run(0);
+  const Outcome& interrupt = outcomes[0];
   table.add_row({"interrupt (baseline)", common::fmt(interrupt.read_p50_us, 1),
                  common::fmt(interrupt.read_p99_us, 1), "-", "-"});
-  for (const double poll_us : {1.0, 5.0, 20.0, 100.0}) {
-    const Outcome polled = run(common::microseconds(poll_us));
-    table.add_row({"polled @ " + common::fmt(poll_us, 0) + " us",
+  for (std::size_t i = 1; i < cadences_us.size(); ++i) {
+    const Outcome& polled = outcomes[i];
+    table.add_row({"polled @ " + common::fmt(cadences_us[i], 0) + " us",
                    common::fmt(polled.read_p50_us, 1),
                    common::fmt(polled.read_p99_us, 1),
                    common::fmt(polled.mean_poll_delay_us, 1),

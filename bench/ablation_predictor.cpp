@@ -5,24 +5,36 @@
 // demand. Reported: mean relative control error per model — the quality of
 // the TPM translates directly into control accuracy, which is why the
 // paper adopts the Table I winner.
+//
+// The five predictors are independent (each fits its own copy of the
+// shared training set) and run as a deterministic sweep; rows are rendered
+// in submission order so the table is identical for any worker count.
 #include <cstdio>
 #include <iostream>
 #include <memory>
 
+#include "bench/harness.hpp"
 #include "common/table.hpp"
 #include "core/presets.hpp"
 #include "core/src_controller.hpp"
 #include "core/standalone.hpp"
 #include "ml/knn.hpp"
 #include "ml/linear.hpp"
+#include "runner/runner.hpp"
 
 using namespace src;
 
 int main() {
   std::printf("Ablation — Algorithm 1 with each candidate predictor\n\n");
+  bench::Harness harness("ablation_predictor");
+
   std::printf("collecting training data...\n");
-  const auto data =
-      core::collect_training_data(ssd::ssd_a(), core::default_training_grid());
+  ml::Dataset data(0, 0);
+  {
+    auto scope = harness.scope("collect_training_data");
+    data = core::collect_training_data(ssd::ssd_a(), core::default_training_grid());
+    scope.items(data.size());
+  }
 
   std::vector<std::unique_ptr<ml::Regressor>> prototypes;
   prototypes.push_back(std::make_unique<ml::LinearRegression>());
@@ -49,32 +61,50 @@ int main() {
     scenarios.push_back(std::move(scenario));
   }
 
-  common::TextTable table({"Predictor", "mean control error", "scenarios"});
-  for (const auto& prototype : prototypes) {
-    core::Tpm tpm(*prototype);
-    tpm.fit(data);
-    core::WorkloadMonitor monitor;
-    core::SrcController controller(tpm, monitor);
-
+  struct Row {
+    std::string name;
     double total_error = 0.0;
     int count = 0;
-    for (const Scenario& scenario : scenarios) {
-      const double r0 = tpm.predict(scenario.ch, 1.0).read_bytes_per_sec;
-      for (double fraction : {0.6, 0.75, 0.9}) {
-        const double demanded = fraction * r0;
-        const std::uint32_t w = controller.predict_weight_ratio(demanded, scenario.ch);
-        core::StandaloneOptions options;
-        options.weight_ratio = w;
-        options.horizon = core::arrival_horizon(scenario.trace);
-        const auto result = core::run_standalone(ssd::ssd_a(), scenario.trace, options);
-        total_error +=
-            std::abs(result.read_rate.as_bytes_per_second() - demanded) / demanded;
-        ++count;
+    std::uint64_t events = 0;
+  };
+
+  std::vector<Row> rows;
+  {
+    auto scope = harness.scope("fit_and_evaluate");
+    runner::SweepRunner pool;
+    rows = pool.map(prototypes.size(), [&](std::size_t p) {
+      Row row;
+      row.name = prototypes[p]->name();
+      core::Tpm tpm(*prototypes[p]);
+      tpm.fit(data);
+      core::WorkloadMonitor monitor;
+      core::SrcController controller(tpm, monitor);
+
+      for (const Scenario& scenario : scenarios) {
+        const double r0 = tpm.predict(scenario.ch, 1.0).read_bytes_per_sec;
+        for (double fraction : {0.6, 0.75, 0.9}) {
+          const double demanded = fraction * r0;
+          const std::uint32_t w = controller.predict_weight_ratio(demanded, scenario.ch);
+          core::StandaloneOptions options;
+          options.weight_ratio = w;
+          options.horizon = core::arrival_horizon(scenario.trace);
+          const auto result = core::run_standalone(ssd::ssd_a(), scenario.trace, options);
+          row.total_error +=
+              std::abs(result.read_rate.as_bytes_per_second() - demanded) / demanded;
+          row.events += result.events_executed;
+          ++row.count;
+        }
       }
-    }
-    table.add_row({prototype->name(),
-                   common::fmt(total_error / count * 100.0, 1) + "%",
-                   std::to_string(count)});
+      return row;
+    });
+    for (const Row& row : rows) scope.events(row.events);
+    scope.items(rows.size());
+  }
+
+  common::TextTable table({"Predictor", "mean control error", "scenarios"});
+  for (const Row& row : rows) {
+    table.add_row({row.name, common::fmt(row.total_error / row.count * 100.0, 1) + "%",
+                   std::to_string(row.count)});
   }
   table.print(std::cout);
 

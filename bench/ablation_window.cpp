@@ -3,11 +3,16 @@
 // long a window reacts slowly to workload shifts. The workload alternates
 // between a read-heavy and a more write-heavy phase every 40 ms so that a
 // sluggish monitor actually pays a price.
+//
+// The window values are independent experiments sharing one trained TPM
+// and run as a deterministic sweep (rows keyed by grid index only).
 #include <cstdio>
 #include <iostream>
 
+#include "bench/harness.hpp"
 #include "common/table.hpp"
 #include "core/presets.hpp"
+#include "runner/runner.hpp"
 
 using namespace src;
 
@@ -49,23 +54,43 @@ core::ExperimentConfig phased_experiment(bool use_src, const core::Tpm* tpm) {
 
 int main() {
   std::printf("Ablation — SRC prediction window delta (phase-shifting workload)\n\n");
+  bench::Harness harness("ablation_window");
+
   std::printf("training TPM...\n\n");
   const core::Tpm tpm = core::train_default_tpm(ssd::ssd_a());
 
-  const auto baseline = core::run_experiment(phased_experiment(false, nullptr));
+  core::ExperimentResult baseline;
+  {
+    auto scope = harness.scope("baseline");
+    baseline = core::run_experiment(phased_experiment(false, nullptr));
+    scope.events(baseline.events_executed);
+    scope.items(1);
+  }
   std::printf("DCQCN-only aggregate: %.2f Gbps\n\n",
               baseline.aggregate_rate().as_gbps());
 
+  const std::vector<double> windows_ms = {0.05, 0.2, 1.0, 5.0, 10.0, 25.0, 50.0};
+  std::vector<core::ExperimentResult> results;
+  {
+    auto scope = harness.scope("window_sweep");
+    runner::SweepRunner pool;
+    results = pool.map(windows_ms.size(), [&](std::size_t i) {
+      auto config = phased_experiment(true, &tpm);
+      config.src_params.prediction_window = common::milliseconds(windows_ms[i]);
+      return core::run_experiment(config);
+    });
+    for (const auto& result : results) scope.events(result.events_executed);
+    scope.items(results.size());
+  }
+
   common::TextTable table({"window", "aggregate Gbps", "improvement",
                            "adjustments"});
-  for (const double window_ms : {0.05, 0.2, 1.0, 5.0, 10.0, 25.0, 50.0}) {
-    auto config = phased_experiment(true, &tpm);
-    config.src_params.prediction_window = common::milliseconds(window_ms);
-    const auto result = core::run_experiment(config);
+  for (std::size_t i = 0; i < windows_ms.size(); ++i) {
+    const auto& result = results[i];
     const double gain = (result.aggregate_rate().as_bytes_per_second() -
                          baseline.aggregate_rate().as_bytes_per_second()) /
                         baseline.aggregate_rate().as_bytes_per_second() * 100.0;
-    table.add_row({common::fmt(window_ms, 2) + " ms",
+    table.add_row({common::fmt(windows_ms[i], 2) + " ms",
                    common::fmt(result.aggregate_rate().as_gbps()),
                    common::fmt(gain, 0) + "%",
                    std::to_string(result.adjustments.size())});

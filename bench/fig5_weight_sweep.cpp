@@ -5,45 +5,90 @@
 // Expected shape: at w=1 read and write throughput are comparable; raising
 // w shifts throughput from reads to writes under moderate/heavy load; the
 // effect fades for light workloads (long inter-arrival times).
+//
+// The (size, inter-arrival, w) cells are independent simulations and run on
+// the deterministic sweep runner: output is identical for any worker count
+// because each cell is keyed by its grid index alone. `--reduced` shrinks
+// the grid for CI smoke runs. BENCH_fig5_weight_sweep.json records wall
+// time and events/sec per request-size section.
 #include <cstdio>
+#include <cstring>
 #include <iostream>
+#include <string>
+#include <vector>
 
+#include "bench/harness.hpp"
 #include "common/table.hpp"
 #include "core/standalone.hpp"
+#include "runner/runner.hpp"
 #include "workload/micro.hpp"
 
 using namespace src;
 
 int main(int argc, char** argv) {
-  const std::string ssd_name = argc > 1 ? argv[1] : "SSD-A";
+  std::string ssd_name = "SSD-A";
+  bool reduced = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--reduced") == 0) {
+      reduced = true;
+    } else {
+      ssd_name = argv[i];
+    }
+  }
   const ssd::SsdConfig config = ssd::config_by_name(ssd_name);
 
-  std::printf("Fig. 5 — I/O throughput across weight ratios (%s)\n", ssd_name.c_str());
+  std::printf("Fig. 5 — I/O throughput across weight ratios (%s)%s\n",
+              ssd_name.c_str(), reduced ? " [reduced grid]" : "");
   std::printf("(each cell: read/write Gbps; rows = inter-arrival, cols = size)\n\n");
 
-  const double iats_us[] = {10.0, 25.0, 100.0, 400.0};
-  const std::uint32_t weights[] = {1, 2, 4, 8};
+  const std::vector<double> iats_us =
+      reduced ? std::vector<double>{10.0, 100.0}
+              : std::vector<double>{10.0, 25.0, 100.0, 400.0};
+  const std::vector<std::uint32_t> weights =
+      reduced ? std::vector<std::uint32_t>{1, 4}
+              : std::vector<std::uint32_t>{1, 2, 4, 8};
+  const std::vector<double> sizes_kb =
+      reduced ? std::vector<double>{25.0} : std::vector<double>{10.0, 25.0, 40.0};
+  const std::size_t requests = reduced ? 1000 : 4000;
 
-  for (const double size_kb : {10.0, 25.0, 40.0}) {
-    std::printf("=== request size %.0f KB ===\n", size_kb);
-    common::TextTable table({"inter-arrival", "w=1 (R/W)", "w=2 (R/W)",
-                             "w=4 (R/W)", "w=8 (R/W)"});
-    for (const double iat_us : iats_us) {
+  bench::Harness harness("fig5_weight_sweep");
+  runner::SweepRunner pool;
+
+  for (const double size_kb : sizes_kb) {
+    auto scope = harness.scope("size=" + common::fmt(size_kb, 0) + "KB");
+
+    // One task per (inter-arrival, weight) cell, collected in grid order.
+    const std::size_t cells = iats_us.size() * weights.size();
+    const auto results = pool.map(cells, [&](std::size_t cell) {
+      const double iat_us = iats_us[cell / weights.size()];
+      const std::uint32_t w = weights[cell % weights.size()];
       const auto trace = workload::generate_micro(
-          workload::symmetric_micro(iat_us, size_kb * 1024, 4000), 7);
-      std::vector<std::string> row{common::fmt(iat_us, 0) + " us"};
-      for (const std::uint32_t w : weights) {
-        core::StandaloneOptions options;
-        options.weight_ratio = w;
-        options.horizon = core::arrival_horizon(trace);
-        const auto result = core::run_standalone(config, trace, options);
+          workload::symmetric_micro(iat_us, size_kb * 1024, requests), 7);
+      core::StandaloneOptions options;
+      options.weight_ratio = w;
+      options.horizon = core::arrival_horizon(trace);
+      return core::run_standalone(config, trace, options);
+    });
+
+    std::printf("=== request size %.0f KB ===\n", size_kb);
+    std::vector<std::string> header{"inter-arrival"};
+    for (const std::uint32_t w : weights) {
+      header.push_back("w=" + std::to_string(w) + " (R/W)");
+    }
+    common::TextTable table(header);
+    for (std::size_t r = 0; r < iats_us.size(); ++r) {
+      std::vector<std::string> row{common::fmt(iats_us[r], 0) + " us"};
+      for (std::size_t c = 0; c < weights.size(); ++c) {
+        const auto& result = results[r * weights.size() + c];
         row.push_back(common::fmt(result.read_rate.as_gbps()) + "/" +
                       common::fmt(result.write_rate.as_gbps()));
+        scope.events(result.events_executed);
       }
       table.add_row(row);
     }
     table.print(std::cout);
     std::printf("\n");
+    scope.items(cells);
   }
 
   std::printf("Shape check: under short inter-arrival times read throughput\n"

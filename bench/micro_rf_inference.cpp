@@ -1,7 +1,10 @@
-// Cost of one TPM prediction (the inner loop of Algorithm 1) and of the
-// full PredictWeightRatio search, plus Random Forest training cost.
-#include <benchmark/benchmark.h>
+// Cost of one TPM prediction (the inner loop of Algorithm 1, served by the
+// forest's flat contiguous-node inference layout), of the full
+// PredictWeightRatio search, and of Random Forest training. Emits
+// BENCH_micro_rf_inference.json via the shared harness.
+#include <cstdint>
 
+#include "bench/harness.hpp"
 #include "core/presets.hpp"
 #include "core/src_controller.hpp"
 
@@ -30,39 +33,49 @@ workload::WorkloadFeatures heavy_features() {
   return workload::extract_features(trace);
 }
 
-void BM_TpmPredict(benchmark::State& state) {
-  const auto& tpm = trained_tpm();
-  const auto ch = heavy_features();
-  double w = 1.0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(tpm.predict(ch, w));
-    w = w < 8.0 ? w + 1.0 : 1.0;
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_TpmPredict);
-
-void BM_PredictWeightRatio(benchmark::State& state) {
-  const auto& tpm = trained_tpm();
-  const auto ch = heavy_features();
-  core::WorkloadMonitor monitor;
-  core::SrcController controller(tpm, monitor);
-  const double demanded = tpm.predict(ch, 1.0).read_bytes_per_sec * 0.4;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(controller.predict_weight_ratio(demanded, ch));
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_PredictWeightRatio);
-
-void BM_ForestTraining(benchmark::State& state) {
-  const auto& data = training_data();
-  for (auto _ : state) {
-    core::Tpm tpm;
-    tpm.fit(data);
-    benchmark::DoNotOptimize(tpm.fitted());
-  }
-}
-BENCHMARK(BM_ForestTraining)->Unit(benchmark::kMillisecond);
-
 }  // namespace
+
+int main() {
+  src::bench::Harness harness("micro_rf_inference");
+
+  const auto& tpm = trained_tpm();
+  const auto ch = heavy_features();
+
+  {
+    double w = 1.0;
+    double sink = 0.0;
+    harness.repeat("tpm_predict", 1'000, [&] {
+      for (int i = 0; i < 1'000; ++i) {
+        sink += tpm.predict(ch, w).read_bytes_per_sec;
+        w = w < 8.0 ? w + 1.0 : 1.0;
+      }
+      return 0;
+    });
+    if (sink < 0.0) std::printf("%f\n", sink);  // defeat dead-code elimination
+  }
+
+  {
+    core::WorkloadMonitor monitor;
+    core::SrcController controller(tpm, monitor);
+    const double demanded = tpm.predict(ch, 1.0).read_bytes_per_sec * 0.4;
+    std::uint64_t sink = 0;
+    harness.repeat("predict_weight_ratio", 100, [&] {
+      for (int i = 0; i < 100; ++i) {
+        sink += controller.predict_weight_ratio(demanded, ch);
+      }
+      return 0;
+    });
+    if (sink == ~0ull) std::printf("impossible\n");
+  }
+
+  harness.repeat(
+      "forest_training", 1,
+      [&] {
+        core::Tpm fitted;
+        fitted.fit(training_data());
+        return 0;
+      },
+      /*min_seconds=*/0.5, /*min_iters=*/2);
+
+  return 0;
+}

@@ -3,11 +3,18 @@
 // statistics (low/high SCV of request size x low/high SCV of inter-arrival
 // time). Each subset is validated against a model trained on the other
 // subsets plus all micro traces (paper SIV-C).
+//
+// Sample collection rides the deterministic sweep runner inside
+// collect_training_data; the four hold-out fits are themselves independent
+// and run as a sweep. Output is identical for any worker count.
 #include <cstdio>
 #include <iostream>
+#include <utility>
 
+#include "bench/harness.hpp"
 #include "common/table.hpp"
 #include "core/presets.hpp"
+#include "runner/runner.hpp"
 
 using namespace src;
 
@@ -53,23 +60,42 @@ int main() {
       {"high size SCV + high inter-arrival SCV", 3.0, 5.0},
   };
 
+  bench::Harness harness("table3_crossval");
+
   std::printf("collecting samples (micro + 4 synthetic subsets)...\n");
-  const ml::Dataset micro =
-      core::collect_training_data(ssd::ssd_a(), core::default_training_grid());
-  ml::Dataset subset_data[4] = {
-      collect_subset(subsets[0], 100), collect_subset(subsets[1], 200),
-      collect_subset(subsets[2], 300), collect_subset(subsets[3], 400)};
+  std::vector<ml::Dataset> datasets;  // [0] = micro, [1..4] = subsets
+  {
+    auto scope = harness.scope("collect_samples");
+    datasets.push_back(
+        core::collect_training_data(ssd::ssd_a(), core::default_training_grid()));
+    for (int s = 0; s < 4; ++s) {
+      datasets.push_back(collect_subset(subsets[s], 100 * (s + 1)));
+    }
+    std::size_t samples = 0;
+    for (const auto& d : datasets) samples += d.size();
+    scope.items(samples);
+  }
+
+  std::pair<double, double> scores[4];
+  {
+    auto scope = harness.scope("crossval_fits");
+    runner::SweepRunner pool;
+    pool.run(4, [&](std::size_t hold_out) {
+      ml::Dataset train = datasets[0];
+      for (std::size_t s = 0; s < 4; ++s) {
+        if (s != hold_out) train.append(datasets[s + 1]);
+      }
+      core::Tpm tpm;
+      tpm.fit(train);
+      scores[hold_out] = tpm.score(datasets[hold_out + 1]);
+    });
+    scope.items(4);
+  }
 
   common::TextTable table({"Data Subset", "Accuracy (read)", "Accuracy (write)"});
   for (int hold_out = 0; hold_out < 4; ++hold_out) {
-    ml::Dataset train = micro;
-    for (int s = 0; s < 4; ++s) {
-      if (s != hold_out) train.append(subset_data[s]);
-    }
-    core::Tpm tpm;
-    tpm.fit(train);
-    const auto [read_r2, write_r2] = tpm.score(subset_data[hold_out]);
-    table.add_row({subsets[hold_out].name, common::fmt(read_r2), common::fmt(write_r2)});
+    table.add_row({subsets[hold_out].name, common::fmt(scores[hold_out].first),
+                   common::fmt(scores[hold_out].second)});
   }
   table.print(std::cout);
 

@@ -116,6 +116,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
 
   result.completed = all_done;
   result.end_time = sim.now();
+  result.events_executed = sim.executed_events();
 
   for (const auto& initiator : initiators) {
     result.read_timeline.merge(initiator->read_timeline());

@@ -70,6 +70,7 @@ struct ExperimentResult {
   std::uint64_t total_cnps = 0;
   std::uint64_t reads_completed = 0;
   std::uint64_t writes_completed = 0;
+  std::uint64_t events_executed = 0;  ///< kernel events the run dispatched
 
   // Robustness counters (all zero in healthy runs).
   std::uint64_t reads_failed = 0;        ///< retry budget exhausted

@@ -56,6 +56,7 @@ StandaloneResult run_standalone(const ssd::SsdConfig& config,
 
   result.read_timeline.extend_to(sim.now());
   result.write_timeline.extend_to(sim.now());
+  result.events_executed = sim.executed_events();
   result.reads_completed = driver->stats().completed_reads;
   result.writes_completed = driver->stats().completed_writes;
   result.mean_read_latency_us = driver->stats().mean_read_latency_us();

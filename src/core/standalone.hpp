@@ -19,6 +19,7 @@ struct StandaloneResult {
   common::Rate aggregate_rate() const { return read_rate + write_rate; }
   std::uint64_t reads_completed = 0;
   std::uint64_t writes_completed = 0;
+  std::uint64_t events_executed = 0;  ///< kernel events the run dispatched
   double mean_read_latency_us = 0.0;
   double mean_write_latency_us = 0.0;
   common::ThroughputTimeline read_timeline{common::kMillisecond};

@@ -1,12 +1,11 @@
 #include "core/tpm.hpp"
 
-#include <atomic>
 #include <fstream>
 #include <stdexcept>
-#include <thread>
 
 #include "core/standalone.hpp"
 #include "ml/metrics.hpp"
+#include "runner/runner.hpp"
 
 namespace src::core {
 
@@ -43,37 +42,23 @@ ml::Dataset collect_training_data(const ssd::SsdConfig& config,
     features[t] = workload::extract_features(grid.traces[t]);
   }
 
-  std::atomic<std::size_t> cursor{0};
-  auto worker = [&] {
-    for (;;) {
-      const std::size_t i = cursor.fetch_add(1);
-      if (i >= points.size()) return;
-      const Point point = points[i];
-      StandaloneOptions options;
-      options.weight_ratio = point.weight;
-      options.seed = grid.seed + i;
-      options.horizon = arrival_horizon(grid.traces[point.trace_index]);
-      const StandaloneResult result =
-          run_standalone(config, grid.traces[point.trace_index], options);
-      samples[i].x = tpm_row(features[point.trace_index],
-                             static_cast<double>(point.weight));
-      samples[i].y = {result.read_rate.as_bytes_per_second(),
-                      result.write_rate.as_bytes_per_second()};
-    }
-  };
-
-  const std::size_t thread_count = std::min<std::size_t>(
-      grid.threads > 0 ? grid.threads
-                       : std::max(1u, std::thread::hardware_concurrency()),
-      points.size());
-  if (thread_count <= 1) {
-    worker();
-  } else {
-    std::vector<std::thread> workers;
-    workers.reserve(thread_count);
-    for (std::size_t i = 0; i < thread_count; ++i) workers.emplace_back(worker);
-    for (auto& w : workers) w.join();
-  }
+  // Grid points are independent simulations; the runner collects them in
+  // submission order for any worker count. Seeds stay `grid.seed + i` (not
+  // runner::derive_seed) so datasets match those published by earlier PRs.
+  runner::SweepRunner pool(grid.threads);
+  pool.run(points.size(), [&](std::size_t i) {
+    const Point point = points[i];
+    StandaloneOptions options;
+    options.weight_ratio = point.weight;
+    options.seed = grid.seed + i;
+    options.horizon = arrival_horizon(grid.traces[point.trace_index]);
+    const StandaloneResult result =
+        run_standalone(config, grid.traces[point.trace_index], options);
+    samples[i].x = tpm_row(features[point.trace_index],
+                           static_cast<double>(point.weight));
+    samples[i].y = {result.read_rate.as_bytes_per_second(),
+                    result.write_rate.as_bytes_per_second()};
+  });
 
   ml::Dataset data(kTpmFeatureCount, 2);
   for (const auto& sample : samples) data.add(sample.x, sample.y);

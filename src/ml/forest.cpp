@@ -59,12 +59,31 @@ void RandomForestRegressor::fit(const Dataset& data, std::size_t target) {
     }
     for (auto& worker : workers) worker.join();
   }
+  rebuild_flat();
+}
+
+void RandomForestRegressor::rebuild_flat() {
+  flat_nodes_.clear();
+  flat_roots_.clear();
+  flat_roots_.reserve(trees_.size());
+  std::size_t total = 0;
+  for (const auto& tree : trees_) total += tree.node_count();
+  flat_nodes_.reserve(total);
+  for (const auto& tree : trees_) flat_roots_.push_back(tree.flatten_into(flat_nodes_));
 }
 
 double RandomForestRegressor::predict(std::span<const double> x) const {
   if (trees_.empty()) throw std::runtime_error("RandomForest: not fitted");
+  if (x.size() != dim_) throw std::invalid_argument("DecisionTree: dim mismatch");
+  const FlatNode* nodes = flat_nodes_.data();
   double acc = 0.0;
-  for (const auto& tree : trees_) acc += tree.predict(x);
+  for (const std::uint32_t root : flat_roots_) {
+    std::uint32_t i = root;
+    while (nodes[i].feature != FlatNode::kLeaf) {
+      i = x[nodes[i].feature] <= nodes[i].value ? i + 1 : nodes[i].right;
+    }
+    acc += nodes[i].value;
+  }
   return acc / static_cast<double>(trees_.size());
 }
 

@@ -3,6 +3,13 @@
 // feature importances — the model the paper selects for its TPM.
 // Tree training is parallelized across hardware threads with deterministic
 // per-tree seeds, so results are identical regardless of thread count.
+//
+// Inference — the inner loop of Algorithm 1, which evaluates the TPM for
+// every candidate weight ratio on every congestion event — walks a single
+// contiguous array of 16-byte FlatNodes covering all trees (rebuilt after
+// fit/load) instead of chasing through per-tree node vectors. Predictions
+// are bit-identical to the per-tree walk: same descents, same leaf values,
+// same tree-order summation.
 #pragma once
 
 #include <iosfwd>
@@ -48,9 +55,14 @@ class RandomForestRegressor : public Regressor {
   void load(std::istream& in);
 
  private:
+  /// Re-derive the flat inference layout from trees_ (after fit or load).
+  void rebuild_flat();
+
   ForestConfig config_;
   std::vector<DecisionTreeRegressor> trees_;
   std::size_t dim_ = 0;
+  std::vector<FlatNode> flat_nodes_;   ///< all trees, concatenated preorder
+  std::vector<std::uint32_t> flat_roots_;  ///< root index per tree
 };
 
 }  // namespace src::ml

@@ -87,6 +87,7 @@ void RandomForestRegressor::load(std::istream& in) {
   if (!in || tree_count == 0) throw std::runtime_error("forest load: malformed header");
   trees_.assign(tree_count, DecisionTreeRegressor{});
   for (DecisionTreeRegressor& tree : trees_) tree.load(in);
+  rebuild_flat();
 }
 
 }  // namespace src::ml

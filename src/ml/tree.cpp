@@ -127,6 +127,31 @@ std::optional<DecisionTreeRegressor::Split> DecisionTreeRegressor::best_split(
   return best;
 }
 
+std::uint32_t DecisionTreeRegressor::flatten_into(std::vector<FlatNode>& out) const {
+  if (nodes_.empty()) throw std::runtime_error("DecisionTree: not fitted");
+  struct Emitter {
+    const std::vector<Node>& nodes;
+    std::vector<FlatNode>& out;
+    // Recursion depth is bounded by config_.max_depth (16 by default).
+    std::uint32_t emit(std::uint32_t n) {
+      const Node& node = nodes[n];
+      const auto pos = static_cast<std::uint32_t>(out.size());
+      out.push_back(FlatNode{});
+      if (node.feature == Node::kLeaf) {
+        out[pos].value = node.value;
+      } else {
+        emit(node.left);  // lands at pos + 1 by construction
+        const std::uint32_t right = emit(node.right);
+        out[pos].feature = node.feature;
+        out[pos].right = right;
+        out[pos].value = node.threshold;
+      }
+      return pos;
+    }
+  };
+  return Emitter{nodes_, out}.emit(0);
+}
+
 double DecisionTreeRegressor::predict(std::span<const double> x) const {
   if (nodes_.empty()) throw std::runtime_error("DecisionTree: not fitted");
   if (x.size() != dim_) throw std::invalid_argument("DecisionTree: dim mismatch");

@@ -1,0 +1,133 @@
+#include "runner/runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace src::runner {
+
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t index) {
+  // splitmix64 finalizer over a base/index mix. Not Rng-seed expansion:
+  // common::Rng already expands whatever it is given; this only has to make
+  // neighbouring (base, index) pairs land far apart.
+  std::uint64_t z = base + 0x9E3779B97F4A7C15ull * (index + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+struct SweepRunner::Batch {
+  std::size_t count = 0;
+  const std::function<void(std::size_t)>* task = nullptr;
+  std::atomic<std::size_t> next{0};  ///< claim cursor (lock-free fast path)
+  // Guarded by the pool mutex:
+  std::size_t done = 0;      ///< tasks finished
+  std::size_t active = 0;    ///< workers currently inside process()
+  std::exception_ptr error;  ///< first failure by completion order
+};
+
+class SweepRunner::Impl {
+ public:
+  explicit Impl(std::size_t workers) {
+    workers_.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ~Impl() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto& worker : workers_) worker.join();
+  }
+
+  void run(std::size_t count, const std::function<void(std::size_t)>& task) {
+    if (count == 0) return;
+    Batch batch;
+    batch.count = count;
+    batch.task = &task;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      batch_ = &batch;
+      ++batch_generation_;
+    }
+    work_cv_.notify_all();
+    process(batch);  // the submitting thread works the batch too
+    // The batch lives on this stack frame: wait until every task is done AND
+    // every worker has stepped out of process() before letting it die. A
+    // worker can only obtain the pointer under mu_ while batch_ is set, and
+    // it registers in `active` at that moment, so this wait is airtight.
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return batch.done == count && batch.active == 0; });
+    batch_ = nullptr;
+    if (batch.error) std::rethrow_exception(batch.error);
+  }
+
+ private:
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      work_cv_.wait(lock, [&] { return stop_ || batch_generation_ != seen; });
+      if (stop_) return;
+      seen = batch_generation_;
+      Batch* batch = batch_;
+      if (batch == nullptr) continue;  // batch already drained and retired
+      ++batch->active;
+      lock.unlock();
+      process(*batch);
+      lock.lock();
+      --batch->active;
+      if (batch->active == 0 && batch->done == batch->count) {
+        done_cv_.notify_all();
+      }
+    }
+  }
+
+  void process(Batch& batch) {
+    for (;;) {
+      const std::size_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= batch.count) return;
+      std::exception_ptr error;
+      try {
+        (*batch.task)(i);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(mu_);
+      if (error && !batch.error) batch.error = error;
+      ++batch.done;
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> workers_;
+  Batch* batch_ = nullptr;              // guarded by mu_
+  std::uint64_t batch_generation_ = 0;  // guarded by mu_
+  bool stop_ = false;                   // guarded by mu_
+};
+
+SweepRunner::SweepRunner(std::size_t threads) {
+  const std::size_t total =
+      threads > 0 ? threads
+                  : std::max(1u, std::thread::hardware_concurrency());
+  worker_count_ = total - 1;  // the submitting thread is the +1
+  impl_ = new Impl(worker_count_);
+}
+
+SweepRunner::~SweepRunner() { delete impl_; }
+
+void SweepRunner::run(std::size_t count,
+                      const std::function<void(std::size_t)>& task) {
+  impl_->run(count, task);
+}
+
+}  // namespace src::runner

@@ -1,0 +1,144 @@
+// Small-buffer-optimized move-only callable for the event kernel hot path.
+// `std::function` heap-allocates any closure larger than its (16-byte on
+// libstdc++) internal buffer, which puts an allocator round trip on every
+// scheduled event: the simulator's common closures capture a few pointers
+// plus a trace record (~56 bytes). InlineFunction stores callables up to a
+// caller-chosen inline capacity in place and falls back to a single heap
+// allocation only for oversized (or potentially-throwing-move) callables.
+//
+// Dispatch is one table pointer per object (invoke/relocate/destroy shared
+// per erased type) instead of std::function's per-operation switch, and
+// relocation is noexcept so containers of InlineFunction can grow without
+// the copy fallback.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace src::sim {
+
+/// Move-only `void()` callable with `InlineBytes` of in-place storage.
+/// Callables that fit (size, alignment, and nothrow-movability) never touch
+/// the heap; larger ones are boxed behind a single owned pointer.
+template <std::size_t InlineBytes>
+class InlineFunction {
+ public:
+  InlineFunction() noexcept = default;
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, InlineFunction> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  InlineFunction(F&& fn) {  // NOLINT(google-explicit-constructor)
+    construct<D>(std::forward<F>(fn));
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(&storage_, &other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(&storage_, &other.storage_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { reset(); }
+
+  /// Invoke the held callable. Precondition: *this holds one.
+  void operator()() { ops_->invoke(&storage_); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  /// Destroy the held callable (no-op when empty). Trivially-destructible
+  /// inline callables skip the indirect destroy call entirely.
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      if (!ops_->trivial_destroy) ops_->destroy(&storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  /// Construct a callable directly in place (replacing any held one) —
+  /// lets owners build the closure in its final storage with no
+  /// intermediate InlineFunction move.
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, InlineFunction> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  void emplace(F&& fn) {
+    reset();
+    construct<D>(std::forward<F>(fn));
+  }
+
+  /// True when the held callable lives in the inline buffer (introspection
+  /// for tests and benchmarks; false when empty).
+  bool inline_stored() const noexcept { return ops_ != nullptr && ops_->inline_stored; }
+
+  static constexpr std::size_t inline_capacity() { return InlineBytes; }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void*) noexcept;
+    bool inline_stored;
+    bool trivial_destroy;
+  };
+
+  template <typename D>
+  static constexpr bool kFitsInline =
+      sizeof(D) <= InlineBytes && alignof(D) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<D>;
+
+  template <typename D>
+  static D* held(void* p) noexcept {
+    return std::launder(reinterpret_cast<D*>(p));
+  }
+
+  template <typename D, typename F>
+  void construct(F&& fn) {
+    if constexpr (kFitsInline<D>) {
+      ::new (static_cast<void*>(&storage_)) D(std::forward<F>(fn));
+      static constexpr Ops ops{
+          [](void* p) { (*held<D>(p))(); },
+          [](void* dst, void* src) noexcept {
+            D* s = held<D>(src);
+            ::new (dst) D(std::move(*s));
+            s->~D();
+          },
+          [](void* p) noexcept { held<D>(p)->~D(); },
+          true, std::is_trivially_destructible_v<D>};
+      ops_ = &ops;
+    } else {
+      ::new (static_cast<void*>(&storage_)) D*(new D(std::forward<F>(fn)));
+      static constexpr Ops ops{
+          [](void* p) { (**held<D*>(p))(); },
+          [](void* dst, void* src) noexcept {
+            ::new (dst) D*(*held<D*>(src));
+          },
+          [](void* p) noexcept { delete *held<D*>(p); },
+          false, false};
+      ops_ = &ops;
+    }
+  }
+
+  // ops_ leads so the empty/held check and dispatch pointer share the
+  // object's first cache line with the head of the closure storage.
+  const Ops* ops_ = nullptr;
+  alignas(std::max_align_t) std::byte storage_[InlineBytes];
+};
+
+}  // namespace src::sim

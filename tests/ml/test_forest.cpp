@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "common/rng.hpp"
 #include "ml/knn.hpp"
 #include "ml/linear.hpp"
@@ -109,6 +111,71 @@ TEST(ForestTest, UnfittedThrows) {
   RandomForestRegressor forest;
   const double x[5] = {0, 0, 0, 0, 0};
   EXPECT_THROW(forest.predict(std::span{x, 5}), std::runtime_error);
+}
+
+// The contiguous FlatNode inference layout must be bit-identical to the
+// reference per-tree walk: same descents, same leaf values, summed in tree
+// order and divided once.
+TEST(ForestTest, FlatInferenceMatchesPerTreeWalkBitExactly) {
+  const Dataset train = friedman_like(600, 11);
+  ForestConfig config;
+  config.n_trees = 25;
+  config.seed = 3;
+  RandomForestRegressor forest(config);
+  forest.fit(train);
+
+  common::Rng rng(99);
+  for (int i = 0; i < 200; ++i) {
+    double x[5];
+    for (double& v : x) v = rng.uniform() * 1.2 - 0.1;  // includes off-grid
+    double sum = 0.0;
+    for (std::size_t t = 0; t < forest.tree_count(); ++t) {
+      sum += forest.tree(t).predict(x);
+    }
+    const double reference = sum / static_cast<double>(forest.tree_count());
+    EXPECT_EQ(forest.predict(x), reference);
+  }
+}
+
+TEST(ForestTest, FlatLayoutRebuiltAfterSerializeRoundTrip) {
+  const Dataset train = friedman_like(400, 21);
+  ForestConfig config;
+  config.n_trees = 10;
+  RandomForestRegressor forest(config);
+  forest.fit(train);
+
+  std::stringstream buffer;
+  forest.save(buffer);
+  RandomForestRegressor restored;
+  restored.load(buffer);
+
+  common::Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    double x[5];
+    for (double& v : x) v = rng.uniform();
+    EXPECT_EQ(restored.predict(x), forest.predict(x));
+  }
+}
+
+TEST(FlatNodeTest, FlattenedTreeMatchesRecursiveDescent) {
+  const Dataset train = friedman_like(300, 31);
+  DecisionTreeRegressor tree;
+  tree.fit(train);
+
+  std::vector<FlatNode> nodes;
+  const std::uint32_t root = tree.flatten_into(nodes);
+  ASSERT_LT(root, nodes.size());
+
+  common::Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    double x[5];
+    for (double& v : x) v = rng.uniform();
+    std::uint32_t n = root;
+    while (nodes[n].feature != FlatNode::kLeaf) {
+      n = x[nodes[n].feature] <= nodes[n].value ? n + 1 : nodes[n].right;
+    }
+    EXPECT_EQ(nodes[n].value, tree.predict(x));
+  }
 }
 
 TEST(CrossValTest, ReasonableScoreOnLearnableData) {

@@ -1,0 +1,129 @@
+#include "sim/inline_function.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace src::sim {
+namespace {
+
+using Fn = InlineFunction<64>;
+
+TEST(InlineFunctionTest, EmptyByDefault) {
+  Fn fn;
+  EXPECT_FALSE(static_cast<bool>(fn));
+  EXPECT_FALSE(fn.inline_stored());
+  fn.reset();  // reset on empty is a no-op
+  EXPECT_FALSE(static_cast<bool>(fn));
+}
+
+TEST(InlineFunctionTest, SmallCallableStaysInline) {
+  int hits = 0;
+  Fn fn([&hits] { ++hits; });
+  ASSERT_TRUE(static_cast<bool>(fn));
+  EXPECT_TRUE(fn.inline_stored());
+  fn();
+  fn();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineFunctionTest, OversizedCallableFallsBackToHeap) {
+  struct Big {
+    std::uint64_t payload[16] = {};
+  };
+  static_assert(sizeof(Big) > Fn::inline_capacity());
+  Big big;
+  big.payload[3] = 42;
+  std::uint64_t seen = 0;
+  Fn fn([big, &seen] { seen = big.payload[3]; });
+  EXPECT_FALSE(fn.inline_stored());
+  fn();
+  EXPECT_EQ(seen, 42u);
+}
+
+TEST(InlineFunctionTest, MoveTransfersOwnership) {
+  int hits = 0;
+  Fn a([&hits] { ++hits; });
+  Fn b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(hits, 1);
+
+  Fn c;
+  c = std::move(b);
+  EXPECT_FALSE(static_cast<bool>(b));  // NOLINT(bugprone-use-after-move)
+  c();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineFunctionTest, MoveAssignDestroysPreviousTarget) {
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> alive = token;
+  Fn a([token] { (void)token; });
+  token.reset();
+  EXPECT_FALSE(alive.expired());
+  a = Fn([] {});  // old capture must be destroyed here
+  EXPECT_TRUE(alive.expired());
+}
+
+TEST(InlineFunctionTest, DestructorReleasesCapture) {
+  auto token = std::make_shared<int>(7);
+  std::weak_ptr<int> alive = token;
+  {
+    Fn fn([token] { (void)token; });
+    token.reset();
+    EXPECT_FALSE(alive.expired());
+  }
+  EXPECT_TRUE(alive.expired());
+}
+
+TEST(InlineFunctionTest, ResetReleasesHeapBoxedCapture) {
+  struct Big {
+    std::shared_ptr<int> token;
+    std::uint64_t pad[16] = {};
+    void operator()() const {}
+  };
+  static_assert(sizeof(Big) > Fn::inline_capacity());
+  auto token = std::make_shared<int>(9);
+  std::weak_ptr<int> alive = token;
+  Fn fn(Big{token});
+  token.reset();
+  EXPECT_FALSE(fn.inline_stored());
+  EXPECT_FALSE(alive.expired());
+  fn.reset();
+  EXPECT_TRUE(alive.expired());
+  EXPECT_FALSE(static_cast<bool>(fn));
+}
+
+// A callable whose move constructor may throw must not use the inline
+// buffer: relocation is noexcept by contract.
+TEST(InlineFunctionTest, ThrowingMoveCallableIsBoxed) {
+  struct ThrowingMove {
+    ThrowingMove() = default;
+    ThrowingMove(ThrowingMove&&) {}  // NOLINT: intentionally not noexcept
+    void operator()() const {}
+  };
+  static_assert(sizeof(ThrowingMove) <= Fn::inline_capacity());
+  Fn fn{ThrowingMove{}};
+  EXPECT_FALSE(fn.inline_stored());
+  fn();
+}
+
+// Containers of InlineFunction must survive reallocation (the simulator's
+// slot arena grows while closures are parked in it).
+TEST(InlineFunctionTest, SurvivesVectorGrowth) {
+  std::vector<Fn> fns;
+  int total = 0;
+  for (int i = 0; i < 100; ++i) {
+    fns.emplace_back([&total, i] { total += i; });
+  }
+  for (auto& fn : fns) fn();
+  EXPECT_EQ(total, 99 * 100 / 2);
+}
+
+}  // namespace
+}  // namespace src::sim

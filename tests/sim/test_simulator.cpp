@@ -117,6 +117,88 @@ TEST(SimulatorTest, EventsScheduledDuringRunExecute) {
   EXPECT_EQ(sim.now(), 99);
 }
 
+// Regression: cancelling an id whose event already fired used to insert a
+// tombstone that nothing ever reclaimed (the old unordered_set design grew
+// without bound under handle-cancelling drivers). A stale cancel must be a
+// pure no-op.
+TEST(SimulatorTest, CancelAfterFireIsNoOpAndDoesNotLeak) {
+  Simulator sim;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(sim.schedule_at(i, [] {}));
+  }
+  sim.run();
+  EXPECT_EQ(sim.executed_events(), 1000u);
+  const std::size_t slots_before = sim.slot_count();
+  for (const EventId id : ids) sim.cancel(id);  // all already fired
+  EXPECT_EQ(sim.cancelled_pending(), 0u);
+  EXPECT_EQ(sim.slot_count(), slots_before);
+  // The calendar still works and reuses the retired slots.
+  int fired = 0;
+  for (int i = 0; i < 1000; ++i) {
+    sim.schedule_in(1, [&] { ++fired; });
+  }
+  sim.run();
+  EXPECT_EQ(fired, 1000);
+  EXPECT_EQ(sim.slot_count(), slots_before);
+}
+
+TEST(SimulatorTest, CancelTwiceCountsOnce) {
+  Simulator sim;
+  const EventId id = sim.schedule_at(10, [] {});
+  sim.cancel(id);
+  sim.cancel(id);
+  EXPECT_EQ(sim.cancelled_pending(), 1u);
+  sim.run();
+  EXPECT_EQ(sim.cancelled_pending(), 0u);
+  EXPECT_EQ(sim.executed_events(), 0u);
+}
+
+// A handle outliving its event must not be able to kill an unrelated event
+// that happens to reuse the same arena slot (no ABA).
+TEST(SimulatorTest, StaleHandleCannotCancelRecycledSlot) {
+  Simulator sim;
+  const EventId first = sim.schedule_at(1, [] {});
+  sim.run();
+  bool second_fired = false;
+  sim.schedule_at(2, [&] { second_fired = true; });  // reuses first's slot
+  EXPECT_EQ(sim.slot_count(), 1u);
+  sim.cancel(first);  // stale: must not touch the new occupant
+  sim.run();
+  EXPECT_TRUE(second_fired);
+}
+
+// The slot arena is bounded by peak concurrency, not by total events.
+TEST(SimulatorTest, SlotArenaBoundedByPeakPendingEvents) {
+  Simulator sim;
+  for (int round = 0; round < 100; ++round) {
+    for (int i = 0; i < 10; ++i) {
+      sim.schedule_in(i, [] {});
+    }
+    sim.run();
+  }
+  EXPECT_EQ(sim.executed_events(), 1000u);
+  EXPECT_LE(sim.slot_count(), 10u);
+}
+
+// Closures above the inline buffer take the boxed path; they must execute
+// and destruct exactly like small ones.
+TEST(SimulatorTest, OversizedClosuresExecute) {
+  struct Big {
+    std::uint64_t payload[16] = {};
+  };
+  static_assert(sizeof(Big) > kCallbackInlineBytes);
+  Simulator sim;
+  std::uint64_t sum = 0;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    Big big;
+    big.payload[7] = i;
+    sim.schedule_at(static_cast<SimTime>(i), [big, &sum] { sum += big.payload[7]; });
+  }
+  sim.run();
+  EXPECT_EQ(sum, 99u * 100u / 2);
+}
+
 TEST(SimulatorTest, ManyEventsStressOrdering) {
   Simulator sim;
   SimTime last = -1;

@@ -7,12 +7,14 @@
 //   srcctl trace-gen   generate a CSV block trace (micro / vdi / cbs)
 //   srcctl replay      replay a CSV trace against a simulated SSD
 //   srcctl faults      canned fault-injection scenario with timeout/retry
+//   srcctl benchcheck  validate BENCH_*.json files against src-bench-v1
 //
 // Run `srcctl <command> --help` for per-command flags.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <iterator>
 #include <map>
 #include <string>
 #include <vector>
@@ -473,10 +475,87 @@ int cmd_replay(const Args& args) {
   return 0;
 }
 
+/// Validate one bench-harness JSON file (schema "src-bench-v1", written by
+/// bench/harness.hpp). Returns an empty string when valid, else a message.
+std::string check_bench_json(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return "cannot open file";
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  obs::Json doc;
+  try {
+    doc = obs::Json::parse(text);
+  } catch (const std::runtime_error& err) {
+    return err.what();
+  }
+  if (!doc.is_object()) return "top level is not an object";
+  const obs::Json* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != "src-bench-v1") {
+    return "missing or unexpected \"schema\" (want \"src-bench-v1\")";
+  }
+  const obs::Json* bench = doc.find("bench");
+  if (bench == nullptr || !bench->is_string() || bench->as_string().empty()) {
+    return "missing \"bench\" name";
+  }
+  const obs::Json* total = doc.find("total_wall_seconds");
+  if (total == nullptr || !total->is_number() || total->as_number() < 0.0) {
+    return "missing or negative \"total_wall_seconds\"";
+  }
+  const obs::Json* sections = doc.find("sections");
+  if (sections == nullptr || !sections->is_array()) {
+    return "missing \"sections\" array";
+  }
+  std::size_t index = 0;
+  for (const obs::Json& section : sections->as_array()) {
+    const std::string where = "sections[" + std::to_string(index++) + "]: ";
+    if (!section.is_object()) return where + "not an object";
+    const obs::Json* name = section.find("name");
+    if (name == nullptr || !name->is_string() || name->as_string().empty()) {
+      return where + "missing \"name\"";
+    }
+    for (const char* key : {"wall_seconds", "iterations", "events",
+                            "events_per_sec", "items", "items_per_sec"}) {
+      const obs::Json* value = section.find(key);
+      if (value == nullptr || !value->is_number() || value->as_number() < 0.0) {
+        return where + "missing or negative \"" + key + "\"";
+      }
+    }
+  }
+  return "";
+}
+
+int cmd_benchcheck(int argc, char** argv) {
+  if (argc < 3 || std::string(argv[2]) == "--help") {
+    std::puts("srcctl benchcheck BENCH_a.json [BENCH_b.json ...]\n"
+              "\n"
+              "Validates bench-harness output files against the src-bench-v1\n"
+              "schema; exits non-zero if any file is missing or malformed.");
+    return argc < 3 ? 2 : 0;
+  }
+  int failures = 0;
+  for (int i = 2; i < argc; ++i) {
+    const std::string path = argv[i];
+    const std::string error = check_bench_json(path);
+    if (error.empty()) {
+      std::printf("ok      %s\n", path.c_str());
+    } else {
+      std::printf("FAILED  %s: %s\n", path.c_str(), error.c_str());
+      ++failures;
+    }
+  }
+  if (failures > 0) {
+    std::fprintf(stderr, "benchcheck: %d of %d file(s) invalid\n", failures,
+                 argc - 2);
+  }
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const std::string command = argc > 1 ? argv[1] : "";
+  if (command == "benchcheck") return cmd_benchcheck(argc, argv);
   const Args args(argc, argv, 2);
   if (command == "sweep") return cmd_sweep(args);
   if (command == "experiment") return cmd_experiment(args);
@@ -487,7 +566,7 @@ int main(int argc, char** argv) {
   if (command == "trace-stats") return cmd_trace_stats(args);
   if (command == "faults") return cmd_faults(args);
   std::fprintf(stderr,
-               "usage: srcctl <sweep|experiment|trace|tpm|trace-gen|trace-stats|replay|faults> [--flags]\n"
+               "usage: srcctl <sweep|experiment|trace|tpm|trace-gen|trace-stats|replay|faults|benchcheck> [--flags]\n"
                "       srcctl <command> --help\n");
   return command.empty() ? 2 : 2;
 }

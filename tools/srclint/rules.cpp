@@ -329,7 +329,7 @@ std::unordered_set<std::string> collect_unordered_names(
 bool in_r2_scope_dir(const std::string& rel_path) {
   static constexpr const char* kScopes[] = {
       "src/sim/", "src/net/", "src/nvme/", "src/ssd/", "src/core/",
-      "src/fabric/"};
+      "src/fabric/", "src/runner/"};
   for (const char* scope : kScopes) {
     if (rel_path.starts_with(scope)) return true;
   }
