@@ -11,8 +11,10 @@
 #include "bench/harness.hpp"
 #include "common/table.hpp"
 #include "core/presets.hpp"
-#include "net/rate_control.hpp"
 #include "runner/runner.hpp"
+#include "scenario/build.hpp"
+#include "scenario/presets.hpp"
+#include "scenario/registry.hpp"
 
 using namespace src;
 
@@ -22,17 +24,20 @@ int main() {
   std::printf("training TPM...\n\n");
   const core::Tpm tpm = core::train_default_tpm(ssd::ssd_a());
 
-  const net::CcAlgorithm ccs[] = {net::CcAlgorithm::kDcqcn, net::CcAlgorithm::kDctcp};
-  // Row-major (cc, mode) grid: even tasks are the baseline, odd have SRC on.
+  const char* ccs[] = {"dcqcn", "dctcp"};  // cc-registry names
+  // Row-major (cc, mode) grid: even tasks are the baseline, odd have SRC
+  // on. The per-point override is the spec's congestion_control field.
   std::vector<core::ExperimentResult> results;
   {
     auto scope = harness.scope("cc_grid");
     runner::SweepRunner pool;
     results = pool.map(4, [&](std::size_t i) {
       const bool use_src = i % 2 == 1;
-      auto config = core::vdi_experiment(use_src, use_src ? &tpm : nullptr);
-      config.net.cc_algorithm = static_cast<int>(ccs[i / 2]);
-      return core::run_experiment(config);
+      scenario::ScenarioSpec spec = scenario::vdi_spec(use_src);
+      spec.net.cc_algorithm = scenario::cc_registry().at(ccs[i / 2]);
+      scenario::BuildOptions options;
+      options.tpm = use_src ? &tpm : nullptr;
+      return scenario::run(spec, options);
     });
     for (const auto& result : results) scope.events(result.events_executed);
     scope.items(results.size());
@@ -41,7 +46,7 @@ int main() {
   common::TextTable table({"Congestion control", "Mode", "read", "write",
                            "aggregate", "improvement"});
   for (std::size_t c = 0; c < 2; ++c) {
-    const char* cc_name = ccs[c] == net::CcAlgorithm::kDcqcn ? "DCQCN" : "DCTCP";
+    const char* cc_name = c == 0 ? "DCQCN" : "DCTCP";
     const auto& only = results[2 * c];
     const auto& with_src = results[2 * c + 1];
     const double gain = (with_src.aggregate_rate().as_bytes_per_second() -

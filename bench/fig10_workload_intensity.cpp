@@ -9,6 +9,9 @@
 
 #include "common/table.hpp"
 #include "core/presets.hpp"
+#include "runner/runner.hpp"
+#include "scenario/build.hpp"
+#include "scenario/presets.hpp"
 
 using namespace src;
 
@@ -17,18 +20,30 @@ int main() {
   std::printf("training TPM...\n\n");
   const core::Tpm tpm = core::train_default_tpm(ssd::ssd_a());
 
-  const std::pair<core::Intensity, const char*> levels[] = {
-      {core::Intensity::kLight, "light (22 KB reads, sparse)"},
-      {core::Intensity::kModerate, "moderate (32 KB reads)"},
-      {core::Intensity::kHeavy, "heavy (44 KB reads, dense)"},
+  const std::pair<const char*, const char*> levels[] = {
+      {"fig10-light", "light (22 KB reads, sparse)"},
+      {"fig10-moderate", "moderate (32 KB reads)"},
+      {"fig10-heavy", "heavy (44 KB reads, dense)"},
   };
 
+  // Row-major (intensity, mode) grid over the scenario presets: even points
+  // reset the preset's SRC block (DCQCN-only baseline), odd points run it
+  // as written, all against the one shared TPM.
+  runner::SweepRunner pool;
+  const auto results = pool.map(6, [&](std::size_t i) {
+    scenario::ScenarioSpec spec = scenario::preset_spec(levels[i / 2].first);
+    const bool use_src = i % 2 == 1;
+    if (!use_src) spec.src = scenario::SrcSpec{};
+    scenario::BuildOptions options;
+    options.tpm = use_src ? &tpm : nullptr;
+    return scenario::run(spec, options);
+  });
+
   common::TextTable table({"Workload", "Mode", "read", "write", "aggregate"});
-  for (const auto& [level, name] : levels) {
-    const auto only =
-        core::run_experiment(core::intensity_experiment(level, false, nullptr));
-    const auto with_src =
-        core::run_experiment(core::intensity_experiment(level, true, &tpm));
+  for (std::size_t c = 0; c < 3; ++c) {
+    const char* name = levels[c].second;
+    const auto& only = results[2 * c];
+    const auto& with_src = results[2 * c + 1];
     table.add_row({name, "DCQCN-only", common::fmt(only.read_rate.as_gbps()),
                    common::fmt(only.write_rate.as_gbps()),
                    common::fmt(only.aggregate_rate().as_gbps())});

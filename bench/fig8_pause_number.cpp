@@ -10,6 +10,9 @@
 
 #include "common/table.hpp"
 #include "core/presets.hpp"
+#include "runner/runner.hpp"
+#include "scenario/build.hpp"
+#include "scenario/presets.hpp"
 
 using namespace src;
 
@@ -18,8 +21,16 @@ int main() {
   std::printf("training TPM...\n\n");
   const core::Tpm tpm = core::train_default_tpm(ssd::ssd_a());
 
-  const auto only = core::run_experiment(core::vdi_experiment(false, nullptr));
-  const auto with_src = core::run_experiment(core::vdi_experiment(true, &tpm));
+  // Same runs as Fig. 7, expressed as the "fig7" / "fig9" scenario presets.
+  runner::SweepRunner pool;
+  const auto results = pool.map(2, [&](std::size_t i) {
+    scenario::BuildOptions options;
+    options.tpm = i == 1 ? &tpm : nullptr;
+    return scenario::run(scenario::preset_spec(i == 0 ? "fig7" : "fig9"),
+                         options);
+  });
+  const auto& only = results[0];
+  const auto& with_src = results[1];
 
   common::TextTable table({"time [ms]", "DCQCN-only", "DCQCN-SRC"});
   const std::size_t bins =

@@ -11,6 +11,9 @@
 
 #include "common/table.hpp"
 #include "core/presets.hpp"
+#include "runner/runner.hpp"
+#include "scenario/build.hpp"
+#include "scenario/presets.hpp"
 
 using namespace src;
 
@@ -25,13 +28,25 @@ int main() {
   };
   const Row rows[] = {{2, 1}, {3, 1}, {4, 1}, {4, 4}};
 
+  // Row-major (ratio, mode) grid as scenario specs: the use_src flag is the
+  // only per-point difference; one trained TPM is shared by every SRC run.
+  runner::SweepRunner pool;
+  const auto results = pool.map(8, [&](std::size_t i) {
+    const Row& row = rows[i / 2];
+    const bool use_src = i % 2 == 1;
+    const scenario::ScenarioSpec spec =
+        scenario::incast_spec(row.targets, row.initiators, use_src);
+    scenario::BuildOptions options;
+    options.tpm = use_src ? &tpm : nullptr;
+    return scenario::run(spec, options);
+  });
+
   common::TextTable table(
       {"In-cast Ratio", "DCQCN-SRC", "DCQCN-Only", "Improvement"});
-  for (const Row& row : rows) {
-    const auto only = core::run_experiment(
-        core::incast_experiment(row.targets, row.initiators, false, nullptr));
-    const auto with_src = core::run_experiment(
-        core::incast_experiment(row.targets, row.initiators, true, &tpm));
+  for (std::size_t c = 0; c < 4; ++c) {
+    const Row& row = rows[c];
+    const auto& only = results[2 * c];
+    const auto& with_src = results[2 * c + 1];
     const double o = only.aggregate_rate().as_gbps();
     const double s = with_src.aggregate_rate().as_gbps();
     table.add_row({std::to_string(row.targets) + ":" + std::to_string(row.initiators),

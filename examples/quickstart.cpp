@@ -6,9 +6,14 @@
 //   4. Compare read/write/aggregated throughput.
 //
 // Build & run:  ./build/examples/quickstart
+//
+// The experiments are the "fig7" / "fig9" scenario presets — the same specs
+// `srcctl scenarios` dumps as JSON and `srcctl run <file>` replays.
 #include <cstdio>
 
 #include "core/presets.hpp"
+#include "scenario/build.hpp"
+#include "scenario/presets.hpp"
 
 int main() {
   using namespace src;
@@ -22,12 +27,14 @@ int main() {
   // 2. Baseline: DCQCN-only (FIFO NVMe driver on the targets).
   std::printf("[2/3] running DCQCN-only baseline...\n");
   const core::ExperimentResult baseline =
-      core::run_experiment(core::vdi_experiment(/*use_src=*/false, nullptr));
+      scenario::run(scenario::preset_spec("fig7"));
 
   // 3. DCQCN-SRC: separate submission queues + dynamic weight adjustment.
   std::printf("[3/3] running DCQCN-SRC...\n\n");
+  scenario::BuildOptions options;
+  options.tpm = &tpm;
   const core::ExperimentResult with_src =
-      core::run_experiment(core::vdi_experiment(/*use_src=*/true, &tpm));
+      scenario::run(scenario::preset_spec("fig9"), options);
 
   auto report = [](const char* name, const core::ExperimentResult& r) {
     std::printf("%-12s read %5.2f Gbps | write %5.2f Gbps | aggregate %5.2f Gbps"

@@ -39,8 +39,8 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     target_nodes.push_back(node);
     fabric::TargetConfig target_config;
     target_config.ssd = config.ssd;
-    target_config.driver_mode =
-        config.use_src ? fabric::DriverMode::kSsq : fabric::DriverMode::kFifo;
+    target_config.driver_mode = config.driver_mode.value_or(
+        config.use_src ? fabric::DriverMode::kSsq : fabric::DriverMode::kFifo);
     target_config.device_count = config.devices_per_target;
     target_config.seed = config.seed + 31 * t;
     targets.push_back(std::make_unique<fabric::Target>(network, node, context,
@@ -80,6 +80,18 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
           controller.on_congestion_event(
               sim.now(), demanded.as_bytes_per_second() * device_share, decrease);
         });
+  }
+
+  // Rig hook: attach any externally owned machinery (fault injectors etc.)
+  // now that every component is built and wired. The returned state lives
+  // until this function returns.
+  std::shared_ptr<void> rig_state;
+  if (config.rig_hook) {
+    ExperimentRig rig{sim, network, {}, {}, {}};
+    for (const auto& initiator : initiators) rig.initiators.push_back(initiator.get());
+    for (const auto& target : targets) rig.targets.push_back(target.get());
+    for (const auto& controller : controllers) rig.controllers.push_back(controller.get());
+    rig_state = config.rig_hook(rig);
   }
 
   // Replay workloads: each initiator spreads its requests round-robin over

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <optional>
 
 #include "common/latency.hpp"
@@ -19,6 +20,17 @@
 #include "workload/trace.hpp"
 
 namespace src::core {
+
+/// The live components of one experiment, exposed to a RigHook after
+/// construction and wiring but before workload replay. Pointers stay valid
+/// for the duration of the run.
+struct ExperimentRig {
+  sim::Simulator& sim;
+  net::Network& network;
+  std::vector<fabric::Initiator*> initiators;
+  std::vector<fabric::Target*> targets;
+  std::vector<SrcController*> controllers;  ///< empty unless use_src
+};
 
 struct ExperimentConfig {
   std::size_t initiator_count = 1;
@@ -42,6 +54,18 @@ struct ExperimentConfig {
   /// fabric needs none, and an enabled policy arms one timer per request,
   /// which perturbs event ordering. Enable it for fault-injection runs.
   fabric::RetryPolicy retry_policy;
+
+  /// Targets' NVMe driver queueing policy. Unset (default) derives it from
+  /// use_src — SSQ under SRC, FIFO otherwise, the paper's pairing — while
+  /// the scenario layer can pin either explicitly (e.g. SSQ without SRC).
+  std::optional<fabric::DriverMode> driver_mode;
+
+  /// Extension hook invoked once after the rig is built and wired, before
+  /// workload replay. Whatever it returns is kept alive until the run
+  /// finishes, so upper layers (which core cannot depend on) can attach
+  /// stateful machinery — the scenario layer arms a fault::FaultInjector
+  /// this way. Unset for ordinary runs.
+  std::function<std::shared_ptr<void>(const ExperimentRig&)> rig_hook;
 
   /// Safety cap on simulated time.
   common::SimTime max_time = 5 * common::kSecond;

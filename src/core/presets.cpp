@@ -1,10 +1,10 @@
+// TPM training helpers. The experiment presets declared alongside them in
+// presets.hpp are implemented in src/scenario/core_presets.cpp as thin
+// wrappers over ScenarioSpec builders (core cannot depend on the scenario
+// layer); link src_scenario to use them.
 #include "core/presets.hpp"
 
-#include <stdexcept>
-
 namespace src::core {
-
-using common::Rate;
 
 TrainingGrid default_training_grid(std::size_t requests_per_stream,
                                    std::uint64_t seed,
@@ -42,135 +42,6 @@ Tpm train_default_tpm(const ssd::SsdConfig& ssd, std::uint64_t seed) {
   Tpm tpm;
   tpm.fit(data);
   return tpm;
-}
-
-ExperimentConfig vdi_experiment(bool use_src, const Tpm* tpm, std::uint64_t seed) {
-  ExperimentConfig cfg;
-  cfg.initiator_count = 1;
-  cfg.target_count = 2;
-  cfg.ssd = ssd::ssd_a();
-  cfg.devices_per_target = 1;
-  cfg.use_src = use_src;
-  cfg.tpm = tpm;
-  cfg.link_rate = Rate::gbps(4.0);
-  // Tight PFC headroom so that pause frames participate in the congestion
-  // signaling alongside ECN/CNPs (the paper's Fig. 8 "pause number").
-  cfg.net.pfc.xoff_bytes = 96ull * 1024;
-  cfg.net.pfc.xon_bytes = 48ull * 1024;
-  cfg.max_time = 150 * common::kMillisecond;
-  cfg.seed = seed;
-  cfg.trace_for = [seed](std::size_t index) {
-    // VDI-like read-intensive stream (paper §IV-D): 44 KB reads at 10 us,
-    // 23 KB writes at half the byte intensity; bursty MMPP arrivals. The
-    // read stream oversubscribes both the SSD and the inbound link while
-    // the write direction stays uncongested (see presets.hpp).
-    workload::SyntheticParams params = workload::fujitsu_vdi_like(10000);
-    params.write.mean_iat_us = 48.0;
-    params.write.count = 2000;
-    return workload::generate_synthetic(params, seed + index);
-  };
-  return cfg;
-}
-
-ExperimentConfig intensity_experiment(Intensity level, bool use_src,
-                                      const Tpm* tpm, std::uint64_t seed) {
-  ExperimentConfig cfg;
-  cfg.initiator_count = 1;
-  cfg.target_count = 2;
-  cfg.ssd = ssd::ssd_a();
-  cfg.devices_per_target = 1;
-  cfg.use_src = use_src;
-  cfg.tpm = tpm;
-  cfg.link_rate = Rate::gbps(4.0);
-  cfg.max_time = 200 * common::kMillisecond;
-  cfg.seed = seed;
-
-  double read_size_kb = 22.0, read_iat_us = 53.0;
-  double write_iat_us = 160.0;
-  std::size_t reads = 2500, writes = 800;
-  switch (level) {
-    case Intensity::kLight:
-      break;  // defaults above: below both SSD and link capacity
-    case Intensity::kModerate:
-      read_size_kb = 32.0;
-      read_iat_us = 20.0;
-      write_iat_us = 96.0;
-      reads = 6000;
-      writes = 1300;
-      break;
-    case Intensity::kHeavy:
-      read_size_kb = 44.0;
-      read_iat_us = 10.0;
-      write_iat_us = 48.0;
-      reads = 10000;
-      writes = 2500;
-      break;
-  }
-
-  cfg.trace_for = [=](std::size_t index) {
-    workload::MicroParams params;
-    params.read = workload::StreamParams{read_iat_us, read_size_kb * 1024, reads};
-    params.write = workload::StreamParams{write_iat_us, 23.0 * 1024, writes};
-    return workload::generate_micro(params, seed + 13 * index);
-  };
-  return cfg;
-}
-
-ExperimentConfig incast_experiment(std::size_t targets, std::size_t initiators,
-                                   bool use_src, const Tpm* tpm,
-                                   std::uint64_t seed) {
-  ExperimentConfig cfg;
-  cfg.initiator_count = initiators;
-  cfg.target_count = targets;
-  cfg.ssd = ssd::ssd_a();
-  cfg.devices_per_target = 1;
-  cfg.use_src = use_src;
-  cfg.tpm = tpm;
-  cfg.link_rate = Rate::gbps(4.0);
-  cfg.max_time = 250 * common::kMillisecond;
-  cfg.seed = seed;
-
-  // The total traffic load is held constant (paper §IV-F2); each initiator
-  // carries an equal share of it, and requests are spread round-robin over
-  // the targets by the experiment driver.
-  const double total_read_iat_us = 32.0;   // 44 KB -> ~11 Gbps total
-  const double total_write_iat_us = 70.0;  // 23 KB -> ~2.7 Gbps total
-  const std::size_t total_reads = 5600;
-  const std::size_t total_writes = 2560;
-  cfg.trace_for = [=](std::size_t index) {
-    workload::MicroParams params;
-    params.read = workload::StreamParams{
-        total_read_iat_us * static_cast<double>(initiators), 44.0 * 1024,
-        total_reads / initiators};
-    params.write = workload::StreamParams{
-        total_write_iat_us * static_cast<double>(initiators), 23.0 * 1024,
-        total_writes / initiators};
-    return workload::generate_micro(params, seed + 17 * index);
-  };
-  return cfg;
-}
-
-ExperimentConfig preset_by_name(const std::string& name, const Tpm* tpm) {
-  if (name == "fig7") return vdi_experiment(/*use_src=*/false, nullptr);
-  if (name == "fig9") return vdi_experiment(/*use_src=*/true, tpm);
-  if (name == "fig10-light") {
-    return intensity_experiment(Intensity::kLight, /*use_src=*/true, tpm);
-  }
-  if (name == "fig10-moderate") {
-    return intensity_experiment(Intensity::kModerate, /*use_src=*/true, tpm);
-  }
-  if (name == "fig10-heavy") {
-    return intensity_experiment(Intensity::kHeavy, /*use_src=*/true, tpm);
-  }
-  if (name == "table4") {
-    return incast_experiment(/*targets=*/2, /*initiators=*/1, /*use_src=*/true, tpm);
-  }
-  throw std::invalid_argument("unknown preset: " + name);
-}
-
-std::vector<std::string> preset_names() {
-  return {"fig7", "fig9", "fig10-light", "fig10-moderate", "fig10-heavy",
-          "table4"};
 }
 
 }  // namespace src::core

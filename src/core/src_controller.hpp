@@ -48,6 +48,8 @@ struct SrcParams {
   /// Reject TPM throughput predictions above this (bytes/sec); such values
   /// cannot come from a sane model of a real device.
   double max_sane_throughput = 1e12;
+
+  friend bool operator==(const SrcParams&, const SrcParams&) = default;
 };
 
 /// One applied adjustment, for the Fig. 9-style control-delay analysis.

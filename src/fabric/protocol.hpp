@@ -77,6 +77,8 @@ struct RetryPolicy {
     const double capped = std::min(t, static_cast<double>(max_timeout));
     return static_cast<SimTime>(capped);
   }
+
+  friend bool operator==(const RetryPolicy&, const RetryPolicy&) = default;
 };
 
 /// Shared bookkeeping for one simulated fabric: request-id allocation and

@@ -33,6 +33,8 @@ struct PacketDropFault {
   SimTime start = 0;
   SimTime end = 0;
   double probability = 1.0;
+
+  friend bool operator==(const PacketDropFault&, const PacketDropFault&) = default;
 };
 
 /// Both directions of the link on (`node`, `port`) discard all traffic
@@ -42,6 +44,8 @@ struct LinkDownFault {
   std::size_t port = 0;
   SimTime down_at = 0;
   SimTime up_at = 0;
+
+  friend bool operator==(const LinkDownFault&, const LinkDownFault&) = default;
 };
 
 /// Scale one device's flash latencies by `scale` during the window
@@ -52,6 +56,8 @@ struct DeviceLatencyFault {
   SimTime start = 0;
   SimTime end = 0;
   double scale = 4.0;
+
+  friend bool operator==(const DeviceLatencyFault&, const DeviceLatencyFault&) = default;
 };
 
 /// Take one device fully offline during the window; the target re-stripes
@@ -61,6 +67,8 @@ struct DeviceOutageFault {
   std::size_t device = 0;
   SimTime offline_at = 0;
   SimTime online_at = 0;
+
+  friend bool operator==(const DeviceOutageFault&, const DeviceOutageFault&) = default;
 };
 
 /// Each command executed by the device fails with a transient error with
@@ -71,6 +79,8 @@ struct TransientErrorFault {
   SimTime start = 0;
   SimTime end = 0;
   double probability = 0.1;
+
+  friend bool operator==(const TransientErrorFault&, const TransientErrorFault&) = default;
 };
 
 /// How a TPM prediction is corrupted while a TpmFault window is open.
@@ -87,6 +97,8 @@ struct TpmFault {
   SimTime start = 0;
   SimTime end = 0;
   TpmFaultKind kind = TpmFaultKind::kNan;
+
+  friend bool operator==(const TpmFault&, const TpmFault&) = default;
 };
 
 /// Congestion signals to one target's listener are lost in the window.
@@ -94,6 +106,8 @@ struct SignalLossFault {
   std::size_t target = 0;
   SimTime start = 0;
   SimTime end = 0;
+
+  friend bool operator==(const SignalLossFault&, const SignalLossFault&) = default;
 };
 
 struct FaultPlan {
@@ -126,6 +140,8 @@ struct FaultPlan {
     for (const auto& f : signal_losses) h = std::max(h, f.end);
     return h;
   }
+
+  friend bool operator==(const FaultPlan&, const FaultPlan&) = default;
 };
 
 }  // namespace src::fault

@@ -21,12 +21,16 @@ struct EcnConfig {
   std::uint64_t kmax_bytes = 200ull * 1024;  ///< mark with pmax above this
   double pmax = 0.2;
   bool enabled = true;
+
+  friend bool operator==(const EcnConfig&, const EcnConfig&) = default;
 };
 
 struct PfcConfig {
   std::uint64_t xoff_bytes = 256ull * 1024;  ///< pause upstream above this
   std::uint64_t xon_bytes = 128ull * 1024;   ///< resume below this
   bool enabled = true;
+
+  friend bool operator==(const PfcConfig&, const PfcConfig&) = default;
 };
 
 struct DcqcnParams {
@@ -40,6 +44,8 @@ struct DcqcnParams {
   Rate rate_hai = Rate::mbps(500.0);    ///< hyper increase step
   Rate min_rate = Rate::mbps(50.0);
   SimTime cnp_interval = 50 * common::kMicrosecond;  ///< receiver CNP pacing
+
+  friend bool operator==(const DcqcnParams&, const DcqcnParams&) = default;
 };
 
 struct DctcpConfig {
@@ -47,6 +53,8 @@ struct DctcpConfig {
   SimTime observation_window = 100 * common::kMicrosecond;
   Rate additive_increase = Rate::mbps(100.0);
   Rate min_rate = Rate::mbps(50.0);
+
+  friend bool operator==(const DctcpConfig&, const DctcpConfig&) = default;
 };
 
 struct NetConfig {
@@ -58,6 +66,8 @@ struct NetConfig {
   /// Which end-host congestion control the hosts run (default: the
   /// paper's DCQCN; DCTCP is provided for the congestion-control ablation).
   int cc_algorithm = 0;  ///< 0 = DCQCN, 1 = DCTCP (net::CcAlgorithm)
+
+  friend bool operator==(const NetConfig&, const NetConfig&) = default;
 };
 
 }  // namespace src::net

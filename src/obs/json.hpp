@@ -155,6 +155,12 @@ class Json {
         skip_ws();
         if (peek() != '"') fail("expected object key");
         std::string key = parse_string();
+        // Duplicate keys are always a generator bug: find() would silently
+        // return the first value and serialization would not round-trip.
+        for (const auto& [existing, value] : object) {
+          (void)value;
+          if (existing == key) fail("duplicate object key '" + key + "'");
+        }
         skip_ws();
         if (peek() != ':') fail("expected ':'");
         ++pos;

@@ -1,0 +1,88 @@
+#include "scenario/build.hpp"
+
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "fault/fault_injector.hpp"
+#include "scenario/registry.hpp"
+
+namespace src::scenario {
+
+BuiltScenario build(const ScenarioSpec& spec, const BuildOptions& options) {
+  BuiltScenario built;
+  core::ExperimentConfig& config = built.config;
+
+  config.initiator_count = spec.topology.initiators;
+  config.target_count = spec.topology.targets;
+  config.devices_per_target = spec.topology.devices_per_target;
+  config.link_rate = spec.topology.link_rate;
+  config.link_delay = spec.topology.link_delay;
+  config.net = spec.net;
+  config.ssd = spec.ssd;
+  config.use_src = spec.src.enabled;
+  config.src_params = spec.src.params;
+  config.retry_policy = spec.retry;
+  config.seed = spec.seed;
+  config.max_time = spec.max_time;
+  config.observatory = options.observatory;
+  config.driver_mode = driver_registry().at(spec.driver);
+
+  if (options.tpm != nullptr) {
+    config.tpm = options.tpm;
+  } else {
+    built.owned_tpm = tpm_registry().at(spec.src.tpm.source)(spec.src.tpm, spec.ssd);
+    config.tpm = built.owned_tpm.get();
+  }
+  if (config.use_src && config.tpm == nullptr) {
+    throw std::invalid_argument(
+        "scenario '" + spec.name +
+        "': src.enabled needs a TPM — set src.tpm.source "
+        "(\"train-default\" or \"file\") or pass one via BuildOptions");
+  }
+
+  if (spec.workloads.empty()) {
+    throw std::invalid_argument("scenario '" + spec.name +
+                                "': no workloads defined");
+  }
+  if (spec.workloads.size() != 1 &&
+      spec.workloads.size() != spec.topology.initiators) {
+    throw std::invalid_argument(
+        "scenario '" + spec.name + "': " + std::to_string(spec.workloads.size()) +
+        " workloads for " + std::to_string(spec.topology.initiators) +
+        " initiators (need 1 shared entry or one per initiator)");
+  }
+  // The factory outlives `spec`; capture the workload list by value behind
+  // a shared_ptr so copying the config stays cheap.
+  const auto workloads =
+      std::make_shared<const std::vector<WorkloadSpec>>(spec.workloads);
+  const std::uint64_t base_seed = spec.seed;
+  config.trace_for = [workloads, base_seed](std::size_t index) {
+    const WorkloadSpec& w =
+        workloads->size() == 1 ? workloads->front() : (*workloads)[index];
+    return workload_registry().at(w.kind)(
+        w, base_seed + w.seed_stride * static_cast<std::uint64_t>(index));
+  };
+
+  if (!spec.faults.empty()) {
+    const fault::FaultPlan plan = spec.faults;
+    config.rig_hook = [plan](const core::ExperimentRig& rig) {
+      auto injector = std::make_shared<fault::FaultInjector>(rig.network, plan);
+      for (fabric::Target* target : rig.targets) injector->add_target(*target);
+      for (core::SrcController* controller : rig.controllers) {
+        injector->add_controller(*controller);
+      }
+      injector->arm();
+      return injector;
+    };
+  }
+
+  return built;
+}
+
+core::ExperimentResult run(const ScenarioSpec& spec, const BuildOptions& options) {
+  const BuiltScenario built = build(spec, options);
+  return core::run_experiment(built.config);
+}
+
+}  // namespace src::scenario

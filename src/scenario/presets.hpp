@@ -1,0 +1,46 @@
+// The paper's evaluation presets as ScenarioSpecs, plus a registry keyed by
+// figure name so front ends (`srcctl scenarios`, benches, tests) enumerate
+// and dump them uniformly. The spec builders are the single source of truth
+// for the presets' calibration; core::vdi_experiment & friends are thin
+// wrappers over them (see core_presets.cpp).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "core/presets.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/spec.hpp"
+
+namespace src::scenario {
+
+/// Fig. 7/8 (use_src=false) and Fig. 9 (use_src=true): one initiator, two
+/// targets, VDI-like read-intensive congestion.
+ScenarioSpec vdi_spec(bool use_src, std::uint64_t seed = 99);
+
+/// Fig. 10 workload-intensity points.
+ScenarioSpec intensity_spec(core::Intensity level, bool use_src,
+                            std::uint64_t seed = 7);
+
+/// Table IV in-cast: `targets`:`initiators` with constant total load.
+ScenarioSpec incast_spec(std::size_t targets, std::size_t initiators,
+                         bool use_src, std::uint64_t seed = 5);
+
+/// One registered preset: a description line for listings plus a builder.
+struct ScenarioPreset {
+  std::string description;
+  std::function<ScenarioSpec()> make;
+};
+
+/// Preset registry. Keys: "fig7", "fig9", "fig10-light", "fig10-moderate",
+/// "fig10-heavy", "table4", and the ~10x-smaller "-reduced" variants the
+/// regression suite and CI smoke runs use ("fig7-reduced", "fig9-reduced",
+/// "table4-reduced").
+Registry<ScenarioPreset>& preset_registry();
+
+/// Convenience: preset_registry().at(name).make() (throws on unknown name,
+/// listing the known ones).
+ScenarioSpec preset_spec(const std::string& name);
+
+}  // namespace src::scenario

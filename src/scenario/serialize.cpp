@@ -1,0 +1,893 @@
+#include "scenario/serialize.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <iterator>
+#include <set>
+#include <stdexcept>
+
+#include "scenario/registry.hpp"
+
+namespace src::scenario {
+namespace {
+
+using obs::Json;
+
+constexpr double kMaxExactInteger = 9.007199254740992e15;  // 2^53
+
+[[noreturn]] void fail_at(const std::string& file, const std::string& path,
+                          const std::string& message) {
+  throw std::runtime_error(file + ":" + path + ": " + message);
+}
+
+std::string fmt_number(double v) {
+  Json j{v};
+  return j.dump();
+}
+
+/// Strict reader over one JSON object: every getter records the keys it
+/// touched and done() rejects whatever remains, so unknown (misspelled)
+/// keys can never be silently ignored. Getter defaults implement
+/// "manifest = preset + overrides": absent keys keep the spec's defaults.
+class ObjectReader {
+ public:
+  ObjectReader(const Json& json, const std::string& file, std::string path)
+      : file_(file), path_(std::move(path)) {
+    if (!json.is_object()) fail_at(file_, path_, "expected an object");
+    object_ = &json.as_object();
+  }
+
+  const std::string& path() const { return path_; }
+  std::string child_path(const std::string& key) const {
+    return path_ + "." + key;
+  }
+
+  [[noreturn]] void fail(const std::string& key, const std::string& message) const {
+    fail_at(file_, child_path(key), message);
+  }
+
+  bool has(const std::string& key) const {
+    for (const auto& [k, v] : *object_) {
+      (void)v;
+      if (k == key) return true;
+    }
+    return false;
+  }
+
+  /// Consume `key`; nullptr when absent.
+  const Json* take(const std::string& key) {
+    consumed_.insert(key);
+    for (const auto& [k, v] : *object_) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+
+  double number(const std::string& key, double fallback) {
+    const Json* value = take(key);
+    if (value == nullptr) return fallback;
+    if (!value->is_number()) fail(key, "expected a number");
+    return value->as_number();
+  }
+
+  double positive(const std::string& key, double fallback) {
+    const double v = number(key, fallback);
+    if (!(v > 0.0)) fail(key, "must be > 0 (got " + fmt_number(v) + ")");
+    return v;
+  }
+
+  double non_negative(const std::string& key, double fallback) {
+    const double v = number(key, fallback);
+    if (!(v >= 0.0)) fail(key, "must be >= 0 (got " + fmt_number(v) + ")");
+    return v;
+  }
+
+  double unit_interval(const std::string& key, double fallback) {
+    const double v = number(key, fallback);
+    if (!(v >= 0.0 && v <= 1.0)) {
+      fail(key, "must be in [0, 1] (got " + fmt_number(v) + ")");
+    }
+    return v;
+  }
+
+  std::uint64_t u64(const std::string& key, std::uint64_t fallback,
+                    std::uint64_t min = 0) {
+    const Json* value = take(key);
+    if (value == nullptr) return fallback;
+    if (!value->is_number()) fail(key, "expected a number");
+    const double v = value->as_number();
+    if (!(v >= 0.0) || v != std::floor(v) || v > kMaxExactInteger) {
+      fail(key, "expected a non-negative integer (got " + fmt_number(v) + ")");
+    }
+    const auto out = static_cast<std::uint64_t>(v);
+    if (out < min) {
+      fail(key, "must be >= " + std::to_string(min) + " (got " +
+                    std::to_string(out) + ")");
+    }
+    return out;
+  }
+
+  std::int64_t i64(const std::string& key, std::int64_t fallback) {
+    const Json* value = take(key);
+    if (value == nullptr) return fallback;
+    if (!value->is_number()) fail(key, "expected a number");
+    const double v = value->as_number();
+    if (v != std::floor(v) || std::abs(v) > kMaxExactInteger) {
+      fail(key, "expected an integer (got " + fmt_number(v) + ")");
+    }
+    return static_cast<std::int64_t>(v);
+  }
+
+  bool boolean(const std::string& key, bool fallback) {
+    const Json* value = take(key);
+    if (value == nullptr) return fallback;
+    if (value->type() != Json::Type::kBool) fail(key, "expected true/false");
+    return value->as_bool();
+  }
+
+  std::string string(const std::string& key, std::string fallback) {
+    const Json* value = take(key);
+    if (value == nullptr) return fallback;
+    if (!value->is_string()) fail(key, "expected a string");
+    return value->as_string();
+  }
+
+  /// Simulation time: `<key>_ns` integer (native), or `<key>_us` /
+  /// `<key>_ms` doubles as authoring sugar. At most one spelling.
+  common::SimTime time(const std::string& key, common::SimTime fallback) {
+    const std::string ns_key = key + "_ns";
+    const std::string us_key = key + "_us";
+    const std::string ms_key = key + "_ms";
+    const int given = (has(ns_key) ? 1 : 0) + (has(us_key) ? 1 : 0) +
+                      (has(ms_key) ? 1 : 0);
+    if (given > 1) {
+      fail(ns_key, "give at most one of _ns/_us/_ms for '" + key + "'");
+    }
+    if (has(us_key)) {
+      return common::microseconds(non_negative(us_key, 0.0));
+    }
+    if (has(ms_key)) {
+      return common::milliseconds(non_negative(ms_key, 0.0));
+    }
+    const std::int64_t ns = i64(ns_key, fallback);
+    if (ns < 0) fail(ns_key, "must be >= 0 (got " + std::to_string(ns) + ")");
+    return ns;
+  }
+
+  /// Data rate: `<key>_bytes_per_sec` (native), or `<key>_gbps` /
+  /// `<key>_mbps` as authoring sugar. At most one spelling.
+  common::Rate rate(const std::string& key, common::Rate fallback) {
+    const std::string bps_key = key + "_bytes_per_sec";
+    const std::string gbps_key = key + "_gbps";
+    const std::string mbps_key = key + "_mbps";
+    const int given = (has(bps_key) ? 1 : 0) + (has(gbps_key) ? 1 : 0) +
+                      (has(mbps_key) ? 1 : 0);
+    if (given > 1) {
+      fail(bps_key, "give at most one of _bytes_per_sec/_gbps/_mbps for '" +
+                        key + "'");
+    }
+    if (has(gbps_key)) return common::Rate::gbps(non_negative(gbps_key, 0.0));
+    if (has(mbps_key)) return common::Rate::mbps(non_negative(mbps_key, 0.0));
+    return common::Rate::bytes_per_second(
+        non_negative(bps_key, fallback.as_bytes_per_second()));
+  }
+
+  /// Run `body(reader)` over the sub-object at `key` when present.
+  template <typename F>
+  void object(const std::string& key, F&& body) {
+    const Json* value = take(key);
+    if (value == nullptr) return;
+    ObjectReader reader(*value, file_, child_path(key));
+    body(reader);
+    reader.done();
+  }
+
+  /// Iterate the array at `key` (absent = empty): body(element_reader, i).
+  template <typename F>
+  void array(const std::string& key, F&& body) {
+    const Json* value = take(key);
+    if (value == nullptr) return;
+    if (!value->is_array()) fail(key, "expected an array");
+    std::size_t index = 0;
+    for (const Json& element : value->as_array()) {
+      ObjectReader reader(element, file_,
+                          child_path(key) + "[" + std::to_string(index) + "]");
+      body(reader, index);
+      reader.done();
+      ++index;
+    }
+  }
+
+  /// Reject any key no getter consumed.
+  void done() const {
+    for (const auto& [k, v] : *object_) {
+      (void)v;
+      if (consumed_.contains(k)) continue;
+      // Alternate unit spellings are consumed via has() checks only.
+      fail_at(file_, child_path(k), "unknown key");
+    }
+  }
+
+  /// Mark a key as recognized without reading it through a getter (for the
+  /// alternate-unit spellings time()/rate() consume via number()).
+  void recognize(const std::string& key) { consumed_.insert(key); }
+
+ private:
+  const Json::Object* object_ = nullptr;
+  const std::string& file_;
+  std::string path_;
+  std::set<std::string> consumed_;
+};
+
+// --- emitters ---------------------------------------------------------------
+
+void put_time(Json& out, const std::string& key, common::SimTime t) {
+  out.set(key + "_ns", Json{static_cast<std::int64_t>(t)});
+}
+
+void put_rate(Json& out, const std::string& key, common::Rate r) {
+  out.set(key + "_bytes_per_sec", Json{r.as_bytes_per_second()});
+}
+
+Json topology_to_json(const TopologySpec& t) {
+  Json out{Json::Object{}};
+  out.set("initiators", Json{static_cast<std::uint64_t>(t.initiators)});
+  out.set("targets", Json{static_cast<std::uint64_t>(t.targets)});
+  out.set("devices_per_target",
+          Json{static_cast<std::uint64_t>(t.devices_per_target)});
+  put_rate(out, "link_rate", t.link_rate);
+  put_time(out, "link_delay", t.link_delay);
+  return out;
+}
+
+Json net_to_json(const net::NetConfig& n) {
+  Json out{Json::Object{}};
+  out.set("mtu_bytes", Json{static_cast<std::uint64_t>(n.mtu_bytes)});
+  out.set("congestion_control", Json{cc_name(n.cc_algorithm)});
+  Json ecn{Json::Object{}};
+  ecn.set("enabled", Json{n.ecn.enabled});
+  ecn.set("kmin_bytes", Json{n.ecn.kmin_bytes});
+  ecn.set("kmax_bytes", Json{n.ecn.kmax_bytes});
+  ecn.set("pmax", Json{n.ecn.pmax});
+  out.set("ecn", std::move(ecn));
+  Json pfc{Json::Object{}};
+  pfc.set("enabled", Json{n.pfc.enabled});
+  pfc.set("xoff_bytes", Json{n.pfc.xoff_bytes});
+  pfc.set("xon_bytes", Json{n.pfc.xon_bytes});
+  out.set("pfc", std::move(pfc));
+  Json dcqcn{Json::Object{}};
+  dcqcn.set("enabled", Json{n.dcqcn.enabled});
+  dcqcn.set("g", Json{n.dcqcn.g});
+  put_time(dcqcn, "alpha_timer", n.dcqcn.alpha_timer);
+  put_time(dcqcn, "rate_timer", n.dcqcn.rate_timer);
+  dcqcn.set("byte_counter", Json{n.dcqcn.byte_counter});
+  dcqcn.set("fast_recovery_stages",
+            Json{static_cast<std::uint64_t>(n.dcqcn.fast_recovery_stages)});
+  put_rate(dcqcn, "rate_ai", n.dcqcn.rate_ai);
+  put_rate(dcqcn, "rate_hai", n.dcqcn.rate_hai);
+  put_rate(dcqcn, "min_rate", n.dcqcn.min_rate);
+  put_time(dcqcn, "cnp_interval", n.dcqcn.cnp_interval);
+  out.set("dcqcn", std::move(dcqcn));
+  Json dctcp{Json::Object{}};
+  dctcp.set("g", Json{n.dctcp.g});
+  put_time(dctcp, "observation_window", n.dctcp.observation_window);
+  put_rate(dctcp, "additive_increase", n.dctcp.additive_increase);
+  put_rate(dctcp, "min_rate", n.dctcp.min_rate);
+  out.set("dctcp", std::move(dctcp));
+  return out;
+}
+
+Json ssd_to_json(const ssd::SsdConfig& s) {
+  Json out{Json::Object{}};
+  out.set("name", Json{s.name});
+  out.set("queue_depth", Json{static_cast<std::uint64_t>(s.queue_depth)});
+  out.set("write_cache_bytes", Json{s.write_cache_bytes});
+  out.set("cmt_bytes", Json{s.cmt_bytes});
+  out.set("page_bytes", Json{s.page_bytes});
+  put_time(out, "read_latency", s.read_latency);
+  put_time(out, "write_latency", s.write_latency);
+  out.set("channels", Json{static_cast<std::uint64_t>(s.channels)});
+  out.set("chips_per_channel",
+          Json{static_cast<std::uint64_t>(s.chips_per_channel)});
+  put_rate(out, "channel_bandwidth", s.channel_bandwidth);
+  put_rate(out, "dram_bandwidth", s.dram_bandwidth);
+  out.set("capacity_bytes", Json{s.capacity_bytes});
+  out.set("mapping_entry_bytes", Json{s.mapping_entry_bytes});
+  put_time(out, "cmt_miss_penalty", s.cmt_miss_penalty);
+  put_time(out, "command_overhead", s.command_overhead);
+  out.set("cache_ack_watermark", Json{s.cache_ack_watermark});
+  out.set("drain_streams", Json{static_cast<std::uint64_t>(s.drain_streams)});
+  out.set("admission_window_ops", Json{s.admission_window_ops});
+  out.set("enable_gc", Json{s.enable_gc});
+  out.set("gc_overprovision", Json{s.gc_overprovision});
+  out.set("gc_pages_per_block",
+          Json{static_cast<std::uint64_t>(s.gc_pages_per_block)});
+  put_time(out, "erase_latency", s.erase_latency);
+  return out;
+}
+
+Json micro_stream_to_json(const workload::StreamParams& s) {
+  Json out{Json::Object{}};
+  out.set("mean_iat_us", Json{s.mean_iat_us});
+  out.set("mean_size_bytes", Json{s.mean_size_bytes});
+  out.set("count", Json{static_cast<std::uint64_t>(s.count)});
+  return out;
+}
+
+Json synthetic_stream_to_json(const workload::SyntheticStreamParams& s) {
+  Json out{Json::Object{}};
+  out.set("mean_iat_us", Json{s.mean_iat_us});
+  out.set("iat_scv", Json{s.iat_scv});
+  out.set("mean_size_bytes", Json{s.mean_size_bytes});
+  out.set("size_scv", Json{s.size_scv});
+  out.set("count", Json{static_cast<std::uint64_t>(s.count)});
+  return out;
+}
+
+Json workload_to_json(const WorkloadSpec& w) {
+  Json out{Json::Object{}};
+  out.set("kind", Json{w.kind});
+  out.set("seed_stride", Json{w.seed_stride});
+  if (w.kind == "micro") {
+    Json micro{Json::Object{}};
+    micro.set("read", micro_stream_to_json(w.micro.read));
+    micro.set("write", micro_stream_to_json(w.micro.write));
+    micro.set("lba_space_bytes", Json{w.micro.lba_space_bytes});
+    micro.set("align_bytes", Json{static_cast<std::uint64_t>(w.micro.align_bytes)});
+    micro.set("min_size_bytes",
+              Json{static_cast<std::uint64_t>(w.micro.min_size_bytes)});
+    micro.set("max_size_bytes",
+              Json{static_cast<std::uint64_t>(w.micro.max_size_bytes)});
+    micro.set("zipf_theta", Json{w.micro.zipf_theta});
+    out.set("micro", std::move(micro));
+  } else if (w.kind == "synthetic") {
+    Json synth{Json::Object{}};
+    synth.set("read", synthetic_stream_to_json(w.synthetic.read));
+    synth.set("write", synthetic_stream_to_json(w.synthetic.write));
+    synth.set("lba_space_bytes", Json{w.synthetic.lba_space_bytes});
+    synth.set("align_bytes",
+              Json{static_cast<std::uint64_t>(w.synthetic.align_bytes)});
+    synth.set("min_size_bytes",
+              Json{static_cast<std::uint64_t>(w.synthetic.min_size_bytes)});
+    synth.set("max_size_bytes",
+              Json{static_cast<std::uint64_t>(w.synthetic.max_size_bytes)});
+    out.set("synthetic", std::move(synth));
+  } else if (w.kind == "trace-file") {
+    Json trace{Json::Object{}};
+    trace.set("path", Json{w.trace_path});
+    out.set("trace-file", std::move(trace));
+  } else {
+    throw std::invalid_argument("scenario::to_json: unknown workload kind '" +
+                                w.kind + "'");
+  }
+  return out;
+}
+
+Json src_to_json(const SrcSpec& s) {
+  Json out{Json::Object{}};
+  out.set("enabled", Json{s.enabled});
+  Json params{Json::Object{}};
+  params.set("tau", Json{s.params.tau});
+  params.set("max_weight_ratio",
+             Json{static_cast<std::uint64_t>(s.params.max_weight_ratio)});
+  put_time(params, "min_adjust_interval", s.params.min_adjust_interval);
+  put_time(params, "prediction_window", s.params.prediction_window);
+  put_time(params, "staleness_window", s.params.staleness_window);
+  params.set("max_sane_throughput", Json{s.params.max_sane_throughput});
+  out.set("params", std::move(params));
+  Json tpm{Json::Object{}};
+  tpm.set("source", Json{s.tpm.source});
+  if (!s.tpm.path.empty()) tpm.set("path", Json{s.tpm.path});
+  tpm.set("train_seed", Json{s.tpm.train_seed});
+  out.set("tpm", std::move(tpm));
+  return out;
+}
+
+Json retry_to_json(const fabric::RetryPolicy& r) {
+  Json out{Json::Object{}};
+  out.set("enabled", Json{r.enabled});
+  put_time(out, "base_timeout", r.base_timeout);
+  out.set("backoff_factor", Json{r.backoff_factor});
+  put_time(out, "max_timeout", r.max_timeout);
+  out.set("max_retries", Json{static_cast<std::uint64_t>(r.max_retries)});
+  return out;
+}
+
+const char* tpm_fault_kind_name(fault::TpmFaultKind kind) {
+  switch (kind) {
+    case fault::TpmFaultKind::kNan: return "nan";
+    case fault::TpmFaultKind::kInf: return "inf";
+    case fault::TpmFaultKind::kNegative: return "negative";
+    case fault::TpmFaultKind::kHuge: return "huge";
+  }
+  return "nan";
+}
+
+Json faults_to_json(const fault::FaultPlan& plan) {
+  Json out{Json::Object{}};
+  out.set("seed", Json{plan.seed});
+  if (!plan.packet_drops.empty()) {
+    Json list{Json::Array{}};
+    for (const auto& f : plan.packet_drops) {
+      Json e{Json::Object{}};
+      e.set("node", Json{static_cast<std::uint64_t>(f.node)});
+      e.set("port", Json{static_cast<std::int64_t>(f.port)});
+      put_time(e, "start", f.start);
+      put_time(e, "end", f.end);
+      e.set("probability", Json{f.probability});
+      list.push_back(std::move(e));
+    }
+    out.set("packet_drops", std::move(list));
+  }
+  if (!plan.link_downs.empty()) {
+    Json list{Json::Array{}};
+    for (const auto& f : plan.link_downs) {
+      Json e{Json::Object{}};
+      e.set("node", Json{static_cast<std::uint64_t>(f.node)});
+      e.set("port", Json{static_cast<std::uint64_t>(f.port)});
+      put_time(e, "down_at", f.down_at);
+      put_time(e, "up_at", f.up_at);
+      list.push_back(std::move(e));
+    }
+    out.set("link_downs", std::move(list));
+  }
+  if (!plan.latency_spikes.empty()) {
+    Json list{Json::Array{}};
+    for (const auto& f : plan.latency_spikes) {
+      Json e{Json::Object{}};
+      e.set("target", Json{static_cast<std::uint64_t>(f.target)});
+      e.set("device", Json{static_cast<std::uint64_t>(f.device)});
+      put_time(e, "start", f.start);
+      put_time(e, "end", f.end);
+      e.set("scale", Json{f.scale});
+      list.push_back(std::move(e));
+    }
+    out.set("latency_spikes", std::move(list));
+  }
+  if (!plan.outages.empty()) {
+    Json list{Json::Array{}};
+    for (const auto& f : plan.outages) {
+      Json e{Json::Object{}};
+      e.set("target", Json{static_cast<std::uint64_t>(f.target)});
+      e.set("device", Json{static_cast<std::uint64_t>(f.device)});
+      put_time(e, "offline_at", f.offline_at);
+      put_time(e, "online_at", f.online_at);
+      list.push_back(std::move(e));
+    }
+    out.set("outages", std::move(list));
+  }
+  if (!plan.transient_errors.empty()) {
+    Json list{Json::Array{}};
+    for (const auto& f : plan.transient_errors) {
+      Json e{Json::Object{}};
+      e.set("target", Json{static_cast<std::uint64_t>(f.target)});
+      e.set("device", Json{static_cast<std::uint64_t>(f.device)});
+      put_time(e, "start", f.start);
+      put_time(e, "end", f.end);
+      e.set("probability", Json{f.probability});
+      list.push_back(std::move(e));
+    }
+    out.set("transient_errors", std::move(list));
+  }
+  if (!plan.tpm_faults.empty()) {
+    Json list{Json::Array{}};
+    for (const auto& f : plan.tpm_faults) {
+      Json e{Json::Object{}};
+      e.set("controller", Json{static_cast<std::uint64_t>(f.controller)});
+      put_time(e, "start", f.start);
+      put_time(e, "end", f.end);
+      e.set("kind", Json{tpm_fault_kind_name(f.kind)});
+      list.push_back(std::move(e));
+    }
+    out.set("tpm_faults", std::move(list));
+  }
+  if (!plan.signal_losses.empty()) {
+    Json list{Json::Array{}};
+    for (const auto& f : plan.signal_losses) {
+      Json e{Json::Object{}};
+      e.set("target", Json{static_cast<std::uint64_t>(f.target)});
+      put_time(e, "start", f.start);
+      put_time(e, "end", f.end);
+      list.push_back(std::move(e));
+    }
+    out.set("signal_losses", std::move(list));
+  }
+  return out;
+}
+
+// --- parsers ----------------------------------------------------------------
+
+void parse_topology(ObjectReader& r, TopologySpec& t) {
+  t.initiators = r.u64("initiators", t.initiators, 1);
+  t.targets = r.u64("targets", t.targets, 1);
+  t.devices_per_target = r.u64("devices_per_target", t.devices_per_target, 1);
+  t.link_rate = r.rate("link_rate", t.link_rate);
+  if (t.link_rate.is_zero()) {
+    r.fail("link_rate_bytes_per_sec", "must be > 0");
+  }
+  t.link_delay = r.time("link_delay", t.link_delay);
+}
+
+void parse_net(ObjectReader& r, net::NetConfig& n) {
+  n.mtu_bytes = static_cast<std::uint32_t>(r.u64("mtu_bytes", n.mtu_bytes, 1));
+  const std::string cc =
+      r.string("congestion_control", cc_name(n.cc_algorithm));
+  try {
+    n.cc_algorithm = cc_registry().at(cc);
+  } catch (const std::invalid_argument& err) {
+    r.fail("congestion_control", err.what());
+  }
+  r.object("ecn", [&](ObjectReader& e) {
+    n.ecn.enabled = e.boolean("enabled", n.ecn.enabled);
+    n.ecn.kmin_bytes = e.u64("kmin_bytes", n.ecn.kmin_bytes);
+    n.ecn.kmax_bytes = e.u64("kmax_bytes", n.ecn.kmax_bytes);
+    n.ecn.pmax = e.unit_interval("pmax", n.ecn.pmax);
+    if (n.ecn.kmin_bytes > n.ecn.kmax_bytes) {
+      e.fail("kmin_bytes", "must be <= kmax_bytes");
+    }
+  });
+  r.object("pfc", [&](ObjectReader& p) {
+    n.pfc.enabled = p.boolean("enabled", n.pfc.enabled);
+    n.pfc.xoff_bytes = p.u64("xoff_bytes", n.pfc.xoff_bytes);
+    n.pfc.xon_bytes = p.u64("xon_bytes", n.pfc.xon_bytes);
+    if (n.pfc.xon_bytes > n.pfc.xoff_bytes) {
+      p.fail("xon_bytes", "must be <= xoff_bytes");
+    }
+  });
+  r.object("dcqcn", [&](ObjectReader& d) {
+    n.dcqcn.enabled = d.boolean("enabled", n.dcqcn.enabled);
+    n.dcqcn.g = d.unit_interval("g", n.dcqcn.g);
+    n.dcqcn.alpha_timer = d.time("alpha_timer", n.dcqcn.alpha_timer);
+    n.dcqcn.rate_timer = d.time("rate_timer", n.dcqcn.rate_timer);
+    n.dcqcn.byte_counter = d.u64("byte_counter", n.dcqcn.byte_counter, 1);
+    n.dcqcn.fast_recovery_stages = static_cast<std::uint32_t>(
+        d.u64("fast_recovery_stages", n.dcqcn.fast_recovery_stages, 1));
+    n.dcqcn.rate_ai = d.rate("rate_ai", n.dcqcn.rate_ai);
+    n.dcqcn.rate_hai = d.rate("rate_hai", n.dcqcn.rate_hai);
+    n.dcqcn.min_rate = d.rate("min_rate", n.dcqcn.min_rate);
+    n.dcqcn.cnp_interval = d.time("cnp_interval", n.dcqcn.cnp_interval);
+  });
+  r.object("dctcp", [&](ObjectReader& d) {
+    n.dctcp.g = d.unit_interval("g", n.dctcp.g);
+    n.dctcp.observation_window =
+        d.time("observation_window", n.dctcp.observation_window);
+    n.dctcp.additive_increase =
+        d.rate("additive_increase", n.dctcp.additive_increase);
+    n.dctcp.min_rate = d.rate("min_rate", n.dctcp.min_rate);
+  });
+}
+
+void parse_ssd(ObjectReader& r, ssd::SsdConfig& s) {
+  // Optional preset base; individual fields override it.
+  if (r.has("preset")) {
+    const std::string preset = r.string("preset", "");
+    try {
+      s = ssd_registry().at(preset)();
+    } catch (const std::invalid_argument& err) {
+      r.fail("preset", err.what());
+    }
+  }
+  s.name = r.string("name", s.name);
+  s.queue_depth = static_cast<std::uint32_t>(r.u64("queue_depth", s.queue_depth, 1));
+  s.write_cache_bytes = r.u64("write_cache_bytes", s.write_cache_bytes);
+  s.cmt_bytes = r.u64("cmt_bytes", s.cmt_bytes, 1);
+  s.page_bytes = r.u64("page_bytes", s.page_bytes, 1);
+  s.read_latency = r.time("read_latency", s.read_latency);
+  s.write_latency = r.time("write_latency", s.write_latency);
+  s.channels = static_cast<std::uint32_t>(r.u64("channels", s.channels, 1));
+  s.chips_per_channel =
+      static_cast<std::uint32_t>(r.u64("chips_per_channel", s.chips_per_channel, 1));
+  s.channel_bandwidth = r.rate("channel_bandwidth", s.channel_bandwidth);
+  s.dram_bandwidth = r.rate("dram_bandwidth", s.dram_bandwidth);
+  s.capacity_bytes = r.u64("capacity_bytes", s.capacity_bytes, 1);
+  s.mapping_entry_bytes = r.u64("mapping_entry_bytes", s.mapping_entry_bytes, 1);
+  s.cmt_miss_penalty = r.time("cmt_miss_penalty", s.cmt_miss_penalty);
+  s.command_overhead = r.time("command_overhead", s.command_overhead);
+  s.cache_ack_watermark = r.unit_interval("cache_ack_watermark", s.cache_ack_watermark);
+  s.drain_streams = static_cast<std::uint32_t>(r.u64("drain_streams", s.drain_streams));
+  s.admission_window_ops = r.positive("admission_window_ops", s.admission_window_ops);
+  s.enable_gc = r.boolean("enable_gc", s.enable_gc);
+  s.gc_overprovision = r.unit_interval("gc_overprovision", s.gc_overprovision);
+  s.gc_pages_per_block =
+      static_cast<std::uint32_t>(r.u64("gc_pages_per_block", s.gc_pages_per_block, 1));
+  s.erase_latency = r.time("erase_latency", s.erase_latency);
+}
+
+void parse_micro_stream(ObjectReader& r, workload::StreamParams& s) {
+  s.mean_iat_us = r.positive("mean_iat_us", s.mean_iat_us);
+  s.mean_size_bytes = r.positive("mean_size_bytes", s.mean_size_bytes);
+  s.count = r.u64("count", s.count);
+}
+
+void parse_synthetic_stream(ObjectReader& r, workload::SyntheticStreamParams& s) {
+  s.mean_iat_us = r.positive("mean_iat_us", s.mean_iat_us);
+  s.iat_scv = r.number("iat_scv", s.iat_scv);
+  if (s.iat_scv < 1.0) r.fail("iat_scv", "must be >= 1 (1 = Poisson)");
+  s.mean_size_bytes = r.positive("mean_size_bytes", s.mean_size_bytes);
+  s.size_scv = r.non_negative("size_scv", s.size_scv);
+  s.count = r.u64("count", s.count);
+}
+
+void parse_workload(ObjectReader& r, WorkloadSpec& w) {
+  w.kind = r.string("kind", w.kind);
+  if (workload_registry().find(w.kind) == nullptr) {
+    r.fail("kind", "unknown workload kind '" + w.kind + "' (known: " +
+                       workload_registry().known_list() + ")");
+  }
+  w.seed_stride = r.u64("seed_stride", w.seed_stride);
+  // Only the payload matching the kind may appear (and parse): a stray
+  // payload for another kind would be silently dead configuration.
+  for (const char* payload : {"micro", "synthetic", "trace-file"}) {
+    if (payload != w.kind && r.has(payload)) {
+      r.fail(payload, "payload does not match kind '" + w.kind + "'");
+    }
+  }
+  r.object("micro", [&](ObjectReader& m) {
+    m.object("read", [&](ObjectReader& s) { parse_micro_stream(s, w.micro.read); });
+    m.object("write", [&](ObjectReader& s) { parse_micro_stream(s, w.micro.write); });
+    w.micro.lba_space_bytes = m.u64("lba_space_bytes", w.micro.lba_space_bytes, 1);
+    w.micro.align_bytes =
+        static_cast<std::uint32_t>(m.u64("align_bytes", w.micro.align_bytes, 1));
+    w.micro.min_size_bytes =
+        static_cast<std::uint32_t>(m.u64("min_size_bytes", w.micro.min_size_bytes, 1));
+    w.micro.max_size_bytes =
+        static_cast<std::uint32_t>(m.u64("max_size_bytes", w.micro.max_size_bytes, 1));
+    if (w.micro.min_size_bytes > w.micro.max_size_bytes) {
+      m.fail("min_size_bytes", "must be <= max_size_bytes");
+    }
+    w.micro.zipf_theta = m.non_negative("zipf_theta", w.micro.zipf_theta);
+  });
+  r.object("synthetic", [&](ObjectReader& m) {
+    m.object("read",
+             [&](ObjectReader& s) { parse_synthetic_stream(s, w.synthetic.read); });
+    m.object("write",
+             [&](ObjectReader& s) { parse_synthetic_stream(s, w.synthetic.write); });
+    w.synthetic.lba_space_bytes =
+        m.u64("lba_space_bytes", w.synthetic.lba_space_bytes, 1);
+    w.synthetic.align_bytes =
+        static_cast<std::uint32_t>(m.u64("align_bytes", w.synthetic.align_bytes, 1));
+    w.synthetic.min_size_bytes = static_cast<std::uint32_t>(
+        m.u64("min_size_bytes", w.synthetic.min_size_bytes, 1));
+    w.synthetic.max_size_bytes = static_cast<std::uint32_t>(
+        m.u64("max_size_bytes", w.synthetic.max_size_bytes, 1));
+    if (w.synthetic.min_size_bytes > w.synthetic.max_size_bytes) {
+      m.fail("min_size_bytes", "must be <= max_size_bytes");
+    }
+  });
+  r.object("trace-file", [&](ObjectReader& m) {
+    w.trace_path = m.string("path", w.trace_path);
+    if (w.trace_path.empty()) m.fail("path", "must not be empty");
+  });
+}
+
+void parse_src(ObjectReader& r, SrcSpec& s) {
+  s.enabled = r.boolean("enabled", s.enabled);
+  r.object("params", [&](ObjectReader& p) {
+    s.params.tau = p.number("tau", s.params.tau);
+    if (!(s.params.tau > 0.0 && s.params.tau < 1.0)) {
+      p.fail("tau", "must be in (0, 1)");
+    }
+    s.params.max_weight_ratio = static_cast<std::uint32_t>(
+        p.u64("max_weight_ratio", s.params.max_weight_ratio, 1));
+    s.params.min_adjust_interval =
+        p.time("min_adjust_interval", s.params.min_adjust_interval);
+    s.params.prediction_window =
+        p.time("prediction_window", s.params.prediction_window);
+    if (s.params.prediction_window <= 0) {
+      p.fail("prediction_window_ns", "must be > 0");
+    }
+    s.params.staleness_window = p.time("staleness_window", s.params.staleness_window);
+    s.params.max_sane_throughput =
+        p.positive("max_sane_throughput", s.params.max_sane_throughput);
+  });
+  r.object("tpm", [&](ObjectReader& t) {
+    s.tpm.source = t.string("source", s.tpm.source);
+    if (tpm_registry().find(s.tpm.source) == nullptr) {
+      t.fail("source", "unknown tpm source '" + s.tpm.source + "'");
+    }
+    s.tpm.path = t.string("path", s.tpm.path);
+    if (s.tpm.source == "file" && s.tpm.path.empty()) {
+      t.fail("path", "required when source is \"file\"");
+    }
+    s.tpm.train_seed = t.u64("train_seed", s.tpm.train_seed);
+  });
+}
+
+void parse_retry(ObjectReader& r, fabric::RetryPolicy& p) {
+  p.enabled = r.boolean("enabled", p.enabled);
+  p.base_timeout = r.time("base_timeout", p.base_timeout);
+  p.backoff_factor = r.number("backoff_factor", p.backoff_factor);
+  if (p.backoff_factor < 1.0) r.fail("backoff_factor", "must be >= 1");
+  p.max_timeout = r.time("max_timeout", p.max_timeout);
+  if (p.enabled && (p.base_timeout <= 0 || p.max_timeout < p.base_timeout)) {
+    r.fail("base_timeout_ns",
+           "enabled retry needs 0 < base_timeout <= max_timeout");
+  }
+  p.max_retries = static_cast<std::uint32_t>(r.u64("max_retries", p.max_retries));
+}
+
+void check_window(ObjectReader& r, const char* start_key, common::SimTime start,
+                  common::SimTime end) {
+  if (end < start) {
+    r.fail(start_key, "fault window must have start <= end");
+  }
+}
+
+void parse_faults(ObjectReader& r, fault::FaultPlan& plan) {
+  plan.seed = r.u64("seed", plan.seed);
+  r.array("packet_drops", [&](ObjectReader& e, std::size_t) {
+    fault::PacketDropFault f;
+    f.node = static_cast<net::NodeId>(e.u64("node", f.node));
+    f.port = static_cast<std::int32_t>(e.i64("port", f.port));
+    if (f.port < -1) e.fail("port", "must be >= -1 (-1 = every port)");
+    f.start = e.time("start", f.start);
+    f.end = e.time("end", f.end);
+    check_window(e, "start_ns", f.start, f.end);
+    f.probability = e.unit_interval("probability", f.probability);
+    plan.packet_drops.push_back(f);
+  });
+  r.array("link_downs", [&](ObjectReader& e, std::size_t) {
+    fault::LinkDownFault f;
+    f.node = static_cast<net::NodeId>(e.u64("node", f.node));
+    f.port = e.u64("port", f.port);
+    f.down_at = e.time("down_at", f.down_at);
+    f.up_at = e.time("up_at", f.up_at);
+    check_window(e, "down_at_ns", f.down_at, f.up_at);
+    plan.link_downs.push_back(f);
+  });
+  r.array("latency_spikes", [&](ObjectReader& e, std::size_t) {
+    fault::DeviceLatencyFault f;
+    f.target = e.u64("target", f.target);
+    f.device = e.u64("device", f.device);
+    f.start = e.time("start", f.start);
+    f.end = e.time("end", f.end);
+    check_window(e, "start_ns", f.start, f.end);
+    f.scale = e.positive("scale", f.scale);
+    plan.latency_spikes.push_back(f);
+  });
+  r.array("outages", [&](ObjectReader& e, std::size_t) {
+    fault::DeviceOutageFault f;
+    f.target = e.u64("target", f.target);
+    f.device = e.u64("device", f.device);
+    f.offline_at = e.time("offline_at", f.offline_at);
+    f.online_at = e.time("online_at", f.online_at);
+    check_window(e, "offline_at_ns", f.offline_at, f.online_at);
+    plan.outages.push_back(f);
+  });
+  r.array("transient_errors", [&](ObjectReader& e, std::size_t) {
+    fault::TransientErrorFault f;
+    f.target = e.u64("target", f.target);
+    f.device = e.u64("device", f.device);
+    f.start = e.time("start", f.start);
+    f.end = e.time("end", f.end);
+    check_window(e, "start_ns", f.start, f.end);
+    f.probability = e.unit_interval("probability", f.probability);
+    plan.transient_errors.push_back(f);
+  });
+  r.array("tpm_faults", [&](ObjectReader& e, std::size_t) {
+    fault::TpmFault f;
+    f.controller = e.u64("controller", f.controller);
+    f.start = e.time("start", f.start);
+    f.end = e.time("end", f.end);
+    check_window(e, "start_ns", f.start, f.end);
+    const std::string kind = e.string("kind", "nan");
+    if (kind == "nan") f.kind = fault::TpmFaultKind::kNan;
+    else if (kind == "inf") f.kind = fault::TpmFaultKind::kInf;
+    else if (kind == "negative") f.kind = fault::TpmFaultKind::kNegative;
+    else if (kind == "huge") f.kind = fault::TpmFaultKind::kHuge;
+    else e.fail("kind", "unknown tpm fault kind '" + kind +
+                            "' (known: nan, inf, negative, huge)");
+    plan.tpm_faults.push_back(f);
+  });
+  r.array("signal_losses", [&](ObjectReader& e, std::size_t) {
+    fault::SignalLossFault f;
+    f.target = e.u64("target", f.target);
+    f.start = e.time("start", f.start);
+    f.end = e.time("end", f.end);
+    check_window(e, "start_ns", f.start, f.end);
+    plan.signal_losses.push_back(f);
+  });
+}
+
+}  // namespace
+
+Json to_json(const ScenarioSpec& spec) {
+  Json out{Json::Object{}};
+  out.set("schema", Json{std::string(kScenarioSchema)});
+  out.set("name", Json{spec.name});
+  if (!spec.description.empty()) out.set("description", Json{spec.description});
+  out.set("seed", Json{spec.seed});
+  put_time(out, "max_time", spec.max_time);
+  out.set("topology", topology_to_json(spec.topology));
+  out.set("net", net_to_json(spec.net));
+  out.set("ssd", ssd_to_json(spec.ssd));
+  out.set("driver", Json{spec.driver});
+  Json workloads{Json::Array{}};
+  for (const WorkloadSpec& w : spec.workloads) {
+    workloads.push_back(workload_to_json(w));
+  }
+  out.set("workloads", std::move(workloads));
+  out.set("src", src_to_json(spec.src));
+  out.set("retry", retry_to_json(spec.retry));
+  if (!spec.faults.empty()) out.set("faults", faults_to_json(spec.faults));
+  return out;
+}
+
+std::string to_json_text(const ScenarioSpec& spec) {
+  return to_json(spec).dump(2) + "\n";
+}
+
+ScenarioSpec from_json(const obs::Json& doc, const std::string& file) {
+  ScenarioSpec spec;
+  ObjectReader r(doc, file, "$");
+
+  const std::string schema = r.string("schema", "");
+  if (schema != kScenarioSchema) {
+    r.fail("schema", schema.empty()
+                         ? std::string("missing (want \"") +
+                               std::string(kScenarioSchema) + "\")"
+                         : "unsupported schema \"" + schema + "\" (want \"" +
+                               std::string(kScenarioSchema) + "\")");
+  }
+  spec.name = r.string("name", spec.name);
+  if (spec.name.empty()) r.fail("name", "must not be empty");
+  spec.description = r.string("description", spec.description);
+  spec.seed = r.u64("seed", spec.seed);
+  spec.max_time = r.time("max_time", spec.max_time);
+  if (spec.max_time <= 0) r.fail("max_time_ns", "must be > 0");
+
+  r.object("topology", [&](ObjectReader& t) { parse_topology(t, spec.topology); });
+  r.object("net", [&](ObjectReader& n) { parse_net(n, spec.net); });
+  r.object("ssd", [&](ObjectReader& s) { parse_ssd(s, spec.ssd); });
+
+  spec.driver = r.string("driver", spec.driver);
+  if (driver_registry().find(spec.driver) == nullptr) {
+    r.fail("driver", "unknown driver '" + spec.driver + "' (known: " +
+                         driver_registry().known_list() + ")");
+  }
+
+  r.array("workloads", [&](ObjectReader& w, std::size_t) {
+    WorkloadSpec workload;
+    parse_workload(w, workload);
+    spec.workloads.push_back(std::move(workload));
+  });
+  if (spec.workloads.empty()) {
+    r.fail("workloads", "at least one workload is required");
+  }
+  if (spec.workloads.size() != 1 &&
+      spec.workloads.size() != spec.topology.initiators) {
+    r.fail("workloads",
+           "need exactly 1 entry (shared) or one per initiator (" +
+               std::to_string(spec.topology.initiators) + "), got " +
+               std::to_string(spec.workloads.size()));
+  }
+
+  r.object("src", [&](ObjectReader& s) { parse_src(s, spec.src); });
+  r.object("retry", [&](ObjectReader& p) { parse_retry(p, spec.retry); });
+  r.object("faults", [&](ObjectReader& f) { parse_faults(f, spec.faults); });
+
+  r.done();
+  return spec;
+}
+
+ScenarioSpec parse_scenario(std::string_view text, const std::string& file) {
+  Json doc;
+  try {
+    doc = Json::parse(text);
+  } catch (const std::runtime_error& err) {
+    throw std::runtime_error(file + ": " + err.what());
+  }
+  return from_json(doc, file);
+}
+
+ScenarioSpec load_scenario_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error(path + ": cannot open scenario file");
+  }
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  return parse_scenario(text, path);
+}
+
+}  // namespace src::scenario

@@ -1,0 +1,110 @@
+// Declarative scenario manifests. A ScenarioSpec is pure data: everything
+// that defines one end-to-end experiment — topology and link rates, the
+// network config and congestion-controller choice, the SSD model, the NVMe
+// driver policy, per-initiator workloads, SRC parameters and where the TPM
+// comes from, the retry policy, a fault plan, seeds, and run caps. It
+// serializes losslessly to and from JSON (schema "src-scenario-v1", see
+// scenario/serialize.hpp) so experiments are versionable artifacts instead
+// of hand-built C++: `srcctl run scenario.json` reproduces a run without
+// recompiling, and sweep grids are a spec plus per-point overrides.
+//
+// Compare-equal semantics: every sub-struct has a defaulted operator==, and
+// serialize(parse(serialize(spec))) == serialize(spec) byte-for-byte. Spec
+// builders must therefore only fill the *active* payload of a WorkloadSpec
+// (the kinds not selected stay default-constructed, which is what a parse
+// of the emitted JSON reproduces).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/src_controller.hpp"
+#include "fabric/protocol.hpp"
+#include "fault/fault_plan.hpp"
+#include "net/config.hpp"
+#include "ssd/config.hpp"
+#include "workload/micro.hpp"
+#include "workload/mmpp.hpp"
+
+namespace src::scenario {
+
+/// Star-fabric shape and link calibration.
+struct TopologySpec {
+  std::size_t initiators = 1;
+  std::size_t targets = 2;
+  std::size_t devices_per_target = 1;
+  common::Rate link_rate = common::Rate::gbps(40.0);
+  common::SimTime link_delay = common::kMicrosecond;
+
+  friend bool operator==(const TopologySpec&, const TopologySpec&) = default;
+};
+
+/// One workload description. `kind` is a workload-registry key ("micro",
+/// "synthetic", "trace-file"); only the payload matching the kind is
+/// meaningful and spec builders must leave the others at their defaults.
+/// The trace seed for initiator i is `ScenarioSpec::seed + seed_stride * i`
+/// (the strides the presets historically used: 1, 13, 17).
+struct WorkloadSpec {
+  std::string kind = "micro";
+  workload::MicroParams micro;          ///< kind == "micro"
+  workload::SyntheticParams synthetic;  ///< kind == "synthetic"
+  std::string trace_path;               ///< kind == "trace-file" (CSV)
+  std::uint64_t seed_stride = 1;
+
+  friend bool operator==(const WorkloadSpec&, const WorkloadSpec&) = default;
+};
+
+/// Where scenario::build obtains the fitted TPM an SRC run needs.
+///  "none"          — caller must pass one via BuildOptions (or SRC is off)
+///  "train-default" — core::train_default_tpm(ssd, train_seed)
+///  "file"          — core::Tpm::load_file(path)
+struct TpmSpec {
+  std::string source = "none";
+  std::string path;             ///< source == "file"
+  std::uint64_t train_seed = 11;  ///< source == "train-default"
+
+  friend bool operator==(const TpmSpec&, const TpmSpec&) = default;
+};
+
+/// SRC controller block: off by default; when enabled the run is
+/// DCQCN-SRC (SSQ driver unless pinned otherwise) with these parameters.
+struct SrcSpec {
+  bool enabled = false;
+  core::SrcParams params;
+  TpmSpec tpm;
+
+  friend bool operator==(const SrcSpec&, const SrcSpec&) = default;
+};
+
+/// One complete experiment, as data. Field-for-field this covers
+/// core::ExperimentConfig, with the callable/pointer members replaced by
+/// declarative equivalents resolved through the component registries
+/// (scenario/registry.hpp) at build time.
+struct ScenarioSpec {
+  std::string name = "scenario";
+  std::string description;
+
+  TopologySpec topology;
+  net::NetConfig net;  ///< cc_algorithm is (de)serialized as a registry name
+  ssd::SsdConfig ssd = ssd::ssd_a();
+  /// NVMe driver policy: "auto" (SSQ when SRC is on, FIFO otherwise),
+  /// "ssq", or "fifo" — a driver-registry key.
+  std::string driver = "auto";
+
+  /// One entry shared by every initiator (seeded per index), or exactly
+  /// one entry per initiator.
+  std::vector<WorkloadSpec> workloads;
+
+  SrcSpec src;
+  fabric::RetryPolicy retry;
+  fault::FaultPlan faults;
+
+  std::uint64_t seed = 1;
+  common::SimTime max_time = 5 * common::kSecond;
+
+  friend bool operator==(const ScenarioSpec&, const ScenarioSpec&) = default;
+};
+
+}  // namespace src::scenario

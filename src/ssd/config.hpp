@@ -89,6 +89,8 @@ struct SsdConfig {
     return static_cast<SimTime>(admission_window_ops *
                                 static_cast<double>(std::max(read_latency, write_latency)));
   }
+
+  friend bool operator==(const SsdConfig&, const SsdConfig&) = default;
 };
 
 /// Table II, column "SSD-A": a read-optimised TLC-class drive.

@@ -14,6 +14,8 @@ struct StreamParams {
   double mean_iat_us = 10.0;       ///< mean inter-arrival time
   double mean_size_bytes = 32.0 * 1024;  ///< mean request size
   std::size_t count = 5000;        ///< number of requests to generate
+
+  friend bool operator==(const StreamParams&, const StreamParams&) = default;
 };
 
 struct MicroParams {
@@ -27,6 +29,8 @@ struct MicroParams {
   /// (0.99 is the YCSB default) — a small hot set absorbs most accesses,
   /// which drives CMT hit rates and (with GC) hot/cold block separation.
   double zipf_theta = 0.0;
+
+  friend bool operator==(const MicroParams&, const MicroParams&) = default;
 };
 
 /// Convenience: identical read/write characteristics (the Fig. 5 setup).

@@ -64,6 +64,9 @@ struct SyntheticStreamParams {
   double mean_size_bytes = 32.0 * 1024;
   double size_scv = 0.25;          ///< lognormal size variability
   std::size_t count = 5000;
+
+  friend bool operator==(const SyntheticStreamParams&,
+                         const SyntheticStreamParams&) = default;
 };
 
 struct SyntheticParams {
@@ -73,6 +76,8 @@ struct SyntheticParams {
   std::uint32_t align_bytes = 4096;
   std::uint32_t min_size_bytes = 4096;
   std::uint32_t max_size_bytes = 1u << 20;
+
+  friend bool operator==(const SyntheticParams&, const SyntheticParams&) = default;
 };
 
 /// Generate a synthetic (MMPP-arrival, lognormal-size) trace, sorted by

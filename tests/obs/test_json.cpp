@@ -1,0 +1,160 @@
+// obs::Json parser hardening: malformed-input fixtures (truncation, bad
+// escapes, duplicate keys, non-finite numbers, trailing garbage) and a
+// serialize -> parse -> serialize round-trip property over random
+// documents. The parser is the trust boundary for scenario manifests and
+// golden snapshots, so "garbage in" must be a clean error, never a
+// silently-wrong document.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "obs/json.hpp"
+
+namespace src::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Malformed-input fixtures
+// ---------------------------------------------------------------------------
+
+/// Every entry must make Json::parse throw std::runtime_error.
+const char* const kMalformed[] = {
+    // Truncation at every structural position.
+    "",
+    "{",
+    "{\"a\"",
+    "{\"a\":",
+    "{\"a\": 1",
+    "{\"a\": 1,",
+    "[",
+    "[1, 2",
+    "[1,",
+    "\"unterminated",
+    "\"trailing escape \\",
+    "tru",
+    "nul",
+    "-",
+    // Bad escapes.
+    "\"\\x\"",
+    "\"\\u12\"",
+    "\"\\u12zz\"",
+    // Duplicate object keys (silent last-or-first-wins is a round-trip bug).
+    "{\"a\": 1, \"a\": 2}",
+    "{\"a\": {\"b\": 1, \"b\": 2}}",
+    // Non-finite / malformed numbers (JSON has no nan/inf literals).
+    "nan",
+    "inf",
+    "-inf",
+    "1e999999",
+    "1.2.3",
+    "1e",
+    "--5",
+    // Trailing garbage after a complete document.
+    "{} x",
+    "1 2",
+    "[1] ]",
+    "truee",
+    // Structural errors.
+    "{1: 2}",
+    "{\"a\" 1}",
+    "[1 2]",
+    "{\"a\": 1 \"b\": 2}",
+};
+
+TEST(JsonParse, RejectsMalformedInput) {
+  for (const char* text : kMalformed) {
+    EXPECT_THROW(Json::parse(text), std::runtime_error)
+        << "accepted malformed input: " << text;
+  }
+}
+
+TEST(JsonParse, DuplicateKeyErrorNamesTheKey) {
+  try {
+    Json::parse("{\"seed\": 1, \"seed\": 2}");
+    FAIL() << "duplicate key accepted";
+  } catch (const std::runtime_error& err) {
+    EXPECT_NE(std::string(err.what()).find("duplicate object key 'seed'"),
+              std::string::npos)
+        << err.what();
+  }
+}
+
+TEST(JsonParse, AcceptsEscapesAndUnicode) {
+  const Json doc = Json::parse("\"a\\\"b\\\\c\\n\\t\\u0041\\u00e9\"");
+  EXPECT_EQ(doc.as_string(), "a\"b\\c\n\tA\xc3\xa9");
+}
+
+TEST(JsonDump, NonFiniteNumbersSerializeAsNull) {
+  EXPECT_EQ(Json{std::nan("")}.dump(), "null");
+  EXPECT_EQ(Json{std::numeric_limits<double>::infinity()}.dump(), "null");
+}
+
+// ---------------------------------------------------------------------------
+// Round-trip property
+// ---------------------------------------------------------------------------
+
+/// Deterministic random document: scalars at the leaves, objects/arrays
+/// (with unique keys) above, depth-bounded.
+Json random_json(common::Rng& rng, int depth) {
+  const std::uint64_t pick = rng.uniform_index(depth <= 0 ? 4 : 6);
+  switch (pick) {
+    case 0: return Json{};  // null
+    case 1: return Json{rng.uniform() < 0.5};
+    case 2:
+      // Mix exact integers (the common case: counters) and full doubles.
+      if (rng.uniform() < 0.5) {
+        return Json{static_cast<std::int64_t>(rng.uniform_index(1u << 30)) -
+                    (1 << 29)};
+      }
+      return Json{rng.uniform(-1e12, 1e12)};
+    case 3: {
+      std::string s;
+      const std::uint64_t len = rng.uniform_index(12);
+      for (std::uint64_t i = 0; i < len; ++i) {
+        // Printable ASCII plus the characters the writer must escape.
+        const char alphabet[] = "abc XYZ09\"\\\n\t";
+        s.push_back(alphabet[rng.uniform_index(sizeof(alphabet) - 1)]);
+      }
+      return Json{std::move(s)};
+    }
+    case 4: {
+      Json array{Json::Array{}};
+      const std::uint64_t n = rng.uniform_index(5);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        array.push_back(random_json(rng, depth - 1));
+      }
+      return array;
+    }
+    default: {
+      Json object{Json::Object{}};
+      const std::uint64_t n = rng.uniform_index(5);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        object.set("k" + std::to_string(i), random_json(rng, depth - 1));
+      }
+      return object;
+    }
+  }
+}
+
+TEST(JsonRoundTrip, SerializeParseSerializeIsIdentity) {
+  // Property: for any document, dump(parse(dump(doc))) == dump(doc), both
+  // compact and pretty-printed. 64-bit-exact integers and %.17g doubles
+  // make this exact, not approximate.
+  common::Rng rng(0x5eed0b5ull);
+  for (int i = 0; i < 500; ++i) {
+    const Json doc = random_json(rng, 3);
+    for (const int indent : {-1, 2}) {
+      const std::string first = doc.dump(indent);
+      const Json reparsed = Json::parse(first);
+      EXPECT_EQ(reparsed.dump(indent), first) << "document: " << first;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace src::obs

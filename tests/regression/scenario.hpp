@@ -19,6 +19,8 @@
 
 #include "core/presets.hpp"
 #include "obs/obs.hpp"
+#include "scenario/build.hpp"
+#include "scenario/presets.hpp"
 
 namespace src::regression {
 
@@ -46,41 +48,30 @@ inline const core::Tpm& shared_tpm() {
   return tpm;
 }
 
+/// Build a named scenario preset with the shared (or no) TPM instead of the
+/// spec's own tpm source, so the regression suite trains exactly one model.
+inline core::ExperimentConfig reduced_preset(const std::string& name,
+                                             const core::Tpm* tpm) {
+  scenario::ScenarioSpec spec = scenario::preset_spec(name);
+  spec.src.tpm.source = "none";  // the pointer below supplies the model
+  scenario::BuildOptions options;
+  options.tpm = tpm;
+  return scenario::build(spec, options).config;
+}
+
 /// Reduced Fig. 7 scenario: VDI-like congestion, DCQCN-only.
 inline core::ExperimentConfig fig7_reduced() {
-  core::ExperimentConfig cfg = core::vdi_experiment(/*use_src=*/false, nullptr);
-  cfg.max_time = 80 * common::kMillisecond;
-  const std::uint64_t seed = cfg.seed;
-  cfg.trace_for = [seed](std::size_t index) {
-    workload::SyntheticParams params = workload::fujitsu_vdi_like(1500);
-    params.write.mean_iat_us = 48.0;
-    params.write.count = 300;
-    return workload::generate_synthetic(params, seed + index);
-  };
-  return cfg;
+  return reduced_preset("fig7-reduced", nullptr);
 }
 
 /// Reduced Fig. 9 scenario: the same VDI congestion with DCQCN-SRC.
 inline core::ExperimentConfig fig9_reduced() {
-  core::ExperimentConfig cfg = fig7_reduced();
-  cfg.use_src = true;
-  cfg.tpm = &shared_tpm();
-  return cfg;
+  return reduced_preset("fig9-reduced", &shared_tpm());
 }
 
 /// Reduced Table IV scenario: 2-target / 1-initiator in-cast under SRC.
 inline core::ExperimentConfig table4_reduced() {
-  core::ExperimentConfig cfg = core::incast_experiment(
-      /*targets=*/2, /*initiators=*/1, /*use_src=*/true, &shared_tpm());
-  cfg.max_time = 100 * common::kMillisecond;
-  const std::uint64_t seed = cfg.seed;
-  cfg.trace_for = [seed](std::size_t index) {
-    workload::MicroParams params;
-    params.read = workload::StreamParams{32.0, 44.0 * 1024, 1200};
-    params.write = workload::StreamParams{70.0, 23.0 * 1024, 550};
-    return workload::generate_micro(params, seed + 17 * index);
-  };
-  return cfg;
+  return reduced_preset("table4-reduced", &shared_tpm());
 }
 
 /// Golden-relevant metrics of one experiment run, as a JSON snapshot:

@@ -1,0 +1,220 @@
+// The declarative scenario layer: every preset must survive a JSON round
+// trip losslessly (spec equality AND byte-identical re-serialization), the
+// strict parser must reject typos/bad ranges with `file:$.path.key`
+// diagnostics, unit sugar must normalize to the native `_ns` /
+// `_bytes_per_sec` spellings, and the component registries must fail
+// lookups by listing the known names.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "scenario/build.hpp"
+#include "scenario/presets.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/serialize.hpp"
+
+namespace src::scenario {
+namespace {
+
+/// EXPECT that evaluating `expr` throws std::runtime_error whose message
+/// contains `fragment` (the `file:$.path: why` diagnostic contract).
+template <typename F>
+void expect_parse_error(F&& expr, const std::string& fragment) {
+  try {
+    expr();
+    ADD_FAILURE() << "expected a parse error mentioning: " << fragment;
+  } catch (const std::runtime_error& err) {
+    EXPECT_NE(std::string(err.what()).find(fragment), std::string::npos)
+        << "error was: " << err.what();
+  }
+}
+
+TEST(SpecRoundTrip, EveryPresetIsLossless) {
+  for (const std::string& name : preset_registry().names()) {
+    const ScenarioSpec spec = preset_spec(name);
+    const std::string text = to_json_text(spec);
+    const ScenarioSpec reparsed = parse_scenario(text, name + ".json");
+    EXPECT_TRUE(reparsed == spec) << name << ": spec drifted across JSON";
+    EXPECT_EQ(to_json_text(reparsed), text)
+        << name << ": re-serialization is not byte-identical";
+  }
+}
+
+TEST(SpecRoundTrip, FaultPlanTraceWorkloadAndTpmFileSurvive) {
+  // A spec exercising every optional block the presets leave empty.
+  ScenarioSpec spec;
+  spec.name = "kitchen-sink";
+  spec.description = "every optional block populated";
+  spec.driver = "ssq";
+  spec.net.cc_algorithm = cc_registry().at("dctcp");
+  spec.retry.enabled = true;
+
+  WorkloadSpec workload;
+  workload.kind = "trace-file";
+  workload.trace_path = "traces/replay.csv";
+  workload.seed_stride = 7;
+  spec.workloads.push_back(workload);
+
+  spec.src.enabled = true;
+  spec.src.tpm.source = "file";
+  spec.src.tpm.path = "models/tpm.bin";
+
+  fault::PacketDropFault drop;
+  drop.node = 3;
+  drop.port = -1;
+  drop.start = 10 * common::kMillisecond;
+  drop.end = 20 * common::kMillisecond;
+  drop.probability = 0.25;
+  spec.faults.packet_drops.push_back(drop);
+
+  fault::DeviceOutageFault outage;
+  outage.target = 1;
+  outage.device = 0;
+  outage.offline_at = 5 * common::kMillisecond;
+  outage.online_at = 9 * common::kMillisecond;
+  spec.faults.outages.push_back(outage);
+
+  fault::TpmFault tpm_fault;
+  tpm_fault.controller = 0;
+  tpm_fault.start = 1 * common::kMillisecond;
+  tpm_fault.end = 2 * common::kMillisecond;
+  tpm_fault.kind = fault::TpmFaultKind::kHuge;
+  spec.faults.tpm_faults.push_back(tpm_fault);
+
+  const std::string text = to_json_text(spec);
+  const ScenarioSpec reparsed = parse_scenario(text);
+  EXPECT_TRUE(reparsed == spec);
+  EXPECT_EQ(to_json_text(reparsed), text);
+}
+
+TEST(SpecParse, DiagnosticsCarryFileAndJsonPath) {
+  // Unknown key: the misspelling is named with its full path.
+  expect_parse_error(
+      [] {
+        parse_scenario(R"({"schema": "src-scenario-v1",
+                           "workloads": [{"kind": "micro"}],
+                           "topology": {"initiatorz": 2}})",
+                       "vdi.json");
+      },
+      "vdi.json:$.topology.initiatorz: unknown key");
+
+  // Missing schema tag.
+  expect_parse_error(
+      [] { parse_scenario(R"({"workloads": [{"kind": "micro"}]})"); },
+      "$.schema: missing");
+
+  // Range check with the offending value echoed back.
+  expect_parse_error(
+      [] {
+        parse_scenario(R"({"schema": "src-scenario-v1",
+                           "workloads": [{"kind": "micro"}],
+                           "topology": {"initiators": 0}})");
+      },
+      "$.topology.initiators: must be >= 1 (got 0)");
+
+  // A workload payload that does not match its kind is dead config.
+  expect_parse_error(
+      [] {
+        parse_scenario(R"({"schema": "src-scenario-v1",
+                           "workloads": [{"kind": "micro",
+                                          "synthetic": {}}]})");
+      },
+      "$.workloads[0].synthetic: payload does not match kind 'micro'");
+
+  // No workload at all.
+  expect_parse_error(
+      [] { parse_scenario(R"({"schema": "src-scenario-v1"})"); },
+      "$.workloads: at least one workload is required");
+
+  // Unknown registry names list the known ones.
+  expect_parse_error(
+      [] {
+        parse_scenario(R"({"schema": "src-scenario-v1",
+                           "workloads": [{"kind": "micro"}],
+                           "driver": "turbo"})");
+      },
+      "$.driver: unknown driver 'turbo' (known: auto, fifo, ssq)");
+
+  // Two spellings of the same duration are ambiguous.
+  expect_parse_error(
+      [] {
+        parse_scenario(R"({"schema": "src-scenario-v1",
+                           "workloads": [{"kind": "micro"}],
+                           "max_time_ns": 1000, "max_time_ms": 1})");
+      },
+      "$.max_time_ns: give at most one of _ns/_us/_ms");
+
+  // JSON-level syntax errors keep the file label.
+  expect_parse_error([] { parse_scenario("{", "broken.json"); },
+                     "broken.json: Json::parse:");
+}
+
+TEST(SpecParse, UnitSugarNormalizesToNative) {
+  const ScenarioSpec spec = parse_scenario(
+      R"({"schema": "src-scenario-v1",
+          "name": "sugar",
+          "max_time_ms": 80,
+          "topology": {"link_rate_gbps": 4.0, "link_delay_us": 1.0},
+          "workloads": [{"kind": "micro"}]})");
+  EXPECT_EQ(spec.max_time, 80 * common::kMillisecond);
+  EXPECT_EQ(spec.topology.link_rate.as_bytes_per_second(),
+            common::Rate::gbps(4.0).as_bytes_per_second());
+  EXPECT_EQ(spec.topology.link_delay, common::kMicrosecond);
+  // The serializer always emits the native spellings.
+  const std::string text = to_json_text(spec);
+  EXPECT_NE(text.find("\"max_time_ns\": 80000000"), std::string::npos);
+  EXPECT_NE(text.find("\"link_rate_bytes_per_sec\""), std::string::npos);
+  EXPECT_EQ(text.find("_ms\""), std::string::npos);
+  EXPECT_EQ(text.find("_gbps\""), std::string::npos);
+}
+
+TEST(SpecParse, SsdPresetBaseWithFieldOverride) {
+  const ScenarioSpec spec = parse_scenario(
+      R"({"schema": "src-scenario-v1",
+          "workloads": [{"kind": "micro"}],
+          "ssd": {"preset": "SSD-B", "queue_depth": 512}})");
+  ssd::SsdConfig want = ssd_registry().at("SSD-B")();
+  want.queue_depth = 512;
+  EXPECT_TRUE(spec.ssd == want);
+}
+
+TEST(Registries, LookupFailureListsKnownNames) {
+  try {
+    driver_registry().at("bogus");
+    FAIL() << "unknown driver accepted";
+  } catch (const std::invalid_argument& err) {
+    EXPECT_NE(std::string(err.what()).find("known: auto, fifo, ssq"),
+              std::string::npos)
+        << err.what();
+  }
+  // names() is sorted (std::map) so help text and errors are deterministic.
+  const std::vector<std::string> presets = preset_registry().names();
+  EXPECT_TRUE(std::is_sorted(presets.begin(), presets.end()));
+  EXPECT_EQ(presets.size(), 9u);
+  // cc names round-trip through the reverse lookup used by the serializer.
+  for (const std::string& cc : cc_registry().names()) {
+    EXPECT_EQ(cc_name(cc_registry().at(cc)), cc);
+  }
+}
+
+TEST(Build, DriverPolicyResolvesThroughRegistry) {
+  ScenarioSpec spec = preset_spec("fig7-reduced");
+  // "auto" leaves the mode unset; the experiment derives it from use_src.
+  EXPECT_FALSE(build(spec).config.driver_mode.has_value());
+  spec.driver = "fifo";
+  EXPECT_EQ(build(spec).config.driver_mode, fabric::DriverMode::kFifo);
+  spec.driver = "ssq";
+  EXPECT_EQ(build(spec).config.driver_mode, fabric::DriverMode::kSsq);
+}
+
+TEST(Build, SrcWithoutTpmSourceIsAnError) {
+  ScenarioSpec spec = preset_spec("fig9-reduced");
+  spec.src.tpm.source = "none";  // and no BuildOptions::tpm either
+  EXPECT_THROW(build(spec), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace src::scenario

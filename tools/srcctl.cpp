@@ -1,18 +1,12 @@
 // srcctl — command-line front end for the SRC simulator library.
 //
-//   srcctl sweep       fig-5-style weight-ratio sweep on one workload
-//   srcctl experiment  DCQCN-only vs DCQCN-SRC on an evaluation preset
-//   srcctl trace       run a preset with tracing on; emit Chrome trace JSON
-//   srcctl tpm         train a throughput prediction model and inspect it
-//   srcctl trace-gen   generate a CSV block trace (micro / vdi / cbs)
-//   srcctl replay      replay a CSV trace against a simulated SSD
-//   srcctl faults      canned fault-injection scenario with timeout/retry
-//   srcctl benchcheck  validate BENCH_*.json files against src-bench-v1
-//
-// Run `srcctl <command> --help` for per-command flags.
+// Subcommands live in the kCommands table below; `srcctl help` (or any
+// unknown command) prints the generated listing, and every command accepts
+// `--help` for its own flags.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <iterator>
 #include <map>
@@ -24,13 +18,18 @@
 #include "core/standalone.hpp"
 #include "fault/fault_injector.hpp"
 #include "obs/obs.hpp"
+#include "scenario/build.hpp"
+#include "scenario/presets.hpp"
+#include "scenario/serialize.hpp"
 #include "workload/trace_io.hpp"
 
 using namespace src;
 
 namespace {
 
-/// Tiny --flag=value / --flag value parser.
+/// Tiny --flag=value / --flag value parser. Non-flag tokens are collected
+/// as positionals; whether a command accepts them is declared in its
+/// kCommands entry (main rejects stray ones up front).
 class Args {
  public:
   Args(int argc, char** argv, int first) {
@@ -40,8 +39,8 @@ class Args {
         token = "--out";  // conventional short form for output files
       }
       if (token.rfind("--", 0) != 0) {
-        std::fprintf(stderr, "unexpected argument '%s'\n", token.c_str());
-        std::exit(2);
+        positionals_.push_back(token);
+        continue;
       }
       token = token.substr(2);
       const auto eq = token.find('=');
@@ -68,9 +67,11 @@ class Args {
     return it == values_.end() ? fallback : std::stoull(it->second);
   }
   bool has(const std::string& key) const { return values_.count(key) > 0; }
+  const std::vector<std::string>& positionals() const { return positionals_; }
 
  private:
   std::map<std::string, std::string> values_;
+  std::vector<std::string> positionals_;
 };
 
 int cmd_sweep(const Args& args) {
@@ -212,6 +213,144 @@ int cmd_experiment(const Args& args) {
   };
   robustness("DCQCN-only", only);
   robustness("DCQCN-SRC", with_src);
+  return 0;
+}
+
+/// Run-report JSON ("src-run-v1"): scenario name, headline metrics, and the
+/// full observatory snapshot. `srcctl metricscheck` validates this shape.
+obs::Json run_report(const std::string& scenario_name,
+                     const core::ExperimentResult& result,
+                     const obs::Observatory& observatory) {
+  obs::Json report{obs::Json::Object{}};
+  report.set("schema", obs::Json{"src-run-v1"});
+  report.set("scenario", obs::Json{scenario_name});
+  report.set("read_gbps", obs::Json{result.read_rate.as_gbps()});
+  report.set("write_gbps", obs::Json{result.write_rate.as_gbps()});
+  report.set("aggregate_gbps", obs::Json{result.aggregate_rate().as_gbps()});
+  report.set("total_pauses", obs::Json{result.total_pauses});
+  report.set("reads_completed", obs::Json{result.reads_completed});
+  report.set("writes_completed", obs::Json{result.writes_completed});
+  report.set("final_weight_ratio",
+             obs::Json{static_cast<std::uint64_t>(result.final_weight_ratio())});
+  report.set("completed", obs::Json{result.completed});
+  report.set("metrics", observatory.metrics().snapshot());
+  return report;
+}
+
+int cmd_run(const Args& args) {
+  if (args.has("help") || args.positionals().empty()) {
+    std::puts("srcctl run <scenario.json> [--model file.tpm]\n"
+              "           [--metrics-out report.json] [--dump]\n"
+              "\n"
+              "Runs a src-scenario-v1 manifest end to end and prints the\n"
+              "measured throughput. --model supplies a pre-fitted TPM\n"
+              "(overriding the manifest's src.tpm source); --metrics-out\n"
+              "writes a src-run-v1 report; --dump echoes the parsed manifest\n"
+              "back as canonical JSON instead of running it.");
+    return args.has("help") ? 0 : 2;
+  }
+  if (args.positionals().size() != 1) {
+    std::fprintf(stderr, "run: expected exactly one scenario file\n");
+    return 2;
+  }
+  scenario::ScenarioSpec spec;
+  try {
+    spec = scenario::load_scenario_file(args.positionals().front());
+  } catch (const std::runtime_error& err) {
+    std::fprintf(stderr, "%s\n", err.what());
+    return 2;
+  }
+  if (args.has("dump")) {
+    std::fputs(scenario::to_json_text(spec).c_str(), stdout);
+    return 0;
+  }
+
+  core::Tpm tpm;
+  scenario::BuildOptions options;
+  if (args.has("model")) {
+    tpm = core::Tpm::load_file(args.get("model", ""));
+    options.tpm = &tpm;
+    std::printf("loaded TPM from %s\n", args.get("model", "").c_str());
+  } else if (spec.src.enabled && spec.src.tpm.source == "train-default") {
+    std::printf("training TPM for %s (use --model file.tpm to skip)...\n",
+                spec.ssd.name.c_str());
+  }
+  obs::ObsConfig obs_config;
+  obs_config.tracing = false;
+  obs::Observatory observatory(obs_config);
+  options.observatory = &observatory;
+
+  core::ExperimentResult result;
+  try {
+    result = scenario::run(spec, options);
+  } catch (const std::exception& err) {
+    std::fprintf(stderr, "%s\n", err.what());
+    return 1;
+  }
+
+  std::printf("%s: read %.2f Gbps, write %.2f Gbps, aggregate %.2f Gbps, "
+              "%llu pauses, final w=%u%s\n",
+              spec.name.c_str(), result.read_rate.as_gbps(),
+              result.write_rate.as_gbps(), result.aggregate_rate().as_gbps(),
+              static_cast<unsigned long long>(result.total_pauses),
+              result.final_weight_ratio(),
+              result.completed ? "" : " (hit max_time cap)");
+  if (args.has("metrics-out")) {
+    const std::string path = args.get("metrics-out", "");
+    write_text_file(path, run_report(spec.name, result, observatory).dump(2));
+    std::printf("metrics written to %s\n", path.c_str());
+  }
+  return 0;
+}
+
+int cmd_scenarios(const Args& args) {
+  if (args.has("help")) {
+    std::puts("srcctl scenarios                 list built-in presets\n"
+              "srcctl scenarios <name>          dump one preset as JSON\n"
+              "srcctl scenarios --all --out-dir DIR\n"
+              "                                 write every preset to DIR/<name>.json");
+    return 0;
+  }
+  if (!args.positionals().empty()) {
+    if (args.positionals().size() != 1) {
+      std::fprintf(stderr, "scenarios: expected at most one preset name\n");
+      return 2;
+    }
+    scenario::ScenarioSpec spec;
+    try {
+      spec = scenario::preset_spec(args.positionals().front());
+    } catch (const std::invalid_argument& err) {
+      std::fprintf(stderr, "%s\n", err.what());
+      return 2;
+    }
+    std::fputs(scenario::to_json_text(spec).c_str(), stdout);
+    return 0;
+  }
+  if (args.has("all")) {
+    const std::string dir = args.get("out-dir", "");
+    if (dir.empty()) {
+      std::fprintf(stderr, "scenarios --all needs --out-dir DIR\n");
+      return 2;
+    }
+    for (const std::string& name : scenario::preset_registry().names()) {
+      const std::string path = dir + "/" + name + ".json";
+      std::ofstream out(path, std::ios::binary);
+      if (!out) {
+        std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+        return 1;
+      }
+      out << scenario::to_json_text(scenario::preset_spec(name));
+      std::printf("wrote %s\n", path.c_str());
+    }
+    return 0;
+  }
+  common::TextTable table({"name", "description"});
+  for (const std::string& name : scenario::preset_registry().names()) {
+    table.add_row({name, scenario::preset_registry().at(name).description});
+  }
+  table.print(std::cout);
+  std::puts("\ndump one with `srcctl scenarios <name>`, run it with "
+            "`srcctl run <file>`");
   return 0;
 }
 
@@ -525,18 +664,13 @@ std::string check_bench_json(const std::string& path) {
   return "";
 }
 
-int cmd_benchcheck(int argc, char** argv) {
-  if (argc < 3 || std::string(argv[2]) == "--help") {
-    std::puts("srcctl benchcheck BENCH_a.json [BENCH_b.json ...]\n"
-              "\n"
-              "Validates bench-harness output files against the src-bench-v1\n"
-              "schema; exits non-zero if any file is missing or malformed.");
-    return argc < 3 ? 2 : 0;
-  }
+/// Shared driver for the *check commands: validate each positional file
+/// with `check`, print per-file ok/FAILED lines, exit 1 on any failure.
+int run_file_checks(const Args& args, const char* what,
+                    const std::function<std::string(const std::string&)>& check) {
   int failures = 0;
-  for (int i = 2; i < argc; ++i) {
-    const std::string path = argv[i];
-    const std::string error = check_bench_json(path);
+  for (const std::string& path : args.positionals()) {
+    const std::string error = check(path);
     if (error.empty()) {
       std::printf("ok      %s\n", path.c_str());
     } else {
@@ -545,28 +679,143 @@ int cmd_benchcheck(int argc, char** argv) {
     }
   }
   if (failures > 0) {
-    std::fprintf(stderr, "benchcheck: %d of %d file(s) invalid\n", failures,
-                 argc - 2);
+    std::fprintf(stderr, "%s: %d of %zu file(s) invalid\n", what, failures,
+                 args.positionals().size());
   }
   return failures == 0 ? 0 : 1;
+}
+
+int cmd_benchcheck(const Args& args) {
+  if (args.has("help") || args.positionals().empty()) {
+    std::puts("srcctl benchcheck BENCH_a.json [BENCH_b.json ...]\n"
+              "\n"
+              "Validates bench-harness output files against the src-bench-v1\n"
+              "schema; exits non-zero if any file is missing or malformed.");
+    return args.has("help") ? 0 : 2;
+  }
+  return run_file_checks(args, "benchcheck", check_bench_json);
+}
+
+/// Validate one `srcctl run --metrics-out` report ("src-run-v1"). Returns
+/// an empty string when valid, else a message.
+std::string check_run_json(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return "cannot open file";
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  obs::Json doc;
+  try {
+    doc = obs::Json::parse(text);
+  } catch (const std::runtime_error& err) {
+    return err.what();
+  }
+  if (!doc.is_object()) return "top level is not an object";
+  const obs::Json* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != "src-run-v1") {
+    return "missing or unexpected \"schema\" (want \"src-run-v1\")";
+  }
+  const obs::Json* name = doc.find("scenario");
+  if (name == nullptr || !name->is_string() || name->as_string().empty()) {
+    return "missing \"scenario\" name";
+  }
+  for (const char* key :
+       {"read_gbps", "write_gbps", "aggregate_gbps", "total_pauses",
+        "reads_completed", "writes_completed", "final_weight_ratio"}) {
+    const obs::Json* value = doc.find(key);
+    if (value == nullptr || !value->is_number() || value->as_number() < 0.0) {
+      return std::string("missing or negative \"") + key + "\"";
+    }
+  }
+  const obs::Json* completed = doc.find("completed");
+  if (completed == nullptr || completed->type() != obs::Json::Type::kBool) {
+    return "missing boolean \"completed\"";
+  }
+  const obs::Json* metrics = doc.find("metrics");
+  if (metrics == nullptr || !metrics->is_object()) {
+    return "missing \"metrics\" object";
+  }
+  const obs::Json* counters = metrics->find("counters");
+  if (counters == nullptr || !counters->is_object()) {
+    return "metrics: missing \"counters\" object";
+  }
+  for (const auto& [counter, value] : counters->as_object()) {
+    if (!value.is_number() || value.as_number() < 0.0) {
+      return "metrics.counters." + counter + ": not a non-negative number";
+    }
+  }
+  return "";
+}
+
+int cmd_metricscheck(const Args& args) {
+  if (args.has("help") || args.positionals().empty()) {
+    std::puts("srcctl metricscheck report.json [more.json ...]\n"
+              "\n"
+              "Validates `srcctl run --metrics-out` reports against the\n"
+              "src-run-v1 schema; exits non-zero if any file is malformed.");
+    return args.has("help") ? 0 : 2;
+  }
+  return run_file_checks(args, "metricscheck", check_run_json);
+}
+
+/// The subcommand table: name, one-line summary for the generated help,
+/// handler, and whether positional operands are accepted (commands that
+/// take only flags reject strays up front).
+struct Command {
+  const char* name;
+  const char* summary;
+  int (*handler)(const Args&);
+  bool takes_positionals = false;
+};
+
+const Command kCommands[] = {
+    {"sweep", "fig-5-style weight-ratio sweep on one workload", cmd_sweep},
+    {"experiment", "DCQCN-only vs DCQCN-SRC on an evaluation preset",
+     cmd_experiment},
+    {"run", "run a scenario manifest (src-scenario-v1 JSON)", cmd_run, true},
+    {"scenarios", "list the built-in scenario presets / dump them as JSON",
+     cmd_scenarios, true},
+    {"trace", "run a preset with tracing on; emit Chrome trace JSON",
+     cmd_trace},
+    {"tpm", "train a throughput prediction model and inspect it", cmd_tpm},
+    {"trace-gen", "generate a CSV block trace (micro / vdi / cbs)",
+     cmd_trace_gen},
+    {"trace-stats", "summarize a CSV block trace", cmd_trace_stats},
+    {"replay", "replay a CSV trace against a simulated SSD", cmd_replay},
+    {"faults", "canned fault-injection scenario with timeout/retry",
+     cmd_faults},
+    {"benchcheck", "validate BENCH_*.json files against src-bench-v1",
+     cmd_benchcheck, true},
+    {"metricscheck", "validate srcctl run reports against src-run-v1",
+     cmd_metricscheck, true},
+};
+
+int print_usage(std::FILE* out) {
+  std::fprintf(out, "usage: srcctl <command> [--flags]\n\ncommands:\n");
+  for (const Command& command : kCommands) {
+    std::fprintf(out, "  %-12s %s\n", command.name, command.summary);
+  }
+  std::fprintf(out, "\nrun `srcctl <command> --help` for per-command flags\n");
+  return out == stdout ? 0 : 2;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string command = argc > 1 ? argv[1] : "";
-  if (command == "benchcheck") return cmd_benchcheck(argc, argv);
-  const Args args(argc, argv, 2);
-  if (command == "sweep") return cmd_sweep(args);
-  if (command == "experiment") return cmd_experiment(args);
-  if (command == "trace") return cmd_trace(args);
-  if (command == "tpm") return cmd_tpm(args);
-  if (command == "trace-gen") return cmd_trace_gen(args);
-  if (command == "replay") return cmd_replay(args);
-  if (command == "trace-stats") return cmd_trace_stats(args);
-  if (command == "faults") return cmd_faults(args);
-  std::fprintf(stderr,
-               "usage: srcctl <sweep|experiment|trace|tpm|trace-gen|trace-stats|replay|faults|benchcheck> [--flags]\n"
-               "       srcctl <command> --help\n");
-  return command.empty() ? 2 : 2;
+  const std::string name = argc > 1 ? argv[1] : "";
+  if (name.empty() || name == "help" || name == "--help") {
+    return print_usage(name.empty() ? stderr : stdout);
+  }
+  for (const Command& command : kCommands) {
+    if (name != command.name) continue;
+    const Args args(argc, argv, 2);
+    if (!command.takes_positionals && !args.positionals().empty()) {
+      std::fprintf(stderr, "%s: unexpected argument '%s'\n", command.name,
+                   args.positionals().front().c_str());
+      return 2;
+    }
+    return command.handler(args);
+  }
+  std::fprintf(stderr, "srcctl: unknown command '%s'\n\n", name.c_str());
+  return print_usage(stderr);
 }

@@ -304,7 +304,10 @@ std::unordered_set<std::string> collect_unordered_names(
   }
 
   // Pass B: variables/members declared with an unordered type or alias.
-  std::unordered_set<std::string> names;
+  // (Named `collected`, not `names`: this file is lexed by its own pass A/B,
+  // and an unordered variable called `names` here would taint every
+  // range-for over a `names()` accessor in the scanned tree.)
+  std::unordered_set<std::string> collected;
   for (const LexedFile& file : files) {
     const auto& toks = file.tokens;
     for (std::size_t i = 0; i < toks.size(); ++i) {
@@ -320,16 +323,16 @@ std::unordered_set<std::string> collect_unordered_names(
         continue;  // bare `unordered_map` without args: include line etc.
       }
       const std::string name = declared_name(toks, after);
-      if (!name.empty()) names.insert(name);
+      if (!name.empty()) collected.insert(name);
     }
   }
-  return names;
+  return collected;
 }
 
 bool in_r2_scope_dir(const std::string& rel_path) {
   static constexpr const char* kScopes[] = {
       "src/sim/", "src/net/", "src/nvme/", "src/ssd/", "src/core/",
-      "src/fabric/", "src/runner/"};
+      "src/fabric/", "src/runner/", "src/scenario/"};
   for (const char* scope : kScopes) {
     if (rel_path.starts_with(scope)) return true;
   }
