@@ -1,0 +1,147 @@
+#include "chaos/campaign.hpp"
+
+#include <bit>
+#include <string>
+#include <utility>
+
+#include "runner/runner.hpp"
+#include "scenario/presets.hpp"
+#include "scenario/registry.hpp"
+
+namespace src::chaos {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void fnv_bytes(std::uint64_t& h, const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
+    h *= kFnvPrime;
+  }
+}
+
+}  // namespace
+
+scenario::ScenarioSpec trial_spec(const CampaignSpec& campaign,
+                                  std::size_t index) {
+  const std::uint64_t trial_seed =
+      runner::derive_seed(campaign.seed, index) & kManifestSeedMask;
+  scenario::ScenarioSpec spec = campaign.base;
+  spec.name = campaign.base.name + "-trial" + std::to_string(index);
+  spec.seed = trial_seed;
+  spec.faults = sample_plan(campaign.base, campaign.sampler, trial_seed);
+  spec.verify.enabled = true;
+  return spec;
+}
+
+std::uint64_t result_digest(const core::ExperimentResult& result,
+                            const verify::Report& report) {
+  std::uint64_t h = kFnvOffset;
+  const auto mix = [&h](std::uint64_t v) { fnv_bytes(h, &v, sizeof v); };
+  const auto mix_double = [&](double d) { mix(std::bit_cast<std::uint64_t>(d)); };
+  mix(result.reads_completed);
+  mix(result.writes_completed);
+  mix(result.reads_failed);
+  mix(result.writes_failed);
+  mix(result.retries);
+  mix(result.timeouts);
+  mix(result.error_completions);
+  mix(result.errors_returned);
+  mix(result.rerouted_requests);
+  mix(result.signals_suppressed);
+  mix(result.total_pauses);
+  mix(result.total_cnps);
+  mix(result.events_executed);
+  mix(static_cast<std::uint64_t>(result.end_time));
+  mix(result.completed ? 1 : 0);
+  mix_double(result.read_rate.as_bytes_per_second());
+  mix_double(result.write_rate.as_bytes_per_second());
+  mix(result.adjustments.size());
+  mix(result.final_weight_ratio());
+  mix(result.controller_stats.invalid_demand_events);
+  mix(result.controller_stats.rejected_predictions);
+  mix(result.controller_stats.watchdog_decays);
+  mix(report.violations.size());
+  for (const verify::Violation& v : report.violations) {
+    fnv_bytes(h, v.checker.data(), v.checker.size());
+    mix(static_cast<std::uint64_t>(v.when));
+  }
+  return h;
+}
+
+RunOutcome run_verified(const scenario::ScenarioSpec& spec,
+                        const core::Tpm* tpm) {
+  scenario::BuildOptions options;
+  options.tpm = tpm;
+  scenario::BuiltScenario built = scenario::build(spec, options);
+  RunOutcome out;
+  out.report = built.verify_report ? built.verify_report
+                                   : std::make_shared<verify::Report>();
+  out.result = core::run_experiment(built.config);
+  out.digest = result_digest(out.result, *out.report);
+  return out;
+}
+
+CampaignResult run_campaign(const CampaignSpec& campaign, std::size_t threads,
+                            const core::Tpm* tpm_override) {
+  // Train (or load) the TPM once; the trials share the immutable model.
+  std::shared_ptr<const core::Tpm> owned;
+  const core::Tpm* tpm = tpm_override;
+  if (tpm == nullptr && campaign.base.src.enabled &&
+      campaign.base.src.tpm.source != "none") {
+    owned = scenario::tpm_registry().at(campaign.base.src.tpm.source)(
+        campaign.base.src.tpm, campaign.base.ssd);
+    tpm = owned.get();
+  }
+
+  runner::SweepRunner pool(threads);
+  std::vector<TrialOutcome> outcomes =
+      pool.map(campaign.trials, [&](std::size_t index) {
+        const scenario::ScenarioSpec spec = trial_spec(campaign, index);
+        const RunOutcome run = run_verified(spec, tpm);
+        TrialOutcome out;
+        out.index = index;
+        out.trial_seed = spec.seed;
+        out.digest = run.digest;
+        out.completed = run.result.completed;
+        out.fault_entries = fault_count(spec.faults);
+        out.violations = run.report->violations;
+        return out;
+      });
+
+  CampaignResult result;
+  result.trials = campaign.trials;
+  for (TrialOutcome& outcome : outcomes) {
+    if (!outcome.failed()) {
+      ++result.clean_trials;
+      continue;
+    }
+    TrialFailure failure;
+    failure.outcome = std::move(outcome);
+    failure.spec = trial_spec(campaign, failure.outcome.index);
+    const RunOutcome replay = run_verified(failure.spec, tpm);
+    failure.replay_digest = replay.digest;
+    failure.deterministic = replay.digest == failure.outcome.digest;
+    result.failures.push_back(std::move(failure));
+  }
+  return result;
+}
+
+scenario::ScenarioSpec default_base_spec() {
+  scenario::ScenarioSpec spec = scenario::preset_spec("fig9-reduced");
+  spec.name = "chaos-default";
+  spec.description =
+      "Reduced SRC run with retries enabled: the stock base the chaos "
+      "campaign samples fault plans over.";
+  spec.retry.enabled = true;
+  spec.retry.base_timeout = 2 * common::kMillisecond;
+  spec.retry.backoff_factor = 2.0;
+  spec.retry.max_timeout = 16 * common::kMillisecond;
+  spec.retry.max_retries = 10;
+  return spec;
+}
+
+}  // namespace src::chaos

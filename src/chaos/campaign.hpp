@@ -1,0 +1,90 @@
+// Chaos campaigns: N seed-derived fault-injection trials over one base
+// scenario, each running with every runtime invariant checker armed
+// (src/verify), fanned out on runner::SweepRunner.
+//
+// Determinism contract: trial i's scenario is trial_spec(campaign, i) — a
+// pure function — and a trial's outcome digest folds every result counter
+// and every recorded violation, so re-running a failing trial must
+// reproduce the digest bit-for-bit. run_campaign() re-executes each
+// failing trial once and records whether it did; a nondeterministic
+// failure is itself a finding (and shrinking would be meaningless for it).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "chaos/sampler.hpp"
+#include "core/experiment.hpp"
+#include "scenario/build.hpp"
+#include "verify/invariants.hpp"
+
+namespace src::chaos {
+
+struct CampaignSpec {
+  scenario::ScenarioSpec base;
+  std::size_t trials = 200;
+  std::uint64_t seed = 1;  ///< campaign seed; trial i uses derive_seed(seed, i)
+  SamplerParams sampler;
+};
+
+/// One verified run: the experiment result, what the checkers saw, and the
+/// outcome digest over both.
+struct RunOutcome {
+  core::ExperimentResult result;
+  std::shared_ptr<verify::Report> report;
+  std::uint64_t digest = 0;
+};
+
+struct TrialOutcome {
+  std::size_t index = 0;
+  std::uint64_t trial_seed = 0;  ///< derive_seed(campaign.seed, index)
+  std::uint64_t digest = 0;
+  bool completed = false;
+  std::size_t fault_entries = 0;
+  std::vector<verify::Violation> violations;
+
+  bool failed() const { return !violations.empty(); }
+};
+
+/// A failing trial plus its determinism proof.
+struct TrialFailure {
+  TrialOutcome outcome;
+  scenario::ScenarioSpec spec;  ///< the exact failing scenario, replayable
+  std::uint64_t replay_digest = 0;
+  bool deterministic = false;  ///< replay reproduced the digest bit-for-bit
+};
+
+struct CampaignResult {
+  std::size_t trials = 0;
+  std::size_t clean_trials = 0;
+  std::vector<TrialFailure> failures;
+};
+
+/// The scenario trial `index` of the campaign runs: the base spec with a
+/// sampled fault plan, a derived seed, and verification forced on.
+scenario::ScenarioSpec trial_spec(const CampaignSpec& campaign,
+                                  std::size_t index);
+
+/// FNV-1a digest over an experiment result and verification report.
+std::uint64_t result_digest(const core::ExperimentResult& result,
+                            const verify::Report& report);
+
+/// Build and run `spec` with its verify block honoured; `tpm` (may be null)
+/// overrides the spec's tpm source, letting campaigns train once.
+RunOutcome run_verified(const scenario::ScenarioSpec& spec,
+                        const core::Tpm* tpm = nullptr);
+
+/// Run the whole campaign on `threads` workers (0 = hardware concurrency),
+/// then serially re-execute every failing trial for the determinism proof.
+/// `tpm` (may be null) supplies a pre-fitted model; when null and the base
+/// runs SRC, the campaign trains one itself and shares it across trials.
+CampaignResult run_campaign(const CampaignSpec& campaign,
+                            std::size_t threads = 0,
+                            const core::Tpm* tpm = nullptr);
+
+/// The stock campaign base: a reduced two-target SRC run with retries on —
+/// the configuration the healthy stack must survive any sampled plan under.
+scenario::ScenarioSpec default_base_spec();
+
+}  // namespace src::chaos

@@ -1,0 +1,95 @@
+#include "chaos/report.hpp"
+
+#include <cstdio>
+
+namespace src::chaos {
+
+using obs::Json;
+
+std::string digest_hex(std::uint64_t digest) {
+  char buf[19];
+  std::snprintf(buf, sizeof buf, "0x%016llx",
+                static_cast<unsigned long long>(digest));
+  return buf;
+}
+
+namespace {
+
+Json violations_json(const std::vector<verify::Violation>& violations) {
+  Json out{Json::Array{}};
+  for (const verify::Violation& v : violations) {
+    Json entry{Json::Object{}};
+    entry.set("checker", Json{v.checker});
+    entry.set("when_ns", Json{static_cast<std::int64_t>(v.when)});
+    entry.set("detail", Json{v.detail});
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+}  // namespace
+
+Json campaign_report_json(const CampaignSpec& campaign,
+                          const CampaignResult& result,
+                          const std::vector<FailureArtifacts>& artifacts) {
+  Json out{Json::Object{}};
+  out.set("schema", Json{std::string(kChaosSchema)});
+  out.set("base_scenario", Json{campaign.base.name});
+  out.set("seed", Json{campaign.seed});
+  out.set("trials", Json{static_cast<std::uint64_t>(result.trials)});
+  out.set("clean_trials",
+          Json{static_cast<std::uint64_t>(result.clean_trials)});
+  out.set("failing_trials",
+          Json{static_cast<std::uint64_t>(result.failures.size())});
+
+  Json families{Json::Object{}};
+  families.set("network", Json{campaign.sampler.network_faults});
+  families.set("storage", Json{campaign.sampler.storage_faults});
+  families.set("control", Json{campaign.sampler.control_faults});
+  out.set("fault_families", std::move(families));
+
+  Json failures{Json::Array{}};
+  for (std::size_t i = 0; i < result.failures.size(); ++i) {
+    const TrialFailure& f = result.failures[i];
+    Json entry{Json::Object{}};
+    entry.set("trial", Json{static_cast<std::uint64_t>(f.outcome.index)});
+    entry.set("trial_seed", Json{f.outcome.trial_seed});
+    entry.set("fault_entries",
+              Json{static_cast<std::uint64_t>(f.outcome.fault_entries)});
+    entry.set("digest", Json{digest_hex(f.outcome.digest)});
+    entry.set("replay_digest", Json{digest_hex(f.replay_digest)});
+    entry.set("deterministic", Json{f.deterministic});
+    entry.set("violations", violations_json(f.outcome.violations));
+    if (i < artifacts.size()) {
+      const FailureArtifacts& a = artifacts[i];
+      if (!a.reproducer_path.empty()) {
+        entry.set("reproducer", Json{a.reproducer_path});
+      }
+      if (a.shrunk) {
+        Json shrink{Json::Object{}};
+        shrink.set("checker", Json{a.shrink.checker});
+        shrink.set("runs", Json{static_cast<std::uint64_t>(a.shrink.runs)});
+        shrink.set("faults_before",
+                   Json{static_cast<std::uint64_t>(a.shrink.faults_before)});
+        shrink.set("faults_after",
+                   Json{static_cast<std::uint64_t>(a.shrink.faults_after)});
+        shrink.set("digest", Json{digest_hex(a.shrink.digest)});
+        if (!a.minimized_path.empty()) {
+          shrink.set("manifest", Json{a.minimized_path});
+        }
+        entry.set("minimized", std::move(shrink));
+      }
+    }
+    failures.push_back(std::move(entry));
+  }
+  out.set("failures", std::move(failures));
+  return out;
+}
+
+std::string campaign_report_text(
+    const CampaignSpec& campaign, const CampaignResult& result,
+    const std::vector<FailureArtifacts>& artifacts) {
+  return campaign_report_json(campaign, result, artifacts).dump(2) + "\n";
+}
+
+}  // namespace src::chaos

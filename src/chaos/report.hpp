@@ -1,0 +1,39 @@
+// Campaign report (schema "src-chaos-v1"): the machine-readable record of
+// one chaos campaign — configuration, per-failure violations with their
+// determinism proof, and (when shrinking ran) each failure's minimized
+// reproducer. Digests are 64-bit and JSON numbers are doubles, so digests
+// are emitted as "0x..." hex strings.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "chaos/campaign.hpp"
+#include "chaos/shrink.hpp"
+#include "obs/json.hpp"
+
+namespace src::chaos {
+
+inline constexpr std::string_view kChaosSchema = "src-chaos-v1";
+
+/// Per-failure artifact paths and shrink summary, parallel to
+/// CampaignResult::failures (empty path = artifact not written).
+struct FailureArtifacts {
+  std::string reproducer_path;  ///< full failing scenario manifest
+  std::string minimized_path;   ///< shrunken manifest ("" = shrink skipped)
+  bool shrunk = false;
+  ShrinkResult shrink;  ///< meaningful when `shrunk`
+};
+
+std::string digest_hex(std::uint64_t digest);
+
+obs::Json campaign_report_json(const CampaignSpec& campaign,
+                               const CampaignResult& result,
+                               const std::vector<FailureArtifacts>& artifacts);
+
+/// campaign_report_json().dump(2) + "\n".
+std::string campaign_report_text(
+    const CampaignSpec& campaign, const CampaignResult& result,
+    const std::vector<FailureArtifacts>& artifacts);
+
+}  // namespace src::chaos

@@ -1,0 +1,139 @@
+#include "chaos/sampler.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+
+namespace src::chaos {
+
+namespace {
+
+struct WindowSampler {
+  common::Rng& rng;
+  const SamplerParams& params;
+  common::SimTime max_time;
+
+  /// One fault window inside [earliest, horizon] per the params' fractions.
+  void draw(common::SimTime& start, common::SimTime& end) {
+    const double t = static_cast<double>(max_time);
+    const double s =
+        rng.uniform(params.window_earliest * t, params.window_latest * t);
+    const double d = rng.uniform(0.0, params.window_max_fraction * t);
+    const double horizon = params.horizon_fraction * t;
+    start = static_cast<common::SimTime>(s);
+    end = static_cast<common::SimTime>(std::min(s + d, horizon));
+    end = std::max(end, start);
+  }
+};
+
+}  // namespace
+
+std::size_t fault_count(const fault::FaultPlan& plan) {
+  return plan.packet_drops.size() + plan.link_downs.size() +
+         plan.latency_spikes.size() + plan.outages.size() +
+         plan.transient_errors.size() + plan.tpm_faults.size() +
+         plan.signal_losses.size();
+}
+
+fault::FaultPlan sample_plan(const scenario::ScenarioSpec& base,
+                             const SamplerParams& params,
+                             std::uint64_t trial_seed) {
+  common::Rng rng(trial_seed);
+  fault::FaultPlan plan;
+  std::uint64_t sm = trial_seed;
+  plan.seed = common::splitmix64(sm) & kManifestSeedMask;
+
+  WindowSampler window{rng, params, base.max_time};
+  const std::size_t hosts = base.topology.initiators + base.topology.targets;
+  const auto count = [&] {
+    return rng.uniform_index(params.max_faults_per_family + 1);
+  };
+  // A fault site on the star fabric: one of the hub's ports (0..hosts-1) or
+  // one host's single port, encoded as 0..2*hosts-1.
+  const auto draw_site = [&](net::NodeId& node, std::size_t& port) {
+    const std::size_t site = rng.uniform_index(2 * hosts);
+    if (site < hosts) {
+      node = 0;  // hub switch
+      port = site;
+    } else {
+      node = static_cast<net::NodeId>(site - hosts + 1);
+      port = 0;
+    }
+  };
+
+  if (params.network_faults) {
+    const std::size_t drops = count();
+    for (std::size_t i = 0; i < drops; ++i) {
+      fault::PacketDropFault f;
+      std::size_t port = 0;
+      draw_site(f.node, port);
+      f.port = static_cast<std::int32_t>(port);
+      window.draw(f.start, f.end);
+      f.probability = rng.uniform(params.min_drop_probability,
+                                  params.max_drop_probability);
+      plan.packet_drops.push_back(f);
+    }
+    if (params.link_downs && rng.bernoulli(0.5)) {
+      fault::LinkDownFault f;
+      draw_site(f.node, f.port);
+      window.draw(f.down_at, f.up_at);
+      plan.link_downs.push_back(f);
+    }
+  }
+
+  if (params.storage_faults) {
+    const auto draw_device = [&](std::size_t& target, std::size_t& device) {
+      target = rng.uniform_index(base.topology.targets);
+      device = rng.uniform_index(base.topology.devices_per_target);
+    };
+    const std::size_t spikes = count();
+    for (std::size_t i = 0; i < spikes; ++i) {
+      fault::DeviceLatencyFault f;
+      draw_device(f.target, f.device);
+      window.draw(f.start, f.end);
+      f.scale =
+          rng.uniform(params.min_latency_scale, params.max_latency_scale);
+      plan.latency_spikes.push_back(f);
+    }
+    const std::size_t outages = count();
+    for (std::size_t i = 0; i < outages; ++i) {
+      fault::DeviceOutageFault f;
+      draw_device(f.target, f.device);
+      window.draw(f.offline_at, f.online_at);
+      plan.outages.push_back(f);
+    }
+    const std::size_t errors = count();
+    for (std::size_t i = 0; i < errors; ++i) {
+      fault::TransientErrorFault f;
+      draw_device(f.target, f.device);
+      window.draw(f.start, f.end);
+      f.probability = rng.uniform(params.min_error_probability,
+                                  params.max_error_probability);
+      plan.transient_errors.push_back(f);
+    }
+  }
+
+  if (params.control_faults) {
+    const std::size_t losses = count();
+    for (std::size_t i = 0; i < losses; ++i) {
+      fault::SignalLossFault f;
+      f.target = rng.uniform_index(base.topology.targets);
+      window.draw(f.start, f.end);
+      plan.signal_losses.push_back(f);
+    }
+    if (base.src.enabled) {
+      const std::size_t corruptions = count();
+      for (std::size_t i = 0; i < corruptions; ++i) {
+        fault::TpmFault f;
+        f.controller = rng.uniform_index(base.topology.targets);
+        window.draw(f.start, f.end);
+        f.kind = static_cast<fault::TpmFaultKind>(rng.uniform_index(4));
+        plan.tpm_faults.push_back(f);
+      }
+    }
+  }
+
+  return plan;
+}
+
+}  // namespace src::chaos

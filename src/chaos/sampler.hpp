@@ -1,0 +1,68 @@
+// Seed-driven fault-plan sampling for chaos campaigns. Given a base
+// ScenarioSpec and a trial seed, sample_plan() draws a randomized
+// fault::FaultPlan — family mix, intensity, and window placement — whose
+// every entry is valid for the base's star topology and src block (the same
+// rules scenario parsing enforces), so any sampled trial can be re-emitted
+// as a runnable src-scenario-v1 manifest.
+//
+// Sampling is a pure function of (base, params, trial_seed): draws happen
+// in a fixed order from one common::Rng, never from iteration over
+// unordered state, so a campaign's trial i is the same plan on any machine
+// and worker count.
+#pragma once
+
+#include <cstdint>
+
+#include "fault/fault_plan.hpp"
+#include "scenario/spec.hpp"
+
+namespace src::chaos {
+
+/// Seeds that must survive a manifest round trip are capped to 53 bits:
+/// scenario JSON stores numbers as doubles, which are exact only up to
+/// 2^53, and a reproducer whose seed does not round-trip bit-for-bit
+/// cannot replay the failure it records.
+inline constexpr std::uint64_t kManifestSeedMask = (1ull << 53) - 1;
+
+/// Knobs bounding what sample_plan may draw.
+struct SamplerParams {
+  bool network_faults = true;  ///< packet drops (and link downs if enabled)
+  bool storage_faults = true;  ///< latency spikes, outages, transient errors
+  bool control_faults = true;  ///< signal losses, tpm faults (src runs only)
+
+  /// Whole-link down/up cycles discard *everything*, including PFC resume
+  /// frames, so a lossless fabric can stay wedged by design rather than by
+  /// bug. Off by default to keep the healthy-stack campaign signal clean.
+  bool link_downs = false;
+
+  /// Per fault family, 0..max entries are drawn uniformly.
+  std::size_t max_faults_per_family = 2;
+
+  double min_drop_probability = 0.30;
+  double max_drop_probability = 0.95;
+  double min_error_probability = 0.05;
+  double max_error_probability = 0.50;
+  double min_latency_scale = 2.0;
+  double max_latency_scale = 8.0;
+
+  /// Window placement, as fractions of the base spec's max_time: starts are
+  /// drawn in [earliest, latest], durations in (0, max_fraction], and every
+  /// window is clipped to end by `horizon_fraction` — leaving the tail of
+  /// the run fault-free so the liveness watchdog has room to judge
+  /// recovery.
+  double window_earliest = 0.10;
+  double window_latest = 0.45;
+  double window_max_fraction = 0.20;
+  double horizon_fraction = 0.65;
+};
+
+/// Number of fault entries across all families of a plan.
+std::size_t fault_count(const fault::FaultPlan& plan);
+
+/// Draw one randomized fault plan for `base`. Deterministic in
+/// (base, params, trial_seed).
+fault::FaultPlan sample_plan(const scenario::ScenarioSpec& base,
+                             const SamplerParams& params,
+                             std::uint64_t trial_seed);
+
+}  // namespace src::chaos

@@ -1,0 +1,214 @@
+#include "chaos/shrink.hpp"
+
+#include <optional>
+#include <utility>
+
+namespace src::chaos {
+
+namespace {
+
+// Uniform window access across the seven fault structs (two of them name
+// their window differently).
+struct Window {
+  common::SimTime* start;
+  common::SimTime* end;
+};
+Window window_of(fault::PacketDropFault& f) { return {&f.start, &f.end}; }
+Window window_of(fault::LinkDownFault& f) { return {&f.down_at, &f.up_at}; }
+Window window_of(fault::DeviceLatencyFault& f) { return {&f.start, &f.end}; }
+Window window_of(fault::DeviceOutageFault& f) {
+  return {&f.offline_at, &f.online_at};
+}
+Window window_of(fault::TransientErrorFault& f) { return {&f.start, &f.end}; }
+Window window_of(fault::TpmFault& f) { return {&f.start, &f.end}; }
+Window window_of(fault::SignalLossFault& f) { return {&f.start, &f.end}; }
+
+/// Shared state of one shrink: the current (still failing) spec, the
+/// checker to preserve, and the run budget.
+class Shrinker {
+ public:
+  Shrinker(scenario::ScenarioSpec spec, const core::Tpm* tpm,
+           const ShrinkOptions& options, std::string checker,
+           std::uint64_t digest, std::size_t runs_used)
+      : current_(std::move(spec)),
+        tpm_(tpm),
+        options_(options),
+        checker_(std::move(checker)),
+        digest_(digest),
+        runs_(runs_used) {}
+
+  const scenario::ScenarioSpec& current() const { return current_; }
+  std::uint64_t digest() const { return digest_; }
+  std::size_t runs() const { return runs_; }
+
+  void run_all_passes() {
+    // Greedy to a fixed point: narrowing can make a previously load-bearing
+    // fault droppable, so loop the full pass set.
+    bool changed = true;
+    while (changed && !budget_spent()) {
+      changed = false;
+      changed = drop_everywhere() || changed;
+      changed = narrow_everywhere() || changed;
+      changed = weaken_everywhere() || changed;
+    }
+  }
+
+ private:
+  bool budget_spent() const { return runs_ >= options_.max_runs; }
+
+  /// Run a candidate; non-nullopt (the digest) iff it still trips checker_.
+  std::optional<std::uint64_t> fails(const scenario::ScenarioSpec& candidate) {
+    if (budget_spent()) return std::nullopt;
+    ++runs_;
+    const RunOutcome run = run_verified(candidate, tpm_);
+    for (const verify::Violation& v : run.report->violations) {
+      if (v.checker == checker_) return run.digest;
+    }
+    return std::nullopt;
+  }
+
+  bool adopt(scenario::ScenarioSpec&& candidate, std::uint64_t digest) {
+    current_ = std::move(candidate);
+    digest_ = digest;
+    return true;
+  }
+
+  template <typename T>
+  bool drop_pass(std::vector<T> fault::FaultPlan::* member) {
+    bool changed = false;
+    for (std::size_t i = (current_.faults.*member).size(); i-- > 0;) {
+      scenario::ScenarioSpec candidate = current_;
+      auto& list = candidate.faults.*member;
+      list.erase(list.begin() + static_cast<std::ptrdiff_t>(i));
+      if (const auto d = fails(candidate)) {
+        changed = adopt(std::move(candidate), *d);
+      }
+      if (budget_spent()) break;
+    }
+    return changed;
+  }
+
+  template <typename T>
+  bool narrow_pass(std::vector<T> fault::FaultPlan::* member) {
+    bool changed = false;
+    for (std::size_t i = 0; i < (current_.faults.*member).size(); ++i) {
+      while (!budget_spent()) {
+        const Window cur = window_of((current_.faults.*member)[i]);
+        const common::SimTime span = *cur.end - *cur.start;
+        if (span <= options_.min_window) break;
+        const common::SimTime mid = *cur.start + span / 2;
+
+        scenario::ScenarioSpec first = current_;
+        *window_of((first.faults.*member)[i]).end = mid;
+        if (const auto d = fails(first)) {
+          changed = adopt(std::move(first), *d);
+          continue;
+        }
+        scenario::ScenarioSpec second = current_;
+        *window_of((second.faults.*member)[i]).start = mid;
+        if (const auto d = fails(second)) {
+          changed = adopt(std::move(second), *d);
+          continue;
+        }
+        break;  // neither half alone fails: the window is load-bearing
+      }
+    }
+    return changed;
+  }
+
+  template <typename T>
+  bool weaken_pass(std::vector<T> fault::FaultPlan::* member,
+                   double T::* probability) {
+    bool changed = false;
+    for (std::size_t i = 0; i < (current_.faults.*member).size(); ++i) {
+      while (!budget_spent()) {
+        const double halved =
+            (current_.faults.*member)[i].*probability / 2.0;
+        if (halved < options_.min_probability) break;
+        scenario::ScenarioSpec candidate = current_;
+        (candidate.faults.*member)[i].*probability = halved;
+        if (const auto d = fails(candidate)) {
+          changed = adopt(std::move(candidate), *d);
+          continue;
+        }
+        break;
+      }
+    }
+    return changed;
+  }
+
+  bool drop_everywhere() {
+    bool changed = false;
+    changed = drop_pass(&fault::FaultPlan::packet_drops) || changed;
+    changed = drop_pass(&fault::FaultPlan::link_downs) || changed;
+    changed = drop_pass(&fault::FaultPlan::latency_spikes) || changed;
+    changed = drop_pass(&fault::FaultPlan::outages) || changed;
+    changed = drop_pass(&fault::FaultPlan::transient_errors) || changed;
+    changed = drop_pass(&fault::FaultPlan::tpm_faults) || changed;
+    changed = drop_pass(&fault::FaultPlan::signal_losses) || changed;
+    return changed;
+  }
+
+  bool narrow_everywhere() {
+    bool changed = false;
+    changed = narrow_pass(&fault::FaultPlan::packet_drops) || changed;
+    changed = narrow_pass(&fault::FaultPlan::link_downs) || changed;
+    changed = narrow_pass(&fault::FaultPlan::latency_spikes) || changed;
+    changed = narrow_pass(&fault::FaultPlan::outages) || changed;
+    changed = narrow_pass(&fault::FaultPlan::transient_errors) || changed;
+    changed = narrow_pass(&fault::FaultPlan::tpm_faults) || changed;
+    changed = narrow_pass(&fault::FaultPlan::signal_losses) || changed;
+    return changed;
+  }
+
+  bool weaken_everywhere() {
+    bool changed = false;
+    changed = weaken_pass(&fault::FaultPlan::packet_drops,
+                          &fault::PacketDropFault::probability) ||
+              changed;
+    changed = weaken_pass(&fault::FaultPlan::transient_errors,
+                          &fault::TransientErrorFault::probability) ||
+              changed;
+    return changed;
+  }
+
+  scenario::ScenarioSpec current_;
+  const core::Tpm* tpm_;
+  const ShrinkOptions& options_;
+  std::string checker_;
+  std::uint64_t digest_;
+  std::size_t runs_;
+};
+
+}  // namespace
+
+ShrinkResult shrink(const scenario::ScenarioSpec& failing,
+                    const core::Tpm* tpm, const ShrinkOptions& options) {
+  ShrinkResult result;
+  result.minimal = failing;
+  result.minimal.verify.enabled = true;
+  result.faults_before = fault_count(failing.faults);
+
+  const RunOutcome baseline = run_verified(result.minimal, tpm);
+  result.runs = 1;
+  if (baseline.report->violations.empty()) {
+    result.faults_after = result.faults_before;
+    return result;  // nothing to chase: reproduced stays false
+  }
+  result.reproduced = true;
+  result.checker = baseline.report->violations.front().checker;
+  result.digest = baseline.digest;
+
+  Shrinker shrinker(result.minimal, tpm, options, result.checker,
+                    baseline.digest, result.runs);
+  shrinker.run_all_passes();
+
+  result.minimal = shrinker.current();
+  result.minimal.name = failing.name + "-min";
+  result.digest = shrinker.digest();
+  result.runs = shrinker.runs();
+  result.faults_after = fault_count(result.minimal.faults);
+  return result;
+}
+
+}  // namespace src::chaos

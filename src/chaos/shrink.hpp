@@ -1,0 +1,45 @@
+// Failing-trial shrinking: reduce a failing chaos scenario to a minimal
+// reproducer that still trips the same invariant checker.
+//
+// The algorithm is classic delta-debugging specialised to fault plans,
+// applied greedily until a fixed point or the run budget is exhausted:
+//
+//   1. drop    — remove fault entries one at a time (last first, so list
+//                indices stay stable), keeping any removal that still fails;
+//   2. narrow  — bisect each surviving fault's time window (keep the half
+//                that fails) down to `min_window`;
+//   3. weaken  — halve packet-drop / transient-error probabilities while
+//                the failure persists, bounded by `min_probability`.
+//
+// Every candidate is judged by a full deterministic re-run, so the final
+// spec is not merely plausible — it is a scenario whose run provably
+// violates the original checker, ready to emit as a src-scenario-v1
+// manifest (with verification enabled) and replay bit-identically.
+#pragma once
+
+#include "chaos/campaign.hpp"
+
+namespace src::chaos {
+
+struct ShrinkOptions {
+  std::size_t max_runs = 150;  ///< total verification runs to spend
+  common::SimTime min_window = common::kMillisecond;
+  double min_probability = 0.02;
+};
+
+struct ShrinkResult {
+  scenario::ScenarioSpec minimal;  ///< smallest failing spec found
+  bool reproduced = false;  ///< the input failed at all (else minimal=input)
+  std::string checker;      ///< the checker the shrink preserved
+  std::size_t runs = 0;     ///< verification runs spent
+  std::size_t faults_before = 0;
+  std::size_t faults_after = 0;
+  std::uint64_t digest = 0;  ///< outcome digest of the minimal failing run
+};
+
+/// Shrink `failing` (verification is forced on). `tpm` as in run_verified.
+ShrinkResult shrink(const scenario::ScenarioSpec& failing,
+                    const core::Tpm* tpm = nullptr,
+                    const ShrinkOptions& options = {});
+
+}  // namespace src::chaos

@@ -123,10 +123,15 @@ void Initiator::attempt_retry(std::uint64_t request_id, common::SimTime delay) {
   network_.simulator().cancel(pending.timer);
   ++pending.attempts;
   ++stats_.retries;
+  if (pending.attempts > stats_.max_attempts) {
+    stats_.max_attempts = pending.attempts;
+  }
   SRC_OBS_COUNT("fabric.retries");
-  // Kill every stale binding first: a straggling original capsule or a
-  // duplicated response must not race the retransmission.
-  context_.expire_request_messages(request_id);
+  // Kill the superseded attempt's capsule binding so it cannot be served
+  // twice. Response bindings survive on purpose: a response already under
+  // way answers this same request, and discarding it livelocks the fabric
+  // when response delay exceeds the retry timeout (see protocol.hpp).
+  context_.expire_request_commands(request_id);
   if (delay == 0) {
     resend(request_id);
   } else {

@@ -38,6 +38,7 @@ struct InitiatorStats {
   std::uint64_t read_bytes_received = 0;
   std::uint64_t timeouts = 0;           ///< request timers that fired
   std::uint64_t retries = 0;            ///< command capsules re-sent
+  std::uint32_t max_attempts = 0;       ///< most retransmissions any request saw
   std::uint64_t error_completions = 0;  ///< explicit error capsules received
   std::uint64_t stale_messages = 0;     ///< deliveries with no live binding
   common::SimTime total_read_latency = 0;   ///< issue -> data fully received

@@ -12,6 +12,15 @@
 // retry, or a duplicated response — resolves to kNoBinding and is ignored
 // by both ends, which is what makes the retransmit path double-completion
 // safe.
+//
+// Bindings carry a role: retries expire only *command* bindings (the stale
+// capsule must not be served twice), while an in-flight *response* stays
+// honoured — it answers the same idempotent request, and completing from it
+// expires every other binding. Expiring responses on retry instead creates
+// a livelock under congestion: when response queueing delay exceeds the
+// retry timeout, every served response arrives already-expired, so the
+// initiator retries forever while the target serves dead letters. (Found by
+// the chaos campaign's liveness checker; see DESIGN.md §12.)
 #pragma once
 
 #include <algorithm>
@@ -44,6 +53,11 @@ inline constexpr std::uint32_t kCapsuleBytes = 64;
 /// Sentinel returned by FabricContext::take_message_binding when the
 /// message has no live binding (lost, cancelled, or already consumed).
 inline constexpr std::uint64_t kNoBinding = 0;
+
+/// Direction of a bound message: commands travel initiator -> target and
+/// are invalidated by a retry; responses travel target -> initiator and
+/// survive retries (see the loss-semantics note above).
+enum class MessageRole : std::uint8_t { kCommand, kResponse };
 
 struct RequestInfo {
   std::uint64_t id = 0;
@@ -102,8 +116,9 @@ class FabricContext {
     expire_request_messages(id);
   }
 
-  void bind_message(std::uint64_t message_id, std::uint64_t request_id) {
-    message_to_request_.emplace(message_id, request_id);
+  void bind_message(std::uint64_t message_id, std::uint64_t request_id,
+                    MessageRole role = MessageRole::kCommand) {
+    message_to_request_.emplace(message_id, Binding{request_id, role});
   }
 
   /// Resolve and consume the binding for a delivered message. Returns
@@ -112,7 +127,7 @@ class FabricContext {
   std::uint64_t take_message_binding(std::uint64_t message_id) {
     const auto it = message_to_request_.find(message_id);
     if (it == message_to_request_.end()) return kNoBinding;
-    const std::uint64_t request_id = it->second;
+    const std::uint64_t request_id = it->second.request_id;
     message_to_request_.erase(it);
     return request_id;
   }
@@ -123,29 +138,46 @@ class FabricContext {
     message_to_request_.erase(message_id);
   }
 
-  /// Drop every binding that points at `request_id` — used when a request
-  /// is retried (stale capsule AND stale response become dead letters) or
-  /// failed. Without this, any message lost in the network would leak its
-  /// map entry forever.
+  /// Drop every binding that points at `request_id`, regardless of role —
+  /// used when a request reaches a terminal state. Without this, any
+  /// message lost in the network would leak its map entry forever.
   void expire_request_messages(std::uint64_t request_id) {
-    std::vector<std::uint64_t> stale;
-    for (const auto& [message_id, bound] : message_to_request_) {
-      if (bound == request_id) stale.push_back(message_id);
-    }
-    for (const std::uint64_t message_id : stale) {
-      message_to_request_.erase(message_id);
-    }
+    expire(request_id, /*commands_only=*/false);
+  }
+
+  /// Drop only the *command* bindings of `request_id` — the retry path.
+  /// A straggling capsule from the superseded attempt must not be served
+  /// again, but a response already under way still completes the request.
+  void expire_request_commands(std::uint64_t request_id) {
+    expire(request_id, /*commands_only=*/true);
   }
 
   std::size_t outstanding_requests() const { return requests_.size(); }
   std::size_t outstanding_bindings() const { return message_to_request_.size(); }
 
  private:
+  struct Binding {
+    std::uint64_t request_id = 0;
+    MessageRole role = MessageRole::kCommand;
+  };
+
+  void expire(std::uint64_t request_id, bool commands_only) {
+    std::vector<std::uint64_t> stale;
+    for (const auto& [message_id, bound] : message_to_request_) {
+      if (bound.request_id != request_id) continue;
+      if (commands_only && bound.role == MessageRole::kResponse) continue;
+      stale.push_back(message_id);
+    }
+    for (const std::uint64_t message_id : stale) {
+      message_to_request_.erase(message_id);
+    }
+  }
+
   std::uint64_t next_request_id_ = 0;
   std::unordered_map<std::uint64_t, RequestInfo> requests_;
-  /// Ordered map: expire_request_messages() iterates it, and message-id
-  /// order (not hash-table layout) must decide the erase sequence.
-  std::map<std::uint64_t, std::uint64_t> message_to_request_;
+  /// Ordered map: expire() iterates it, and message-id order (not
+  /// hash-table layout) must decide the erase sequence.
+  std::map<std::uint64_t, Binding> message_to_request_;
 };
 
 }  // namespace src::fabric

@@ -110,7 +110,7 @@ void Target::send_error_completion(const RequestInfo& info) {
   // Error capsules ride the command channel like write acks.
   const std::uint64_t message_id = network_.host(host_id_).send_message(
       info.initiator, kCapsuleBytes, kErrorComp, /*channel=*/1);
-  context_.bind_message(message_id, info.id);
+  context_.bind_message(message_id, info.id, MessageRole::kResponse);
 }
 
 void Target::on_fabric_message(net::NodeId /*src*/, std::uint64_t message_id,
@@ -168,7 +168,7 @@ void Target::on_request_complete(const nvme::IoRequest& request,
     // Ship the data back: this is the inbound flow DCQCN throttles.
     const std::uint64_t message_id =
         host.send_message(info.initiator, request.bytes, kReadData, /*channel=*/0);
-    context_.bind_message(message_id, request.id);
+    context_.bind_message(message_id, request.id, MessageRole::kResponse);
   } else {
     ++stats_.writes_served;
     stats_.write_bytes += request.bytes;
@@ -179,7 +179,7 @@ void Target::on_request_complete(const nvme::IoRequest& request,
     // Acks ride the command channel so read-data backlog cannot delay them.
     const std::uint64_t message_id =
         host.send_message(info.initiator, kCapsuleBytes, kWriteAck, /*channel=*/1);
-    context_.bind_message(message_id, request.id);
+    context_.bind_message(message_id, request.id, MessageRole::kResponse);
   }
 }
 

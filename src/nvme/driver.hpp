@@ -21,7 +21,9 @@
 namespace src::nvme {
 
 struct DriverStats {
-  std::uint64_t submitted_reads = 0;
+  std::uint64_t accepted_reads = 0;   ///< enqueued into a submission queue
+  std::uint64_t accepted_writes = 0;
+  std::uint64_t submitted_reads = 0;  ///< fetched (dispatched) to the device
   std::uint64_t submitted_writes = 0;
   std::uint64_t completed_reads = 0;
   std::uint64_t completed_writes = 0;
@@ -66,9 +68,24 @@ class NvmeDriver {
   using DispatchFn = std::function<void(const IoRequest&)>;
   void set_dispatch_handler(DispatchFn fn) { on_dispatch_ = std::move(fn); }
 
+  /// Invoked when a request is accepted into a submission queue, before the
+  /// policy sees it. Purely observational (the runtime invariant checkers
+  /// pair it with the dispatch handler to verify fetch ordering); installing
+  /// one must not change behaviour.
+  using SubmitFn = std::function<void(const IoRequest&)>;
+  void set_submit_probe(SubmitFn fn) { on_submit_ = std::move(fn); }
+
   /// Enqueue a request; the driver fetches it to the device when queue-depth
   /// and arbitration policy allow.
-  virtual void submit(IoRequest request) = 0;
+  void submit(IoRequest request) {
+    if (request.type == IoType::kRead) {
+      ++stats_.accepted_reads;
+    } else {
+      ++stats_.accepted_writes;
+    }
+    if (on_submit_) on_submit_(request);
+    do_submit(std::move(request));
+  }
 
   /// Number of requests waiting in submission queues (not yet fetched).
   virtual std::size_t queued() const = 0;
@@ -88,6 +105,10 @@ class NvmeDriver {
   /// Hand a request to the device; called by subclasses from their fetch
   /// logic. Tracks in-flight counts and re-enters fetch on completion.
   void dispatch(const IoRequest& request);
+
+  /// Policy half of submit(): enqueue into the subclass's submission
+  /// queue(s) and kick the fetch loop.
+  virtual void do_submit(IoRequest request) = 0;
 
   /// Subclass fetch loop: pull eligible requests from SQs until the policy
   /// or the queue depth stops it.
@@ -117,6 +138,7 @@ class NvmeDriver {
  private:
   CompletionFn on_complete_;
   DispatchFn on_dispatch_;
+  SubmitFn on_submit_;
   DriverStats stats_;
   std::uint32_t trace_lane_ = 0;
   bool retry_pending_ = false;

@@ -13,14 +13,14 @@ class FifoDriver final : public NvmeDriver {
  public:
   using NvmeDriver::NvmeDriver;
 
-  void submit(IoRequest request) override {
+  std::size_t queued() const override { return queue_.size(); }
+
+ private:
+  void do_submit(IoRequest request) override {
     queue_.push_back(std::move(request));
     try_fetch();
   }
 
-  std::size_t queued() const override { return queue_.size(); }
-
- private:
   void try_fetch() override {
     while (!queue_.empty() && in_flight() < queue_depth()) {
       if (!admissible(queue_.front())) {

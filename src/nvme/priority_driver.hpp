@@ -40,6 +40,9 @@ struct PriorityDriverParams {
 struct PriorityDriverStats {
   std::array<std::uint64_t, kNvmePriorityClasses> fetched{};
   std::uint64_t credit_rounds = 0;
+  /// Fetch passes that ended with work queued but nothing admissible — the
+  /// scheduler-starvation signal the liveness watchdog and benches watch.
+  std::uint64_t stalls_with_work = 0;
 };
 
 class NvmePriorityDriver final : public NvmeDriver {
@@ -64,13 +67,6 @@ class NvmePriorityDriver final : public NvmeDriver {
     try_fetch();
   }
 
-  void submit(IoRequest request) override {
-    const NvmePriority priority =
-        classify_ ? classify_(request) : default_class(request);
-    queues_[static_cast<std::size_t>(priority)].push_back(std::move(request));
-    try_fetch();
-  }
-
   std::size_t queued() const override {
     std::size_t total = 0;
     for (const auto& queue : queues_) total += queue.size();
@@ -84,6 +80,13 @@ class NvmePriorityDriver final : public NvmeDriver {
   const PriorityDriverStats& priority_stats() const { return stats_; }
 
  private:
+  void do_submit(IoRequest request) override {
+    const NvmePriority priority =
+        classify_ ? classify_(request) : default_class(request);
+    queues_[static_cast<std::size_t>(priority)].push_back(std::move(request));
+    try_fetch();
+  }
+
   static NvmePriority default_class(const IoRequest& request) {
     return request.type == IoType::kRead ? NvmePriority::kMedium
                                          : NvmePriority::kLow;
@@ -159,7 +162,11 @@ class NvmePriorityDriver final : public NvmeDriver {
         break;
       }
     }
-    if (stalled_with_work) schedule_admission_retry();
+    if (stalled_with_work) {
+      ++stats_.stalls_with_work;
+      SRC_OBS_COUNT("nvme.priority.stalled_with_work");
+      schedule_admission_retry();
+    }
   }
 
   PriorityDriverParams params_;

@@ -30,6 +30,15 @@ struct SsqStats {
   std::uint64_t consistency_redirects = 0;  ///< requests pinned off-type
   std::uint64_t token_resets = 0;
   std::uint64_t weight_adjustments = 0;
+  // Monotone token ledger for conservation checking (src/verify). Pools are
+  // reset from the weights, never topped up, so at any instant:
+  //   tokens_charged == fetched_from_rsq + fetched_from_wsq - borrowed_fetches
+  //   tokens_charged <= tokens_granted
+  //   read_tokens() + write_tokens() <= tokens_granted - tokens_charged
+  // (discarded leftovers from a reset only widen the slack, and set_weights
+  // deliberately leaves the live pools alone).
+  std::uint64_t tokens_granted = 0;  ///< pool refills, summed over both pools
+  std::uint64_t tokens_charged = 0;  ///< WRR fetches that consumed a token
 };
 
 class SsqDriver final : public NvmeDriver {
@@ -41,6 +50,7 @@ class SsqDriver final : public NvmeDriver {
     set_weights(read_weight, write_weight);
     tokens_read_ = read_weight_;
     tokens_write_ = write_weight_;
+    ssq_stats_.tokens_granted = read_weight_ + write_weight_;
   }
 
   /// Set the WRR weights. The paper fixes the read weight at 1 and varies
@@ -78,7 +88,8 @@ class SsqDriver final : public NvmeDriver {
   std::size_t queued() const override { return rsq_.size() + wsq_.size(); }
   const SsqStats& ssq_stats() const { return ssq_stats_; }
 
-  void submit(IoRequest request) override {
+ private:
+  void do_submit(IoRequest request) override {
     QueueKind kind = natural_queue(request.type);
     if (consistency_enabled_) {
       if (auto pinned = consistency_.overlapping_queue(request.lba, request.bytes)) {
@@ -95,7 +106,6 @@ class SsqDriver final : public NvmeDriver {
     try_fetch();
   }
 
- private:
   void recompute_qd_partition() {
     const std::uint32_t qd = queue_depth();
     const double total = static_cast<double>(read_weight_ + write_weight_);
@@ -133,10 +143,12 @@ class SsqDriver final : public NvmeDriver {
     if (pool == 0) {
       tokens_read_ = read_weight_;
       tokens_write_ = write_weight_;
+      ssq_stats_.tokens_granted += read_weight_ + write_weight_;
       ++ssq_stats_.token_resets;
       SRC_OBS_COUNT("nvme.ssq.token_resets");
     }
     --pool;
+    ++ssq_stats_.tokens_charged;
   }
 
   void try_fetch() override {
@@ -156,6 +168,7 @@ class SsqDriver final : public NvmeDriver {
         if (tokens_write_ == 0 && tokens_read_ == 0) {
           tokens_read_ = read_weight_;
           tokens_write_ = write_weight_;
+          ssq_stats_.tokens_granted += read_weight_ + write_weight_;
           ++ssq_stats_.token_resets;
           SRC_OBS_COUNT("nvme.ssq.token_resets");
         }

@@ -6,6 +6,7 @@
 
 #include "fault/fault_injector.hpp"
 #include "scenario/registry.hpp"
+#include "verify/rig_verifier.hpp"
 
 namespace src::scenario {
 
@@ -74,6 +75,42 @@ BuiltScenario build(const ScenarioSpec& spec, const BuildOptions& options) {
       }
       injector->arm();
       return injector;
+    };
+  }
+
+  if (spec.verify.enabled) {
+    built.verify_report = std::make_shared<verify::Report>();
+    verify::VerifyConfig vcfg;
+    vcfg.io_accounting = spec.verify.io_accounting;
+    vcfg.driver_conservation = spec.verify.driver_conservation;
+    vcfg.ssq_tokens = spec.verify.ssq_tokens;
+    vcfg.retry_bound = spec.verify.retry_bound;
+    vcfg.overlap_order = spec.verify.overlap_order;
+    vcfg.monotone_time = spec.verify.monotone_time;
+    vcfg.liveness = spec.verify.liveness;
+    vcfg.poll_interval = spec.verify.poll_interval;
+    vcfg.poll_until = spec.max_time;
+    vcfg.fault_horizon = spec.faults.horizon();
+    vcfg.liveness_grace = spec.verify.liveness_grace;
+    vcfg.max_violations = spec.verify.max_violations;
+    // Chain the verifier behind whatever hook is already installed (the
+    // fault injector above, or a caller's). The bundle destroys the
+    // verifier first, then the inner state — both before the rig itself,
+    // so the verifier's drain audit sees live components.
+    auto inner = std::move(config.rig_hook);
+    auto report = built.verify_report;
+    config.rig_hook = [inner, vcfg,
+                       report](const core::ExperimentRig& rig)
+        -> std::shared_ptr<void> {
+      struct Bundle {
+        std::shared_ptr<void> inner_state;
+        std::unique_ptr<verify::RigVerifier> verifier;
+      };
+      auto bundle = std::make_shared<Bundle>();
+      if (inner) bundle->inner_state = inner(rig);
+      bundle->verifier =
+          std::make_unique<verify::RigVerifier>(rig, vcfg, report);
+      return bundle;
     };
   }
 

@@ -8,6 +8,7 @@
 
 #include "core/experiment.hpp"
 #include "scenario/spec.hpp"
+#include "verify/invariants.hpp"
 
 namespace src::scenario {
 
@@ -25,6 +26,9 @@ struct BuildOptions {
 struct BuiltScenario {
   core::ExperimentConfig config;
   std::shared_ptr<const core::Tpm> owned_tpm;
+  /// Invariant-checker findings, populated during the run; non-null exactly
+  /// when the spec's `verify.enabled` is set.
+  std::shared_ptr<verify::Report> verify_report;
 };
 
 /// Resolve every registry name in `spec` (driver, congestion controller,

@@ -789,6 +789,132 @@ void parse_faults(ObjectReader& r, fault::FaultPlan& plan) {
   });
 }
 
+// Cross-validate every fault entry against the topology and src blocks, so
+// a bad index fails at parse time with a `$.faults...` location instead of
+// surfacing as std::out_of_range when the injector arms mid-build.
+void validate_faults(const ScenarioSpec& spec, const std::string& file) {
+  const std::size_t hosts = spec.topology.initiators + spec.topology.targets;
+  const std::size_t node_count = 1 + hosts;  // node 0 is the hub switch
+  const auto path = [](const char* family, std::size_t i, const char* field) {
+    return std::string("$.faults.") + family + "[" + std::to_string(i) + "]." +
+           field;
+  };
+  const auto check_node = [&](const char* family, std::size_t i,
+                              net::NodeId node) {
+    if (static_cast<std::size_t>(node) >= node_count) {
+      fail_at(file, path(family, i, "node"),
+              "node " + std::to_string(node) + " out of range: the star " +
+                  "topology has " + std::to_string(node_count) +
+                  " nodes (0 = hub switch, 1.." + std::to_string(hosts) +
+                  " = hosts)");
+    }
+  };
+  const auto check_port = [&](const char* family, std::size_t i,
+                              net::NodeId node, std::int64_t port) {
+    const std::size_t limit = node == 0 ? hosts : 1;  // hosts have one port
+    if (port >= 0 && static_cast<std::size_t>(port) >= limit) {
+      fail_at(file, path(family, i, "port"),
+              "port " + std::to_string(port) + " out of range: node " +
+                  std::to_string(node) + " has " + std::to_string(limit) +
+                  (limit == 1 ? " port" : " ports"));
+    }
+  };
+  const auto check_device = [&](const char* family, std::size_t i,
+                                std::size_t target, std::size_t device) {
+    if (target >= spec.topology.targets) {
+      fail_at(file, path(family, i, "target"),
+              "target " + std::to_string(target) + " out of range: the " +
+                  "topology has " + std::to_string(spec.topology.targets) +
+                  " targets");
+    }
+    if (device >= spec.topology.devices_per_target) {
+      fail_at(file, path(family, i, "device"),
+              "device " + std::to_string(device) + " out of range: each " +
+                  "target has " +
+                  std::to_string(spec.topology.devices_per_target) +
+                  " devices");
+    }
+  };
+  for (std::size_t i = 0; i < spec.faults.packet_drops.size(); ++i) {
+    const fault::PacketDropFault& f = spec.faults.packet_drops[i];
+    check_node("packet_drops", i, f.node);
+    check_port("packet_drops", i, f.node, f.port);
+  }
+  for (std::size_t i = 0; i < spec.faults.link_downs.size(); ++i) {
+    const fault::LinkDownFault& f = spec.faults.link_downs[i];
+    check_node("link_downs", i, f.node);
+    check_port("link_downs", i, f.node,
+               static_cast<std::int64_t>(f.port));
+  }
+  for (std::size_t i = 0; i < spec.faults.latency_spikes.size(); ++i) {
+    const fault::DeviceLatencyFault& f = spec.faults.latency_spikes[i];
+    check_device("latency_spikes", i, f.target, f.device);
+  }
+  for (std::size_t i = 0; i < spec.faults.outages.size(); ++i) {
+    const fault::DeviceOutageFault& f = spec.faults.outages[i];
+    check_device("outages", i, f.target, f.device);
+  }
+  for (std::size_t i = 0; i < spec.faults.transient_errors.size(); ++i) {
+    const fault::TransientErrorFault& f = spec.faults.transient_errors[i];
+    check_device("transient_errors", i, f.target, f.device);
+  }
+  for (std::size_t i = 0; i < spec.faults.tpm_faults.size(); ++i) {
+    const fault::TpmFault& f = spec.faults.tpm_faults[i];
+    if (!spec.src.enabled) {
+      fail_at(file, path("tpm_faults", i, "controller"),
+              "tpm faults need src.enabled (a DCQCN-only run has no "
+              "controllers to corrupt)");
+    }
+    if (f.controller >= spec.topology.targets) {
+      fail_at(file, path("tpm_faults", i, "controller"),
+              "controller " + std::to_string(f.controller) +
+                  " out of range: one controller per target, " +
+                  std::to_string(spec.topology.targets) + " targets");
+    }
+  }
+  for (std::size_t i = 0; i < spec.faults.signal_losses.size(); ++i) {
+    const fault::SignalLossFault& f = spec.faults.signal_losses[i];
+    if (f.target >= spec.topology.targets) {
+      fail_at(file, path("signal_losses", i, "target"),
+              "target " + std::to_string(f.target) + " out of range: the " +
+                  "topology has " + std::to_string(spec.topology.targets) +
+                  " targets");
+    }
+  }
+}
+
+void parse_verify(ObjectReader& r, VerifySpec& v) {
+  v.enabled = r.boolean("enabled", v.enabled);
+  v.io_accounting = r.boolean("io_accounting", v.io_accounting);
+  v.driver_conservation =
+      r.boolean("driver_conservation", v.driver_conservation);
+  v.ssq_tokens = r.boolean("ssq_tokens", v.ssq_tokens);
+  v.retry_bound = r.boolean("retry_bound", v.retry_bound);
+  v.overlap_order = r.boolean("overlap_order", v.overlap_order);
+  v.monotone_time = r.boolean("monotone_time", v.monotone_time);
+  v.liveness = r.boolean("liveness", v.liveness);
+  v.poll_interval = r.time("poll_interval", v.poll_interval);
+  if (v.poll_interval <= 0) r.fail("poll_interval_ns", "must be > 0");
+  v.liveness_grace = r.time("liveness_grace", v.liveness_grace);
+  v.max_violations = r.u64("max_violations", v.max_violations, 1);
+}
+
+Json verify_to_json(const VerifySpec& v) {
+  Json out{Json::Object{}};
+  out.set("enabled", Json{v.enabled});
+  out.set("io_accounting", Json{v.io_accounting});
+  out.set("driver_conservation", Json{v.driver_conservation});
+  out.set("ssq_tokens", Json{v.ssq_tokens});
+  out.set("retry_bound", Json{v.retry_bound});
+  out.set("overlap_order", Json{v.overlap_order});
+  out.set("monotone_time", Json{v.monotone_time});
+  out.set("liveness", Json{v.liveness});
+  put_time(out, "poll_interval", v.poll_interval);
+  put_time(out, "liveness_grace", v.liveness_grace);
+  out.set("max_violations", Json{v.max_violations});
+  return out;
+}
+
 }  // namespace
 
 Json to_json(const ScenarioSpec& spec) {
@@ -810,6 +936,9 @@ Json to_json(const ScenarioSpec& spec) {
   out.set("src", src_to_json(spec.src));
   out.set("retry", retry_to_json(spec.retry));
   if (!spec.faults.empty()) out.set("faults", faults_to_json(spec.faults));
+  if (spec.verify != VerifySpec{}) {
+    out.set("verify", verify_to_json(spec.verify));
+  }
   return out;
 }
 
@@ -865,6 +994,8 @@ ScenarioSpec from_json(const obs::Json& doc, const std::string& file) {
   r.object("src", [&](ObjectReader& s) { parse_src(s, spec.src); });
   r.object("retry", [&](ObjectReader& p) { parse_retry(p, spec.retry); });
   r.object("faults", [&](ObjectReader& f) { parse_faults(f, spec.faults); });
+  validate_faults(spec, file);
+  r.object("verify", [&](ObjectReader& v) { parse_verify(v, spec.verify); });
 
   r.done();
   return spec;

@@ -78,6 +78,27 @@ struct SrcSpec {
   friend bool operator==(const SrcSpec&, const SrcSpec&) = default;
 };
 
+/// Runtime invariant verification (src/verify). Off by default — ordinary
+/// runs pay nothing. When enabled, scenario::build attaches a
+/// verify::RigVerifier to the rig with these checker toggles;
+/// BuiltScenario::verify_report carries what it saw. Chaos reproducer
+/// manifests ship with this block enabled so `srcctl run` re-checks them.
+struct VerifySpec {
+  bool enabled = false;
+  bool io_accounting = true;
+  bool driver_conservation = true;
+  bool ssq_tokens = true;
+  bool retry_bound = true;
+  bool overlap_order = true;
+  bool monotone_time = true;
+  bool liveness = true;
+  common::SimTime poll_interval = common::kMillisecond;
+  common::SimTime liveness_grace = 20 * common::kMillisecond;
+  std::uint64_t max_violations = 64;
+
+  friend bool operator==(const VerifySpec&, const VerifySpec&) = default;
+};
+
 /// One complete experiment, as data. Field-for-field this covers
 /// core::ExperimentConfig, with the callable/pointer members replaced by
 /// declarative equivalents resolved through the component registries
@@ -100,6 +121,7 @@ struct ScenarioSpec {
   SrcSpec src;
   fabric::RetryPolicy retry;
   fault::FaultPlan faults;
+  VerifySpec verify;
 
   std::uint64_t seed = 1;
   common::SimTime max_time = 5 * common::kSecond;

@@ -1,0 +1,177 @@
+// The chaos campaign machinery: plan sampling is a pure function of
+// (base, params, seed) and only emits entries a scenario manifest can carry
+// (valid indices, windows inside the horizon, 53-bit seeds); verified runs
+// digest deterministically; a healthy mini-campaign comes back clean; and a
+// genuinely failing trial shrinks to a smaller reproducer that still trips
+// the same checker and replays bit-identically after a JSON round trip.
+#include "chaos/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "chaos/shrink.hpp"
+#include "scenario/presets.hpp"
+#include "scenario/serialize.hpp"
+#include "workload/micro.hpp"
+
+namespace src::chaos {
+namespace {
+
+using common::kMillisecond;
+
+/// Small DCQCN-only base (no TPM to train): a 100-read / 40-write micro
+/// burst issued inside the first ~10 ms of a 60 ms run.
+scenario::ScenarioSpec tiny_base() {
+  scenario::ScenarioSpec spec = scenario::preset_spec("fig7-reduced");
+  spec.name = "chaos-tiny";
+  spec.max_time = 60 * kMillisecond;
+  spec.workloads.clear();
+  scenario::WorkloadSpec workload;
+  workload.kind = "micro";
+  workload.micro.read = workload::StreamParams{100.0, 16.0 * 1024, 100};
+  workload.micro.write = workload::StreamParams{200.0, 16.0 * 1024, 40};
+  spec.workloads.push_back(workload);
+  spec.retry.enabled = true;
+  spec.retry.base_timeout = 2 * kMillisecond;
+  spec.retry.backoff_factor = 2.0;
+  spec.retry.max_timeout = 16 * kMillisecond;
+  spec.retry.max_retries = 10;
+  return spec;
+}
+
+/// A scenario that provably wedges: probability-1 drops on the initiator's
+/// access link with retries disabled strand every early request, so the
+/// liveness watchdog fires once the 8 ms horizon and the grace pass.
+scenario::ScenarioSpec wedged_spec() {
+  scenario::ScenarioSpec spec = tiny_base();
+  spec.name = "chaos-wedged";
+  spec.retry.enabled = false;
+  spec.verify.enabled = true;
+  fault::PacketDropFault drop;
+  drop.node = 1;
+  drop.port = 0;
+  drop.start = 0;
+  drop.end = 8 * kMillisecond;
+  drop.probability = 1.0;
+  spec.faults.packet_drops.push_back(drop);
+  return spec;
+}
+
+TEST(Sampler, PlanIsAPureFunctionOfItsInputs) {
+  const scenario::ScenarioSpec base = default_base_spec();
+  const SamplerParams params;
+  const fault::FaultPlan once = sample_plan(base, params, 12345);
+  const fault::FaultPlan again = sample_plan(base, params, 12345);
+  EXPECT_TRUE(once == again);
+
+  const fault::FaultPlan other = sample_plan(base, params, 54321);
+  EXPECT_FALSE(once == other) << "distinct seeds drew identical plans";
+}
+
+TEST(Sampler, WindowsCloseBeforeTheHorizon) {
+  const scenario::ScenarioSpec base = default_base_spec();
+  const SamplerParams params;
+  const common::SimTime horizon = static_cast<common::SimTime>(
+      params.horizon_fraction * static_cast<double>(base.max_time));
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    const fault::FaultPlan plan = sample_plan(base, params, seed);
+    EXPECT_LE(plan.horizon(), horizon) << "seed " << seed;
+    EXPECT_LE(plan.seed, kManifestSeedMask);
+  }
+}
+
+TEST(Sampler, EveryTrialSpecRoundTripsAsAManifest) {
+  // The strict parser re-runs every cross-validation rule on reparse, so a
+  // lossless round trip proves each sampled entry is in range.
+  CampaignSpec campaign;
+  campaign.base = default_base_spec();
+  campaign.trials = 12;
+  campaign.seed = 7;
+  for (std::size_t i = 0; i < campaign.trials; ++i) {
+    const scenario::ScenarioSpec spec = trial_spec(campaign, i);
+    EXPECT_TRUE(spec.verify.enabled);
+    EXPECT_LE(spec.seed, kManifestSeedMask);
+    const std::string text = scenario::to_json_text(spec);
+    const scenario::ScenarioSpec reparsed =
+        scenario::parse_scenario(text, spec.name + ".json");
+    EXPECT_TRUE(reparsed == spec) << spec.name << ": drifted across JSON";
+  }
+}
+
+TEST(Campaign, VerifiedRunsDigestDeterministically) {
+  scenario::ScenarioSpec spec = tiny_base();
+  spec.verify.enabled = true;
+  fault::PacketDropFault drop;
+  drop.node = 1;
+  drop.port = 0;
+  drop.start = 2 * kMillisecond;
+  drop.end = 10 * kMillisecond;
+  drop.probability = 0.5;
+  spec.faults.packet_drops.push_back(drop);
+
+  const RunOutcome first = run_verified(spec);
+  const RunOutcome second = run_verified(spec);
+  EXPECT_TRUE(first.result.completed);
+  EXPECT_EQ(first.digest, second.digest);
+  EXPECT_GT(first.result.retries, 0u);
+}
+
+TEST(Campaign, HealthyMiniCampaignComesBackClean) {
+  CampaignSpec campaign;
+  campaign.base = tiny_base();
+  campaign.trials = 4;
+  campaign.seed = 3;
+  const CampaignResult result = run_campaign(campaign, /*threads=*/2);
+  EXPECT_EQ(result.trials, 4u);
+  EXPECT_EQ(result.clean_trials, 4u);
+  EXPECT_TRUE(result.failures.empty());
+}
+
+TEST(Shrink, FailingSpecReducesToAMinimalBitIdenticalReproducer) {
+  // Pad the wedging drop window with faults that do not matter, so the
+  // drop pass has something to strip.
+  scenario::ScenarioSpec failing = wedged_spec();
+  fault::DeviceLatencyFault spike;
+  spike.target = 0;
+  spike.device = 0;
+  spike.start = kMillisecond;
+  spike.end = 2 * kMillisecond;
+  spike.scale = 2.0;
+  failing.faults.latency_spikes.push_back(spike);
+  fault::TransientErrorFault flake;
+  flake.target = 1;
+  flake.device = 0;
+  flake.start = kMillisecond;
+  flake.end = 2 * kMillisecond;
+  flake.probability = 0.05;
+  failing.faults.transient_errors.push_back(flake);
+
+  ShrinkOptions options;
+  options.max_runs = 60;
+  const ShrinkResult shrunk = shrink(failing, /*tpm=*/nullptr, options);
+
+  ASSERT_TRUE(shrunk.reproduced);
+  EXPECT_EQ(shrunk.checker, std::string(verify::kLivenessChecker));
+  EXPECT_LT(shrunk.faults_after, shrunk.faults_before);
+  EXPECT_GE(shrunk.faults_after, 1u);
+  EXPECT_LE(shrunk.runs, options.max_runs);
+
+  // The minimal spec survives a manifest round trip and replays the exact
+  // digest the shrinker recorded — the reproducer really reproduces.
+  const std::string text = scenario::to_json_text(shrunk.minimal);
+  const scenario::ScenarioSpec reparsed =
+      scenario::parse_scenario(text, "min.json");
+  EXPECT_TRUE(reparsed == shrunk.minimal);
+
+  const RunOutcome replay = run_verified(reparsed);
+  EXPECT_EQ(replay.digest, shrunk.digest);
+  ASSERT_FALSE(replay.report->clean());
+  EXPECT_TRUE(std::any_of(
+      replay.report->violations.begin(), replay.report->violations.end(),
+      [&](const verify::Violation& v) { return v.checker == shrunk.checker; }));
+}
+
+}  // namespace
+}  // namespace src::chaos

@@ -164,6 +164,91 @@ TEST(FaultInjectionTest, WholeArrayOfflineFailsExplicitlyWithoutRetry) {
   EXPECT_EQ(rig.context.outstanding_requests(), 0u);
 }
 
+TEST(FaultInjectionTest, WholeArrayOutageRecoversOnceTheWindowCloses) {
+  // Every device of the target goes dark over the same window. Re-striping
+  // has nowhere to route, so requests issued inside the window bounce with
+  // explicit error completions — and the retry machinery must carry all of
+  // them across the blackout instead of losing a single one.
+  fabric::TargetConfig config;
+  config.device_count = 4;
+  Rig rig(config);
+  rig.initiator->set_retry_policy(fast_retry());
+
+  FaultPlan plan;
+  for (std::size_t dev = 0; dev < 4; ++dev) {
+    plan.outages.push_back({0, dev, 10 * kMillisecond, 30 * kMillisecond});
+  }
+  FaultInjector injector(rig.network, plan);
+  injector.add_target(*rig.target);
+  injector.arm();
+
+  // One read per millisecond straddles before / during / after the window.
+  workload::Trace trace;
+  for (int i = 0; i < 40; ++i) {
+    trace.push_back({static_cast<common::SimTime>(i) * kMillisecond,
+                     IoType::kRead, static_cast<std::uint64_t>(i) << 20,
+                     16384});
+  }
+  rig.initiator->run_trace(trace, [&](const workload::TraceRecord&,
+                                      std::size_t) {
+    return rig.target->node_id();
+  });
+
+  rig.sim.run_until(20 * kMillisecond);
+  EXPECT_EQ(rig.target->online_device_count(), 0u);
+  rig.sim.run_until(common::kSecond);
+
+  EXPECT_TRUE(rig.initiator->all_complete());
+  EXPECT_EQ(rig.initiator->stats().reads_completed, 40u);
+  EXPECT_EQ(rig.initiator->stats().reads_failed, 0u);
+  EXPECT_GT(rig.initiator->stats().error_completions, 0u);
+  EXPECT_GT(rig.target->stats().errors_returned, 0u);
+  EXPECT_EQ(rig.target->online_device_count(), 4u);
+  EXPECT_EQ(rig.context.outstanding_requests(), 0u);
+  EXPECT_EQ(rig.context.outstanding_bindings(), 0u);
+}
+
+TEST(FaultInjectionTest, OutageOverlappingReStripedInFlightWork) {
+  // Device 1 is down from the start, so a burst re-stripes across devices
+  // 0/2/3 — then device 2 drops out mid-burst, while re-striped requests
+  // are still queued on it. The rejected work must surface as explicit
+  // error completions and retry to the survivors, never hang.
+  fabric::TargetConfig config;
+  config.device_count = 4;
+  Rig rig(config);
+  rig.initiator->set_retry_policy(fast_retry());
+
+  FaultPlan plan;
+  plan.outages.push_back({0, 1, 0, 60 * kMillisecond});
+  plan.outages.push_back({0, 2, 6 * kMillisecond, 60 * kMillisecond});
+  FaultInjector injector(rig.network, plan);
+  injector.add_target(*rig.target);
+  injector.arm();
+
+  // The whole burst lands at 5 ms, one millisecond before device 2 dies:
+  // far more work than a device drains in a millisecond, so its queue is
+  // guaranteed non-empty when the outage hits.
+  workload::Trace trace;
+  for (int i = 0; i < 60; ++i) {
+    trace.push_back({5 * kMillisecond, IoType::kRead,
+                     static_cast<std::uint64_t>(i) << 20, 65536});
+  }
+  rig.initiator->run_trace(trace, [&](const workload::TraceRecord&,
+                                      std::size_t) {
+    return rig.target->node_id();
+  });
+  rig.sim.run_until(common::kSecond);
+
+  EXPECT_TRUE(rig.initiator->all_complete());
+  EXPECT_EQ(rig.initiator->stats().reads_completed, 60u);
+  EXPECT_EQ(rig.initiator->stats().reads_failed, 0u);
+  EXPECT_GT(rig.target->stats().rerouted_requests, 0u);
+  EXPECT_GT(rig.initiator->stats().error_completions, 0u);
+  EXPECT_EQ(rig.target->device(1).stats().reads_completed, 0u);
+  EXPECT_EQ(rig.context.outstanding_requests(), 0u);
+  EXPECT_EQ(rig.context.outstanding_bindings(), 0u);
+}
+
 TEST(FaultInjectionTest, TransientErrorsAreRetriedUntilTheWindowCloses) {
   Rig rig;
   fabric::RetryPolicy policy = fast_retry();

@@ -1,0 +1,289 @@
+// The invariant checkers, two ways. First as pure functions: a healthy
+// snapshot stays silent and each deliberately corrupted field trips exactly
+// the law it breaks. Then end-to-end through scenario::build: a clean run
+// yields a clean report, verification never perturbs the run it watches,
+// and a fault plan that genuinely wedges the stack (probability-1 drops
+// with retries disabled) is caught by the liveness watchdog.
+#include "verify/invariants.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "scenario/build.hpp"
+#include "scenario/presets.hpp"
+#include "workload/micro.hpp"
+
+namespace src::verify {
+namespace {
+
+using common::kMillisecond;
+
+bool mentions(const std::vector<Violation>& out, const char* checker) {
+  return std::any_of(out.begin(), out.end(), [&](const Violation& v) {
+    return v.checker == checker;
+  });
+}
+
+// --- io-accounting -----------------------------------------------------
+
+InitiatorSnapshot healthy_initiator() {
+  InitiatorSnapshot s;
+  s.reads_issued = 10;
+  s.writes_issued = 5;
+  s.reads_completed = 7;
+  s.writes_completed = 3;
+  s.reads_failed = 1;
+  s.writes_failed = 1;
+  s.outstanding = 3;  // 15 issued - 12 terminal
+  return s;
+}
+
+TEST(IoAccounting, HealthySnapshotIsClean) {
+  std::vector<Violation> out;
+  check_io_accounting(healthy_initiator(), /*at_drain=*/false, kMillisecond,
+                      "initiator[0]", out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(IoAccounting, CompletionsBeyondIssuesFire) {
+  InitiatorSnapshot s = healthy_initiator();
+  s.reads_completed = 12;  // 13 terminal reads for 10 issued
+  std::vector<Violation> out;
+  check_io_accounting(s, false, kMillisecond, "initiator[0]", out);
+  EXPECT_TRUE(mentions(out, kIoAccountingChecker));
+}
+
+TEST(IoAccounting, OutstandingMismatchFires) {
+  InitiatorSnapshot s = healthy_initiator();
+  s.outstanding = 7;  // issued - terminal is 3
+  std::vector<Violation> out;
+  check_io_accounting(s, false, kMillisecond, "initiator[0]", out);
+  ASSERT_TRUE(mentions(out, kIoAccountingChecker));
+  EXPECT_NE(out.front().detail.find("outstanding"), std::string::npos);
+}
+
+TEST(IoAccounting, DrainDemandsTerminalStates) {
+  // 3 requests never reached a terminal state: legal mid-run, a violation
+  // once the run claims to have drained.
+  const InitiatorSnapshot s = healthy_initiator();
+  std::vector<Violation> mid_run;
+  check_io_accounting(s, /*at_drain=*/false, kMillisecond, "initiator[0]",
+                      mid_run);
+  EXPECT_TRUE(mid_run.empty());
+
+  std::vector<Violation> drained;
+  check_io_accounting(s, /*at_drain=*/true, kMillisecond, "initiator[0]",
+                      drained);
+  ASSERT_TRUE(mentions(drained, kIoAccountingChecker));
+  EXPECT_NE(drained.front().detail.find("drained"), std::string::npos);
+}
+
+// --- driver-conservation ------------------------------------------------
+
+DriverSnapshot healthy_driver() {
+  DriverSnapshot s;
+  s.accepted_reads = 20;
+  s.accepted_writes = 10;
+  s.submitted_reads = 18;
+  s.submitted_writes = 9;
+  s.completed_reads = 15;
+  s.completed_writes = 8;
+  s.in_flight_reads = 3;
+  s.in_flight_writes = 1;
+  s.in_flight = 4;
+  s.queued = 3;  // accepted 30 = submitted 27 + queued 3
+  return s;
+}
+
+TEST(DriverConservation, HealthySnapshotIsClean) {
+  std::vector<Violation> out;
+  check_driver_conservation(healthy_driver(), kMillisecond, "driver[0]", out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(DriverConservation, SubmittedFlowImbalanceFires) {
+  DriverSnapshot s = healthy_driver();
+  s.completed_reads = 11;  // submitted 18 != 11 completed + 3 in flight
+  std::vector<Violation> out;
+  check_driver_conservation(s, kMillisecond, "driver[0]", out);
+  EXPECT_TRUE(mentions(out, kDriverConservationChecker));
+}
+
+TEST(DriverConservation, AcceptedQueueImbalanceFires) {
+  DriverSnapshot s = healthy_driver();
+  s.queued = 9;  // accepted 30 != submitted 27 + queued 9
+  std::vector<Violation> out;
+  check_driver_conservation(s, kMillisecond, "driver[0]", out);
+  EXPECT_TRUE(mentions(out, kDriverConservationChecker));
+}
+
+TEST(DriverConservation, InFlightSplitMismatchFires) {
+  DriverSnapshot s = healthy_driver();
+  s.in_flight = 9;  // reads 3 + writes 1
+  std::vector<Violation> out;
+  check_driver_conservation(s, kMillisecond, "driver[0]", out);
+  EXPECT_TRUE(mentions(out, kDriverConservationChecker));
+}
+
+// --- ssq-tokens ---------------------------------------------------------
+
+SsqSnapshot healthy_ssq() {
+  SsqSnapshot s;
+  s.fetched_from_rsq = 6;
+  s.fetched_from_wsq = 4;
+  s.borrowed_fetches = 2;
+  s.tokens_granted = 9;
+  s.tokens_charged = 8;  // + 2 borrowed = 10 fetches
+  s.read_tokens = 1;     // live pools within granted - charged slack
+  s.write_tokens = 0;
+  return s;
+}
+
+TEST(SsqTokens, HealthySnapshotIsClean) {
+  std::vector<Violation> out;
+  check_ssq_tokens(healthy_ssq(), kMillisecond, "ssq[0]", out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(SsqTokens, UnaccountedFetchFires) {
+  SsqSnapshot s = healthy_ssq();
+  s.fetched_from_rsq = 9;  // a fetch that neither charged nor borrowed
+  std::vector<Violation> out;
+  check_ssq_tokens(s, kMillisecond, "ssq[0]", out);
+  EXPECT_TRUE(mentions(out, kSsqTokensChecker));
+}
+
+TEST(SsqTokens, ChargesBeyondGrantsFire) {
+  SsqSnapshot s = healthy_ssq();
+  s.tokens_granted = 5;  // 8 charged
+  std::vector<Violation> out;
+  check_ssq_tokens(s, kMillisecond, "ssq[0]", out);
+  EXPECT_TRUE(mentions(out, kSsqTokensChecker));
+}
+
+TEST(SsqTokens, LivePoolsBeyondSlackFire) {
+  SsqSnapshot s = healthy_ssq();
+  s.read_tokens = 5;  // slack is granted 9 - charged 8 = 1
+  std::vector<Violation> out;
+  check_ssq_tokens(s, kMillisecond, "ssq[0]", out);
+  EXPECT_TRUE(mentions(out, kSsqTokensChecker));
+}
+
+// --- retry-bound --------------------------------------------------------
+
+TEST(RetryBound, WithinBudgetIsClean) {
+  InitiatorSnapshot s;
+  s.retry_enabled = true;
+  s.max_retries = 4;
+  s.max_attempts = 4;
+  s.retries = 9;
+  std::vector<Violation> out;
+  check_retry_bound(s, kMillisecond, "initiator[0]", out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(RetryBound, BudgetOverrunFires) {
+  InitiatorSnapshot s;
+  s.retry_enabled = true;
+  s.max_retries = 4;
+  s.max_attempts = 5;
+  std::vector<Violation> out;
+  check_retry_bound(s, kMillisecond, "initiator[0]", out);
+  EXPECT_TRUE(mentions(out, kRetryBoundChecker));
+}
+
+TEST(RetryBound, DisabledPolicyMustNeverRetry) {
+  InitiatorSnapshot quiet;
+  std::vector<Violation> out;
+  check_retry_bound(quiet, kMillisecond, "initiator[0]", out);
+  EXPECT_TRUE(out.empty());
+
+  InitiatorSnapshot s;
+  s.retries = 1;
+  check_retry_bound(s, kMillisecond, "initiator[0]", out);
+  EXPECT_TRUE(mentions(out, kRetryBoundChecker));
+}
+
+// --- end to end through scenario::build --------------------------------
+
+/// A fig7-reduced-shaped run (DCQCN-only, so no TPM) cut down to a small
+/// micro workload: every request is issued inside the first ~10 ms and a
+/// healthy stack drains it well before the 60 ms cap.
+scenario::ScenarioSpec tiny_spec() {
+  scenario::ScenarioSpec spec = scenario::preset_spec("fig7-reduced");
+  spec.name = "verify-tiny";
+  spec.max_time = 60 * kMillisecond;
+  spec.workloads.clear();
+  scenario::WorkloadSpec workload;
+  workload.kind = "micro";
+  workload.micro.read = workload::StreamParams{100.0, 16.0 * 1024, 100};
+  workload.micro.write = workload::StreamParams{200.0, 16.0 * 1024, 40};
+  spec.workloads.push_back(workload);
+  spec.verify.enabled = true;
+  return spec;
+}
+
+TEST(RigVerifier, CleanRunYieldsCleanReport) {
+  const scenario::BuiltScenario built = scenario::build(tiny_spec());
+  ASSERT_NE(built.verify_report, nullptr);
+  const core::ExperimentResult result = core::run_experiment(built.config);
+
+  EXPECT_TRUE(result.completed);
+  EXPECT_TRUE(built.verify_report->clean())
+      << built.verify_report->violations.front().detail;
+  EXPECT_GT(built.verify_report->polls, 0u);
+  EXPECT_TRUE(built.verify_report->drain_checked);
+  EXPECT_FALSE(built.verify_report->truncated);
+}
+
+TEST(RigVerifier, ObservationIsPassive) {
+  // The verifier schedules its own poll events (so end_time and the event
+  // count legitimately move) but must never perturb the stack: every
+  // workload-facing counter is identical with verification on and off.
+  scenario::ScenarioSpec spec = tiny_spec();
+  const core::ExperimentResult watched =
+      core::run_experiment(scenario::build(spec).config);
+  spec.verify.enabled = false;
+  const core::ExperimentResult bare =
+      core::run_experiment(scenario::build(spec).config);
+
+  EXPECT_EQ(watched.reads_completed, bare.reads_completed);
+  EXPECT_EQ(watched.writes_completed, bare.writes_completed);
+  EXPECT_EQ(watched.reads_failed, bare.reads_failed);
+  EXPECT_EQ(watched.retries, bare.retries);
+  EXPECT_EQ(watched.timeouts, bare.timeouts);
+  EXPECT_EQ(watched.total_pauses, bare.total_pauses);
+  EXPECT_EQ(watched.total_cnps, bare.total_cnps);
+}
+
+TEST(RigVerifier, WedgedRunTripsTheLivenessWatchdog) {
+  // Probability-1 drops on the initiator's access link with retries
+  // disabled: every command issued inside the window is lost for good, so
+  // once the fault horizon (8 ms) and the grace period pass with work
+  // still outstanding, the watchdog must fire.
+  scenario::ScenarioSpec spec = tiny_spec();
+  spec.name = "verify-wedged";
+  spec.retry.enabled = false;
+  fault::PacketDropFault drop;
+  drop.node = 1;  // the lone initiator; node 0 is the hub switch
+  drop.port = 0;
+  drop.start = 0;
+  drop.end = 8 * kMillisecond;
+  drop.probability = 1.0;
+  spec.faults.packet_drops.push_back(drop);
+
+  const scenario::BuiltScenario built = scenario::build(spec);
+  const core::ExperimentResult result = core::run_experiment(built.config);
+
+  EXPECT_FALSE(result.completed);
+  ASSERT_NE(built.verify_report, nullptr);
+  ASSERT_FALSE(built.verify_report->clean());
+  EXPECT_TRUE(mentions(built.verify_report->violations, kLivenessChecker));
+}
+
+}  // namespace
+}  // namespace src::verify

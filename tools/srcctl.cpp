@@ -5,6 +5,7 @@
 // `--help` for its own flags.
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <functional>
 #include <iostream>
@@ -13,6 +14,9 @@
 #include <string>
 #include <vector>
 
+#include "chaos/campaign.hpp"
+#include "chaos/report.hpp"
+#include "chaos/shrink.hpp"
 #include "common/table.hpp"
 #include "core/presets.hpp"
 #include "core/standalone.hpp"
@@ -20,7 +24,9 @@
 #include "obs/obs.hpp"
 #include "scenario/build.hpp"
 #include "scenario/presets.hpp"
+#include "scenario/registry.hpp"
 #include "scenario/serialize.hpp"
+#include "verify/invariants.hpp"
 #include "workload/trace_io.hpp"
 
 using namespace src;
@@ -240,13 +246,18 @@ obs::Json run_report(const std::string& scenario_name,
 int cmd_run(const Args& args) {
   if (args.has("help") || args.positionals().empty()) {
     std::puts("srcctl run <scenario.json> [--model file.tpm]\n"
-              "           [--metrics-out report.json] [--dump]\n"
+              "           [--metrics-out report.json] [--dump] [--lenient]\n"
               "\n"
               "Runs a src-scenario-v1 manifest end to end and prints the\n"
               "measured throughput. --model supplies a pre-fitted TPM\n"
               "(overriding the manifest's src.tpm source); --metrics-out\n"
               "writes a src-run-v1 report; --dump echoes the parsed manifest\n"
-              "back as canonical JSON instead of running it.");
+              "back as canonical JSON instead of running it.\n"
+              "\n"
+              "Exit codes: 0 clean run, 1 runtime failure, 2 usage error,\n"
+              "3 health failure — a controller guardrail tripped, requests\n"
+              "exhausted their retries, or (with a `verify` block) a runtime\n"
+              "invariant checker fired. --lenient downgrades 3 back to 0.");
     return args.has("help") ? 0 : 2;
   }
   if (args.positionals().size() != 1) {
@@ -281,8 +292,11 @@ int cmd_run(const Args& args) {
   options.observatory = &observatory;
 
   core::ExperimentResult result;
+  std::shared_ptr<verify::Report> verify_report;
   try {
-    result = scenario::run(spec, options);
+    const scenario::BuiltScenario built = scenario::build(spec, options);
+    verify_report = built.verify_report;
+    result = core::run_experiment(built.config);
   } catch (const std::exception& err) {
     std::fprintf(stderr, "%s\n", err.what());
     return 1;
@@ -300,7 +314,32 @@ int cmd_run(const Args& args) {
     write_text_file(path, run_report(spec.name, result, observatory).dump(2));
     std::printf("metrics written to %s\n", path.c_str());
   }
-  return 0;
+
+  // Health gate (exit 3): controller guardrails, retry exhaustion, and any
+  // invariant-checker findings are hard failures unless --lenient.
+  const std::uint64_t guardrails = result.controller_stats.invalid_demand_events +
+                                   result.controller_stats.rejected_predictions +
+                                   result.controller_stats.watchdog_decays;
+  const std::uint64_t exhausted = result.reads_failed + result.writes_failed;
+  std::size_t violations = 0;
+  if (verify_report != nullptr) {
+    violations = verify_report->violations.size();
+    for (const verify::Violation& v : verify_report->violations) {
+      std::fprintf(stderr, "verify: [%s] t=%lluns %s\n", v.checker.c_str(),
+                   static_cast<unsigned long long>(v.when), v.detail.c_str());
+    }
+    if (verify_report->truncated) {
+      std::fprintf(stderr, "verify: violation list truncated at cap\n");
+    }
+  }
+  if (guardrails == 0 && exhausted == 0 && violations == 0) return 0;
+  std::fprintf(stderr,
+               "%s: unhealthy run: %llu guardrail trips, %llu requests "
+               "exhausted retries, %zu invariant violations%s\n",
+               spec.name.c_str(), static_cast<unsigned long long>(guardrails),
+               static_cast<unsigned long long>(exhausted), violations,
+               args.has("lenient") ? " (--lenient: ignoring)" : "");
+  return args.has("lenient") ? 0 : 3;
 }
 
 int cmd_scenarios(const Args& args) {
@@ -758,6 +797,252 @@ int cmd_metricscheck(const Args& args) {
   return run_file_checks(args, "metricscheck", check_run_json);
 }
 
+/// Write a scenario manifest (to_json_text already ends with a newline).
+void write_manifest(const std::string& path,
+                    const scenario::ScenarioSpec& spec) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    std::exit(1);
+  }
+  out << scenario::to_json_text(spec);
+}
+
+/// Resolve `--base` for chaos commands: a preset name, or (when it looks
+/// like a path) a manifest file. Defaults to the stock chaos base.
+bool load_chaos_base(const Args& args, scenario::ScenarioSpec& spec) {
+  const std::string base = args.get("base", "");
+  if (base.empty()) {
+    spec = chaos::default_base_spec();
+    return true;
+  }
+  try {
+    if (base.find('.') != std::string::npos ||
+        base.find('/') != std::string::npos) {
+      spec = scenario::load_scenario_file(base);
+    } else {
+      spec = scenario::preset_spec(base);
+    }
+  } catch (const std::exception& err) {
+    std::fprintf(stderr, "%s\n", err.what());
+    return false;
+  }
+  return true;
+}
+
+/// Prepare the model every chaos run shares: --model loads a file, else an
+/// SRC-enabled spec trains once via its tpm source. `tpm` may stay null
+/// (DCQCN-only base). Returns false on a load failure.
+bool chaos_tpm(const Args& args, const scenario::ScenarioSpec& spec,
+               core::Tpm& loaded, std::shared_ptr<const core::Tpm>& owned,
+               const core::Tpm*& tpm) {
+  tpm = nullptr;
+  try {
+    if (args.has("model")) {
+      loaded = core::Tpm::load_file(args.get("model", ""));
+      tpm = &loaded;
+      std::printf("loaded TPM from %s\n", args.get("model", "").c_str());
+    } else if (spec.src.enabled && spec.src.tpm.source != "none") {
+      std::printf("training TPM for %s (use --model file.tpm to skip)...\n",
+                  spec.ssd.name.c_str());
+      owned = scenario::tpm_registry().at(spec.src.tpm.source)(spec.src.tpm,
+                                                               spec.ssd);
+      tpm = owned.get();
+    }
+  } catch (const std::exception& err) {
+    std::fprintf(stderr, "%s\n", err.what());
+    return false;
+  }
+  return true;
+}
+
+int chaos_run(const Args& args) {
+  chaos::CampaignSpec campaign;
+  if (!load_chaos_base(args, campaign.base)) return 2;
+  campaign.trials = args.get_u64("trials", campaign.trials);
+  campaign.seed = args.get_u64("seed", campaign.seed);
+  campaign.sampler.link_downs = args.has("link-downs");
+  const std::size_t jobs = args.get_u64("jobs", 0);
+  const std::string out_dir = args.get("out-dir", "");
+  if (!out_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(out_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "cannot create %s: %s\n", out_dir.c_str(),
+                   ec.message().c_str());
+      return 1;
+    }
+  }
+
+  core::Tpm loaded;
+  std::shared_ptr<const core::Tpm> owned;
+  const core::Tpm* tpm = nullptr;
+  if (!chaos_tpm(args, campaign.base, loaded, owned, tpm)) return 1;
+
+  std::printf("chaos: %zu trials over '%s' (campaign seed %llu)...\n",
+              campaign.trials, campaign.base.name.c_str(),
+              static_cast<unsigned long long>(campaign.seed));
+  const chaos::CampaignResult result = chaos::run_campaign(campaign, jobs, tpm);
+
+  std::vector<chaos::FailureArtifacts> artifacts;
+  for (const chaos::TrialFailure& failure : result.failures) {
+    chaos::FailureArtifacts art;
+    const chaos::TrialOutcome& o = failure.outcome;
+    std::printf("trial %zu FAILED: %zu violation(s), first [%s], digest %s, "
+                "replay %s\n",
+                o.index, o.violations.size(),
+                o.violations.front().checker.c_str(),
+                chaos::digest_hex(o.digest).c_str(),
+                failure.deterministic ? "bit-identical" : "NONDETERMINISTIC");
+    if (!out_dir.empty()) {
+      art.reproducer_path =
+          out_dir + "/trial-" + std::to_string(o.index) + ".json";
+      write_manifest(art.reproducer_path, failure.spec);
+    }
+    if (!args.has("no-shrink") && failure.deterministic) {
+      chaos::ShrinkOptions shrink_options;
+      shrink_options.max_runs =
+          args.get_u64("shrink-budget", shrink_options.max_runs);
+      art.shrink = chaos::shrink(failure.spec, tpm, shrink_options);
+      art.shrunk = art.shrink.reproduced;
+      if (art.shrunk) {
+        std::printf("  shrunk [%s]: %zu -> %zu fault entries in %zu runs\n",
+                    art.shrink.checker.c_str(), art.shrink.faults_before,
+                    art.shrink.faults_after, art.shrink.runs);
+        if (!out_dir.empty()) {
+          art.minimized_path =
+              out_dir + "/trial-" + std::to_string(o.index) + "-min.json";
+          write_manifest(art.minimized_path, art.shrink.minimal);
+        }
+      }
+    }
+    artifacts.push_back(std::move(art));
+  }
+
+  if (!out_dir.empty()) {
+    const std::string report_path = out_dir + "/chaos-report.json";
+    write_text_file(report_path,
+                    chaos::campaign_report_json(campaign, result, artifacts)
+                        .dump(2));
+    std::printf("report written to %s\n", report_path.c_str());
+  }
+  std::printf("chaos: %zu/%zu trials clean, %zu failing\n",
+              result.clean_trials, result.trials, result.failures.size());
+  return result.failures.empty() ? 0 : 3;
+}
+
+int chaos_replay(const Args& args, const std::string& path) {
+  scenario::ScenarioSpec spec;
+  try {
+    spec = scenario::load_scenario_file(path);
+  } catch (const std::runtime_error& err) {
+    std::fprintf(stderr, "%s\n", err.what());
+    return 2;
+  }
+  spec.verify.enabled = true;
+
+  core::Tpm loaded;
+  std::shared_ptr<const core::Tpm> owned;
+  const core::Tpm* tpm = nullptr;
+  if (!chaos_tpm(args, spec, loaded, owned, tpm)) return 1;
+
+  const chaos::RunOutcome first = chaos::run_verified(spec, tpm);
+  const chaos::RunOutcome second = chaos::run_verified(spec, tpm);
+  for (const verify::Violation& v : first.report->violations) {
+    std::printf("verify: [%s] t=%lluns %s\n", v.checker.c_str(),
+                static_cast<unsigned long long>(v.when), v.detail.c_str());
+  }
+  const bool deterministic = first.digest == second.digest;
+  std::printf("%s: %zu violation(s), digest %s, replay %s -> %s\n",
+              spec.name.c_str(), first.report->violations.size(),
+              chaos::digest_hex(first.digest).c_str(),
+              chaos::digest_hex(second.digest).c_str(),
+              deterministic ? "bit-identical" : "NONDETERMINISTIC");
+  if (!deterministic) return 1;
+  return first.report->violations.empty() ? 0 : 3;
+}
+
+int chaos_shrink(const Args& args, const std::string& path) {
+  scenario::ScenarioSpec spec;
+  try {
+    spec = scenario::load_scenario_file(path);
+  } catch (const std::runtime_error& err) {
+    std::fprintf(stderr, "%s\n", err.what());
+    return 2;
+  }
+
+  core::Tpm loaded;
+  std::shared_ptr<const core::Tpm> owned;
+  const core::Tpm* tpm = nullptr;
+  if (!chaos_tpm(args, spec, loaded, owned, tpm)) return 1;
+
+  chaos::ShrinkOptions options;
+  options.max_runs = args.get_u64("budget", options.max_runs);
+  const chaos::ShrinkResult result = chaos::shrink(spec, tpm, options);
+  if (!result.reproduced) {
+    std::fprintf(stderr,
+                 "shrink: %s does not trip any invariant checker (ran with "
+                 "verification forced on)\n",
+                 path.c_str());
+    return 1;
+  }
+  const std::string out = args.get("out", "min.json");
+  write_manifest(out, result.minimal);
+  std::printf("shrunk [%s]: %zu -> %zu fault entries in %zu runs, digest %s "
+              "-> %s\n",
+              result.checker.c_str(), result.faults_before,
+              result.faults_after, result.runs,
+              chaos::digest_hex(result.digest).c_str(), out.c_str());
+  return 0;
+}
+
+int cmd_chaos(const Args& args) {
+  if (args.has("help") || args.positionals().empty()) {
+    std::puts(
+        "srcctl chaos run [--base preset|file.json] [--trials 200] [--seed 1]\n"
+        "                 [--jobs N] [--out-dir DIR] [--no-shrink]\n"
+        "                 [--shrink-budget 150] [--link-downs]\n"
+        "                 [--model file.tpm]\n"
+        "srcctl chaos replay <manifest.json> [--model file.tpm]\n"
+        "srcctl chaos shrink <failing.json> [-o|--out min.json] [--budget 150]\n"
+        "                 [--model file.tpm]\n"
+        "\n"
+        "run    samples a randomized fault plan per trial over the base\n"
+        "       scenario and runs every trial with all invariant checkers\n"
+        "       armed; failing trials are replayed (determinism proof),\n"
+        "       shrunk to minimal reproducers, and recorded in an\n"
+        "       src-chaos-v1 report under --out-dir.\n"
+        "replay runs a manifest twice with verification forced on and\n"
+        "       compares the outcome digests bit for bit.\n"
+        "shrink reduces a failing manifest to a minimal scenario that still\n"
+        "       trips the same checker, written as a runnable manifest.\n"
+        "\n"
+        "Exit codes: 0 clean, 1 failure (nondeterminism, nothing to shrink),\n"
+        "2 usage error, 3 invariant violations found.");
+    return args.has("help") ? 0 : 2;
+  }
+  const std::string& sub = args.positionals().front();
+  if (sub == "run") {
+    if (args.positionals().size() != 1) {
+      std::fprintf(stderr, "chaos run: unexpected argument '%s'\n",
+                   args.positionals()[1].c_str());
+      return 2;
+    }
+    return chaos_run(args);
+  }
+  if (sub == "replay" || sub == "shrink") {
+    if (args.positionals().size() != 2) {
+      std::fprintf(stderr, "chaos %s: expected exactly one manifest file\n",
+                   sub.c_str());
+      return 2;
+    }
+    return sub == "replay" ? chaos_replay(args, args.positionals()[1])
+                           : chaos_shrink(args, args.positionals()[1]);
+  }
+  std::fprintf(stderr, "chaos: unknown subcommand '%s'\n", sub.c_str());
+  return 2;
+}
+
 /// The subcommand table: name, one-line summary for the generated help,
 /// handler, and whether positional operands are accepted (commands that
 /// take only flags reject strays up front).
@@ -784,6 +1069,8 @@ const Command kCommands[] = {
     {"replay", "replay a CSV trace against a simulated SSD", cmd_replay},
     {"faults", "canned fault-injection scenario with timeout/retry",
      cmd_faults},
+    {"chaos", "randomized fault campaigns with invariant verification",
+     cmd_chaos, true},
     {"benchcheck", "validate BENCH_*.json files against src-bench-v1",
      cmd_benchcheck, true},
     {"metricscheck", "validate srcctl run reports against src-run-v1",

@@ -331,8 +331,9 @@ std::unordered_set<std::string> collect_unordered_names(
 
 bool in_r2_scope_dir(const std::string& rel_path) {
   static constexpr const char* kScopes[] = {
-      "src/sim/", "src/net/", "src/nvme/", "src/ssd/", "src/core/",
-      "src/fabric/", "src/runner/", "src/scenario/"};
+      "src/sim/",    "src/net/",    "src/nvme/",     "src/ssd/",
+      "src/core/",   "src/fabric/", "src/runner/",   "src/scenario/",
+      "src/chaos/",  "src/verify/"};
   for (const char* scope : kScopes) {
     if (rel_path.starts_with(scope)) return true;
   }
