@@ -1,0 +1,108 @@
+// Congestion-control coexistence grid: how does SRC's read-throughput
+// recovery hold up when the demanded rate comes from delay-based Swift
+// instead of DCQCN's ECN/CNP loop, and when storage flows share links with
+// Cubic-style bulk background traffic? Each mix runs SRC-off and SRC-on
+// over the same seeds; fairness is summarized with Jain's index — a result
+// the source paper (DCQCN-only) could not show.
+//
+// `--reduced` runs the first four mixes (the CI bench-smoke grid gated
+// against bench/baselines/BENCH_cc_coexistence.json via
+// `srcctl benchcheck --baseline`).
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/harness.hpp"
+#include "common/table.hpp"
+#include "core/presets.hpp"
+#include "runner/runner.hpp"
+#include "scenario/build.hpp"
+#include "scenario/presets.hpp"
+
+using namespace src;
+
+namespace {
+
+struct Mix {
+  const char* name;
+  std::vector<std::string> ccs;
+};
+
+/// Shrink a coexistence spec to CI smoke scale (~4x fewer requests).
+scenario::ScenarioSpec reduce(scenario::ScenarioSpec spec) {
+  spec.max_time = 60 * common::kMillisecond;
+  for (scenario::WorkloadSpec& workload : spec.workloads) {
+    workload.micro.read.count /= 4;
+    workload.micro.write.count /= 4;
+  }
+  return spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool reduced = argc > 1 && std::strcmp(argv[1], "--reduced") == 0;
+
+  // The incast-degree tail of the grid widens the storage side against one
+  // Cubic bulk initiator.
+  const std::vector<Mix> all_mixes = {
+      {"dcqcn-solo", {"dcqcn", "dcqcn"}},
+      {"swift-solo", {"swift", "swift"}},
+      {"dcqcn-vs-cubic", {"dcqcn", "cubic"}},
+      {"swift-vs-cubic", {"swift", "cubic"}},
+      {"swift-x2-vs-cubic", {"swift", "swift", "cubic"}},
+      {"swift-x4-vs-cubic", {"swift", "swift", "swift", "swift", "cubic"}},
+  };
+  const std::vector<Mix> mixes(all_mixes.begin(),
+                               all_mixes.begin() + (reduced ? 4 : 6));
+
+  std::printf("CC coexistence grid — SRC read recovery across mixed "
+              "congestion controls%s\n\n",
+              reduced ? " (reduced)" : "");
+  bench::Harness harness("cc_coexistence");
+  std::printf("training TPM...\n\n");
+  const core::Tpm tpm = core::train_default_tpm(ssd::ssd_a());
+
+  common::TextTable table({"Mix", "Mode", "read", "write", "Jain", "shares"});
+  for (const Mix& mix : mixes) {
+    std::vector<core::ExperimentResult> results;
+    {
+      auto scope = harness.scope(mix.name);
+      runner::SweepRunner pool;
+      results = pool.map(2, [&](std::size_t i) {
+        const bool use_src = i == 1;
+        scenario::ScenarioSpec spec =
+            scenario::coexistence_spec(mix.ccs, use_src);
+        if (reduced) spec = reduce(spec);
+        scenario::BuildOptions options;
+        options.tpm = use_src ? &tpm : nullptr;
+        return scenario::run(spec, options);
+      });
+      for (const auto& result : results) scope.events(result.events_executed);
+      scope.items(results.size());
+    }
+
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const core::ExperimentResult& r = results[i];
+      std::string shares;
+      for (const double share : r.read_shares()) {
+        if (!shares.empty()) shares += "/";
+        shares += common::fmt(share);
+      }
+      table.add_row({i == 0 ? mix.name : "", i == 0 ? "baseline" : "with SRC",
+                     common::fmt(r.read_rate.as_gbps()),
+                     common::fmt(r.write_rate.as_gbps()),
+                     common::fmt(r.read_fairness_index()), shares});
+    }
+  }
+  table.print(std::cout);
+
+  std::printf("\n(rates in Gbps; shares are per-initiator read fractions)\n");
+  std::printf("\nExpected: SRC recovers read throughput under every mix —\n"
+              "it consumes the demanded rate r regardless of whether a\n"
+              "delay signal (Swift) or ECN (DCQCN/Cubic) produced it — and\n"
+              "Jain's index stays high among same-CC storage initiators.\n");
+  return 0;
+}

@@ -3,7 +3,27 @@
 #include <memory>
 #include <stdexcept>
 
+#include "obs/fairness.hpp"
+
 namespace src::core {
+
+std::vector<double> ExperimentResult::read_shares() const {
+  std::vector<double> values;
+  values.reserve(per_initiator_read_rate.size());
+  for (const common::Rate r : per_initiator_read_rate) {
+    values.push_back(r.as_bytes_per_second());
+  }
+  return obs::throughput_shares(values);
+}
+
+double ExperimentResult::read_fairness_index() const {
+  std::vector<double> values;
+  values.reserve(per_initiator_read_rate.size());
+  for (const common::Rate r : per_initiator_read_rate) {
+    values.push_back(r.as_bytes_per_second());
+  }
+  return obs::jain_index(values);
+}
 
 ExperimentResult run_experiment(const ExperimentConfig& config) {
   if (!config.trace_for) {
@@ -22,6 +42,24 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   const net::StarTopology topo = net::make_star(
       network, config.initiator_count + config.target_count, config.link_rate,
       config.link_delay);
+
+  // Per-initiator congestion control (mixed-CC coexistence). Must happen
+  // before any flow exists: an initiator's choice governs its own uplink
+  // flows and the target-side flows pacing read data back to it.
+  if (!config.initiator_cc.empty()) {
+    if (config.initiator_cc.size() != config.initiator_count) {
+      throw std::invalid_argument(
+          "run_experiment: initiator_cc needs one entry per initiator");
+    }
+    for (std::size_t i = 0; i < config.initiator_count; ++i) {
+      const int algorithm = config.initiator_cc[i];
+      network.host(topo.hosts[i]).set_cc_algorithm(algorithm);
+      for (std::size_t t = 0; t < config.target_count; ++t) {
+        network.host(topo.hosts[config.initiator_count + t])
+            .set_peer_cc(topo.hosts[i], algorithm);
+      }
+    }
+  }
 
   fabric::FabricContext context;
 
@@ -130,8 +168,12 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   result.end_time = sim.now();
   result.events_executed = sim.executed_events();
 
+  result.per_initiator_read_rate.reserve(initiators.size());
   for (const auto& initiator : initiators) {
     result.read_timeline.merge(initiator->read_timeline());
+    common::ThroughputTimeline own = initiator->read_timeline();
+    own.extend_to(result.end_time);
+    result.per_initiator_read_rate.push_back(own.trimmed_mean_rate());
     result.reads_completed += initiator->stats().reads_completed;
     result.writes_completed += initiator->stats().writes_completed;
     result.reads_failed += initiator->stats().reads_failed;
@@ -174,6 +216,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   SRC_OBS_GAUGE("core.final_weight_ratio",
                 static_cast<double>(result.final_weight_ratio()));
   SRC_OBS_GAUGE("core.end_time_ms", common::to_milliseconds(result.end_time));
+  SRC_OBS_GAUGE("core.read_jain_index", result.read_fairness_index());
   return result;
 }
 

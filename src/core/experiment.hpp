@@ -47,6 +47,12 @@ struct ExperimentConfig {
   common::Rate link_rate = common::Rate::gbps(40.0);
   common::SimTime link_delay = common::kMicrosecond;
 
+  /// Per-initiator congestion-control override (net::CcAlgorithm values).
+  /// Empty: every host runs net.cc_algorithm. When set it must have
+  /// exactly initiator_count entries; initiator i's uplink flows *and* the
+  /// target-side flows carrying its read data run algorithm [i].
+  std::vector<int> initiator_cc;
+
   /// Per-initiator workload (index -> trace). Required.
   std::function<workload::Trace(std::size_t initiator_index)> trace_for;
 
@@ -85,6 +91,14 @@ struct ExperimentResult {
   common::Rate read_rate;   ///< trimmed mean, measured at initiators
   common::Rate write_rate;  ///< trimmed mean, measured at targets
   common::Rate aggregate_rate() const { return read_rate + write_rate; }
+
+  /// Per-initiator read throughput (trimmed mean over each initiator's own
+  /// timeline) — the allocation vector the fairness metrics summarize.
+  std::vector<common::Rate> per_initiator_read_rate;
+  /// Fractional read-throughput share of each initiator (sums to 1).
+  std::vector<double> read_shares() const;
+  /// Jain's fairness index over the per-initiator read throughputs.
+  double read_fairness_index() const;
 
   /// End-to-end latency distributions measured at the initiators.
   common::LatencyRecorder read_latency;

@@ -1,0 +1,41 @@
+// Constructs the concrete RateController for a CcAlgorithm from the
+// NetConfig's per-algorithm parameter blocks. Single point of truth for
+// algorithm -> controller wiring, shared by the host (per-flow pacing) and
+// anything else that needs a standalone controller (tests, benches).
+#pragma once
+
+#include <memory>
+
+#include "net/config.hpp"
+#include "net/cubic.hpp"
+#include "net/dcqcn.hpp"
+#include "net/dctcp.hpp"
+#include "net/rate_control.hpp"
+#include "net/swift.hpp"
+#include "sim/simulator.hpp"
+
+namespace src::net {
+
+inline std::unique_ptr<RateController> make_rate_controller(
+    int algorithm, sim::Simulator& sim, const NetConfig& config,
+    Rate line_rate) {
+  switch (static_cast<CcAlgorithm>(algorithm)) {
+    case CcAlgorithm::kDctcp: {
+      DctcpParams p;
+      p.g = config.dctcp.g;
+      p.observation_window = config.dctcp.observation_window;
+      p.additive_increase = config.dctcp.additive_increase;
+      p.min_rate = config.dctcp.min_rate;
+      return std::make_unique<DctcpController>(sim, p, line_rate);
+    }
+    case CcAlgorithm::kSwift:
+      return std::make_unique<SwiftController>(sim, config.swift, line_rate);
+    case CcAlgorithm::kCubic:
+      return std::make_unique<CubicController>(sim, config.cubic, line_rate);
+    case CcAlgorithm::kDcqcn:
+      break;
+  }
+  return std::make_unique<DcqcnController>(sim, config.dcqcn, line_rate);
+}
+
+}  // namespace src::net

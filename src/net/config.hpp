@@ -57,15 +57,50 @@ struct DctcpConfig {
   friend bool operator==(const DctcpConfig&, const DctcpConfig&) = default;
 };
 
+/// Delay-based Swift (Kumar et al., SIGCOMM'20), rate-adapted. The target
+/// delay sits between the unloaded fabric RTT (~10 us at the presets' link
+/// calibration) and the delay of an ECN-marking queue, so the controller
+/// reacts before the lossless fabric resorts to PFC.
+struct SwiftParams {
+  SimTime target_delay = 40 * common::kMicrosecond;
+  Rate additive_increase = Rate::mbps(20.0);  ///< per below-target RTT sample
+  double beta = 0.8;      ///< decrease gain on the relative delay overshoot
+  double max_mdf = 0.5;   ///< max fractional cut per decrease decision
+  Rate min_rate = Rate::mbps(50.0);
+  /// At most one multiplicative decrease per gap (~RTT), as Swift's
+  /// per-RTT decrease rule requires.
+  SimTime min_decrease_gap = 50 * common::kMicrosecond;
+
+  friend bool operator==(const SwiftParams&, const SwiftParams&) = default;
+};
+
+/// TCP-Cubic-style background bulk traffic (Ha et al., 2008), rate-adapted:
+/// ECN marks (the lossless fabric's loss surrogate) cut the rate by beta and
+/// start a cubic recovery epoch toward the pre-cut rate. The growth
+/// coefficient is scaled so the epoch plays out on the millisecond
+/// timescale of the experiments, matching the DCQCN timer scaling.
+struct CubicParams {
+  double beta = 0.7;            ///< multiplicative decrease factor
+  double c_mbps_per_s3 = 4.0e7; ///< cubic coefficient C (rate form)
+  SimTime growth_interval = 100 * common::kMicrosecond;  ///< curve sampling
+  SimTime post_cut_holdoff = 100 * common::kMicrosecond; ///< dedupe mark bursts
+  Rate min_rate = Rate::mbps(50.0);
+
+  friend bool operator==(const CubicParams&, const CubicParams&) = default;
+};
+
 struct NetConfig {
   std::uint32_t mtu_bytes = 1024;
   EcnConfig ecn;
   PfcConfig pfc;
   DcqcnParams dcqcn;
   DctcpConfig dctcp;
-  /// Which end-host congestion control the hosts run (default: the
-  /// paper's DCQCN; DCTCP is provided for the congestion-control ablation).
-  int cc_algorithm = 0;  ///< 0 = DCQCN, 1 = DCTCP (net::CcAlgorithm)
+  SwiftParams swift;
+  CubicParams cubic;
+  /// Which end-host congestion control the hosts run by default (the
+  /// paper's DCQCN); the others feed the cc ablation and coexistence
+  /// scenarios. Hosts can override per peer for mixed-CC runs.
+  int cc_algorithm = 0;  ///< net::CcAlgorithm: 0 DCQCN, 1 DCTCP, 2 Swift, 3 Cubic
 
   friend bool operator==(const NetConfig&, const NetConfig&) = default;
 };

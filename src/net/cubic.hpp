@@ -1,0 +1,114 @@
+// TCP-Cubic-style per-flow rate controller (Ha et al., Operating Systems
+// Review 2008), adapted to rate pacing — the background bulk-traffic model
+// for mixed-CC coexistence scenarios.
+//
+// Canonical Cubic is a loss-driven window algorithm; on a lossless RoCE
+// fabric the loss surrogate is the per-mark ECN echo. On feedback the rate
+// is cut to beta * rate and a recovery epoch starts: the rate then follows
+// the cubic curve W(t) = C (t - K)^3 + W_max sampled on a growth timer,
+// where W_max is the pre-cut rate and K = cbrt(W_max (1 - beta) / C) is
+// the time at which the curve returns to W_max — concave approach, plateau
+// around W_max, then convex probing beyond it up to line rate. A holdoff
+// after each cut dedupes the mark burst from a single congested window.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "net/config.hpp"
+#include "net/rate_control.hpp"
+#include "obs/obs.hpp"
+#include "sim/simulator.hpp"
+
+namespace src::net {
+
+class CubicController final : public RateController {
+ public:
+  CubicController(sim::Simulator& sim, const CubicParams& params, Rate line_rate)
+      : sim_(sim), params_(params), line_rate_(line_rate), current_(line_rate) {}
+
+  ~CubicController() override { sim_.cancel(growth_event_); }
+
+  CubicController(const CubicController&) = delete;
+  CubicController& operator=(const CubicController&) = delete;
+
+  void set_rate_change_handler(RateChangeFn fn) override {
+    on_rate_change_ = std::move(fn);
+  }
+
+  Rate current_rate() const override { return current_; }
+  bool wants_per_mark_echo() const override { return true; }
+  Rate w_max() const { return w_max_; }
+  std::uint64_t echoes_received() const { return echoes_; }
+
+  /// RateController: an echoed ECN mark — Cubic's loss surrogate.
+  void on_congestion_feedback() override {
+    ++echoes_;
+    SRC_OBS_COUNT("net.cubic.echoes");
+    if (in_holdoff()) return;
+    last_cut_ = sim_.now();
+    w_max_ = current_;
+    current_ = std::max(params_.min_rate, current_ * params_.beta);
+    // K in seconds: when the cubic curve regains W_max (rates in mbps).
+    const double shrink_mbps = (w_max_ - current_).as_mbps();
+    k_seconds_ = std::cbrt(std::max(0.0, shrink_mbps) / params_.c_mbps_per_s3);
+    epoch_start_ = sim_.now();
+    SRC_OBS_COUNT("net.cubic.rate_cuts");
+    SRC_OBS_TRACE_COUNTER("net", "cubic.rate_mbps", sim_.now(), trace_lane(),
+                          current_.as_mbps());
+    notify(true);
+    arm_growth();
+  }
+
+  void on_bytes_sent(std::uint64_t bytes) override { (void)bytes; }
+
+ private:
+  bool in_holdoff() const {
+    return had_cut_ && sim_.now() - last_cut_ < params_.post_cut_holdoff;
+  }
+
+  void arm_growth() {
+    had_cut_ = true;
+    sim_.cancel(growth_event_);
+    growth_event_ =
+        sim_.schedule_in(params_.growth_interval, [this] { growth_tick(); });
+  }
+
+  void growth_tick() {
+    growth_event_ = {};
+    const double t = common::to_seconds(sim_.now() - epoch_start_);
+    const double dt = t - k_seconds_;
+    const double target_mbps =
+        params_.c_mbps_per_s3 * dt * dt * dt + w_max_.as_mbps();
+    Rate target = Rate::mbps(std::clamp(target_mbps, params_.min_rate.as_mbps(),
+                                        line_rate_.as_mbps()));
+    if (target > current_) {
+      current_ = target;
+      SRC_OBS_COUNT("net.cubic.rate_increases");
+      SRC_OBS_TRACE_COUNTER("net", "cubic.rate_mbps", sim_.now(), trace_lane(),
+                            current_.as_mbps());
+      notify(false);
+    }
+    if (current_ < line_rate_) arm_growth();
+  }
+
+  void notify(bool decrease) {
+    if (on_rate_change_) on_rate_change_(current_, decrease);
+  }
+
+  sim::Simulator& sim_;
+  CubicParams params_;
+  Rate line_rate_;
+  Rate current_;
+  Rate w_max_;
+  double k_seconds_ = 0.0;
+  common::SimTime epoch_start_ = 0;
+  common::SimTime last_cut_ = 0;
+  bool had_cut_ = false;
+  std::uint64_t echoes_ = 0;
+  sim::EventId growth_event_;
+  RateChangeFn on_rate_change_;
+};
+
+}  // namespace src::net

@@ -39,6 +39,7 @@ class DctcpController final : public RateController {
   }
 
   common::Rate current_rate() const override { return current_; }
+  bool wants_per_mark_echo() const override { return true; }
   double alpha() const { return alpha_; }
   std::uint64_t echoes_received() const { return echoes_; }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "net/cc_factory.hpp"
 #include "obs/obs.hpp"
 
 namespace src::net {
@@ -13,16 +14,8 @@ Host::Flow& Host::flow_to(NodeId dst, std::uint32_t channel) {
   Flow flow;
   flow.id = ++*id_source_;
   flow.dst = dst;
-  if (config_.cc_algorithm == static_cast<int>(CcAlgorithm::kDctcp)) {
-    DctcpParams params;
-    params.g = config_.dctcp.g;
-    params.observation_window = config_.dctcp.observation_window;
-    params.additive_increase = config_.dctcp.additive_increase;
-    params.min_rate = config_.dctcp.min_rate;
-    flow.cc = std::make_unique<DctcpController>(sim_, params, port(0).rate());
-  } else {
-    flow.cc = std::make_unique<DcqcnController>(sim_, config_.dcqcn, port(0).rate());
-  }
+  flow.cc =
+      make_rate_controller(cc_algorithm_for(dst), sim_, config_, port(0).rate());
   // Tracer lane = network-global flow id: deterministic, unique per flow.
   flow.cc->set_trace_lane(static_cast<std::uint32_t>(flow.id));
   flow.cc->set_rate_change_handler([this, dst](Rate rate, bool decrease) {
@@ -79,6 +72,14 @@ void Host::pump() {
     packet.message_id = message.id;
     packet.bytes = chunk;
     packet.tag = message.tag;
+    // Delay-based CC: stamp the send time and ask the receiver for a
+    // timestamp echo. Other controllers leave both fields zeroed, keeping
+    // their wire traffic identical to before.
+    if (chosen->cc->wants_delay_ack()) {
+      packet.sent_at = sim_.now();
+      packet.wants_delay_ack = true;
+    }
+    packet.echo_per_mark = chosen->cc->wants_per_mark_echo();
     message.remaining -= chunk;
     chosen->queued_bytes -= chunk;
     if (message.remaining == 0) {
@@ -129,6 +130,14 @@ void Host::receive(Packet packet, std::int32_t /*ingress_port*/) {
       }
       return;
     }
+    case PacketKind::kDelayAck: {
+      ++stats_.delay_acks_received;
+      SRC_OBS_COUNT("net.delay_acks_delivered");
+      if (auto it = flows_by_id_.find(packet.flow_id); it != flows_by_id_.end()) {
+        it->second->cc->on_delay_sample(sim_.now() - packet.sent_at);
+      }
+      return;
+    }
     case PacketKind::kData:
       break;
   }
@@ -139,6 +148,7 @@ void Host::receive(Packet packet, std::int32_t /*ingress_port*/) {
     SRC_OBS_COUNT("net.ecn_marked_received");
     send_cnp(packet);
   }
+  if (packet.wants_delay_ack) send_delay_ack(packet);
   if (on_data_) on_data_(packet.src, packet.bytes, packet.tag);
 
   auto& accumulated = rx_message_bytes_[packet.message_id];
@@ -152,9 +162,11 @@ void Host::receive(Packet packet, std::int32_t /*ingress_port*/) {
 }
 
 void Host::send_cnp(const Packet& data) {
-  // DCQCN NICs pace CNPs to one per interval per flow; DCTCP receivers
-  // echo every mark (the per-packet ECN-echo of its ACK stream).
-  if (config_.cc_algorithm != static_cast<int>(CcAlgorithm::kDctcp)) {
+  // DCQCN NICs pace CNPs to one per interval per flow; DCTCP and Cubic
+  // senders request a per-mark echo (the per-packet ECN-echo of an ACK
+  // stream), carried as a flag on each data packet so mixed-CC receivers
+  // apply the right policy per flow.
+  if (!data.echo_per_mark) {
     SimTime& last = last_cnp_[data.flow_id];
     if (last != 0 && sim_.now() - last < config_.dcqcn.cnp_interval) return;
     last = sim_.now();
@@ -168,6 +180,18 @@ void Host::send_cnp(const Packet& data) {
   cnp.bytes = 0;
   ++stats_.cnps_sent;
   port(0).enqueue(cnp);
+}
+
+void Host::send_delay_ack(const Packet& data) {
+  Packet ack;
+  ack.kind = PacketKind::kDelayAck;
+  ack.src = id();
+  ack.dst = data.src;
+  ack.flow_id = data.flow_id;
+  ack.bytes = 0;
+  ack.sent_at = data.sent_at;  // echoed so the sender computes now - sent_at
+  ++stats_.delay_acks_sent;
+  port(0).enqueue(ack);
 }
 
 std::uint64_t Host::total_txq_bytes() const {

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <unordered_map>
 
@@ -31,6 +32,8 @@ struct HostStats {
   std::uint64_t cnps_sent = 0;
   std::uint64_t cnps_received = 0;
   std::uint64_t ecn_marked_received = 0;
+  std::uint64_t delay_acks_sent = 0;
+  std::uint64_t delay_acks_received = 0;
 };
 
 class Host final : public Node {
@@ -70,6 +73,19 @@ class Host final : public Node {
 
   const HostStats& stats() const { return stats_; }
 
+  /// Override the default congestion control (NetConfig::cc_algorithm) for
+  /// every flow this host originates. Must be called before the first
+  /// message to a destination creates its flow.
+  void set_cc_algorithm(int algorithm) { config_.cc_algorithm = algorithm; }
+  /// Override the congestion control for flows to one specific peer —
+  /// mixed-CC coexistence: a target paces its read-data flow back to an
+  /// initiator with the *initiator's* chosen algorithm.
+  void set_peer_cc(NodeId dst, int algorithm) { peer_cc_[dst] = algorithm; }
+  int cc_algorithm_for(NodeId dst) const {
+    const auto it = peer_cc_.find(dst);
+    return it == peer_cc_.end() ? config_.cc_algorithm : it->second;
+  }
+
   /// Re-enter the send loop (wired to the uplink's on_tx_done by the
   /// Network builder).
   void kick() { pump(); }
@@ -97,7 +113,7 @@ class Host final : public Node {
     std::deque<Message> messages;
     std::uint64_t queued_bytes = 0;
     SimTime next_allowed = 0;
-    std::unique_ptr<RateController> cc;  ///< DCQCN or DCTCP, per NetConfig
+    std::unique_ptr<RateController> cc;  ///< per NetConfig / peer override
   };
 
   Flow& flow_to(NodeId dst, std::uint32_t channel);
@@ -108,9 +124,11 @@ class Host final : public Node {
     return (static_cast<std::uint64_t>(channel) << 32) | dst;
   }
   void send_cnp(const Packet& data);
+  void send_delay_ack(const Packet& data);
 
   NetConfig config_;
   std::uint64_t* id_source_;
+  std::map<NodeId, int> peer_cc_;  ///< per-destination CC override (find-only)
   std::unordered_map<std::uint64_t, Flow> flows_;     ///< by (dst, channel) key
   std::unordered_map<std::uint64_t, Flow*> flows_by_id_;
   std::vector<std::uint64_t> flow_order_;             ///< RR arbitration order

@@ -1,9 +1,13 @@
 // Packet model for the RoCE-like lossless network. Data packets carry
 // message fragments between hosts; CNPs are DCQCN congestion notification
-// packets; PFC pause/resume frames are link-local control signals.
+// packets; delay acks are the zero-byte timestamp echoes delay-based
+// congestion control (Swift) samples RTT from; PFC pause/resume frames are
+// link-local control signals.
 #pragma once
 
 #include <cstdint>
+
+#include "common/types.hpp"
 
 namespace src::net {
 
@@ -12,9 +16,10 @@ inline constexpr NodeId kInvalidNode = ~0u;
 
 enum class PacketKind : std::uint8_t {
   kData = 0,
-  kCnp = 1,     ///< DCQCN congestion notification (routed back to sender)
-  kPause = 2,   ///< PFC pause frame (link-local)
-  kResume = 3,  ///< PFC resume frame (link-local)
+  kCnp = 1,      ///< DCQCN congestion notification (routed back to sender)
+  kPause = 2,    ///< PFC pause frame (link-local)
+  kResume = 3,   ///< PFC resume frame (link-local)
+  kDelayAck = 4, ///< timestamp echo for delay-based CC (routed to sender)
 };
 
 struct Packet {
@@ -27,6 +32,16 @@ struct Packet {
   bool ecn_marked = false;
   bool last_of_message = false;
   std::uint32_t tag = 0;            ///< application tag (fabric opcodes)
+
+  /// Send timestamp, stamped only when the flow's controller requests delay
+  /// acks (`wants_delay_ack`); the receiver echoes it back in a kDelayAck so
+  /// the sender can compute the RTT. Zero on all other traffic, so
+  /// ECN/CNP-only congestion controls are byte-identical to before.
+  common::SimTime sent_at = 0;
+  bool wants_delay_ack = false;
+  /// Receiver CNP policy for this data packet: echo every ECN mark
+  /// (DCTCP/Cubic ACK-echo style) instead of pacing on the DCQCN interval.
+  bool echo_per_mark = false;
 
   /// Transient: ingress port index while buffered inside a switch (used for
   /// PFC per-ingress accounting). Not meaningful on the wire.

@@ -1,7 +1,9 @@
-// Abstract sender-side per-flow rate controller. Two implementations ship:
-// DCQCN (the paper's choice, dcqcn.hpp) and a rate-based DCTCP
-// approximation (dctcp.hpp) for comparing SRC under a different congestion
-// control, as the paper's related-work discussion invites.
+// Abstract sender-side per-flow rate controller. Four implementations ship:
+// DCQCN (the paper's choice, dcqcn.hpp), a rate-based DCTCP approximation
+// (dctcp.hpp), delay-based Swift (swift.hpp), and a TCP-Cubic-style bulk
+// traffic model (cubic.hpp) — the last three for comparing SRC under
+// different congestion controls, as the paper's related-work discussion
+// invites.
 #pragma once
 
 #include <functional>
@@ -28,6 +30,21 @@ class RateController {
   /// The sender transmitted `bytes` of this flow.
   virtual void on_bytes_sent(std::uint64_t bytes) = 0;
 
+  /// A round-trip delay sample for this flow (data send -> delay-ack
+  /// receive). Only meaningful for delay-based controllers; the default
+  /// ignores it.
+  virtual void on_delay_sample(common::SimTime rtt) { (void)rtt; }
+
+  /// True if the sender should request per-packet delay acks so that
+  /// on_delay_sample() gets fed. Controllers that only use ECN feedback
+  /// leave this false and the wire stays free of ack traffic.
+  virtual bool wants_delay_ack() const { return false; }
+
+  /// True if the receiver should echo *every* ECN mark back (DCTCP-style
+  /// ACK echo, also used by Cubic's loss surrogate) instead of pacing
+  /// CNPs on the DCQCN interval.
+  virtual bool wants_per_mark_echo() const { return false; }
+
   /// Deterministic lane id used by the event tracer to separate per-flow
   /// rate series (the host assigns the flow id). Purely observational.
   void set_trace_lane(std::uint32_t lane) { trace_lane_ = lane; }
@@ -38,7 +55,8 @@ class RateController {
 };
 
 /// Which congestion control algorithm hosts run, and how receivers echo
-/// ECN marks (DCQCN paces CNPs; DCTCP echoes every mark).
-enum class CcAlgorithm { kDcqcn, kDctcp };
+/// ECN marks (DCQCN paces CNPs; DCTCP and Cubic echo every mark; Swift
+/// ignores marks and samples delay via per-packet delay acks).
+enum class CcAlgorithm { kDcqcn, kDctcp, kSwift, kCubic };
 
 }  // namespace src::net

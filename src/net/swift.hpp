@@ -1,0 +1,105 @@
+// Delay-based Swift per-flow sender-side rate controller (Kumar et al.,
+// SIGCOMM'20), adapted to this simulator's rate-paced flows.
+//
+// Swift's congestion signal is the measured round-trip delay, not ECN: the
+// sender stamps each data packet, the receiver answers with a zero-byte
+// delay ack, and every (send, ack) pair yields one RTT sample. Samples at
+// or below the target delay grow the rate additively toward line rate;
+// samples above it cut the rate multiplicatively, scaled by the relative
+// overshoot (rtt - target) / rtt, with the cut bounded by max_mdf and
+// gated to at most one per min_decrease_gap (Swift's once-per-RTT rule).
+//
+// Congestion feedback (a CNP reaching a Swift flow, e.g. from a mixed-CC
+// receiver) is treated as a bounded decrease through the same gate, so the
+// controller stays sane in coexistence scenarios.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "net/config.hpp"
+#include "net/rate_control.hpp"
+#include "obs/obs.hpp"
+#include "sim/simulator.hpp"
+
+namespace src::net {
+
+class SwiftController final : public RateController {
+ public:
+  SwiftController(sim::Simulator& sim, const SwiftParams& params, Rate line_rate)
+      : sim_(sim), params_(params), line_rate_(line_rate), current_(line_rate) {}
+
+  SwiftController(const SwiftController&) = delete;
+  SwiftController& operator=(const SwiftController&) = delete;
+
+  void set_rate_change_handler(RateChangeFn fn) override {
+    on_rate_change_ = std::move(fn);
+  }
+
+  Rate current_rate() const override { return current_; }
+  bool wants_delay_ack() const override { return true; }
+  std::uint64_t delay_samples() const { return samples_; }
+  common::SimTime last_rtt() const { return last_rtt_; }
+
+  /// RateController: one RTT sample from a delay ack.
+  void on_delay_sample(common::SimTime rtt) override {
+    if (rtt < 0) rtt = 0;
+    ++samples_;
+    last_rtt_ = rtt;
+    SRC_OBS_COUNT("net.swift.delay_samples");
+    if (rtt <= params_.target_delay) {
+      if (current_ < line_rate_) {
+        current_ = std::min(line_rate_, current_ + params_.additive_increase);
+        SRC_OBS_COUNT("net.swift.rate_increases");
+        SRC_OBS_TRACE_COUNTER("net", "swift.rate_mbps", sim_.now(),
+                              trace_lane(), current_.as_mbps());
+        notify(false);
+      }
+      return;
+    }
+    // Overshoot: multiplicative decrease scaled by how far past the target
+    // the sample is, bounded by max_mdf and the once-per-gap rule.
+    const double overshoot = static_cast<double>(rtt - params_.target_delay) /
+                             static_cast<double>(rtt);
+    decrease(std::max(1.0 - params_.max_mdf, 1.0 - params_.beta * overshoot));
+  }
+
+  /// RateController: ECN/CNP feedback, possible under mixed-CC receivers.
+  /// Swift proper is delay-driven; treat it as a half-strength bounded cut.
+  void on_congestion_feedback() override {
+    decrease(1.0 - 0.5 * params_.max_mdf);
+  }
+
+  void on_bytes_sent(std::uint64_t bytes) override { (void)bytes; }
+
+ private:
+  void decrease(double factor) {
+    if (sim_.now() - last_decrease_ < params_.min_decrease_gap &&
+        decreased_once_) {
+      return;
+    }
+    decreased_once_ = true;
+    last_decrease_ = sim_.now();
+    current_ = std::max(params_.min_rate, current_ * factor);
+    SRC_OBS_COUNT("net.swift.rate_cuts");
+    SRC_OBS_TRACE_COUNTER("net", "swift.rate_mbps", sim_.now(), trace_lane(),
+                          current_.as_mbps());
+    notify(true);
+  }
+
+  void notify(bool decrease) {
+    if (on_rate_change_) on_rate_change_(current_, decrease);
+  }
+
+  sim::Simulator& sim_;
+  SwiftParams params_;
+  Rate line_rate_;
+  Rate current_;
+  common::SimTime last_rtt_ = 0;
+  common::SimTime last_decrease_ = 0;
+  bool decreased_once_ = false;
+  std::uint64_t samples_ = 0;
+  RateChangeFn on_rate_change_;
+};
+
+}  // namespace src::net

@@ -28,6 +28,7 @@ void Switch::receive(Packet packet, std::int32_t ingress_port) {
       return;
     case PacketKind::kData:
     case PacketKind::kCnp:
+    case PacketKind::kDelayAck:
       break;
   }
 

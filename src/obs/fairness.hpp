@@ -1,0 +1,46 @@
+// Fairness metrics over per-flow throughput allocations.
+//
+// Jain's fairness index (Jain, Chiu, Hawe 1984):
+//   J(x) = (sum x_i)^2 / (n * sum x_i^2),  x_i >= 0
+// J = 1 when every flow gets an equal share; J = 1/n when one flow takes
+// everything. Pure functions of the input vector — no global state, so
+// computing them is passive by construction.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace src::obs {
+
+/// Jain's fairness index of `shares`. Degenerate inputs (empty, or every
+/// share zero) are treated as perfectly fair: nothing is being divided, so
+/// nobody is being short-changed.
+inline double jain_index(const std::vector<double>& shares) {
+  if (shares.empty()) return 1.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const double x : shares) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq <= 0.0) return 1.0;
+  return sum * sum / (static_cast<double>(shares.size()) * sum_sq);
+}
+
+/// Normalize `values` to fractional shares of their total. All-zero input
+/// yields equal shares (consistent with jain_index's degenerate case).
+inline std::vector<double> throughput_shares(const std::vector<double>& values) {
+  std::vector<double> shares(values.size(), 0.0);
+  if (values.empty()) return shares;
+  double total = 0.0;
+  for (const double v : values) total += v;
+  if (total <= 0.0) {
+    const double equal = 1.0 / static_cast<double>(values.size());
+    for (double& s : shares) s = equal;
+    return shares;
+  }
+  for (std::size_t i = 0; i < values.size(); ++i) shares[i] = values[i] / total;
+  return shares;
+}
+
+}  // namespace src::obs

@@ -65,6 +65,26 @@ BuiltScenario build(const ScenarioSpec& spec, const BuildOptions& options) {
         w, base_seed + w.seed_stride * static_cast<std::uint64_t>(index));
   };
 
+  if (!spec.initiators.empty() && spec.initiators.size() != 1 &&
+      spec.initiators.size() != spec.topology.initiators) {
+    throw std::invalid_argument(
+        "scenario '" + spec.name + "': " +
+        std::to_string(spec.initiators.size()) + " initiator entries for " +
+        std::to_string(spec.topology.initiators) +
+        " initiators (need 1 shared entry or one per initiator)");
+  }
+  if (!spec.initiators.empty()) {
+    config.initiator_cc.reserve(spec.topology.initiators);
+    for (std::size_t i = 0; i < spec.topology.initiators; ++i) {
+      const InitiatorSpec& ini =
+          spec.initiators.size() == 1 ? spec.initiators.front()
+                                      : spec.initiators[i];
+      config.initiator_cc.push_back(
+          ini.cc.empty() ? spec.net.cc_algorithm
+                         : cc_registry().at(ini.cc).algorithm);
+    }
+  }
+
   if (!spec.faults.empty()) {
     const fault::FaultPlan plan = spec.faults;
     config.rig_hook = [plan](const core::ExperimentRig& rig) {

@@ -132,6 +132,49 @@ ScenarioSpec incast_spec(std::size_t targets, std::size_t initiators,
   return spec;
 }
 
+ScenarioSpec coexistence_spec(const std::vector<std::string>& ccs,
+                              bool use_src, std::uint64_t seed) {
+  ScenarioSpec spec;
+  spec.name = "coexist";
+  std::string roster;
+  for (const std::string& cc : ccs) {
+    spec.name += "-" + cc;
+    if (!roster.empty()) roster += " vs ";
+    roster += cc;
+  }
+  spec.description = "mixed-CC coexistence: " + roster +
+                     (use_src ? ", SRC on" : ", SRC off");
+  spec.topology.initiators = ccs.size();
+  spec.topology.targets = 2;
+  spec.topology.devices_per_target = 1;
+  spec.topology.link_rate = Rate::gbps(4.0);
+  spec.max_time = 120 * common::kMillisecond;
+  spec.seed = seed;
+  if (use_src) spec.src = src_on();
+
+  // One workload and one cc override per initiator: "cubic" initiators run
+  // the bulk background stream (256 KB reads oversubscribing the 4 Gbps
+  // link); everything else runs the Table IV storage calibration.
+  for (const std::string& cc : ccs) {
+    InitiatorSpec ini;
+    ini.cc = cc;
+    spec.initiators.push_back(std::move(ini));
+
+    WorkloadSpec workload;
+    workload.kind = "micro";
+    if (cc == "cubic") {
+      workload.micro.read = workload::StreamParams{300.0, 256.0 * 1024, 380};
+      workload.micro.write = workload::StreamParams{2000.0, 64.0 * 1024, 50};
+    } else {
+      workload.micro.read = workload::StreamParams{32.0, 44.0 * 1024, 1500};
+      workload.micro.write = workload::StreamParams{70.0, 23.0 * 1024, 550};
+    }
+    workload.seed_stride = 17;
+    spec.workloads.push_back(std::move(workload));
+  }
+  return spec;
+}
+
 namespace {
 
 /// Reduced (~10x fewer requests) variants matching tests/regression: same
@@ -192,6 +235,26 @@ Registry<ScenarioPreset>& preset_registry() {
                            [] { return fig7_reduced_spec(/*use_src=*/true); }});
     r.add("table4-reduced", {"reduced Table IV in-cast (regression/smoke scale)",
                              [] { return table4_reduced_spec(); }});
+    r.add("swift-only", {"two Swift storage initiators, SRC on", [] {
+            ScenarioSpec spec = coexistence_spec({"swift", "swift"},
+                                                 /*use_src=*/true);
+            spec.name = "swift-only";
+            return spec;
+          }});
+    r.add("dcqcn-vs-cubic",
+          {"DCQCN storage vs Cubic bulk background, SRC on", [] {
+             ScenarioSpec spec = coexistence_spec({"dcqcn", "cubic"},
+                                                  /*use_src=*/true);
+             spec.name = "dcqcn-vs-cubic";
+             return spec;
+           }});
+    r.add("swift-vs-cubic",
+          {"Swift storage vs Cubic bulk background, SRC on", [] {
+             ScenarioSpec spec = coexistence_spec({"swift", "cubic"},
+                                                  /*use_src=*/true);
+             spec.name = "swift-vs-cubic";
+             return spec;
+           }});
     return r;
   }();
   return registry;

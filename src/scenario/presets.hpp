@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "core/presets.hpp"
 #include "scenario/registry.hpp"
@@ -27,6 +28,14 @@ ScenarioSpec intensity_spec(core::Intensity level, bool use_src,
 ScenarioSpec incast_spec(std::size_t targets, std::size_t initiators,
                          bool use_src, std::uint64_t seed = 5);
 
+/// Mixed-CC coexistence: one initiator per cc-registry name in `ccs`, two
+/// shared targets. "cubic" initiators run a bulk background stream (large
+/// reads oversubscribing the link); every other cc runs the storage
+/// workload (Table IV calibration). Per-initiator `cc` overrides are set
+/// from `ccs`, so target-paced read data obeys each initiator's choice.
+ScenarioSpec coexistence_spec(const std::vector<std::string>& ccs,
+                              bool use_src, std::uint64_t seed = 23);
+
 /// One registered preset: a description line for listings plus a builder.
 struct ScenarioPreset {
   std::string description;
@@ -34,9 +43,10 @@ struct ScenarioPreset {
 };
 
 /// Preset registry. Keys: "fig7", "fig9", "fig10-light", "fig10-moderate",
-/// "fig10-heavy", "table4", and the ~10x-smaller "-reduced" variants the
+/// "fig10-heavy", "table4", the ~10x-smaller "-reduced" variants the
 /// regression suite and CI smoke runs use ("fig7-reduced", "fig9-reduced",
-/// "table4-reduced").
+/// "table4-reduced"), and the mixed-CC coexistence family ("swift-only",
+/// "dcqcn-vs-cubic", "swift-vs-cubic").
 Registry<ScenarioPreset>& preset_registry();
 
 /// Convenience: preset_registry().at(name).make() (throws on unknown name,

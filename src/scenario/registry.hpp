@@ -21,7 +21,10 @@
 
 #include "core/tpm.hpp"
 #include "fabric/target.hpp"
+#include "net/config.hpp"
+#include "net/rate_control.hpp"
 #include "scenario/spec.hpp"
+#include "sim/simulator.hpp"
 #include "workload/trace.hpp"
 
 namespace src::scenario {
@@ -91,8 +94,19 @@ class Registry {
 /// resolved from SrcSpec::enabled at build time).
 Registry<std::optional<fabric::DriverMode>>& driver_registry();
 
-/// Congestion-controller names -> net::NetConfig::cc_algorithm values.
-Registry<int>& cc_registry();
+/// A registered congestion controller: the NetConfig::cc_algorithm value a
+/// manifest name resolves to, plus a factory building a standalone
+/// per-flow controller from a NetConfig's parameter blocks (the typed end
+/// of the seam — hosts and tests construct controllers through it).
+struct CcEntry {
+  int algorithm = 0;
+  std::function<std::unique_ptr<net::RateController>(
+      sim::Simulator&, const net::NetConfig&, common::Rate line_rate)>
+      make;
+};
+
+/// Congestion-controller names -> typed factory entries.
+Registry<CcEntry>& cc_registry();
 /// Reverse lookup for serialization; throws on an unregistered value.
 std::string cc_name(int cc_algorithm);
 

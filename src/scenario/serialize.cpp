@@ -274,6 +274,21 @@ Json net_to_json(const net::NetConfig& n) {
   put_rate(dctcp, "additive_increase", n.dctcp.additive_increase);
   put_rate(dctcp, "min_rate", n.dctcp.min_rate);
   out.set("dctcp", std::move(dctcp));
+  Json swift{Json::Object{}};
+  put_time(swift, "target_delay", n.swift.target_delay);
+  put_rate(swift, "additive_increase", n.swift.additive_increase);
+  swift.set("beta", Json{n.swift.beta});
+  swift.set("max_mdf", Json{n.swift.max_mdf});
+  put_rate(swift, "min_rate", n.swift.min_rate);
+  put_time(swift, "min_decrease_gap", n.swift.min_decrease_gap);
+  out.set("swift", std::move(swift));
+  Json cubic{Json::Object{}};
+  cubic.set("beta", Json{n.cubic.beta});
+  cubic.set("c_mbps_per_s3", Json{n.cubic.c_mbps_per_s3});
+  put_time(cubic, "growth_interval", n.cubic.growth_interval);
+  put_time(cubic, "post_cut_holdoff", n.cubic.post_cut_holdoff);
+  put_rate(cubic, "min_rate", n.cubic.min_rate);
+  out.set("cubic", std::move(cubic));
   return out;
 }
 
@@ -513,7 +528,7 @@ void parse_net(ObjectReader& r, net::NetConfig& n) {
   const std::string cc =
       r.string("congestion_control", cc_name(n.cc_algorithm));
   try {
-    n.cc_algorithm = cc_registry().at(cc);
+    n.cc_algorithm = cc_registry().at(cc).algorithm;
   } catch (const std::invalid_argument& err) {
     r.fail("congestion_control", err.what());
   }
@@ -554,6 +569,24 @@ void parse_net(ObjectReader& r, net::NetConfig& n) {
     n.dctcp.additive_increase =
         d.rate("additive_increase", n.dctcp.additive_increase);
     n.dctcp.min_rate = d.rate("min_rate", n.dctcp.min_rate);
+  });
+  r.object("swift", [&](ObjectReader& s) {
+    n.swift.target_delay = s.time("target_delay", n.swift.target_delay);
+    n.swift.additive_increase =
+        s.rate("additive_increase", n.swift.additive_increase);
+    n.swift.beta = s.unit_interval("beta", n.swift.beta);
+    n.swift.max_mdf = s.unit_interval("max_mdf", n.swift.max_mdf);
+    n.swift.min_rate = s.rate("min_rate", n.swift.min_rate);
+    n.swift.min_decrease_gap =
+        s.time("min_decrease_gap", n.swift.min_decrease_gap);
+  });
+  r.object("cubic", [&](ObjectReader& c) {
+    n.cubic.beta = c.unit_interval("beta", n.cubic.beta);
+    n.cubic.c_mbps_per_s3 = c.positive("c_mbps_per_s3", n.cubic.c_mbps_per_s3);
+    n.cubic.growth_interval = c.time("growth_interval", n.cubic.growth_interval);
+    n.cubic.post_cut_holdoff =
+        c.time("post_cut_holdoff", n.cubic.post_cut_holdoff);
+    n.cubic.min_rate = c.rate("min_rate", n.cubic.min_rate);
   });
 }
 
@@ -933,6 +966,15 @@ Json to_json(const ScenarioSpec& spec) {
     workloads.push_back(workload_to_json(w));
   }
   out.set("workloads", std::move(workloads));
+  if (!spec.initiators.empty()) {
+    Json initiators{Json::Array{}};
+    for (const InitiatorSpec& ini : spec.initiators) {
+      Json entry{Json::Object{}};
+      if (!ini.cc.empty()) entry.set("cc", Json{ini.cc});
+      initiators.push_back(std::move(entry));
+    }
+    out.set("initiators", std::move(initiators));
+  }
   out.set("src", src_to_json(spec.src));
   out.set("retry", retry_to_json(spec.retry));
   if (!spec.faults.empty()) out.set("faults", faults_to_json(spec.faults));
@@ -989,6 +1031,23 @@ ScenarioSpec from_json(const obs::Json& doc, const std::string& file) {
            "need exactly 1 entry (shared) or one per initiator (" +
                std::to_string(spec.topology.initiators) + "), got " +
                std::to_string(spec.workloads.size()));
+  }
+
+  r.array("initiators", [&](ObjectReader& e, std::size_t) {
+    InitiatorSpec ini;
+    ini.cc = e.string("cc", ini.cc);
+    if (!ini.cc.empty() && cc_registry().find(ini.cc) == nullptr) {
+      e.fail("cc", "unknown congestion controller '" + ini.cc +
+                       "' (known: " + cc_registry().known_list() + ")");
+    }
+    spec.initiators.push_back(std::move(ini));
+  });
+  if (!spec.initiators.empty() && spec.initiators.size() != 1 &&
+      spec.initiators.size() != spec.topology.initiators) {
+    r.fail("initiators",
+           "need exactly 1 entry (shared) or one per initiator (" +
+               std::to_string(spec.topology.initiators) + "), got " +
+               std::to_string(spec.initiators.size()));
   }
 
   r.object("src", [&](ObjectReader& s) { parse_src(s, spec.src); });

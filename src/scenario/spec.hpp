@@ -56,6 +56,17 @@ struct WorkloadSpec {
   friend bool operator==(const WorkloadSpec&, const WorkloadSpec&) = default;
 };
 
+/// Per-initiator overrides for mixed-CC coexistence scenarios. `cc` is a
+/// cc-registry name ("dcqcn", "dctcp", "swift", "cubic"); empty means the
+/// scenario-wide NetConfig choice. The override governs every flow that
+/// initiator's traffic rides — including the target-side read-data flows
+/// paced back to it.
+struct InitiatorSpec {
+  std::string cc;
+
+  friend bool operator==(const InitiatorSpec&, const InitiatorSpec&) = default;
+};
+
 /// Where scenario::build obtains the fitted TPM an SRC run needs.
 ///  "none"          — caller must pass one via BuildOptions (or SRC is off)
 ///  "train-default" — core::train_default_tpm(ssd, train_seed)
@@ -117,6 +128,10 @@ struct ScenarioSpec {
   /// One entry shared by every initiator (seeded per index), or exactly
   /// one entry per initiator.
   std::vector<WorkloadSpec> workloads;
+
+  /// Empty (every initiator uses the NetConfig congestion control), one
+  /// shared entry, or exactly one entry per initiator.
+  std::vector<InitiatorSpec> initiators;
 
   SrcSpec src;
   fabric::RetryPolicy retry;

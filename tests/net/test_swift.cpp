@@ -1,0 +1,217 @@
+// Property battery for the delay-based Swift controller (own `property`
+// ctest target): the rate is monotone non-increasing while RTT samples
+// stay above the target delay, AIMD recovers to line rate on an
+// uncongested path, and the controller never produces NaN or negative
+// rates — neither under adversarial delay-sample streams nor end-to-end
+// under fault-injected packet drops across a seeded sweep.
+#include "net/swift.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "scenario/build.hpp"
+#include "scenario/presets.hpp"
+
+namespace src::net {
+namespace {
+
+using common::Rate;
+
+struct Harness {
+  sim::Simulator sim;
+  SwiftParams params;
+  Rate line = Rate::gbps(4.0);
+
+  SwiftController make() { return SwiftController(sim, params, line); }
+
+  /// Advance past the once-per-gap decrease gate.
+  void open_gate() { sim.run_until(sim.now() + params.min_decrease_gap + 1); }
+};
+
+TEST(SwiftTest, StartsAtLineRateAndWantsDelayAcks) {
+  Harness h;
+  auto ctl = h.make();
+  EXPECT_DOUBLE_EQ(ctl.current_rate().as_gbps(), 4.0);
+  EXPECT_TRUE(ctl.wants_delay_ack());
+  EXPECT_FALSE(ctl.wants_per_mark_echo());
+}
+
+TEST(SwiftTest, RateMonotoneDecreasingWhileDelayAboveTarget) {
+  Harness h;
+  auto ctl = h.make();
+  std::uint64_t state = 7;
+  double previous = ctl.current_rate().as_gbps();
+  for (int i = 0; i < 64; ++i) {
+    h.open_gate();
+    // Anywhere past the target, from barely-over to 50x over.
+    const common::SimTime rtt =
+        h.params.target_delay + 1 +
+        static_cast<common::SimTime>(common::splitmix64(state) %
+                                     (50 * h.params.target_delay));
+    ctl.on_delay_sample(rtt);
+    const double now = ctl.current_rate().as_gbps();
+    EXPECT_LE(now, previous) << "sample " << i << " raised the rate";
+    EXPECT_GE(ctl.current_rate(), h.params.min_rate);
+    previous = now;
+  }
+  EXPECT_LT(previous, 4.0);
+}
+
+TEST(SwiftTest, CutScalesWithOvershootAndIsBoundedByMaxMdf) {
+  // A barely-over sample cuts less than a far-over sample; the far-over
+  // cut is exactly the max_mdf bound.
+  Harness h;
+  auto mild = h.make();
+  h.open_gate();
+  mild.on_delay_sample(h.params.target_delay + h.params.target_delay / 10);
+
+  Harness h2;
+  auto severe = h2.make();
+  h2.open_gate();
+  severe.on_delay_sample(100 * h2.params.target_delay);
+
+  EXPECT_GT(mild.current_rate().as_gbps(), severe.current_rate().as_gbps());
+  EXPECT_NEAR(severe.current_rate().as_gbps(),
+              4.0 * (1.0 - h2.params.max_mdf), 1e-9);
+}
+
+TEST(SwiftTest, DecreaseGateAdmitsOneCutPerGap) {
+  Harness h;
+  auto ctl = h.make();
+  h.open_gate();
+  ctl.on_delay_sample(10 * h.params.target_delay);
+  const double after_first = ctl.current_rate().as_gbps();
+  // Burst of further overshoot samples inside the same gap: no extra cuts.
+  for (int i = 0; i < 5; ++i) ctl.on_delay_sample(10 * h.params.target_delay);
+  EXPECT_DOUBLE_EQ(ctl.current_rate().as_gbps(), after_first);
+  h.open_gate();
+  ctl.on_delay_sample(10 * h.params.target_delay);
+  EXPECT_LT(ctl.current_rate().as_gbps(), after_first);
+}
+
+TEST(SwiftTest, AimdConvergesToLineRateOnUncongestedPath) {
+  Harness h;
+  auto ctl = h.make();
+  // Congest hard first.
+  for (int i = 0; i < 8; ++i) {
+    h.open_gate();
+    ctl.on_delay_sample(20 * h.params.target_delay);
+  }
+  ASSERT_LT(ctl.current_rate().as_gbps(), 4.0);
+  // Then an uncongested path: at-target samples grow additively, monotone,
+  // and reach line rate exactly (the increase clamps there).
+  double previous = ctl.current_rate().as_gbps();
+  const int steps_needed = static_cast<int>(
+      std::ceil((h.line - ctl.current_rate()).as_mbps() /
+                h.params.additive_increase.as_mbps()));
+  for (int i = 0; i < steps_needed; ++i) {
+    ctl.on_delay_sample(h.params.target_delay / 2);
+    EXPECT_GE(ctl.current_rate().as_gbps(), previous);
+    previous = ctl.current_rate().as_gbps();
+  }
+  EXPECT_DOUBLE_EQ(ctl.current_rate().as_gbps(), 4.0);
+  // Saturated: further good samples keep it pinned at line rate.
+  ctl.on_delay_sample(h.params.target_delay / 2);
+  EXPECT_DOUBLE_EQ(ctl.current_rate().as_gbps(), 4.0);
+}
+
+TEST(SwiftTest, CnpFeedbackIsAHalfStrengthGatedCut) {
+  Harness h;
+  auto ctl = h.make();
+  h.open_gate();
+  ctl.on_congestion_feedback();
+  EXPECT_NEAR(ctl.current_rate().as_gbps(),
+              4.0 * (1.0 - 0.5 * h.params.max_mdf), 1e-9);
+  const double after = ctl.current_rate().as_gbps();
+  ctl.on_congestion_feedback();  // same gap: gated out
+  EXPECT_DOUBLE_EQ(ctl.current_rate().as_gbps(), after);
+}
+
+// Adversarial sample streams across seeds: negative, zero, and enormous
+// RTTs interleaved at random times must never drive the rate out of
+// [min_rate, line] or into NaN.
+class SwiftFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SwiftFuzzTest, RateStaysFiniteAndBounded) {
+  Harness h;
+  auto ctl = h.make();
+  std::uint64_t state = GetParam();
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t draw = common::splitmix64(state);
+    h.sim.run_until(h.sim.now() +
+                    static_cast<common::SimTime>(draw % (200 * 1000)));
+    common::SimTime rtt = 0;
+    switch (draw % 4) {
+      case 0: rtt = -static_cast<common::SimTime>(draw % 1000); break;
+      case 1:
+        rtt = static_cast<common::SimTime>(
+            draw % static_cast<std::uint64_t>(h.params.target_delay));
+        break;
+      case 2:
+        rtt = h.params.target_delay *
+              static_cast<common::SimTime>(1 + draw % 100);
+        break;
+      case 3: rtt = common::seconds(1.0); break;
+    }
+    if (draw % 17 == 0) ctl.on_congestion_feedback();
+    ctl.on_delay_sample(rtt);
+    const double gbps = ctl.current_rate().as_gbps();
+    ASSERT_TRUE(std::isfinite(gbps)) << "seed " << GetParam() << " step " << i;
+    ASSERT_GE(ctl.current_rate(), h.params.min_rate);
+    ASSERT_LE(ctl.current_rate().as_bytes_per_second(),
+              h.line.as_bytes_per_second());
+  }
+  EXPECT_EQ(ctl.delay_samples(), 2000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SwiftFuzzTest,
+                         ::testing::Values(1u, 23u, 99u, 4096u));
+
+// End-to-end: Swift-driven storage traffic under fault-injected packet
+// drops (with retries enabled) across a seeded sweep. Whatever the drop
+// pattern does to delivery, the reported rates and fairness stay finite
+// and non-negative.
+class SwiftDropSweepTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SwiftDropSweepTest, NoNanOrNegativeRatesUnderPacketDrops) {
+  scenario::ScenarioSpec spec =
+      scenario::coexistence_spec({"swift", "swift"}, /*use_src=*/false,
+                                 /*seed=*/GetParam());
+  spec.max_time = 30 * common::kMillisecond;
+  for (scenario::WorkloadSpec& workload : spec.workloads) {
+    workload.micro.read.count /= 8;
+    workload.micro.write.count /= 8;
+  }
+  spec.retry.enabled = true;
+  fault::PacketDropFault drop;
+  drop.node = 1;
+  drop.port = -1;
+  drop.start = 2 * common::kMillisecond;
+  drop.end = 20 * common::kMillisecond;
+  drop.probability = 0.05;
+  spec.faults.packet_drops.push_back(drop);
+  spec.faults.seed = GetParam() * 31 + 7;
+
+  const core::ExperimentResult result = scenario::run(spec);
+  EXPECT_TRUE(std::isfinite(result.read_rate.as_gbps()));
+  EXPECT_TRUE(std::isfinite(result.write_rate.as_gbps()));
+  EXPECT_GE(result.read_rate.as_bytes_per_second(), 0.0);
+  EXPECT_GE(result.write_rate.as_bytes_per_second(), 0.0);
+  const double jain = result.read_fairness_index();
+  EXPECT_TRUE(std::isfinite(jain));
+  EXPECT_GE(jain, 0.0);
+  EXPECT_LE(jain, 1.0);
+  ASSERT_EQ(result.per_initiator_read_rate.size(), 2u);
+  for (const Rate rate : result.per_initiator_read_rate) {
+    EXPECT_TRUE(std::isfinite(rate.as_gbps()));
+    EXPECT_GE(rate.as_bytes_per_second(), 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SwiftDropSweepTest,
+                         ::testing::Values(3u, 17u, 71u));
+
+}  // namespace
+}  // namespace src::net

@@ -1,0 +1,100 @@
+// Fairness metrics (obs/fairness.hpp): Jain's index on hand-computed
+// vectors and its edge cases, share normalization, and passivity — the
+// fairness instrumentation must be observation-only, so a run with metrics
+// enabled and one with no observatory at all produce bit-identical results.
+#include "obs/fairness.hpp"
+
+#include <gtest/gtest.h>
+
+#include "scenario/build.hpp"
+#include "scenario/presets.hpp"
+
+namespace src::obs {
+namespace {
+
+TEST(JainIndex, EqualSharesAreMaximallyFair) {
+  EXPECT_DOUBLE_EQ(jain_index({1.0, 1.0, 1.0, 1.0}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_index({0.25, 0.25, 0.25, 0.25}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_index({7.5}), 1.0);  // a single flow is trivially fair
+}
+
+TEST(JainIndex, OneHotIsOneOverN) {
+  EXPECT_DOUBLE_EQ(jain_index({1.0, 0.0}), 0.5);
+  EXPECT_DOUBLE_EQ(jain_index({0.0, 0.0, 1.0, 0.0}), 0.25);
+  EXPECT_DOUBLE_EQ(jain_index({0.0, 0.0, 0.0, 0.0, 5.0}), 0.2);
+}
+
+TEST(JainIndex, HandComputedValues) {
+  // (1+2+3)^2 / (3 * (1+4+9)) = 36/42.
+  EXPECT_DOUBLE_EQ(jain_index({1.0, 2.0, 3.0}), 36.0 / 42.0);
+  // (4+1)^2 / (2 * 17) = 25/34.
+  EXPECT_DOUBLE_EQ(jain_index({4.0, 1.0}), 25.0 / 34.0);
+  // Scale invariance: shares and raw throughputs give the same index.
+  EXPECT_DOUBLE_EQ(jain_index({400.0, 100.0}), jain_index({0.8, 0.2}));
+}
+
+TEST(JainIndex, DegenerateInputsAreFair) {
+  // No flows / no traffic: defined as 1.0 so quiescent runs report "fair".
+  EXPECT_DOUBLE_EQ(jain_index({}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_index({0.0, 0.0}), 1.0);
+}
+
+TEST(ThroughputShares, NormalizesToUnitSum) {
+  const std::vector<double> shares = throughput_shares({300.0, 100.0});
+  ASSERT_EQ(shares.size(), 2u);
+  EXPECT_DOUBLE_EQ(shares[0], 0.75);
+  EXPECT_DOUBLE_EQ(shares[1], 0.25);
+}
+
+TEST(ThroughputShares, AllZeroFallsBackToEqualShares) {
+  const std::vector<double> shares = throughput_shares({0.0, 0.0, 0.0, 0.0});
+  for (const double share : shares) EXPECT_DOUBLE_EQ(share, 0.25);
+  EXPECT_TRUE(throughput_shares({}).empty());
+}
+
+// Passivity: the fairness metrics (per-initiator timelines, Jain gauge)
+// ride on the observatory, which must never feed back into simulation
+// behaviour. A metrics-enabled run and a no-observatory run of the same
+// mixed-CC scenario must agree on every result field, bit for bit.
+TEST(FairnessPassivity, MetricsOnOffRunsAreBitIdentical) {
+  scenario::ScenarioSpec spec =
+      scenario::coexistence_spec({"swift", "cubic"}, /*use_src=*/false);
+  spec.max_time = 20 * common::kMillisecond;
+  for (scenario::WorkloadSpec& workload : spec.workloads) {
+    workload.micro.read.count /= 10;
+    workload.micro.write.count /= 10;
+  }
+
+  ObsConfig obs_config;
+  obs_config.tracing = false;
+  Observatory observatory(obs_config);
+  scenario::BuildOptions with_metrics;
+  with_metrics.observatory = &observatory;
+  const core::ExperimentResult observed = scenario::run(spec, with_metrics);
+  const core::ExperimentResult silent = scenario::run(spec);
+
+  EXPECT_EQ(observed.read_rate.as_bytes_per_second(),
+            silent.read_rate.as_bytes_per_second());
+  EXPECT_EQ(observed.write_rate.as_bytes_per_second(),
+            silent.write_rate.as_bytes_per_second());
+  EXPECT_EQ(observed.reads_completed, silent.reads_completed);
+  EXPECT_EQ(observed.writes_completed, silent.writes_completed);
+  EXPECT_EQ(observed.total_pauses, silent.total_pauses);
+  EXPECT_EQ(observed.total_cnps, silent.total_cnps);
+  EXPECT_EQ(observed.end_time, silent.end_time);
+  ASSERT_EQ(observed.per_initiator_read_rate.size(),
+            silent.per_initiator_read_rate.size());
+  for (std::size_t i = 0; i < observed.per_initiator_read_rate.size(); ++i) {
+    EXPECT_EQ(observed.per_initiator_read_rate[i].as_bytes_per_second(),
+              silent.per_initiator_read_rate[i].as_bytes_per_second());
+  }
+  EXPECT_EQ(observed.read_fairness_index(), silent.read_fairness_index());
+  // The observed run did record the fairness gauge.
+  const Json metrics = observatory.metrics().snapshot();
+  const Json* gauges = metrics.find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_NE(gauges->find("core.read_jain_index"), nullptr);
+}
+
+}  // namespace
+}  // namespace src::obs

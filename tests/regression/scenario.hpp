@@ -93,6 +93,11 @@ inline obs::Json experiment_snapshot(const core::ExperimentResult& result,
   snap.set("reads_completed", obs::Json{result.reads_completed});
   snap.set("writes_completed", obs::Json{result.writes_completed});
   snap.set("completed", obs::Json{result.completed});
+  snap.set("read_jain_index", obs::Json{result.read_fairness_index()});
+  for (std::size_t i = 0; i < result.per_initiator_read_rate.size(); ++i) {
+    snap.set("initiator" + std::to_string(i) + "_read_gbps",
+             obs::Json{result.per_initiator_read_rate[i].as_gbps()});
+  }
 #if defined(SRC_OBS_DISABLE)
   (void)observatory;
   snap.set("counters", obs::Json{obs::Json::Object{}});
@@ -114,8 +119,10 @@ inline std::string golden_path(const std::string& name) {
 }
 
 /// Compare `actual` against `golden`, metric by metric. Keys ending in
-/// `_gbps` are rates and compare within `rate_tolerance` (relative);
-/// every other number is exact. Only keys present in the golden are
+/// `_gbps` are rates and keys ending in `_index` are derived ratios; both
+/// compare within `rate_tolerance` (relative — they are floating-point
+/// functions of the timelines). Every other number is exact. Only keys
+/// present in the golden are
 /// checked, so adding new instrumentation later does not invalidate old
 /// goldens. Returns one human-readable line per mismatch.
 inline std::vector<std::string> compare_snapshots(const obs::Json& golden,
@@ -139,7 +146,8 @@ inline std::vector<std::string> compare_snapshots(const obs::Json& golden,
     if (!expected.is_number()) continue;  // "completed" etc. compare below
     const double want = expected.as_double();
     const double have = got->as_double();
-    const bool is_rate = key.size() > 5 && key.ends_with("_gbps");
+    const bool is_rate = (key.size() > 5 && key.ends_with("_gbps")) ||
+                         (key.size() > 6 && key.ends_with("_index"));
     if (is_rate) {
       const double rel = want == 0.0 ? std::abs(have)
                                      : std::abs(have - want) / std::abs(want);

@@ -1,0 +1,96 @@
+// Golden regressions for the congestion-control coexistence family: the
+// mixed-CC presets (Swift-only, DCQCN-vs-Cubic, Swift-vs-Cubic) pin their
+// seeded throughputs, fairness index, and obs counters; a bit-identity
+// test proves the per-initiator CC plumbing is a no-op for DCQCN-only
+// configs (the paper's original scenarios); and the coexistence grid is
+// pinned to produce identical results for any SweepRunner worker count.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "runner/runner.hpp"
+#include "scenario.hpp"
+
+namespace src::regression {
+namespace {
+
+const std::vector<std::string> kCoexistencePresets = {
+    "swift-only", "dcqcn-vs-cubic", "swift-vs-cubic"};
+
+/// Shrink a coexistence preset to regression scale (mirrors the bench's
+/// `--reduced` grid: 60 ms horizon, 4x fewer requests) and build it with
+/// the suite's shared TPM.
+core::ExperimentConfig coexistence_reduced(const std::string& name) {
+  scenario::ScenarioSpec spec = scenario::preset_spec(name);
+  spec.max_time = 60 * common::kMillisecond;
+  for (scenario::WorkloadSpec& workload : spec.workloads) {
+    workload.micro.read.count /= 4;
+    workload.micro.write.count /= 4;
+  }
+  spec.src.tpm.source = "none";  // the pointer below supplies the model
+  scenario::BuildOptions options;
+  options.tpm = &shared_tpm();
+  return scenario::build(spec, options).config;
+}
+
+obs::Json run_snapshot(core::ExperimentConfig config) {
+  obs::ObsConfig obs_config;
+  obs_config.tracing = false;
+  obs::Observatory observatory(obs_config);
+  config.observatory = &observatory;
+  const core::ExperimentResult result = core::run_experiment(config);
+  return experiment_snapshot(result, observatory);
+}
+
+TEST(CoexistenceGolden, SwiftOnly) {
+  check_against_golden("coexist-swift-only",
+                       run_snapshot(coexistence_reduced("swift-only")));
+}
+
+TEST(CoexistenceGolden, DcqcnVsCubic) {
+  check_against_golden("coexist-dcqcn-vs-cubic",
+                       run_snapshot(coexistence_reduced("dcqcn-vs-cubic")));
+}
+
+TEST(CoexistenceGolden, SwiftVsCubic) {
+  check_against_golden("coexist-swift-vs-cubic",
+                       run_snapshot(coexistence_reduced("swift-vs-cubic")));
+}
+
+// The cc-registry retype and the per-initiator override path must be
+// invisible to DCQCN-only runs: explicitly pinning every initiator to the
+// config's own algorithm takes the override code path (set_cc_algorithm +
+// set_peer_cc on every host) yet must reproduce the default run byte for
+// byte — counters included, no tolerances.
+TEST(CoexistenceBitIdentity, ExplicitDcqcnInitiatorsMatchDefaultPath) {
+  const core::ExperimentConfig base = fig7_reduced();
+  core::ExperimentConfig pinned = base;
+  pinned.initiator_cc.assign(pinned.initiator_count, pinned.net.cc_algorithm);
+  EXPECT_EQ(run_snapshot(base).dump(), run_snapshot(pinned).dump());
+}
+
+// The coexistence grid is a SweepRunner workload (bench/cc_coexistence):
+// serial (1 thread) and parallel (4 threads) sweeps over the presets must
+// produce byte-identical snapshots per grid point.
+TEST(CoexistenceSweep, WorkerCountDoesNotChangeResults) {
+  shared_tpm();  // materialize the function-local static before fan-out
+  const auto run_grid = [](std::size_t threads) {
+    return runner::sweep_map(
+        kCoexistencePresets.size(),
+        [](std::size_t i) {
+          return run_snapshot(coexistence_reduced(kCoexistencePresets[i]))
+              .dump();
+        },
+        threads);
+  };
+  const std::vector<std::string> serial = run_grid(1);
+  const std::vector<std::string> parallel = run_grid(4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], parallel[i]) << kCoexistencePresets[i];
+  }
+}
+
+}  // namespace
+}  // namespace src::regression

@@ -49,7 +49,7 @@ TEST(SpecRoundTrip, FaultPlanTraceWorkloadAndTpmFileSurvive) {
   spec.name = "kitchen-sink";
   spec.description = "every optional block populated";
   spec.driver = "ssq";
-  spec.net.cc_algorithm = cc_registry().at("dctcp");
+  spec.net.cc_algorithm = cc_registry().at("dctcp").algorithm;
   spec.retry.enabled = true;
 
   WorkloadSpec workload;
@@ -193,11 +193,106 @@ TEST(Registries, LookupFailureListsKnownNames) {
   // names() is sorted (std::map) so help text and errors are deterministic.
   const std::vector<std::string> presets = preset_registry().names();
   EXPECT_TRUE(std::is_sorted(presets.begin(), presets.end()));
-  EXPECT_EQ(presets.size(), 9u);
+  EXPECT_EQ(presets.size(), 12u);
   // cc names round-trip through the reverse lookup used by the serializer.
   for (const std::string& cc : cc_registry().names()) {
-    EXPECT_EQ(cc_name(cc_registry().at(cc)), cc);
+    EXPECT_EQ(cc_name(cc_registry().at(cc).algorithm), cc);
   }
+}
+
+TEST(SpecRoundTrip, PerInitiatorCcSurvives) {
+  ScenarioSpec spec;
+  spec.name = "mixed-cc";
+  spec.topology.initiators = 2;
+  WorkloadSpec workload;
+  workload.kind = "micro";
+  spec.workloads.push_back(workload);
+  spec.initiators.push_back(InitiatorSpec{"swift"});
+  spec.initiators.push_back(InitiatorSpec{"cubic"});
+
+  const std::string text = to_json_text(spec);
+  EXPECT_NE(text.find("\"initiators\""), std::string::npos);
+  const ScenarioSpec reparsed = parse_scenario(text, "mixed.json");
+  EXPECT_TRUE(reparsed == spec) << "per-initiator cc drifted across JSON";
+  EXPECT_EQ(to_json_text(reparsed), text);
+
+  // No initiators block at all: the serializer omits the key entirely, so
+  // pre-zoo manifests keep their exact bytes.
+  ScenarioSpec plain;
+  plain.workloads.push_back(workload);
+  EXPECT_EQ(to_json_text(plain).find("\"initiators\": ["), std::string::npos);
+}
+
+TEST(SpecParse, InitiatorCcDiagnostics) {
+  // Unknown controller names the offending entry and lists the known ones.
+  expect_parse_error(
+      [] {
+        parse_scenario(R"({"schema": "src-scenario-v1",
+                           "workloads": [{"kind": "micro"}],
+                           "topology": {"initiators": 2},
+                           "initiators": [{"cc": "bbr"}, {"cc": "swift"}]})",
+                       "mix.json");
+      },
+      "mix.json:$.initiators[0].cc: unknown congestion controller 'bbr' "
+      "(known: cubic, dcqcn, dctcp, swift)");
+
+  // Entry count must be 1 (shared) or one per topology initiator.
+  expect_parse_error(
+      [] {
+        parse_scenario(R"({"schema": "src-scenario-v1",
+                           "workloads": [{"kind": "micro"}],
+                           "topology": {"initiators": 3},
+                           "initiators": [{"cc": "swift"}, {"cc": "cubic"}]})");
+      },
+      "$.initiators: need exactly 1 entry (shared) or one per initiator "
+      "(3), got 2");
+
+  // A non-string cc is a type error at the exact path.
+  expect_parse_error(
+      [] {
+        parse_scenario(R"({"schema": "src-scenario-v1",
+                           "workloads": [{"kind": "micro"}],
+                           "initiators": [{"cc": 7}]})");
+      },
+      "$.initiators[0].cc");
+
+  // Unknown keys inside an initiator entry are rejected like anywhere else.
+  expect_parse_error(
+      [] {
+        parse_scenario(R"({"schema": "src-scenario-v1",
+                           "workloads": [{"kind": "micro"}],
+                           "initiators": [{"cc": "swift", "weight": 2}]})");
+      },
+      "$.initiators[0].weight: unknown key");
+}
+
+TEST(Build, PerInitiatorCcResolvesAndReplicates) {
+  ScenarioSpec spec;
+  spec.topology.initiators = 3;
+  WorkloadSpec workload;
+  workload.kind = "micro";
+  spec.workloads.push_back(workload);
+
+  // No initiators block: build leaves the override list empty (every host
+  // runs net.cc_algorithm).
+  EXPECT_TRUE(build(spec).config.initiator_cc.empty());
+
+  // One shared entry replicates across all initiators.
+  spec.initiators.push_back(InitiatorSpec{"swift"});
+  const std::vector<int> shared = build(spec).config.initiator_cc;
+  const int swift = cc_registry().at("swift").algorithm;
+  EXPECT_EQ(shared, (std::vector<int>{swift, swift, swift}));
+
+  // Per-initiator entries resolve independently; an empty cc falls back to
+  // the spec-wide net algorithm.
+  spec.initiators = {InitiatorSpec{"cubic"}, InitiatorSpec{}, InitiatorSpec{"swift"}};
+  const std::vector<int> mixed = build(spec).config.initiator_cc;
+  EXPECT_EQ(mixed, (std::vector<int>{cc_registry().at("cubic").algorithm,
+                                     spec.net.cc_algorithm, swift}));
+
+  // A mismatched count that bypassed the parser still fails at build time.
+  spec.initiators = {InitiatorSpec{"swift"}, InitiatorSpec{"cubic"}};
+  EXPECT_THROW(build(spec), std::invalid_argument);
 }
 
 TEST(Build, DriverPolicyResolvesThroughRegistry) {

@@ -3,6 +3,8 @@
 // Subcommands live in the kCommands table below; `srcctl help` (or any
 // unknown command) prints the generated listing, and every command accepts
 // `--help` for its own flags.
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -239,6 +241,17 @@ obs::Json run_report(const std::string& scenario_name,
   report.set("final_weight_ratio",
              obs::Json{static_cast<std::uint64_t>(result.final_weight_ratio())});
   report.set("completed", obs::Json{result.completed});
+  report.set("read_jain_index", obs::Json{result.read_fairness_index()});
+  obs::Json per_initiator{obs::Json::Array{}};
+  for (const common::Rate rate : result.per_initiator_read_rate) {
+    per_initiator.push_back(obs::Json{rate.as_gbps()});
+  }
+  report.set("per_initiator_read_gbps", std::move(per_initiator));
+  obs::Json shares{obs::Json::Array{}};
+  for (const double share : result.read_shares()) {
+    shares.push_back(obs::Json{share});
+  }
+  report.set("read_shares", std::move(shares));
   report.set("metrics", observatory.metrics().snapshot());
   return report;
 }
@@ -309,6 +322,17 @@ int cmd_run(const Args& args) {
               static_cast<unsigned long long>(result.total_pauses),
               result.final_weight_ratio(),
               result.completed ? "" : " (hit max_time cap)");
+  // Per-flow fairness summary — meaningful once several initiators share
+  // the fabric (coexistence scenarios), harmless noise-free for one.
+  if (result.per_initiator_read_rate.size() > 1) {
+    const std::vector<double> shares = result.read_shares();
+    std::printf("  read shares:");
+    for (std::size_t i = 0; i < shares.size(); ++i) {
+      std::printf(" i%zu=%.3f (%.2f Gbps)", i, shares[i],
+                  result.per_initiator_read_rate[i].as_gbps());
+    }
+    std::printf("  Jain index %.4f\n", result.read_fairness_index());
+  }
   if (args.has("metrics-out")) {
     const std::string path = args.get("metrics-out", "");
     write_text_file(path, run_report(spec.name, result, observatory).dump(2));
@@ -724,15 +748,110 @@ int run_file_checks(const Args& args, const char* what,
   return failures == 0 ? 0 : 1;
 }
 
+/// Parse a JSON file; empty error string on success.
+std::string load_json_file(const std::string& path, obs::Json& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return "cannot open file";
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  try {
+    out = obs::Json::parse(text);
+  } catch (const std::runtime_error& err) {
+    return err.what();
+  }
+  return "";
+}
+
+/// Compare a schema-valid bench file against a schema-valid baseline:
+/// section-name sets must match; per section, deterministic work measures
+/// are gated — `items` exactly, `events` within `tolerance` (relative).
+/// Wall-clock fields are never compared (machines differ); the committed
+/// baseline pins the *workload*, not the speed.
+std::string diff_bench_json(const obs::Json& baseline, const obs::Json& doc,
+                            double tolerance) {
+  std::map<std::string, const obs::Json*> want;
+  for (const obs::Json& section : baseline.find("sections")->as_array()) {
+    want.emplace(section.find("name")->as_string(), &section);
+  }
+  std::size_t seen = 0;
+  for (const obs::Json& section : doc.find("sections")->as_array()) {
+    const std::string name = section.find("name")->as_string();
+    const auto it = want.find(name);
+    if (it == want.end()) {
+      return "section \"" + name + "\" not in baseline";
+    }
+    ++seen;
+    const double base_items = it->second->find("items")->as_number();
+    const double items = section.find("items")->as_number();
+    if (items != base_items) {
+      return "section \"" + name + "\": items " + obs::Json{items}.dump() +
+             " != baseline " + obs::Json{base_items}.dump();
+    }
+    const double base_events = it->second->find("events")->as_number();
+    const double events = section.find("events")->as_number();
+    const double limit = tolerance * std::max(base_events, 1.0);
+    if (std::abs(events - base_events) > limit) {
+      char bound[32];
+      std::snprintf(bound, sizeof(bound), "%g", tolerance);
+      return "section \"" + name + "\": events " + obs::Json{events}.dump() +
+             " deviates from baseline " + obs::Json{base_events}.dump() +
+             " by more than " + bound + " relative";
+    }
+  }
+  if (seen != want.size()) {
+    return "baseline has " + std::to_string(want.size()) +
+           " sections, file has " + std::to_string(seen);
+  }
+  return "";
+}
+
 int cmd_benchcheck(const Args& args) {
   if (args.has("help") || args.positionals().empty()) {
     std::puts("srcctl benchcheck BENCH_a.json [BENCH_b.json ...]\n"
+              "                  [--baseline BENCH_base.json] [--tolerance F]\n"
               "\n"
               "Validates bench-harness output files against the src-bench-v1\n"
-              "schema; exits non-zero if any file is missing or malformed.");
+              "schema; exits non-zero if any file is missing or malformed.\n"
+              "With --baseline, additionally gates each file against the\n"
+              "committed baseline: identical section names, exact `items`,\n"
+              "and `events` within --tolerance (relative, default 0.1).\n"
+              "Wall-clock timings are never compared.");
     return args.has("help") ? 0 : 2;
   }
-  return run_file_checks(args, "benchcheck", check_bench_json);
+  if (!args.has("baseline")) {
+    return run_file_checks(args, "benchcheck", check_bench_json);
+  }
+  const std::string baseline_path = args.get("baseline", "");
+  std::string error = check_bench_json(baseline_path);
+  obs::Json baseline;
+  if (error.empty()) error = load_json_file(baseline_path, baseline);
+  if (!error.empty()) {
+    std::fprintf(stderr, "benchcheck: baseline %s: %s\n",
+                 baseline_path.c_str(), error.c_str());
+    return 2;
+  }
+  double tolerance = 0.1;
+  if (args.has("tolerance")) {
+    try {
+      tolerance = std::stod(args.get("tolerance", "0.1"));
+    } catch (const std::exception&) {
+      std::fprintf(stderr, "benchcheck: --tolerance wants a number\n");
+      return 2;
+    }
+    if (tolerance < 0.0) {
+      std::fprintf(stderr, "benchcheck: --tolerance must be >= 0\n");
+      return 2;
+    }
+  }
+  return run_file_checks(
+      args, "benchcheck", [&baseline, tolerance](const std::string& path) {
+        std::string err = check_bench_json(path);
+        if (!err.empty()) return err;
+        obs::Json doc;
+        err = load_json_file(path, doc);
+        if (!err.empty()) return err;
+        return diff_bench_json(baseline, doc, tolerance);
+      });
 }
 
 /// Validate one `srcctl run --metrics-out` report ("src-run-v1"). Returns
@@ -769,6 +888,22 @@ std::string check_run_json(const std::string& path) {
   const obs::Json* completed = doc.find("completed");
   if (completed == nullptr || completed->type() != obs::Json::Type::kBool) {
     return "missing boolean \"completed\"";
+  }
+  const obs::Json* jain = doc.find("read_jain_index");
+  if (jain == nullptr || !jain->is_number() || jain->as_number() < 0.0 ||
+      jain->as_number() > 1.0) {
+    return "missing \"read_jain_index\" or outside [0, 1]";
+  }
+  for (const char* key : {"per_initiator_read_gbps", "read_shares"}) {
+    const obs::Json* list = doc.find(key);
+    if (list == nullptr || !list->is_array()) {
+      return std::string("missing \"") + key + "\" array";
+    }
+    for (const obs::Json& value : list->as_array()) {
+      if (!value.is_number() || value.as_number() < 0.0) {
+        return std::string(key) + ": not all entries are non-negative numbers";
+      }
+    }
   }
   const obs::Json* metrics = doc.find("metrics");
   if (metrics == nullptr || !metrics->is_object()) {

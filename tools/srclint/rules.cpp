@@ -333,7 +333,7 @@ bool in_r2_scope_dir(const std::string& rel_path) {
   static constexpr const char* kScopes[] = {
       "src/sim/",    "src/net/",    "src/nvme/",     "src/ssd/",
       "src/core/",   "src/fabric/", "src/runner/",   "src/scenario/",
-      "src/chaos/",  "src/verify/"};
+      "src/chaos/",  "src/verify/", "src/obs/"};
   for (const char* scope : kScopes) {
     if (rel_path.starts_with(scope)) return true;
   }
