@@ -137,6 +137,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   for (std::size_t i = 0; i < initiators.size(); ++i) {
     const workload::Trace trace = config.trace_for(i);
     initiators[i]->run_trace(
+        // srclint:capture-ok(selector runs synchronously inside run_trace)
         trace, [&target_nodes](const workload::TraceRecord&, std::size_t index) {
           return target_nodes[index % target_nodes.size()];
         });

@@ -9,8 +9,8 @@
 namespace src::core {
 
 bool SrcController::sane_prediction(const workload::WorkloadFeatures& ch,
-                                    double w, TpmPrediction& out) const {
-  TpmPrediction prediction = tpm_.predict(ch, w);
+                                    double weight, TpmPrediction& out) const {
+  TpmPrediction prediction = tpm_.predict(ch, weight);
   if (prediction_hook_) prediction = prediction_hook_(prediction);
   if (!std::isfinite(prediction.read_bytes_per_sec) ||
       prediction.read_bytes_per_sec < 0.0 ||

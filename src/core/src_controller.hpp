@@ -105,7 +105,7 @@ class SrcController {
  private:
   /// Predict through the fault hook (if any) and validate; returns false
   /// when the prediction must not be acted upon.
-  bool sane_prediction(const workload::WorkloadFeatures& ch, double w,
+  bool sane_prediction(const workload::WorkloadFeatures& ch, double weight,
                        TpmPrediction& out) const;
 
   const Tpm& tpm_;

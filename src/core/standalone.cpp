@@ -38,6 +38,7 @@ StandaloneResult run_standalone(const ssd::SsdConfig& config,
       });
 
   for (const auto& rec : trace) {
+    // srclint:capture-ok(driver and sim are locals outliving the run loop)
     sim.schedule_at(rec.arrival, [&driver, rec, &sim] {
       nvme::IoRequest request;
       request.type = rec.type;

@@ -26,6 +26,7 @@ void Initiator::run_trace(const workload::Trace& trace, TargetSelector selector)
   for (std::size_t i = 0; i < trace.size(); ++i) {
     const workload::TraceRecord rec = trace[i];
     const net::NodeId target = selector(rec, i);
+    // srclint:capture-ok(the initiator lives as long as the rig's simulator)
     sim.schedule_at(base + rec.arrival, [this, rec, target] {
       issue_or_defer(rec, target);
     });
@@ -99,6 +100,7 @@ void Initiator::arm_timer(std::uint64_t request_id) {
   Pending& pending = pending_.at(request_id);
   pending.timer = network_.simulator().schedule_in(
       retry_.timeout_for(pending.attempts),
+      // srclint:capture-ok(the initiator lives as long as the rig's simulator)
       [this, request_id] { on_timeout(request_id); });
 }
 
@@ -136,6 +138,7 @@ void Initiator::attempt_retry(std::uint64_t request_id, common::SimTime delay) {
     resend(request_id);
   } else {
     pending.timer = network_.simulator().schedule_in(
+        // srclint:capture-ok(the initiator lives as long as the rig's simulator)
         delay, [this, request_id] { resend(request_id); });
   }
 }

@@ -72,6 +72,7 @@ class CubicController final : public RateController {
     had_cut_ = true;
     sim_.cancel(growth_event_);
     growth_event_ =
+        // srclint:capture-ok(controller and simulator share the host lifetime)
         sim_.schedule_in(params_.growth_interval, [this] { growth_tick(); });
   }
 

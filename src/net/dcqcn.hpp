@@ -105,7 +105,9 @@ class DcqcnController final : public RateController {
 
   void restart_timers() {
     stop_timers();
+    // srclint:capture-ok(controller and simulator share the host lifetime)
     alpha_event_ = sim_.schedule_in(params_.alpha_timer, [this] { alpha_tick(); });
+    // srclint:capture-ok(controller and simulator share the host lifetime)
     rate_event_ = sim_.schedule_in(params_.rate_timer, [this] { rate_tick(); });
   }
 
@@ -119,6 +121,7 @@ class DcqcnController final : public RateController {
   void alpha_tick() {
     alpha_ = (1.0 - params_.g) * alpha_;
     if (recovering()) {
+      // srclint:capture-ok(controller and simulator share the host lifetime)
       alpha_event_ = sim_.schedule_in(params_.alpha_timer, [this] { alpha_tick(); });
     }
   }
@@ -127,6 +130,7 @@ class DcqcnController final : public RateController {
     ++timer_stage_;
     increase();
     if (recovering()) {
+      // srclint:capture-ok(controller and simulator share the host lifetime)
       rate_event_ = sim_.schedule_in(params_.rate_timer, [this] { rate_tick(); });
     }
   }

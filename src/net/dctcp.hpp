@@ -59,6 +59,7 @@ class DctcpController final : public RateController {
   void arm_window() {
     if (window_armed_) return;
     window_armed_ = true;
+    // srclint:capture-ok(controller and simulator share the host lifetime)
     window_event_ = sim_.schedule_in(params_.observation_window, [this] {
       window_armed_ = false;
       end_window();

@@ -104,6 +104,7 @@ void Host::pump() {
   sim_.cancel(wake_event_);
   wake_event_ = {};
   if (earliest_wake != common::kTimeInfinity) {
+    // srclint:capture-ok(hosts live as long as their network's simulator)
     wake_event_ = sim_.schedule_at(earliest_wake, [this] { pump(); });
   }
 }

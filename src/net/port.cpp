@@ -64,6 +64,7 @@ void Port::try_transmit() {
   if (on_dequeue) on_dequeue(packet);
 
   const SimTime tx_time = rate_.transmission_time(packet.wire_bytes());
+  // srclint:capture-ok(ports live as long as their network's simulator)
   sim_.schedule_in(tx_time, [this, packet] {
     busy_ = false;
     deliver(packet);

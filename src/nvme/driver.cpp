@@ -28,6 +28,7 @@ void NvmeDriver::dispatch(const IoRequest& request) {
   cmd.submit_time = request.arrival;
   cmd.fetch_time = sim_.now();
 
+  // srclint:capture-ok(driver and device share the rig's simulator lifetime)
   device_.execute(cmd, [this](const ssd::NvmeCompletion& completion) {
     const auto it = outstanding_.find(completion.id);
     const IoRequest original = it->second;

@@ -124,6 +124,7 @@ class NvmeDriver {
   void schedule_admission_retry() {
     if (retry_pending_) return;
     retry_pending_ = true;
+    // srclint:capture-ok(driver and simulator share the rig lifetime)
     sim_.schedule_in(kAdmissionRetryDelay, [this] {
       retry_pending_ = false;
       try_fetch();

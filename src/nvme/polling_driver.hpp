@@ -77,6 +77,7 @@ class UserspacePollingDriver {
     // to the completion: quantize up to the next grid point.
     const common::SimTime next_tick =
         ((sim_.now() / poll_interval_) + 1) * poll_interval_;
+    // srclint:capture-ok(driver and simulator share the rig lifetime)
     sim_.schedule_at(next_tick, [this] {
       poll_armed_ = false;
       poll();

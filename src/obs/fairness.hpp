@@ -20,8 +20,8 @@ inline double jain_index(const std::vector<double>& shares) {
   double sum = 0.0;
   double sum_sq = 0.0;
   for (const double x : shares) {
-    sum += x;
-    sum_sq += x * x;
+    sum += x;         // srclint:fp-ok(vector index order is the pinned order)
+    sum_sq += x * x;  // srclint:fp-ok(vector index order is the pinned order)
   }
   if (sum_sq <= 0.0) return 1.0;
   return sum * sum / (static_cast<double>(shares.size()) * sum_sq);
@@ -33,6 +33,7 @@ inline std::vector<double> throughput_shares(const std::vector<double>& values) 
   std::vector<double> shares(values.size(), 0.0);
   if (values.empty()) return shares;
   double total = 0.0;
+  // srclint:fp-ok(vector index order is the pinned order)
   for (const double v : values) total += v;
   if (total <= 0.0) {
     const double equal = 1.0 / static_cast<double>(values.size());

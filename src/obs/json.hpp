@@ -286,6 +286,7 @@ class Json {
     if (!std::isfinite(value)) { out += "null"; return; }
     // Integers print exactly (counters must round-trip bit-for-bit);
     // everything else uses enough digits for a lossless double round trip.
+    // srclint:fp-ok(exactness check — floor(v)==v detects integral doubles)
     if (value == std::floor(value) && std::abs(value) < 9.007199254740992e15) {
       char buf[32];
       std::snprintf(buf, sizeof(buf), "%.0f", value);

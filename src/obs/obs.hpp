@@ -58,6 +58,7 @@ class Observatory {
 
 namespace detail {
 inline Observatory*& current_slot() {
+  // srclint:shared-ok(thread_local by design — each sweep worker binds its own observatory)
   thread_local Observatory* slot = nullptr;
   return slot;
 }

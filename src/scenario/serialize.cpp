@@ -96,6 +96,7 @@ class ObjectReader {
     if (value == nullptr) return fallback;
     if (!value->is_number()) fail(key, "expected a number");
     const double v = value->as_number();
+    // srclint:fp-ok(exactness check — floor(v)!=v rejects non-integral doubles)
     if (!(v >= 0.0) || v != std::floor(v) || v > kMaxExactInteger) {
       fail(key, "expected a non-negative integer (got " + fmt_number(v) + ")");
     }
@@ -112,6 +113,7 @@ class ObjectReader {
     if (value == nullptr) return fallback;
     if (!value->is_number()) fail(key, "expected a number");
     const double v = value->as_number();
+    // srclint:fp-ok(exactness check — floor(v)!=v rejects non-integral doubles)
     if (v != std::floor(v) || std::abs(v) > kMaxExactInteger) {
       fail(key, "expected an integer (got " + fmt_number(v) + ")");
     }

@@ -234,6 +234,7 @@ void SsdDevice::pump_drain() {
       finish = std::max(finish, program_page(entry.first_page + i, sim_.now()));
     }
 
+    // srclint:capture-ok(the device lives as long as its simulator)
     sim_.schedule_at(finish, [this, entry = std::move(entry)]() mutable {
       cache_used_ -= entry.bytes;
       for (std::uint32_t i = 0; i < entry.page_count; ++i) {

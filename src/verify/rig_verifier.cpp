@@ -163,6 +163,7 @@ void RigVerifier::on_dispatch(std::size_t shadow,
 }
 
 void RigVerifier::schedule_poll() {
+  // srclint:capture-ok(verifier polls are cancelled in stop(); the verifier outlives the run)
   poll_event_ = sim_.schedule_in(config_.poll_interval, [this] { poll(); });
 }
 

@@ -1,0 +1,27 @@
+// R6 fixture: unit-suffix mixing across arithmetic, comparison,
+// assignment, and a suffixed-callee result; every site must fire.
+namespace fx {
+
+long add(long timeout_us, long delay_ns) {
+  return timeout_us + delay_ns;
+}
+
+bool compare(double rate_gbps, double budget_bytes_per_sec) {
+  return rate_gbps < budget_bytes_per_sec;
+}
+
+long assign(long window_ms) {
+  long deadline_ns = 0;
+  deadline_ns = window_ms;
+  return deadline_ns;
+}
+
+struct Window {
+  long as_ms() const { return 0; }
+};
+
+long callee(const Window& w, long t_us) {
+  return w.as_ms() - t_us;
+}
+
+}  // namespace fx

@@ -1,0 +1,22 @@
+// R6 fixture (clean): same-unit arithmetic, explicit multiplicative
+// conversions, suffix-free names, and suffixed-callee results that agree
+// must all stay silent.
+namespace fx {
+
+long add(long a_ns, long b_ns) { return a_ns + b_ns; }
+
+long convert(long t_us) {
+  long t_ns = t_us * 1000;  // multiplication converts the unit explicitly
+  t_ns = t_us * 1000;
+  return t_ns;
+}
+
+struct Window {
+  long as_us() const { return 0; }
+};
+
+bool compare(const Window& w, long t_us, long plain) {
+  return w.as_us() > t_us && plain > t_us;
+}
+
+}  // namespace fx

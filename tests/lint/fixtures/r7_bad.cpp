@@ -1,0 +1,26 @@
+// R7 fixture: FP-determinism violations — exact comparison, unordered
+// std::accumulate, and a range-for reduction into a double.
+#include <numeric>
+#include <vector>
+
+namespace fx {
+
+bool exact(double alpha, double beta) {
+  return alpha == beta;
+}
+
+bool sentinel(double gain) {
+  return gain != -1.0;
+}
+
+double sum_accumulate(const std::vector<double>& xs) {
+  return std::accumulate(xs.begin(), xs.end(), 0.0);
+}
+
+double sum_loop(const std::vector<double>& xs) {
+  double total = 0.0;
+  for (const double x : xs) total += x;
+  return total;
+}
+
+}  // namespace fx

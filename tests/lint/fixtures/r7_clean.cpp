@@ -1,0 +1,32 @@
+// R7 fixture (clean): tolerance compares, integer reductions, and
+// justified pinned-order float loops must all stay silent.
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace fx {
+
+bool close(double a, double b) {
+  return std::abs(a - b) < 1e-9;
+}
+
+std::uint64_t sum_ints(const std::vector<std::uint64_t>& xs) {
+  std::uint64_t acc = 0;
+  for (const auto x : xs) acc += x;
+  return std::accumulate(xs.begin(), xs.end(), std::uint64_t{0});
+}
+
+double pinned(const std::vector<double>& xs) {
+  double total = 0.0;
+  // srclint:fp-ok(vector index order is the pinned order)
+  for (const double x : xs) total += x;
+  return total;
+}
+
+bool integral(double v) {
+  // srclint:fp-ok(exactness check — floor(v)==v detects integral doubles)
+  return v == std::floor(v);
+}
+
+}  // namespace fx

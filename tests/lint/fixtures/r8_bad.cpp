@@ -1,0 +1,21 @@
+// R8 fixture: every flavor of mutable static-storage state — namespace
+// scope, file static, static member, function-local static, and
+// thread_local — must land in the race-surface inventory as a finding.
+namespace fx {
+
+int global_counter = 0;
+
+static double drift = 0.0;
+
+struct Pool {
+  static int live_objects;
+};
+
+int next_id() {
+  static int counter = 0;
+  return ++counter;
+}
+
+thread_local int tls_scratch = 0;
+
+}  // namespace fx

@@ -1,0 +1,20 @@
+// R8 fixture (clean): constants, constexpr members, const locals, and
+// annotated shared state must all stay silent.
+namespace fx {
+
+constexpr int kLimit = 64;
+inline constexpr double kScale = 1.5;
+
+struct Config {
+  static constexpr int kDefault = 7;
+};
+
+// srclint:shared-ok(append-only registry guarded by the global init mutex)
+int registry_generation = 0;
+
+int next_token() {
+  static const int base = 100;
+  return base;
+}
+
+}  // namespace fx

@@ -1,0 +1,25 @@
+// R9 fixture (clean): by-value captures, *this copies, justified by-ref
+// captures, and subscripts that look like captures must all stay silent.
+namespace fx {
+
+struct Sim {
+  template <typename F> void schedule_at(long when, F&& fn);
+};
+
+struct Node {
+  Sim sim;
+  int hits = 0;
+
+  void arm(int counter) {
+    sim.schedule_at(5, [counter] { (void)counter; });
+    sim.schedule_at(7, [*this]() mutable { ++hits; });
+    // srclint:capture-ok(the node outlives every event it schedules)
+    sim.schedule_at(9, [this] { ++hits; });
+  }
+};
+
+void subscripts(Sim& sim, long (&table)[4]) {
+  sim.schedule_at(table[0], nullptr);
+}
+
+}  // namespace fx

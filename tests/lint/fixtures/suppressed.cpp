@@ -6,6 +6,7 @@
 
 #define SRC_OBS_GAUGE(name, value) ((void)0)
 
+// srclint:shared-ok(fixture — suppression coverage for R8)
 std::unordered_map<int, int> table;
 
 int fixture_suppressed(int x) {
@@ -16,4 +17,20 @@ int fixture_suppressed(int x) {
   SRC_OBS_GAUGE("x", total = x);  // srclint:obs-ok
   std::mt19937 gen;               // srclint:seed-ok
   return noise + total + static_cast<int>(gen());
+}
+
+struct SupSim {
+  template <typename F>
+  void schedule(F&& fn) {
+    static_cast<F&&>(fn)();
+  }
+};
+
+long fixture_suppressed_v2(SupSim& sim, long t_us, long limit_ns) {
+  long sum_ns = t_us + limit_ns;  // srclint:units-ok
+  double mean = 0.5;
+  bool exact = mean == 0.5;  // srclint:fp-ok(fixture exactness check)
+  // srclint:capture-ok(fixture — sim runs the callback synchronously)
+  sim.schedule([&sum_ns] { sum_ns += 1; });
+  return sum_ns + (exact ? 1 : 0);
 }

@@ -1,16 +1,24 @@
-// End-to-end self-test of the srclint binary: each rule R1–R5 must fire on
+// End-to-end self-test of the srclint binary: each rule R1–R9 must fire on
 // its deliberately-violating fixture with exact findings, stay silent on
 // the clean fixture, honor suppression tags, and use the documented exit
-// codes (0 clean / 1 findings / 2 usage or I/O error).
+// codes (0 clean / 1 findings / 2 usage or I/O error). The v2 surfaces —
+// JSON/SARIF output, the baseline gate, and the shared-state inventory —
+// are exercised through the same binary.
 //
 // The binary path, fixture dir, compiler, and repo root are injected by
 // CMake as compile definitions.
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <sys/wait.h>
 #include <vector>
+
+#include "obs/json.hpp"
+
+namespace obs = src::obs;
 
 namespace {
 
@@ -182,9 +190,240 @@ TEST(SrclintExitCodes, UsageAndIoErrorsExitTwo) {
   EXPECT_EQ(run_srclint("").exit_code, 2);                       // nothing to lint
   EXPECT_EQ(run_srclint("--root /nonexistent-srclint").exit_code, 2);
   EXPECT_EQ(run_srclint("--frobnicate").exit_code, 2);           // unknown option
-  EXPECT_EQ(run_srclint("--rules R9 x.cpp").exit_code, 2);       // unknown rule
+  EXPECT_EQ(run_srclint("--rules R12 x.cpp").exit_code, 2);      // unknown rule
+  EXPECT_EQ(run_srclint("--format yaml x.cpp").exit_code, 2);    // unknown format
   EXPECT_EQ(run_srclint("/no/such/file.cpp").exit_code, 2);      // unreadable file
   EXPECT_EQ(run_srclint("--root . x.cpp").exit_code, 2);         // mutually exclusive
+}
+
+TEST(SrclintR6, FiresOnEveryUnitMix) {
+  const std::string path = fixture("r6_bad.cpp");
+  const RunResult r = run_srclint("--rules R6 " + path);
+  EXPECT_EQ(r.exit_code, 1);
+  const std::string tail = ") mixes units — convert explicitly before combining";
+  EXPECT_EQ(r.output,
+            joined({
+                path + ":6: R6: unit mismatch: 'timeout_us' (us) + "
+                       "'delay_ns' (ns" + tail,
+                path + ":10: R6: unit mismatch: 'rate_gbps' (gbps) < "
+                       "'budget_bytes_per_sec' (bytes_per_sec" + tail,
+                path + ":15: R6: unit mismatch: 'deadline_ns' (ns) = "
+                       "'window_ms' (ms" + tail,
+                path + ":24: R6: unit mismatch: 'as_ms' (ms) - 't_us' (us" +
+                    tail,
+            }));
+}
+
+TEST(SrclintR6, SilentOnSameUnitAndExplicitConversions) {
+  const RunResult r = run_srclint("--rules R6 " + fixture("r6_clean.cpp"));
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_EQ(r.output, "");
+}
+
+TEST(SrclintR7, FiresOnExactCompareAccumulateAndReduction) {
+  const std::string path = fixture("r7_bad.cpp");
+  const RunResult r = run_srclint("--rules R7 " + path);
+  EXPECT_EQ(r.exit_code, 1);
+  const std::string cmp_msg =
+      "' on floating-point values — exact FP comparison is "
+      "representation-sensitive; compare with a tolerance or justify with "
+      "srclint:fp-ok(<reason>)";
+  EXPECT_EQ(
+      r.output,
+      joined({
+          path + ":9: R7: '==" + cmp_msg,
+          path + ":13: R7: '!=" + cmp_msg,
+          path + ":17: R7: std::accumulate over floating-point values — FP "
+                 "addition is not associative, so the reduction order is "
+                 "observable; write an explicit loop over a pinned order and "
+                 "justify with srclint:fp-ok(<reason>)",
+          path + ":22: R7: order-sensitive floating-point reduction "
+                 "'total +=' inside a range-for — the iteration order feeds "
+                 "the FP result; pin it and justify with "
+                 "srclint:fp-ok(<reason>)",
+      }));
+}
+
+TEST(SrclintR7, SilentOnToleranceIntegersAndJustifiedLoops) {
+  const RunResult r = run_srclint("--rules R7 " + fixture("r7_clean.cpp"));
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_EQ(r.output, "");
+}
+
+TEST(SrclintR8, FiresOnEveryMutableStaticStorageFlavor) {
+  const std::string path = fixture("r8_bad.cpp");
+  const RunResult r = run_srclint("--rules R8 " + path);
+  EXPECT_EQ(r.exit_code, 1);
+  const std::string msg =
+      "' — hidden shared mutable state blocks per-worker event-lane "
+      "sharding; make it per-instance, or annotate with "
+      "srclint:shared-ok(<reason>) to add it to the inventory";
+  EXPECT_EQ(r.output,
+            joined({
+                path + ":6: R8: mutable namespace-scope state "
+                       "'fx::global_counter" + msg,
+                path + ":8: R8: mutable namespace-scope state 'fx::drift" + msg,
+                path + ":11: R8: mutable static-member state "
+                       "'fx::Pool::live_objects" + msg,
+                path + ":15: R8: mutable local-static state 'fx::counter" + msg,
+                path + ":19: R8: mutable thread-local state "
+                       "'fx::tls_scratch" + msg,
+            }));
+}
+
+TEST(SrclintR8, SilentOnConstantsAndAnnotatedState) {
+  const RunResult r = run_srclint("--rules R8 " + fixture("r8_clean.cpp"));
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_EQ(r.output, "");
+}
+
+TEST(SrclintR9, FiresOnRefAndThisCapturesIncludingWrappers) {
+  const std::string path = fixture("r9_bad.cpp");
+  const RunResult r = run_srclint("--rules R9 " + path);
+  EXPECT_EQ(r.exit_code, 1);
+  const std::string msg =
+      " — the callback runs later, from the event loop, and may outlive the "
+      "captured frame; capture by value or justify the lifetime with "
+      "srclint:capture-ok(<reason>)";
+  EXPECT_EQ(r.output,
+            joined({
+                path + ":21: R9: lambda passed to scheduler 'schedule_at' "
+                       "captures by reference" + msg,
+                path + ":22: R9: lambda passed to scheduler 'schedule' "
+                       "captures raw 'this'" + msg,
+                path + ":23: R9: lambda passed to scheduler 'schedule_at' "
+                       "captures by reference" + msg,
+                // `run_later` is a scheduler by propagation: its body calls
+                // schedule_at, so a by-ref lambda handed to it is deferred.
+                path + ":28: R9: lambda passed to scheduler 'run_later' "
+                       "captures by reference" + msg,
+            }));
+}
+
+TEST(SrclintR9, SilentOnByValueCopiesAndJustifiedCaptures) {
+  const RunResult r = run_srclint("--rules R9 " + fixture("r9_clean.cpp"));
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_EQ(r.output, "");
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(SrclintFormats, JsonFindingsParseAndRoundTripCount) {
+  const RunResult r =
+      run_srclint("--rules R6 --format json " + fixture("r6_bad.cpp"));
+  EXPECT_EQ(r.exit_code, 1);
+  const obs::Json doc = obs::Json::parse(r.output);
+  EXPECT_EQ(doc.find("schema")->as_string(), "src-lint-v1");
+  EXPECT_EQ(doc.find("count")->as_int64(), 4);
+  const auto& findings = doc.find("findings")->as_array();
+  ASSERT_EQ(findings.size(), 4u);
+  EXPECT_EQ(findings[0].find("rule")->as_string(), "R6");
+  EXPECT_EQ(findings[0].find("line")->as_int64(), 6);
+  EXPECT_EQ(findings[0].find("path")->as_string(), fixture("r6_bad.cpp"));
+}
+
+TEST(SrclintFormats, SarifIsValidJsonWithRuleMetadata) {
+  const RunResult r =
+      run_srclint("--rules R9 --format sarif " + fixture("r9_bad.cpp"));
+  EXPECT_EQ(r.exit_code, 1);
+  const obs::Json doc = obs::Json::parse(r.output);
+  EXPECT_EQ(doc.find("version")->as_string(), "2.1.0");
+  const auto& runs = doc.find("runs")->as_array();
+  ASSERT_EQ(runs.size(), 1u);
+  const obs::Json& driver = *runs[0].find("tool")->find("driver");
+  EXPECT_EQ(driver.find("name")->as_string(), "srclint");
+  EXPECT_EQ(driver.find("rules")->as_array().size(), 9u);  // R1..R9 documented
+  const auto& results = runs[0].find("results")->as_array();
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_EQ(results[0].find("ruleId")->as_string(), "R9");
+  EXPECT_EQ(results[0].find("level")->as_string(), "error");
+  const obs::Json& location = results[0].find("locations")->as_array()[0];
+  const obs::Json& physical = *location.find("physicalLocation");
+  EXPECT_EQ(physical.find("artifactLocation")->find("uri")->as_string(),
+            fixture("r9_bad.cpp"));
+  EXPECT_EQ(physical.find("region")->find("startLine")->as_int64(), 21);
+}
+
+TEST(SrclintFormats, SarifOutWritesFileAlongsideTextOutput) {
+  const std::string sarif_path = testing::TempDir() + "srclint_sarif_out.json";
+  const RunResult r = run_srclint("--rules R6 --sarif-out " + sarif_path +
+                                  " " + fixture("r6_bad.cpp"));
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("R6: unit mismatch"), std::string::npos);  // text
+  const obs::Json doc = obs::Json::parse(slurp(sarif_path));
+  EXPECT_EQ(doc.find("version")->as_string(), "2.1.0");
+  std::remove(sarif_path.c_str());
+}
+
+TEST(SrclintBaseline, RoundTripGatesKnownFindings) {
+  const std::string baseline = testing::TempDir() + "srclint_baseline_rt.txt";
+  const RunResult write = run_srclint("--rules R6 --write-baseline " +
+                                      baseline + " " + fixture("r6_bad.cpp"));
+  EXPECT_EQ(write.exit_code, 0);
+  const RunResult gated = run_srclint("--rules R6 --baseline " + baseline +
+                                      " " + fixture("r6_bad.cpp"));
+  EXPECT_EQ(gated.exit_code, 0);  // all findings known -> clean
+  EXPECT_EQ(gated.output, "");
+  std::remove(baseline.c_str());
+}
+
+TEST(SrclintBaseline, NewFindingsStillFailThroughTheGate) {
+  const std::string baseline = testing::TempDir() + "srclint_baseline_new.txt";
+  const RunResult write = run_srclint("--rules R6 --write-baseline " +
+                                      baseline + " " + fixture("r6_bad.cpp"));
+  EXPECT_EQ(write.exit_code, 0);
+  // Same baseline, but the run now also lints the R9 fixture: only the R9
+  // findings (not in the baseline) must surface.
+  const RunResult gated =
+      run_srclint("--rules R6,R9 --baseline " + baseline + " " +
+                  fixture("r6_bad.cpp") + " " + fixture("r9_bad.cpp"));
+  EXPECT_EQ(gated.exit_code, 1);
+  EXPECT_EQ(gated.output.find("R6:"), std::string::npos);
+  EXPECT_NE(gated.output.find("R9: lambda passed to scheduler"),
+            std::string::npos);
+  std::remove(baseline.c_str());
+}
+
+TEST(SrclintBaseline, MissingBaselineFileIsAnError) {
+  const RunResult r = run_srclint("--baseline /no/such/baseline.txt " +
+                                  fixture("r6_clean.cpp"));
+  EXPECT_EQ(r.exit_code, 2);
+}
+
+TEST(SrclintInventory, SharedStateInventoryRecordsMutabilityAndReasons) {
+  const std::string inv_path = testing::TempDir() + "srclint_inventory.json";
+  const RunResult r =
+      run_srclint("--rules R8 --shared-inventory " + inv_path + " " +
+                  fixture("r8_clean.cpp"));
+  EXPECT_EQ(r.exit_code, 0);  // clean fixture: inventory, but no findings
+  const obs::Json doc = obs::Json::parse(slurp(inv_path));
+  EXPECT_EQ(doc.find("schema")->as_string(), "src-shared-state-v1");
+  const auto& objects = doc.find("objects")->as_array();
+  ASSERT_EQ(doc.find("count")->as_uint64(), objects.size());
+  bool saw_annotated = false;
+  bool saw_const = false;
+  for (const obs::Json& obj : objects) {
+    if (obj.find("name")->as_string() == "fx::registry_generation") {
+      saw_annotated = true;
+      EXPECT_TRUE(obj.find("annotated")->as_bool());
+      EXPECT_FALSE(obj.find("const")->as_bool());
+      EXPECT_EQ(obj.find("reason")->as_string(),
+                "append-only registry guarded by the global init mutex");
+    }
+    if (obj.find("name")->as_string() == "fx::kLimit") {
+      saw_const = true;
+      EXPECT_TRUE(obj.find("const")->as_bool());
+      EXPECT_EQ(obj.find("storage")->as_string(), "namespace-scope");
+    }
+  }
+  EXPECT_TRUE(saw_annotated);
+  EXPECT_TRUE(saw_const);
+  std::remove(inv_path.c_str());
 }
 
 TEST(SrclintTreeMode, SkipsGitignoredPathsAndFixtures) {

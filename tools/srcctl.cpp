@@ -14,6 +14,8 @@
 #include <iterator>
 #include <map>
 #include <string>
+#include <sys/wait.h>
+#include <unistd.h>
 #include <vector>
 
 #include "chaos/campaign.hpp"
@@ -1178,14 +1180,122 @@ int cmd_chaos(const Args& args) {
   return 2;
 }
 
+/// `srcctl lint` — run the srclint binary that ships beside this
+/// executable, forwarding all flags and files verbatim (srclint owns its
+/// own CLI; see tools/srclint). Conveniences added on top:
+///   - when neither --root nor explicit files are given, the repository
+///     root is autodetected by walking up from the current directory
+///     (marker: a tools/srclint directory next to src/),
+///   - the committed baseline (tools/srclint/baseline.txt) is applied
+///     automatically in that mode unless the caller names one.
+/// The linter's exit code is propagated unchanged (0/1/2).
+int cmd_lint(int argc, char** argv) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> forward(argv + 2, argv + argc);
+
+  static const std::vector<std::string> kValueFlags = {
+      "--root",         "--rules",          "--cxx",       "--jobs",
+      "--format",       "--baseline",       "--write-baseline",
+      "--sarif-out",    "--shared-inventory"};
+  bool has_root = false, has_baseline = false, has_files = false;
+  for (std::size_t i = 0; i < forward.size(); ++i) {
+    const std::string& arg = forward[i];
+    if (arg == "--help") {
+      std::puts(
+          "srcctl lint [srclint flags] [files...]\n"
+          "  with no --root and no files, lints the enclosing repository\n"
+          "  against its committed baseline; otherwise forwards verbatim.\n"
+          "  srclint flags: --rules R1,.. --format text|json|sarif\n"
+          "  --baseline F --write-baseline F --sarif-out F\n"
+          "  --shared-inventory F --no-header-check --cxx CC --jobs N --list");
+      return 0;
+    }
+    if (arg == "--root") has_root = true;
+    if (arg == "--baseline" || arg == "--write-baseline") has_baseline = true;
+    if (arg.rfind("--", 0) == 0) {
+      // Skip this flag's value so it is not mistaken for a file.
+      if (std::find(kValueFlags.begin(), kValueFlags.end(), arg) !=
+          kValueFlags.end()) {
+        ++i;
+      }
+      continue;
+    }
+    has_files = true;
+  }
+
+  if (!has_root && !has_files) {
+    fs::path probe = fs::current_path();
+    fs::path root;
+    for (; !probe.empty(); probe = probe.parent_path()) {
+      if (fs::is_directory(probe / "tools" / "srclint") &&
+          fs::is_directory(probe / "src")) {
+        root = probe;
+        break;
+      }
+      if (probe == probe.root_path()) break;
+    }
+    if (root.empty()) {
+      std::fprintf(stderr,
+                   "srcctl lint: not inside the repository (no tools/srclint "
+                   "found walking up from the current directory); pass "
+                   "--root or explicit files\n");
+      return 2;
+    }
+    forward.insert(forward.begin(), {"--root", root.string()});
+    const fs::path baseline = root / "tools" / "srclint" / "baseline.txt";
+    if (!has_baseline && fs::exists(baseline)) {
+      forward.push_back("--baseline");
+      forward.push_back(baseline.string());
+    }
+  }
+
+  // The srclint binary is built into the same directory as srcctl.
+  std::error_code ec;
+  fs::path self = fs::read_symlink("/proc/self/exe", ec);
+  if (ec) self = fs::absolute(argv[0], ec);
+  const fs::path srclint = self.parent_path() / "srclint";
+  if (!fs::exists(srclint)) {
+    std::fprintf(stderr, "srcctl lint: srclint binary not found at '%s' "
+                 "(build the `srclint` target)\n", srclint.c_str());
+    return 2;
+  }
+
+  std::vector<std::string> exec_args;
+  exec_args.push_back(srclint.string());
+  exec_args.insert(exec_args.end(), forward.begin(), forward.end());
+  std::vector<char*> exec_argv;
+  exec_argv.reserve(exec_args.size() + 1);
+  for (std::string& a : exec_args) exec_argv.push_back(a.data());
+  exec_argv.push_back(nullptr);
+
+  const pid_t pid = fork();
+  if (pid < 0) {
+    std::perror("srcctl lint: fork");
+    return 2;
+  }
+  if (pid == 0) {
+    execv(exec_argv[0], exec_argv.data());
+    std::perror("srcctl lint: execv");
+    _exit(127);
+  }
+  int status = 0;
+  if (waitpid(pid, &status, 0) < 0) {
+    std::perror("srcctl lint: waitpid");
+    return 2;
+  }
+  return WIFEXITED(status) ? WEXITSTATUS(status) : 2;
+}
+
 /// The subcommand table: name, one-line summary for the generated help,
 /// handler, and whether positional operands are accepted (commands that
-/// take only flags reject strays up front).
+/// take only flags reject strays up front). Forwarding commands (lint)
+/// set `raw_handler` instead and receive untouched argc/argv.
 struct Command {
   const char* name;
   const char* summary;
-  int (*handler)(const Args&);
+  int (*handler)(const Args&) = nullptr;
   bool takes_positionals = false;
+  int (*raw_handler)(int, char**) = nullptr;
 };
 
 const Command kCommands[] = {
@@ -1210,6 +1320,8 @@ const Command kCommands[] = {
      cmd_benchcheck, true},
     {"metricscheck", "validate srcctl run reports against src-run-v1",
      cmd_metricscheck, true},
+    {"lint", "run the srclint determinism & invariant linter (R1-R9)",
+     nullptr, true, cmd_lint},
 };
 
 int print_usage(std::FILE* out) {
@@ -1230,6 +1342,7 @@ int main(int argc, char** argv) {
   }
   for (const Command& command : kCommands) {
     if (name != command.name) continue;
+    if (command.raw_handler != nullptr) return command.raw_handler(argc, argv);
     const Args args(argc, argv, 2);
     if (!command.takes_positionals && !args.positionals().empty()) {
       std::fprintf(stderr, "%s: unexpected argument '%s'\n", command.name,

@@ -37,7 +37,17 @@ void collect_tags(std::string_view comment, int line, Suppressions& out) {
     if (word.size() > kOkFile.size() && word.ends_with(kOkFile)) {
       out.file_tags.emplace(word.substr(0, word.size() - kOkFile.size()));
     } else if (word.size() > kOk.size() && word.ends_with(kOk)) {
-      out.line_tags[line].emplace(word.substr(0, word.size() - kOk.size()));
+      const std::string tag(word.substr(0, word.size() - kOk.size()));
+      out.line_tags[line].emplace(tag);
+      // Optional parenthesized justification: `srclint:<tag>-ok(reason)`.
+      if (end < comment.size() && comment[end] == '(') {
+        const std::size_t close = comment.find(')', end + 1);
+        if (close != std::string_view::npos) {
+          out.line_reasons[line][tag] =
+              std::string(comment.substr(end + 1, close - end - 1));
+          end = close + 1;
+        }
+      }
     }
     pos = end;
   }

@@ -27,10 +27,15 @@ struct Token {
 
 /// Suppression tags found in comments, keyed by line number. A finding of
 /// rule tag T at line L is suppressed when `srclint:T-ok` appears on line
-/// L or L-1, or `srclint:T-ok-file` appears anywhere in the file.
+/// L or L-1, or `srclint:T-ok-file` appears anywhere in the file. A tag may
+/// carry a parenthesized justification — `srclint:shared-ok(reset per run)`
+/// — which is preserved so the R8 shared-state inventory can report it.
 struct Suppressions {
   std::unordered_map<int, std::unordered_set<std::string>> line_tags;
   std::unordered_set<std::string> file_tags;
+  /// line -> tag -> justification text (only tags written with `(...)`).
+  std::unordered_map<int, std::unordered_map<std::string, std::string>>
+      line_reasons;
 
   bool active(const std::string& tag, int line) const {
     if (file_tags.contains(tag)) return true;
@@ -39,6 +44,18 @@ struct Suppressions {
       if (it != line_tags.end() && it->second.contains(tag)) return true;
     }
     return false;
+  }
+
+  /// Justification attached to an active `tag` suppression near `line`
+  /// (same or preceding line); empty when none was written.
+  std::string reason(const std::string& tag, int line) const {
+    for (int probe = line; probe >= line - 1; --probe) {
+      auto it = line_reasons.find(probe);
+      if (it == line_reasons.end()) continue;
+      auto jt = it->second.find(tag);
+      if (jt != it->second.end()) return jt->second;
+    }
+    return {};
   }
 };
 

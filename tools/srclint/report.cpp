@@ -1,0 +1,262 @@
+#include "report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace srclint {
+namespace {
+
+/// Minimal JSON string escaping (control chars, quote, backslash).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+struct RuleDoc {
+  const char* id;
+  const char* name;
+  const char* description;
+};
+
+/// SARIF rule metadata, kept in rule order.
+constexpr RuleDoc kRuleDocs[] = {
+    {"R1", "no-nondeterminism-sources",
+     "Wall clocks, std::rand and std::random_device are banned; all "
+     "randomness and time must come from the seeded Rng and the simulator "
+     "clock."},
+    {"R2", "no-unordered-iteration",
+     "Iteration over unordered containers in simulation code — hash-table "
+     "layout must never feed event or arithmetic order."},
+    {"R3", "passive-observability-macros",
+     "SRC_OBS_* macro arguments must not mutate state; recording is "
+     "passive."},
+    {"R4", "no-default-seeded-engines",
+     "RNG engines must never be default-constructed; every generator "
+     "threads an explicit seed."},
+    {"R5", "self-contained-headers",
+     "Public headers must compile standalone."},
+    {"R6", "unit-suffix-consistency",
+     "Identifiers carrying unit suffixes (_ns/_us/_ms, _bytes_per_sec/"
+     "_gbps/_mbps) must not be mixed across units in additive arithmetic, "
+     "comparisons, or assignment."},
+    {"R7", "fp-determinism",
+     "No ==/!= on floating-point values, no std::accumulate/std::reduce "
+     "over floats, and no range-for reductions into a float without an "
+     "ordering justification — FP addition is not associative."},
+    {"R8", "shared-state-race-surface",
+     "Every mutable object with static storage duration in simulation "
+     "directories is part of the race surface blocking per-worker event "
+     "lanes; it must be made per-instance or annotated "
+     "srclint:shared-ok(<reason>)."},
+    {"R9", "callback-capture-safety",
+     "Lambdas passed to the scheduling API must not capture by reference "
+     "or capture raw this without a srclint:capture-ok(<reason>) lifetime "
+     "justification — the callback runs later, from the event loop."},
+};
+
+std::string render_text(const std::vector<Finding>& findings) {
+  std::string out;
+  for (const Finding& f : findings) {
+    out += f.path + ":" + std::to_string(f.line) + ": " + f.rule + ": " +
+           f.message + "\n";
+  }
+  return out;
+}
+
+std::string render_json(const std::vector<Finding>& findings) {
+  std::string out = "{\n  \"schema\": \"src-lint-v1\",\n  \"findings\": [";
+  bool first = true;
+  for (const Finding& f : findings) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"path\": \"" + json_escape(f.path) +
+           "\", \"line\": " + std::to_string(f.line) + ", \"rule\": \"" +
+           f.rule + "\", \"message\": \"" + json_escape(f.message) + "\"}";
+  }
+  out += findings.empty() ? "]" : "\n  ]";
+  out += ",\n  \"count\": " + std::to_string(findings.size()) + "\n}\n";
+  return out;
+}
+
+std::string render_sarif(const std::vector<Finding>& findings,
+                         const std::string& root_hint) {
+  std::string out;
+  out +=
+      "{\n"
+      "  \"$schema\": "
+      "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      "  \"version\": \"2.1.0\",\n"
+      "  \"runs\": [\n"
+      "    {\n"
+      "      \"tool\": {\n"
+      "        \"driver\": {\n"
+      "          \"name\": \"srclint\",\n"
+      "          \"version\": \"2.0.0\",\n"
+      "          \"informationUri\": "
+      "\"https://example.invalid/srclint\",\n"
+      "          \"rules\": [\n";
+  bool first = true;
+  for (const RuleDoc& doc : kRuleDocs) {
+    if (!first) out += ",\n";
+    first = false;
+    out += std::string("            {\"id\": \"") + doc.id +
+           "\", \"name\": \"" + doc.name +
+           "\", \"shortDescription\": {\"text\": \"" +
+           json_escape(doc.description) + "\"}}";
+  }
+  out +=
+      "\n          ]\n"
+      "        }\n"
+      "      },\n";
+  if (!root_hint.empty()) {
+    out += "      \"originalUriBaseIds\": {\"SRCROOT\": {\"uri\": \"file://" +
+           json_escape(root_hint) + "/\"}},\n";
+  }
+  out += "      \"results\": [";
+  first = true;
+  for (const Finding& f : findings) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "        {\"ruleId\": \"" + f.rule +
+           "\", \"level\": \"error\", \"message\": {\"text\": \"" +
+           json_escape(f.message) +
+           "\"}, \"locations\": [{\"physicalLocation\": "
+           "{\"artifactLocation\": {\"uri\": \"" +
+           json_escape(f.path) +
+           (root_hint.empty() ? std::string("\"")
+                              : std::string("\", \"uriBaseId\": \"SRCROOT\"")) +
+           "}, \"region\": {\"startLine\": " + std::to_string(f.line) +
+           "}}}]}";
+  }
+  out += findings.empty() ? "]\n" : "\n      ]\n";
+  out +=
+      "    }\n"
+      "  ]\n"
+      "}\n";
+  return out;
+}
+
+}  // namespace
+
+bool parse_format(const std::string& name, OutputFormat& out) {
+  if (name == "text") out = OutputFormat::kText;
+  else if (name == "json") out = OutputFormat::kJson;
+  else if (name == "sarif") out = OutputFormat::kSarif;
+  else return false;
+  return true;
+}
+
+std::string baseline_key(const Finding& finding) {
+  return finding.path + ": " + finding.rule + ": " + finding.message;
+}
+
+bool Baseline::load(const std::string& path, Baseline& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::map<std::string, int> counted;
+  std::string line;
+  while (std::getline(in, line)) {
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+      line.pop_back();
+    }
+    if (line.empty() || line[0] == '#') continue;
+    ++counted[line];
+  }
+  out.entries_.assign(counted.begin(), counted.end());
+  return true;
+}
+
+bool Baseline::match(const Finding& finding) {
+  const std::string key = baseline_key(finding);
+  for (auto& [entry, remaining] : entries_) {
+    if (entry == key && remaining > 0) {
+      --remaining;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::string> Baseline::unmatched() const {
+  std::vector<std::string> out;
+  for (const auto& [entry, remaining] : entries_) {
+    for (int i = 0; i < remaining; ++i) out.push_back(entry);
+  }
+  return out;
+}
+
+std::string render_baseline(const std::vector<Finding>& findings) {
+  std::vector<std::string> keys;
+  keys.reserve(findings.size());
+  for (const Finding& f : findings) keys.push_back(baseline_key(f));
+  std::sort(keys.begin(), keys.end());
+  std::string out =
+      "# srclint baseline — known findings tolerated while the tree is\n"
+      "# burned down incrementally. One `path: rule: message` key per\n"
+      "# line (line numbers dropped so unrelated edits don't invalidate\n"
+      "# entries; duplicates count occurrences). Regenerate with\n"
+      "#   srclint --root . --write-baseline tools/srclint/baseline.txt\n"
+      "# Entries here are debt, not exemptions: fix or annotate, then\n"
+      "# delete the line.\n";
+  for (const std::string& key : keys) {
+    out += key;
+    out += "\n";
+  }
+  return out;
+}
+
+std::string render_findings(const std::vector<Finding>& findings,
+                            OutputFormat format,
+                            const std::string& root_hint) {
+  switch (format) {
+    case OutputFormat::kText: return render_text(findings);
+    case OutputFormat::kJson: return render_json(findings);
+    case OutputFormat::kSarif: return render_sarif(findings, root_hint);
+  }
+  return {};
+}
+
+std::string render_shared_inventory(const SymbolIndex& index) {
+  std::string out =
+      "{\n  \"schema\": \"src-shared-state-v1\",\n  \"objects\": [";
+  bool first = true;
+  for (const SharedObject& obj : index.shared_objects) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"path\": \"" + json_escape(obj.path) +
+           "\", \"line\": " + std::to_string(obj.line) + ", \"name\": \"" +
+           json_escape(obj.qualified) + "\", \"type\": \"" +
+           json_escape(obj.type_text) + "\", \"storage\": \"" +
+           storage_name(obj.storage) + "\", \"const\": " +
+           (obj.is_const ? "true" : "false") + ", \"annotated\": " +
+           (obj.annotated ? "true" : "false") + ", \"reason\": \"" +
+           json_escape(obj.reason) + "\"}";
+  }
+  out += first ? "]" : "\n  ]";
+  out += ",\n  \"count\": " + std::to_string(index.shared_objects.size()) +
+         "\n}\n";
+  return out;
+}
+
+}  // namespace srclint

@@ -1,0 +1,66 @@
+// srclint output backends and the baseline workflow.
+//
+//   - text:  `file:line: rule: message` (the classic format, stable for
+//            the exact-output self-tests)
+//   - json:  src-lint-v1 — machine-readable findings
+//   - sarif: SARIF 2.1.0, suitable for GitHub code-scanning upload
+//
+// Baseline: a committed file of `path: rule: message` keys (line numbers
+// deliberately dropped so the baseline survives unrelated edits). New
+// rules land gated-on-new-findings: known findings listed in the baseline
+// are filtered out, everything else still fails the build. The intent is
+// incremental burn-down, never permanent exemption.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "index.hpp"
+#include "rules.hpp"
+
+namespace srclint {
+
+enum class OutputFormat { kText, kJson, kSarif };
+
+/// Parse "text" / "json" / "sarif"; false on anything else.
+bool parse_format(const std::string& name, OutputFormat& out);
+
+/// The baseline key of a finding: `path: rule: message` (no line).
+std::string baseline_key(const Finding& finding);
+
+/// A loaded baseline: a multiset of keys (duplicates count, so two known
+/// findings with identical messages in one file need two entries).
+class Baseline {
+ public:
+  /// Load from `path`. Blank lines and `#` comments are ignored.
+  /// Returns false when the file cannot be read.
+  static bool load(const std::string& path, Baseline& out);
+
+  /// True (and consumes one occurrence) when `finding` is in the
+  /// baseline. Call once per finding.
+  bool match(const Finding& finding);
+
+  /// Keys that were loaded but never matched — stale entries that should
+  /// be pruned from the committed file.
+  std::vector<std::string> unmatched() const;
+
+ private:
+  std::vector<std::pair<std::string, int>> entries_;  ///< key -> remaining
+};
+
+/// Serialize `findings` as a baseline file (sorted, deduplicated into
+/// counted occurrences via repetition, with a self-describing header).
+std::string render_baseline(const std::vector<Finding>& findings);
+
+/// Render findings in the requested format. `root_hint` names the scanned
+/// root for SARIF's originalUriBaseIds (empty in explicit-file mode).
+std::string render_findings(const std::vector<Finding>& findings,
+                            OutputFormat format, const std::string& root_hint);
+
+/// src-shared-state-v1: the full R8 inventory (const and annotated
+/// objects included) — the machine-readable input to the pod-scale
+/// sharding refactor.
+std::string render_shared_inventory(const SymbolIndex& index);
+
+}  // namespace srclint

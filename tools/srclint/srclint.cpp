@@ -1,5 +1,11 @@
 // srclint — determinism & invariant static analysis for this repo.
 //
+// Two-phase analyzer: phase 1 lexes every file and builds a lightweight
+// cross-TU symbol index (unordered-container names, static-storage
+// objects with mutability, float-typed members, functions that call the
+// scheduling API); phase 2 runs the rule families R1-R9 over the token
+// streams and the index.
+//
 // Two modes:
 //   srclint --root <repo>          lint the whole tree (src/ bench/ tests/
 //                                  tools/ examples/, minus gitignored paths
@@ -8,11 +14,20 @@
 //                                  disabled; used by the lint self-tests)
 //
 // Options:
-//   --rules R1,R2,...   run only the listed rules (default: all)
-//   --no-header-check   skip R5 (header self-containment)
-//   --cxx <compiler>    compiler for R5 TU checks (default: $CXX or c++)
-//   --jobs <n>          parallel R5 compile jobs (default: hardware)
-//   --list              print the files that would be linted, then exit 0
+//   --rules R1,R2,...        run only the listed rules (default: all)
+//   --no-header-check        skip R5 (header self-containment)
+//   --cxx <compiler>         compiler for R5 TU checks (default: $CXX or c++)
+//   --jobs <n>               parallel R5 compile jobs (default: hardware)
+//   --format text|json|sarif findings format on stdout (default: text)
+//   --baseline <file>        filter findings listed in the baseline file;
+//                            only new findings fail the run
+//   --write-baseline <file>  write the current findings as a baseline and
+//                            exit 0 (the burn-down workflow's first step)
+//   --sarif-out <file>       additionally write SARIF 2.1.0 to <file>,
+//                            independent of --format (for CI upload)
+//   --shared-inventory <f>   write the full R8 shared-state inventory
+//                            (src-shared-state-v1 JSON) to <f>
+//   --list                   print the files that would be linted, exit 0
 //
 // Exit codes: 0 clean, 1 findings reported, 2 usage or I/O error — so CI
 // can distinguish "violations" from "the linter itself broke".
@@ -26,7 +41,9 @@
 #include <vector>
 
 #include "header_check.hpp"
+#include "index.hpp"
 #include "lexer.hpp"
+#include "report.hpp"
 #include "rules.hpp"
 #include "walker.hpp"
 
@@ -41,7 +58,11 @@ constexpr int kExitError = 2;
 int usage_error(const std::string& message) {
   std::cerr << "srclint: " << message << "\n"
             << "usage: srclint --root <dir> [--rules R1,..] [--no-header-check]"
-               " [--cxx <compiler>] [--jobs <n>] [--list]\n"
+               " [--cxx <compiler>] [--jobs <n>]\n"
+               "               [--format text|json|sarif] [--baseline <file>]"
+               " [--write-baseline <file>]\n"
+               "               [--sarif-out <file>] [--shared-inventory <file>]"
+               " [--list]\n"
             << "       srclint [options] <file>...\n";
   return kExitError;
 }
@@ -55,6 +76,13 @@ bool read_file(const fs::path& path, std::string& out) {
   return true;
 }
 
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << content;
+  return bool(out);
+}
+
 struct Options {
   fs::path root;
   bool have_root = false;
@@ -63,6 +91,11 @@ struct Options {
   std::string cxx;
   std::size_t jobs = 0;
   RuleSet rules;
+  OutputFormat format = OutputFormat::kText;
+  std::string baseline_path;
+  std::string write_baseline_path;
+  std::string sarif_out_path;
+  std::string inventory_path;
   std::vector<std::string> files;
 };
 
@@ -76,6 +109,10 @@ bool parse_rules(const std::string& spec, RuleSet& out) {
     else if (item == "R3") out.r3 = true;
     else if (item == "R4") out.r4 = true;
     else if (item == "R5") out.r5 = true;
+    else if (item == "R6") out.r6 = true;
+    else if (item == "R7") out.r7 = true;
+    else if (item == "R8") out.r8 = true;
+    else if (item == "R9") out.r9 = true;
     else return false;
   }
   return true;
@@ -112,6 +149,29 @@ int main(int argc, char** argv) {
       std::string value;
       if (!next_value(value)) return usage_error("--jobs requires a value");
       opt.jobs = static_cast<std::size_t>(std::strtoul(value.c_str(), nullptr, 10));
+    } else if (arg == "--format") {
+      std::string value;
+      if (!next_value(value)) return usage_error("--format requires a value");
+      if (!parse_format(value, opt.format)) {
+        return usage_error("unknown format '" + value +
+                           "' (expected text, json, or sarif)");
+      }
+    } else if (arg == "--baseline") {
+      if (!next_value(opt.baseline_path)) {
+        return usage_error("--baseline requires a value");
+      }
+    } else if (arg == "--write-baseline") {
+      if (!next_value(opt.write_baseline_path)) {
+        return usage_error("--write-baseline requires a value");
+      }
+    } else if (arg == "--sarif-out") {
+      if (!next_value(opt.sarif_out_path)) {
+        return usage_error("--sarif-out requires a value");
+      }
+    } else if (arg == "--shared-inventory") {
+      if (!next_value(opt.inventory_path)) {
+        return usage_error("--shared-inventory requires a value");
+      }
     } else if (arg == "--no-header-check") {
       opt.header_check = false;
     } else if (arg == "--list") {
@@ -160,8 +220,9 @@ int main(int argc, char** argv) {
     return kExitClean;
   }
 
-  // Lex everything up front: R2's container-name collection is global
-  // (members are declared in headers, iterated in .cpp files).
+  // Phase 1: lex everything up front and build the cross-TU symbol index.
+  // R2's container-name collection and R7/R8/R9's symbol sets are global:
+  // members are declared in headers, used in .cpp files.
   std::vector<LexedFile> lexed;
   lexed.reserve(work.size());
   for (const Work& w : work) {
@@ -174,11 +235,22 @@ int main(int argc, char** argv) {
   }
   const std::unordered_set<std::string> unordered_names =
       collect_unordered_names(lexed);
+  const SymbolIndex index = build_index(lexed, tree_mode);
 
+  // Phase 2: token and semantic rules.
   std::vector<Finding> findings;
   for (const LexedFile& file : lexed) {
-    const bool r2_scope = tree_mode ? in_r2_scope_dir(file.path) : true;
-    run_token_rules(file, opt.rules, r2_scope, unordered_names, findings);
+    RuleScope scope;
+    if (tree_mode) {
+      scope.r2 = in_r2_scope_dir(file.path);
+      scope.r7 = in_r2_scope_dir(file.path);
+      scope.r8 = in_r8_scope_dir(file.path);
+      scope.r9 = in_r9_scope_dir(file.path);
+    }
+    run_token_rules(file, opt.rules, scope, unordered_names, index, findings);
+  }
+  if (opt.rules.r8) {
+    run_shared_state_rule(index, tree_mode, findings);
   }
 
   // R5: headers must compile standalone.
@@ -223,10 +295,59 @@ int main(int argc, char** argv) {
                      if (a.path != b.path) return a.path < b.path;
                      return a.line < b.line;
                    });
-  for (const Finding& f : findings) {
-    std::cout << f.path << ":" << f.line << ": " << f.rule << ": " << f.message
-              << "\n";
+
+  // Baseline workflow: --write-baseline snapshots the current findings;
+  // --baseline filters known ones so only NEW findings fail the run.
+  if (!opt.write_baseline_path.empty()) {
+    if (!write_file(opt.write_baseline_path, render_baseline(findings))) {
+      std::cerr << "srclint: cannot write baseline '"
+                << opt.write_baseline_path << "'\n";
+      return kExitError;
+    }
+    std::cerr << "srclint: wrote " << findings.size() << " finding(s) to '"
+              << opt.write_baseline_path << "'\n";
+    return kExitClean;
   }
+  if (!opt.baseline_path.empty()) {
+    Baseline baseline;
+    if (!Baseline::load(opt.baseline_path, baseline)) {
+      std::cerr << "srclint: cannot read baseline '" << opt.baseline_path
+                << "'\n";
+      return kExitError;
+    }
+    std::vector<Finding> fresh;
+    for (Finding& f : findings) {
+      if (!baseline.match(f)) fresh.push_back(std::move(f));
+    }
+    findings = std::move(fresh);
+    const std::vector<std::string> stale = baseline.unmatched();
+    if (!stale.empty()) {
+      std::cerr << "srclint: " << stale.size()
+                << " stale baseline entr(y/ies) no longer match — prune:\n";
+      for (const std::string& entry : stale) {
+        std::cerr << "  " << entry << "\n";
+      }
+    }
+  }
+
+  const std::string root_hint =
+      tree_mode ? opt.root.generic_string() : std::string();
+  if (!opt.sarif_out_path.empty()) {
+    if (!write_file(opt.sarif_out_path,
+                    render_findings(findings, OutputFormat::kSarif,
+                                    root_hint))) {
+      std::cerr << "srclint: cannot write '" << opt.sarif_out_path << "'\n";
+      return kExitError;
+    }
+  }
+  if (!opt.inventory_path.empty()) {
+    if (!write_file(opt.inventory_path, render_shared_inventory(index))) {
+      std::cerr << "srclint: cannot write '" << opt.inventory_path << "'\n";
+      return kExitError;
+    }
+  }
+
+  std::cout << render_findings(findings, opt.format, root_hint);
   if (!findings.empty()) {
     std::cerr << "srclint: " << findings.size() << " finding(s) in "
               << work.size() << " file(s) scanned\n";
