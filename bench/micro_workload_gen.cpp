@@ -1,54 +1,59 @@
-// Trace generation and feature extraction cost.
-#include <benchmark/benchmark.h>
+// Trace generation and feature extraction cost. Emits
+// BENCH_micro_workload_gen.json via the shared harness so the generator
+// throughput joins the committed perf-trajectory baselines.
+#include <cstdint>
+#include <cstdio>
+#include <string>
 
+#include "bench/harness.hpp"
 #include "workload/features.hpp"
 #include "workload/micro.hpp"
 #include "workload/mmpp.hpp"
 
-namespace {
+int main() {
+  using namespace src;
+  src::bench::Harness harness("micro_workload_gen");
+  double sink = 0.0;
 
-using namespace src;
-
-void BM_MicroTrace(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  std::uint64_t seed = 1;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        workload::generate_micro(workload::symmetric_micro(10.0, 32 * 1024, n), seed++));
+  for (const std::size_t n : {std::size_t{1'000}, std::size_t{10'000}}) {
+    std::uint64_t seed = 1;
+    harness.repeat("micro_trace/n=" + std::to_string(n), /*items_per_iter=*/2 * n, [&] {
+      const auto trace =
+          workload::generate_micro(workload::symmetric_micro(10.0, 32 * 1024, n), seed++);
+      sink += static_cast<double>(trace.size());
+      return 0;
+    });
   }
-  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(2 * n));
-}
-BENCHMARK(BM_MicroTrace)->Arg(1'000)->Arg(10'000);
 
-void BM_SyntheticTrace(benchmark::State& state) {
-  // Includes the MMPP fit (dominant cost) the first time per parameter set.
-  const auto params = workload::fujitsu_vdi_like(static_cast<std::size_t>(state.range(0)));
-  std::uint64_t seed = 1;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(workload::generate_synthetic(params, seed++));
+  {
+    // Includes the MMPP fit (dominant cost) the first time per parameter set.
+    const auto params = workload::fujitsu_vdi_like(1'000);
+    std::uint64_t seed = 1;
+    harness.repeat("synthetic_trace/n=1000", /*items_per_iter=*/2'000, [&] {
+      const auto trace = workload::generate_synthetic(params, seed++);
+      sink += static_cast<double>(trace.size());
+      return 0;
+    });
   }
-  state.SetItemsProcessed(state.iterations() * state.range(0) * 2);
-}
-BENCHMARK(BM_SyntheticTrace)->Arg(1'000)->Unit(benchmark::kMillisecond);
 
-void BM_Mmpp2Arrivals(benchmark::State& state) {
-  workload::Mmpp2Params params;
-  workload::Mmpp2Generator gen(params, common::Rng(3));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(gen.next_iat_us());
+  {
+    workload::Mmpp2Params params;
+    workload::Mmpp2Generator gen(params, common::Rng(3));
+    harness.repeat("mmpp2_arrivals", /*items_per_iter=*/1'000'000, [&] {
+      for (int i = 0; i < 1'000'000; ++i) sink += gen.next_iat_us();
+      return 0;
+    });
   }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_Mmpp2Arrivals);
 
-void BM_FeatureExtraction(benchmark::State& state) {
-  const auto trace = workload::generate_micro(
-      workload::symmetric_micro(10.0, 32 * 1024, 10'000), 5);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(workload::extract_features(trace));
+  {
+    const auto trace =
+        workload::generate_micro(workload::symmetric_micro(10.0, 32 * 1024, 10'000), 5);
+    harness.repeat("feature_extraction/n=10000", /*items_per_iter=*/trace.size(), [&] {
+      sink += workload::extract_features(trace).as_array()[0];
+      return 0;
+    });
   }
-  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(trace.size()));
-}
-BENCHMARK(BM_FeatureExtraction);
 
-}  // namespace
+  if (sink < 0.0) std::printf("%f\n", sink);  // defeat dead-code elimination
+  return 0;
+}

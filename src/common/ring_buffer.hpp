@@ -1,0 +1,69 @@
+// Power-of-two ring buffer with deque-front/back semantics, built for the
+// port egress queues: packets enter at the tail and leave at the head, so
+// in steady state a queue of any depth runs with zero allocation and the
+// occupied region stays a contiguous (at most two-piece) cache-friendly
+// window. Growth doubles the backing array in one chunk and re-linearizes
+// the contents; a fresh buffer does not allocate until the first push.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace src::common {
+
+template <typename T>
+class RingBuffer {
+ public:
+  RingBuffer() = default;
+
+  std::size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  std::size_t capacity() const { return storage_.size(); }
+
+  void push_back(T value) {
+    if (count_ == storage_.size()) grow();
+    storage_[(head_ + count_) & mask_] = std::move(value);
+    ++count_;
+  }
+
+  T& front() { return storage_[head_]; }
+  const T& front() const { return storage_[head_]; }
+
+  T& back() { return storage_[(head_ + count_ - 1) & mask_]; }
+  const T& back() const { return storage_[(head_ + count_ - 1) & mask_]; }
+
+  /// Element `i` positions behind the front (0 == front).
+  T& at_offset(std::size_t i) { return storage_[(head_ + i) & mask_]; }
+  const T& at_offset(std::size_t i) const { return storage_[(head_ + i) & mask_]; }
+
+  void pop_front() {
+    storage_[head_] = T{};  // drop any resources held by the slot
+    head_ = (head_ + 1) & mask_;
+    --count_;
+  }
+
+  void clear() {
+    while (count_ > 0) pop_front();
+    head_ = 0;
+  }
+
+ private:
+  void grow() {
+    const std::size_t cap = storage_.empty() ? 8 : storage_.size() * 2;
+    std::vector<T> next(cap);
+    for (std::size_t i = 0; i < count_; ++i) {
+      next[i] = std::move(storage_[(head_ + i) & mask_]);
+    }
+    storage_ = std::move(next);
+    head_ = 0;
+    mask_ = cap - 1;
+  }
+
+  std::vector<T> storage_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace src::common

@@ -36,6 +36,7 @@ class RunningStats {
 
   /// Squared coefficient of variation: var / mean^2 (0 when degenerate).
   double scv() const {
+    // srclint:fp-ok(exact-zero guard against dividing by mean^2)
     return (n_ > 1 && mean_ != 0.0) ? variance() / (mean_ * mean_) : 0.0;
   }
 

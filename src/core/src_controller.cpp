@@ -1,8 +1,10 @@
 #include "core/src_controller.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <limits>
+#include <span>
 
 #include "obs/obs.hpp"
 
@@ -10,7 +12,11 @@ namespace src::core {
 
 bool SrcController::sane_prediction(const workload::WorkloadFeatures& ch,
                                     double weight, TpmPrediction& out) const {
-  TpmPrediction prediction = tpm_.predict(ch, weight);
+  return validate_prediction(tpm_.predict(ch, weight), out);
+}
+
+bool SrcController::validate_prediction(TpmPrediction prediction,
+                                        TpmPrediction& out) const {
   if (prediction_hook_) prediction = prediction_hook_(prediction);
   if (!std::isfinite(prediction.read_bytes_per_sec) ||
       prediction.read_bytes_per_sec < 0.0 ||
@@ -38,9 +44,33 @@ std::uint32_t SrcController::predict_weight_ratio(
   std::uint32_t w = 1;
   std::uint32_t w_star = 1;
 
+  // Algorithm 1 walks consecutive candidate weights, so raw model
+  // inference is batched in blocks: one tree-major pass over the forest's
+  // flat node array serves kBlock candidates. The fault hook, guardrails
+  // and rejection accounting stay sequential and are applied only to the
+  // candidates the search actually visits, in visit order — the search is
+  // decision-for-decision identical to the unbatched loop.
+  constexpr std::uint32_t kBlock = 4;
+  std::array<double, kBlock> block_ws{};
+  std::array<TpmPrediction, kBlock> block_raw{};
+  std::uint32_t block_lo = 0;  // first w in block_raw; 0 = no block yet
+  const auto raw_prediction = [&](std::uint32_t candidate) {
+    if (block_lo == 0 || candidate < block_lo || candidate >= block_lo + kBlock) {
+      block_lo = candidate;
+      const auto count = static_cast<std::size_t>(
+          std::min(kBlock, params_.max_weight_ratio - candidate + 1));
+      for (std::size_t i = 0; i < count; ++i) {
+        block_ws[i] = static_cast<double>(candidate + i);
+      }
+      tpm_.predict_batch(ch, std::span{block_ws.data(), count},
+                         std::span{block_raw.data(), count});
+    }
+    return block_raw[candidate - block_lo];
+  };
+
   // Line 14: predict at w = 1.
   TpmPrediction prediction;
-  if (!sane_prediction(ch, static_cast<double>(w), prediction)) return current_w_;
+  if (!validate_prediction(raw_prediction(w), prediction)) return current_w_;
 
   // Lines 15-17: if the SSD cannot even reach r at equal priority, no
   // throttling is needed.
@@ -56,7 +86,7 @@ std::uint32_t SrcController::predict_weight_ratio(
     ++w;
     if (w > params_.max_weight_ratio) break;
     prev_tput = cur_tput;
-    if (!sane_prediction(ch, static_cast<double>(w), prediction)) {
+    if (!validate_prediction(raw_prediction(w), prediction)) {
       // Model went insane mid-search: act on the best point validated so
       // far rather than discarding the whole search.
       return w_star;

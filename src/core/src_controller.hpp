@@ -107,6 +107,10 @@ class SrcController {
   /// when the prediction must not be acted upon.
   bool sane_prediction(const workload::WorkloadFeatures& ch, double weight,
                        TpmPrediction& out) const;
+  /// Validation half of sane_prediction, applied to a raw model prediction
+  /// (batched search path): fault hook, finiteness and range guardrails,
+  /// rejection accounting.
+  bool validate_prediction(TpmPrediction prediction, TpmPrediction& out) const;
 
   const Tpm& tpm_;
   WorkloadMonitor& monitor_;

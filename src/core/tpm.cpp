@@ -1,5 +1,6 @@
 #include "core/tpm.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <stdexcept>
 
@@ -88,6 +89,26 @@ TpmPrediction Tpm::predict(const workload::WorkloadFeatures& ch, double w) const
   const std::vector<double> row = tpm_row(ch, w);
   const std::vector<double> out = model_->predict(row);
   return TpmPrediction{out[0], out[1]};
+}
+
+void Tpm::predict_batch(const workload::WorkloadFeatures& ch,
+                        std::span<const double> ws,
+                        std::span<TpmPrediction> out) const {
+  if (!fitted_) throw std::runtime_error("Tpm: not fitted");
+  if (ws.size() != out.size()) {
+    throw std::invalid_argument("Tpm::predict_batch: ws/out size mismatch");
+  }
+  const std::size_t n = ws.size();
+  if (n == 0) return;
+  std::vector<double> rows(n * kTpmFeatureCount);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::vector<double> row = tpm_row(ch, ws[i]);
+    std::copy(row.begin(), row.end(), rows.begin() + static_cast<std::ptrdiff_t>(i * kTpmFeatureCount));
+  }
+  std::vector<double> reads(n), writes(n);
+  model_->model(0).predict_batch(rows, kTpmFeatureCount, reads);
+  model_->model(1).predict_batch(rows, kTpmFeatureCount, writes);
+  for (std::size_t i = 0; i < n; ++i) out[i] = TpmPrediction{reads[i], writes[i]};
 }
 
 std::pair<double, double> Tpm::score(const ml::Dataset& data) const {

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -57,6 +58,14 @@ class Tpm {
   bool fitted() const { return fitted_; }
 
   TpmPrediction predict(const workload::WorkloadFeatures& ch, double w) const;
+
+  /// Predict the same workload at several candidate weight ratios in one
+  /// batched pass per target model (Algorithm 1 evaluates a run of
+  /// consecutive w values per congestion event). Each entry is
+  /// bit-identical to predict(ch, ws[i]).
+  void predict_batch(const workload::WorkloadFeatures& ch,
+                     std::span<const double> ws,
+                     std::span<TpmPrediction> out) const;
 
   /// Per-target-column R^2 on held-out data: {read R^2, write R^2}.
   std::pair<double, double> score(const ml::Dataset& data) const;

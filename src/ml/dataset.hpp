@@ -43,6 +43,9 @@ class Dataset {
   std::span<const double> row(std::size_t i) const {
     return {x_.data() + i * d_, d_};
   }
+  /// The whole row-major feature matrix (size() x feature_count()), for
+  /// batched inference.
+  std::span<const double> features() const { return x_; }
   double target(std::size_t i, std::size_t t = 0) const { return y_[i * m_ + t]; }
 
   /// Deterministically shuffled row indices.

@@ -87,6 +87,32 @@ double RandomForestRegressor::predict(std::span<const double> x) const {
   return acc / static_cast<double>(trees_.size());
 }
 
+void RandomForestRegressor::predict_batch(std::span<const double> xs,
+                                          std::size_t stride,
+                                          std::span<double> out) const {
+  if (trees_.empty()) throw std::runtime_error("RandomForest: not fitted");
+  if (stride < dim_) throw std::invalid_argument("RandomForest: stride < dim");
+  const std::size_t n = out.size();
+  if (n == 0) return;
+  if (xs.size() < (n - 1) * stride + dim_) {
+    throw std::invalid_argument("RandomForest: batch matrix too small");
+  }
+  for (double& v : out) v = 0.0;
+  const FlatNode* nodes = flat_nodes_.data();
+  for (const std::uint32_t root : flat_roots_) {
+    const double* x = xs.data();
+    for (std::size_t r = 0; r < n; ++r, x += stride) {
+      std::uint32_t i = root;
+      while (nodes[i].feature != FlatNode::kLeaf) {
+        i = x[nodes[i].feature] <= nodes[i].value ? i + 1 : nodes[i].right;
+      }
+      out[r] += nodes[i].value;
+    }
+  }
+  const double scale = static_cast<double>(trees_.size());
+  for (double& v : out) v /= scale;
+}
+
 std::vector<double> RandomForestRegressor::feature_importances() const {
   std::vector<double> importance(dim_, 0.0);
   for (const auto& tree : trees_) {

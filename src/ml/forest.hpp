@@ -38,6 +38,12 @@ class RandomForestRegressor : public Regressor {
 
   void fit(const Dataset& data, std::size_t target = 0) override;
   double predict(std::span<const double> x) const override;
+  /// Tree-major batched walk: the outer loop is over trees, so each tree's
+  /// stretch of the contiguous FlatNode array stays hot across all rows.
+  /// Per-row accumulation happens in tree order, so every output is
+  /// bit-identical to predict().
+  void predict_batch(std::span<const double> xs, std::size_t stride,
+                     std::span<double> out) const override;
   std::unique_ptr<Regressor> clone() const override {
     return std::make_unique<RandomForestRegressor>(config_);
   }

@@ -22,18 +22,32 @@ class Regressor {
 
   virtual double predict(std::span<const double> x) const = 0;
 
+  /// Predict `out.size()` rows in one call. `xs` is a row-major matrix with
+  /// `stride` doubles between consecutive rows (== the feature dimension).
+  /// Results are bit-identical to calling predict() per row; models with a
+  /// cache-friendlier batched layout (the forest's tree-major walk over its
+  /// flat node array) override this.
+  virtual void predict_batch(std::span<const double> xs, std::size_t stride,
+                             std::span<double> out) const {
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i] = predict(xs.subspan(i * stride, stride));
+    }
+  }
+
   /// Fresh unfitted copy with identical hyper-parameters (for CV and
   /// multi-output wrapping).
   virtual std::unique_ptr<Regressor> clone() const = 0;
 
   virtual std::string name() const = 0;
 
-  /// R^2 on a dataset (target column `target`).
+  /// R^2 on a dataset (target column `target`), evaluated through
+  /// predict_batch so forest scoring (Table I, cross-validation, the
+  /// predictor ablation) runs the batched inference path.
   double score(const Dataset& data, std::size_t target = 0) const {
     std::vector<double> y_true(data.size()), y_pred(data.size());
+    predict_batch(data.features(), data.feature_count(), y_pred);
     for (std::size_t i = 0; i < data.size(); ++i) {
       y_true[i] = data.target(i, target);
-      y_pred[i] = predict(data.row(i));
     }
     return r2_score(y_true, y_pred);
   }

@@ -7,10 +7,29 @@
 
 namespace src::net {
 
-Host::Flow& Host::flow_to(NodeId dst, std::uint32_t channel) {
-  const std::uint64_t key = flow_key(dst, channel);
-  if (auto it = flows_.find(key); it != flows_.end()) return it->second;
+void Host::set_peer_cc(NodeId dst, int algorithm) {
+  const auto it = std::lower_bound(
+      peer_cc_.begin(), peer_cc_.end(), dst,
+      [](const std::pair<NodeId, int>& entry, NodeId key) { return entry.first < key; });
+  if (it != peer_cc_.end() && it->first == dst) {
+    it->second = algorithm;
+  } else {
+    peer_cc_.insert(it, {dst, algorithm});
+  }
+}
 
+int Host::cc_algorithm_for(NodeId dst) const {
+  const auto it = std::lower_bound(
+      peer_cc_.begin(), peer_cc_.end(), dst,
+      [](const std::pair<NodeId, int>& entry, NodeId key) { return entry.first < key; });
+  return it != peer_cc_.end() && it->first == dst ? it->second : config_.cc_algorithm;
+}
+
+std::uint32_t Host::flow_index_to(NodeId dst, std::uint32_t channel) {
+  const std::uint64_t key = flow_key(dst, channel);
+  if (const std::uint32_t* found = flow_index_.find(key)) return *found;
+
+  const auto index = static_cast<std::uint32_t>(flows_.size());
   Flow flow;
   flow.id = ++*id_source_;
   flow.dst = dst;
@@ -18,23 +37,31 @@ Host::Flow& Host::flow_to(NodeId dst, std::uint32_t channel) {
       make_rate_controller(cc_algorithm_for(dst), sim_, config_, port(0).rate());
   // Tracer lane = network-global flow id: deterministic, unique per flow.
   flow.cc->set_trace_lane(static_cast<std::uint32_t>(flow.id));
-  flow.cc->set_rate_change_handler([this, dst](Rate rate, bool decrease) {
+  // Every controller rate change lands in the SoA mirror first, so the
+  // arbitration loop and total_allowed_rate() never pay a virtual call.
+  flow.cc->set_rate_change_handler([this, dst, index](Rate rate, bool decrease) {
+    flow_rate_[index] = rate;
     if (on_rate_change_) on_rate_change_(dst, rate, decrease);
     if (!decrease) pump();  // a recovered rate may unblock pacing
   });
 
-  auto [it, inserted] = flows_.emplace(key, std::move(flow));
-  flows_by_id_[it->second.id] = &it->second;
-  flow_order_.push_back(key);
-  return it->second;
+  flow_index_.insert_or_assign(key, index);
+  flow_index_by_id_.insert_or_assign(flow.id, index);
+  flow_queued_bytes_.push_back(0);
+  flow_next_allowed_.push_back(0);
+  flow_rate_.push_back(flow.cc->current_rate());
+  flow_msg_count_.push_back(0);
+  flows_.push_back(std::move(flow));
+  return index;
 }
 
 std::uint64_t Host::send_message(NodeId dst, std::uint64_t bytes, std::uint32_t tag,
                                  std::uint32_t channel) {
-  Flow& flow = flow_to(dst, channel);
+  const std::uint32_t index = flow_index_to(dst, channel);
   const std::uint64_t message_id = ++*id_source_;
-  flow.messages.push_back(Message{message_id, bytes, tag});
-  flow.queued_bytes += bytes;
+  flows_[index].messages.push_back(Message{message_id, bytes, tag});
+  flow_queued_bytes_[index] += bytes;
+  ++flow_msg_count_[index];
   ++stats_.messages_sent;
   pump();
   return message_id;
@@ -43,54 +70,60 @@ std::uint64_t Host::send_message(NodeId dst, std::uint64_t bytes, std::uint32_t 
 void Host::pump() {
   Port& uplink = port(0);
   SimTime earliest_wake = common::kTimeInfinity;
+  const SimTime now = sim_.now();
 
   while (uplink.queue_packets() < kPortQueueTarget) {
-    // Round-robin over flows with backlog whose pacing gate is open.
-    Flow* chosen = nullptr;
+    // Round-robin over flows with backlog whose pacing gate is open: a
+    // linear scan of the SoA arrays in creation order.
+    const std::size_t n = flows_.size();
+    std::size_t chosen = n;
     earliest_wake = common::kTimeInfinity;
-    for (std::size_t i = 0; i < flow_order_.size(); ++i) {
-      Flow& flow = flows_.at(flow_order_[(rr_next_ + i) % flow_order_.size()]);
-      if (flow.messages.empty()) continue;
-      if (flow.next_allowed <= sim_.now()) {
-        chosen = &flow;
-        rr_next_ = (rr_next_ + i + 1) % flow_order_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      std::size_t index = rr_next_ + i;
+      if (index >= n) index -= n;
+      if (flow_msg_count_[index] == 0) continue;
+      if (flow_next_allowed_[index] <= now) {
+        chosen = index;
+        rr_next_ = index + 1 == n ? 0 : index + 1;
         break;
       }
-      earliest_wake = std::min(earliest_wake, flow.next_allowed);
+      earliest_wake = std::min(earliest_wake, flow_next_allowed_[index]);
     }
-    if (chosen == nullptr) break;
+    if (chosen == n) break;
 
-    Message& message = chosen->messages.front();
+    Flow& flow = flows_[chosen];
+    Message& message = flow.messages.front();
     const auto chunk = static_cast<std::uint32_t>(
         std::min<std::uint64_t>(config_.mtu_bytes, message.remaining));
 
     Packet packet;
     packet.kind = PacketKind::kData;
     packet.src = id();
-    packet.dst = chosen->dst;
-    packet.flow_id = chosen->id;
+    packet.dst = flow.dst;
+    packet.flow_id = flow.id;
     packet.message_id = message.id;
     packet.bytes = chunk;
     packet.tag = message.tag;
     // Delay-based CC: stamp the send time and ask the receiver for a
     // timestamp echo. Other controllers leave both fields zeroed, keeping
     // their wire traffic identical to before.
-    if (chosen->cc->wants_delay_ack()) {
-      packet.sent_at = sim_.now();
+    if (flow.cc->wants_delay_ack()) {
+      packet.sent_at = now;
       packet.wants_delay_ack = true;
     }
-    packet.echo_per_mark = chosen->cc->wants_per_mark_echo();
+    packet.echo_per_mark = flow.cc->wants_per_mark_echo();
     message.remaining -= chunk;
-    chosen->queued_bytes -= chunk;
+    flow_queued_bytes_[chosen] -= chunk;
     if (message.remaining == 0) {
       packet.last_of_message = true;
-      chosen->messages.pop_front();
+      flow.messages.pop_front();
+      --flow_msg_count_[chosen];
     }
 
     stats_.bytes_sent += chunk;
-    chosen->cc->on_bytes_sent(packet.wire_bytes());
-    chosen->next_allowed =
-        sim_.now() + chosen->cc->current_rate().transmission_time(packet.wire_bytes());
+    flow.cc->on_bytes_sent(packet.wire_bytes());
+    flow_next_allowed_[chosen] =
+        now + flow_rate_[chosen].transmission_time(packet.wire_bytes());
     uplink.enqueue(packet);
   }
 
@@ -126,16 +159,16 @@ void Host::receive(Packet packet, std::int32_t /*ingress_port*/) {
     case PacketKind::kCnp: {
       ++stats_.cnps_received;
       SRC_OBS_COUNT("net.cnps_delivered");
-      if (auto it = flows_by_id_.find(packet.flow_id); it != flows_by_id_.end()) {
-        it->second->cc->on_congestion_feedback();
+      if (const std::uint32_t* index = flow_index_by_id_.find(packet.flow_id)) {
+        flows_[*index].cc->on_congestion_feedback();
       }
       return;
     }
     case PacketKind::kDelayAck: {
       ++stats_.delay_acks_received;
       SRC_OBS_COUNT("net.delay_acks_delivered");
-      if (auto it = flows_by_id_.find(packet.flow_id); it != flows_by_id_.end()) {
-        it->second->cc->on_delay_sample(sim_.now() - packet.sent_at);
+      if (const std::uint32_t* index = flow_index_by_id_.find(packet.flow_id)) {
+        flows_[*index].cc->on_delay_sample(sim_.now() - packet.sent_at);
       }
       return;
     }
@@ -152,7 +185,7 @@ void Host::receive(Packet packet, std::int32_t /*ingress_port*/) {
   if (packet.wants_delay_ack) send_delay_ack(packet);
   if (on_data_) on_data_(packet.src, packet.bytes, packet.tag);
 
-  auto& accumulated = rx_message_bytes_[packet.message_id];
+  std::uint64_t& accumulated = rx_message_bytes_[packet.message_id];
   accumulated += packet.bytes;
   if (packet.last_of_message) {
     const std::uint64_t total = accumulated;
@@ -197,36 +230,33 @@ void Host::send_delay_ack(const Packet& data) {
 
 std::uint64_t Host::total_txq_bytes() const {
   std::uint64_t total = 0;
-  for (const std::uint64_t key : flow_order_) {
-    total += flows_.at(key).queued_bytes;
-  }
+  for (const std::uint64_t queued : flow_queued_bytes_) total += queued;
   return total;
 }
 
 std::uint64_t Host::txq_bytes(NodeId dst) const {
   std::uint64_t total = 0;
-  for (const std::uint64_t key : flow_order_) {
-    const Flow& flow = flows_.at(key);
-    if (flow.dst == dst) total += flow.queued_bytes;
+  for (std::size_t i = 0; i < flows_.size(); ++i) {
+    if (flows_[i].dst == dst) total += flow_queued_bytes_[i];
   }
   return total;
 }
 
 Rate Host::flow_rate(NodeId dst, std::uint32_t channel) const {
-  const auto it = flows_.find(flow_key(dst, channel));
-  return it == flows_.end() ? port(0).rate() : it->second.cc->current_rate();
+  const std::uint32_t* index = flow_index_.find(flow_key(dst, channel));
+  return index == nullptr ? port(0).rate() : flow_rate_[*index];
 }
 
 Rate Host::total_allowed_rate() const {
-  // Iterate in flow creation order: the sum is floating point, so the
-  // iteration order is observable (it feeds the SRC congestion callback)
-  // and must not depend on hash-table layout.
+  // Walk in flow creation order: the sum is floating point, so the order
+  // is observable (it feeds the SRC congestion callback) and must not
+  // depend on hash-table layout. The SoA mirror makes this a branchy but
+  // contiguous scan with no virtual calls.
   Rate total = Rate::zero();
   bool any = false;
-  for (const std::uint64_t key : flow_order_) {
-    const Flow& flow = flows_.at(key);
-    if (flow.queued_bytes == 0 && flow.messages.empty()) continue;
-    total = total + flow.cc->current_rate();
+  for (std::size_t i = 0; i < flows_.size(); ++i) {
+    if (flow_queued_bytes_[i] == 0 && flow_msg_count_[i] == 0) continue;
+    total = total + flow_rate_[i];
     any = true;
   }
   return any ? total : port(0).rate();

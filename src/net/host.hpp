@@ -8,15 +8,26 @@
 //
 // The per-flow send queues model the RDMA transmit queue (TXQ) the paper
 // describes: when DCQCN throttles a flow, its messages back up here.
+//
+// Flow state is kept dense: flows live in a contiguous slot arena indexed
+// by creation order (flows are never destroyed), with the per-packet demux
+// maps — (dst, channel) and flow id to arena index — as open-addressed
+// FlatMap64s, and the fields the pacing/arbitration loop touches per
+// packet (queued bytes, pacing gate, current controller rate, message
+// count) split into parallel struct-of-arrays vectors. The round-robin
+// scan and `total_allowed_rate()` walk those arrays linearly in creation
+// order, so the floating-point summation order the SRC congestion
+// callback observes is exactly the old `flow_order_` order.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <map>
 #include <memory>
-#include <unordered_map>
+#include <utility>
+#include <vector>
 
+#include "common/flat_map.hpp"
 #include "net/dcqcn.hpp"
 #include "net/dctcp.hpp"
 #include "net/node.hpp"
@@ -79,12 +90,11 @@ class Host final : public Node {
   void set_cc_algorithm(int algorithm) { config_.cc_algorithm = algorithm; }
   /// Override the congestion control for flows to one specific peer —
   /// mixed-CC coexistence: a target paces its read-data flow back to an
-  /// initiator with the *initiator's* chosen algorithm.
-  void set_peer_cc(NodeId dst, int algorithm) { peer_cc_[dst] = algorithm; }
-  int cc_algorithm_for(NodeId dst) const {
-    const auto it = peer_cc_.find(dst);
-    return it == peer_cc_.end() ? config_.cc_algorithm : it->second;
-  }
+  /// initiator with the *initiator's* chosen algorithm. Build-time
+  /// populated, find-only afterwards: a sorted vector probed by binary
+  /// search.
+  void set_peer_cc(NodeId dst, int algorithm);
+  int cc_algorithm_for(NodeId dst) const;
 
   /// Re-enter the send loop (wired to the uplink's on_tx_done by the
   /// Network builder).
@@ -107,18 +117,19 @@ class Host final : public Node {
     std::uint32_t tag;
   };
 
+  /// Cold per-flow state (identity, queued messages, controller). The hot
+  /// fields live in the parallel arrays below, indexed by arena slot.
   struct Flow {
     std::uint64_t id;
     NodeId dst;
     std::deque<Message> messages;
-    std::uint64_t queued_bytes = 0;
-    SimTime next_allowed = 0;
     std::unique_ptr<RateController> cc;  ///< per NetConfig / peer override
   };
 
-  Flow& flow_to(NodeId dst, std::uint32_t channel);
+  /// Arena index of the flow to (dst, channel), creating it on first use.
+  std::uint32_t flow_index_to(NodeId dst, std::uint32_t channel);
   void pump();
-  /// Total TXQ backlog over all flows, iterated in flow creation order.
+  /// Total TXQ backlog over all flows (creation order).
   std::uint64_t total_txq_bytes() const;
   static std::uint64_t flow_key(NodeId dst, std::uint32_t channel) {
     return (static_cast<std::uint64_t>(channel) << 32) | dst;
@@ -128,16 +139,24 @@ class Host final : public Node {
 
   NetConfig config_;
   std::uint64_t* id_source_;
-  std::map<NodeId, int> peer_cc_;  ///< per-destination CC override (find-only)
-  std::unordered_map<std::uint64_t, Flow> flows_;     ///< by (dst, channel) key
-  std::unordered_map<std::uint64_t, Flow*> flows_by_id_;
-  std::vector<std::uint64_t> flow_order_;             ///< RR arbitration order
+  std::vector<std::pair<NodeId, int>> peer_cc_;  ///< sorted by NodeId
+
+  // Flow arena (creation order, never erased) + per-packet demux indices.
+  std::vector<Flow> flows_;
+  common::FlatMap64<std::uint32_t> flow_index_;        ///< by (dst, channel) key
+  common::FlatMap64<std::uint32_t> flow_index_by_id_;  ///< by flow id
+  // Struct-of-arrays hot fields, parallel to flows_: the rate-update /
+  // arbitration loop reads only these.
+  std::vector<std::uint64_t> flow_queued_bytes_;
+  std::vector<SimTime> flow_next_allowed_;
+  std::vector<Rate> flow_rate_;        ///< mirror of cc->current_rate()
+  std::vector<std::uint32_t> flow_msg_count_;
   std::size_t rr_next_ = 0;
   sim::EventId wake_event_;
 
   // Receiver state.
-  std::unordered_map<std::uint64_t, std::uint64_t> rx_message_bytes_;  ///< key: message_id
-  std::unordered_map<std::uint64_t, SimTime> last_cnp_;                ///< key: flow_id
+  common::FlatMap64<std::uint64_t> rx_message_bytes_;  ///< key: message_id
+  common::FlatMap64<SimTime> last_cnp_;                ///< key: flow_id
 
   HostStats stats_;
   MessageHandler on_message_;

@@ -4,12 +4,12 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/ring_buffer.hpp"
 #include "net/config.hpp"
 #include "net/packet.hpp"
 #include "sim/simulator.hpp"
@@ -78,8 +78,9 @@ class Port {
   std::int32_t peer_port() const { return peer_port_; }
 
   /// Owner hook: packet left the queue and started transmission (used for
-  /// switch PFC per-ingress accounting).
-  std::function<void(const Packet&)> on_dequeue;
+  /// switch PFC per-ingress accounting). Receives a mutable reference so the
+  /// owner can scrub buffer-local state (`ingress_port`) off the wire copy.
+  std::function<void(Packet&)> on_dequeue;
   /// Owner hook: transmitter finished a packet (hosts refill pacing here).
   std::function<void()> on_tx_done;
 
@@ -96,7 +97,8 @@ class Port {
   SimTime delay_ = common::kMicrosecond;
   EcnConfig ecn_{.enabled = false};
 
-  std::deque<Packet> queue_;
+  common::RingBuffer<Packet> queue_;
+  Packet in_flight_;  ///< packet under serialization (valid while busy_)
   DropFilter drop_filter_;
   std::uint64_t queue_bytes_ = 0;
   std::uint64_t max_queue_bytes_ = 0;

@@ -22,35 +22,40 @@ enum class PacketKind : std::uint8_t {
   kDelayAck = 4, ///< timestamp echo for delay-based CC (routed to sender)
 };
 
+// Field order is deliberate (widest first): the packet must stay within 48
+// bytes so a link-delivery closure (peer pointer + port + packet) fits the
+// scheduler's 64-byte inline callback buffer — per-hop delivery is the most
+// frequent event in the simulator and must never hit the closure arena.
 struct Packet {
-  PacketKind kind = PacketKind::kData;
-  NodeId src = kInvalidNode;
-  NodeId dst = kInvalidNode;
   std::uint64_t flow_id = 0;
   std::uint64_t message_id = 0;
-  std::uint32_t bytes = 0;          ///< payload bytes (data) / frame size
-  bool ecn_marked = false;
-  bool last_of_message = false;
-  std::uint32_t tag = 0;            ///< application tag (fabric opcodes)
-
   /// Send timestamp, stamped only when the flow's controller requests delay
   /// acks (`wants_delay_ack`); the receiver echoes it back in a kDelayAck so
   /// the sender can compute the RTT. Zero on all other traffic, so
   /// ECN/CNP-only congestion controls are byte-identical to before.
   common::SimTime sent_at = 0;
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  std::uint32_t bytes = 0;          ///< payload bytes (data) / frame size
+  std::uint32_t tag = 0;            ///< application tag (fabric opcodes)
+  /// Transient: ingress port index while buffered inside a switch (used for
+  /// PFC per-ingress accounting). Not meaningful on the wire: the switch
+  /// resets it when the packet leaves its buffer.
+  std::int16_t ingress_port = -1;
+  PacketKind kind = PacketKind::kData;
+  bool ecn_marked = false;
+  bool last_of_message = false;
   bool wants_delay_ack = false;
   /// Receiver CNP policy for this data packet: echo every ECN mark
   /// (DCTCP/Cubic ACK-echo style) instead of pacing on the DCQCN interval.
   bool echo_per_mark = false;
-
-  /// Transient: ingress port index while buffered inside a switch (used for
-  /// PFC per-ingress accounting). Not meaningful on the wire.
-  std::int32_t ingress_port = -1;
 
   /// Bytes occupying buffers and wire (payload + a fixed header).
   std::uint32_t wire_bytes() const { return bytes + kHeaderBytes; }
 
   static constexpr std::uint32_t kHeaderBytes = 64;
 };
+
+static_assert(sizeof(Packet) <= 48, "delivery closures must stay inline");
 
 }  // namespace src::net

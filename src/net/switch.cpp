@@ -11,7 +11,7 @@ void Switch::finalize_ports() {
   pause_sent_.assign(port_count(), false);
   for (std::size_t i = 0; i < port_count(); ++i) {
     port(i).set_ecn(config_.ecn);
-    port(i).on_dequeue = [this](const Packet& packet) { account_dequeue(packet); };
+    port(i).on_dequeue = [this](Packet& packet) { account_dequeue(packet); };
   }
 }
 
@@ -40,7 +40,7 @@ void Switch::receive(Packet packet, std::int32_t ingress_port) {
 
   // PFC ingress accounting: the packet occupies switch buffer until its
   // egress transmitter picks it up.
-  packet.ingress_port = ingress_port;
+  packet.ingress_port = static_cast<std::int16_t>(ingress_port);
   ingress_bytes_[static_cast<std::size_t>(ingress_port)] += packet.wire_bytes();
   SRC_OBS_TRACE_COUNTER(
       "net", "switch.ingress_bytes", sim_.now(),
@@ -57,9 +57,13 @@ void Switch::receive(Packet packet, std::int32_t ingress_port) {
   check_pause(static_cast<std::size_t>(ingress_port));
 }
 
-void Switch::account_dequeue(const Packet& packet) {
+void Switch::account_dequeue(Packet& packet) {
   if (packet.ingress_port < 0) return;
   const auto ingress = static_cast<std::size_t>(packet.ingress_port);
+  // The field is only meaningful while the packet occupies this switch's
+  // buffer (see packet.hpp): scrub it as the packet leaves for the wire so
+  // the next hop never sees a stale index.
+  packet.ingress_port = -1;
   ingress_bytes_[ingress] -= packet.wire_bytes();
   check_pause(ingress);
 }

@@ -59,7 +59,7 @@ class Switch final : public Node {
   }
 
  private:
-  void account_dequeue(const Packet& packet);
+  void account_dequeue(Packet& packet);
   void check_pause(std::size_t ingress);
 
   NetConfig config_;

@@ -1,0 +1,121 @@
+#include "common/ring_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace src::common {
+namespace {
+
+TEST(RingBufferTest, StartsEmptyWithoutAllocation) {
+  RingBuffer<int> ring;
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.capacity(), 0u);
+}
+
+TEST(RingBufferTest, FifoOrderPreserved) {
+  RingBuffer<int> ring;
+  for (int i = 0; i < 5; ++i) ring.push_back(i);
+  EXPECT_EQ(ring.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(ring.front(), i);
+    ring.pop_front();
+  }
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(RingBufferTest, WrapAroundKeepsOrder) {
+  RingBuffer<int> ring;
+  // Fill to the initial capacity (8), then interleave pops and pushes so
+  // the occupied window wraps the physical end of the backing array many
+  // times without ever triggering growth.
+  int next_in = 0, next_out = 0;
+  for (; next_in < 8; ++next_in) ring.push_back(next_in);
+  EXPECT_EQ(ring.capacity(), 8u);
+  for (int round = 0; round < 100; ++round) {
+    EXPECT_EQ(ring.front(), next_out);
+    ring.pop_front();
+    ++next_out;
+    ring.push_back(next_in++);
+    EXPECT_EQ(ring.back(), next_in - 1);
+    EXPECT_EQ(ring.size(), 8u);
+  }
+  EXPECT_EQ(ring.capacity(), 8u);  // steady state never reallocates
+  while (!ring.empty()) {
+    EXPECT_EQ(ring.front(), next_out++);
+    ring.pop_front();
+  }
+}
+
+TEST(RingBufferTest, GrowthRelinearizesWrappedContents) {
+  RingBuffer<int> ring;
+  // Create a wrapped window: fill, drain half, refill past the seam...
+  for (int i = 0; i < 8; ++i) ring.push_back(i);
+  for (int i = 0; i < 5; ++i) ring.pop_front();
+  for (int i = 8; i < 13; ++i) ring.push_back(i);
+  ASSERT_EQ(ring.capacity(), 8u);
+  // ...then push through several doublings while the head is mid-array.
+  for (int i = 13; i < 100; ++i) ring.push_back(i);
+  EXPECT_EQ(ring.size(), 95u);
+  for (int expected = 5; expected < 100; ++expected) {
+    EXPECT_EQ(ring.front(), expected);
+    ring.pop_front();
+  }
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(RingBufferTest, AtOffsetIndexesFromFrontAcrossSeam) {
+  RingBuffer<int> ring;
+  for (int i = 0; i < 8; ++i) ring.push_back(i);
+  for (int i = 0; i < 6; ++i) ring.pop_front();
+  for (int i = 8; i < 12; ++i) ring.push_back(i);  // window wraps the seam
+  ASSERT_EQ(ring.size(), 6u);
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    EXPECT_EQ(ring.at_offset(i), static_cast<int>(6 + i));
+  }
+  EXPECT_EQ(ring.at_offset(0), ring.front());
+  EXPECT_EQ(ring.at_offset(ring.size() - 1), ring.back());
+}
+
+TEST(RingBufferTest, PopReleasesHeldResources) {
+  RingBuffer<std::shared_ptr<int>> ring;
+  auto tracked = std::make_shared<int>(7);
+  std::weak_ptr<int> watch = tracked;
+  ring.push_back(std::move(tracked));
+  ring.push_back(std::make_shared<int>(8));
+  ring.pop_front();
+  // The vacated slot must not keep the popped element alive.
+  EXPECT_TRUE(watch.expired());
+  EXPECT_EQ(*ring.front(), 8);
+}
+
+TEST(RingBufferTest, ClearEmptiesAndRemainsUsable) {
+  RingBuffer<std::string> ring;
+  for (int i = 0; i < 20; ++i) ring.push_back("payload-" + std::to_string(i));
+  ring.clear();
+  EXPECT_TRUE(ring.empty());
+  ring.push_back("fresh");
+  EXPECT_EQ(ring.front(), "fresh");
+  EXPECT_EQ(ring.size(), 1u);
+}
+
+TEST(RingBufferTest, SurvivesLargeBacklogThenFullDrain) {
+  // Shape of a PFC pause pile-up: a long stretch of enqueues with no
+  // dequeues, followed by a complete drain in order.
+  RingBuffer<int> ring;
+  constexpr int kBacklog = 10'000;
+  for (int i = 0; i < kBacklog; ++i) ring.push_back(i);
+  EXPECT_EQ(ring.size(), static_cast<std::size_t>(kBacklog));
+  EXPECT_GE(ring.capacity(), ring.size());
+  for (int i = 0; i < kBacklog; ++i) {
+    ASSERT_EQ(ring.front(), i);
+    ring.pop_front();
+  }
+  EXPECT_TRUE(ring.empty());
+}
+
+}  // namespace
+}  // namespace src::common

@@ -137,6 +137,62 @@ TEST(ForestTest, FlatInferenceMatchesPerTreeWalkBitExactly) {
   }
 }
 
+// predict_batch is the tree-major hot path behind Algorithm 1's weight
+// search and Dataset scoring: it must be bit-identical to N independent
+// predict() calls — same descents, same tree-order accumulation.
+TEST(ForestTest, PredictBatchMatchesPerRowPredictBitExactly) {
+  const Dataset train = friedman_like(500, 41);
+  ForestConfig config;
+  config.n_trees = 20;
+  config.seed = 4;
+  RandomForestRegressor forest(config);
+  forest.fit(train);
+
+  const Dataset probe = friedman_like(64, 42);
+  std::vector<double> out(probe.size());
+  forest.predict_batch(probe.features(), probe.feature_count(), out);
+  for (std::size_t i = 0; i < probe.size(); ++i) {
+    EXPECT_EQ(out[i], forest.predict(probe.row(i)));
+  }
+}
+
+TEST(ForestTest, PredictBatchHonoursWideStride) {
+  const Dataset train = friedman_like(300, 43);
+  ForestConfig config;
+  config.n_trees = 12;
+  RandomForestRegressor forest(config);
+  forest.fit(train);
+
+  // Rows padded to stride 7 (5 live features + 2 ignored columns).
+  constexpr std::size_t kStride = 7, kRows = 10;
+  std::vector<double> xs(kRows * kStride, -1e9);  // poison the padding
+  common::Rng rng(44);
+  for (std::size_t r = 0; r < kRows; ++r) {
+    for (std::size_t f = 0; f < 5; ++f) xs[r * kStride + f] = rng.uniform();
+  }
+  std::vector<double> out(kRows);
+  forest.predict_batch(xs, kStride, out);
+  for (std::size_t r = 0; r < kRows; ++r) {
+    EXPECT_EQ(out[r], forest.predict(std::span{xs.data() + r * kStride, 5}));
+  }
+}
+
+TEST(ForestTest, PredictBatchRejectsBadShapes) {
+  const Dataset train = friedman_like(100, 45);
+  RandomForestRegressor unfitted;
+  std::vector<double> xs(10, 0.0);
+  std::vector<double> out(2);
+  EXPECT_THROW(unfitted.predict_batch(xs, 5, out), std::runtime_error);
+
+  ForestConfig config;
+  config.n_trees = 5;
+  RandomForestRegressor forest(config);
+  forest.fit(train);
+  EXPECT_THROW(forest.predict_batch(xs, 3, out), std::invalid_argument);  // stride < dim
+  std::vector<double> short_xs(7, 0.0);  // 2 rows need 1*5+5 = 10 doubles
+  EXPECT_THROW(forest.predict_batch(short_xs, 5, out), std::invalid_argument);
+}
+
 TEST(ForestTest, FlatLayoutRebuiltAfterSerializeRoundTrip) {
   const Dataset train = friedman_like(400, 21);
   ForestConfig config;

@@ -856,6 +856,101 @@ int cmd_benchcheck(const Args& args) {
       });
 }
 
+/// Perf trajectory diff between two src-bench-v1 files: per section,
+/// compares *throughput* — events/sec when the old section dispatched
+/// simulator events, items/sec otherwise — and fails on regressions beyond
+/// the tolerance. The complement of `benchcheck --baseline` (which gates
+/// the deterministic workload and never looks at speed): benchdiff is the
+/// speed gate, run on measurements from the same machine class.
+int cmd_benchdiff(const Args& args) {
+  if (args.has("help") || args.positionals().size() != 2) {
+    std::puts(
+        "srcctl benchdiff OLD.json NEW.json [--tolerance F]\n"
+        "\n"
+        "Compares two src-bench-v1 files section by section on throughput\n"
+        "(events/sec for event-based sections, items/sec otherwise) and\n"
+        "prints a per-section delta table. Exits 1 when any section\n"
+        "regresses by more than --tolerance (relative, default 0.15), or\n"
+        "when the section sets differ. Positive deltas are improvements.");
+    return args.has("help") ? 0 : 2;
+  }
+  const std::string old_path = args.positionals()[0];
+  const std::string new_path = args.positionals()[1];
+  double tolerance = 0.15;
+  if (args.has("tolerance")) {
+    try {
+      tolerance = std::stod(args.get("tolerance", "0.15"));
+    } catch (const std::exception&) {
+      std::fprintf(stderr, "benchdiff: --tolerance wants a number\n");
+      return 2;
+    }
+    if (tolerance < 0.0) {
+      std::fprintf(stderr, "benchdiff: --tolerance must be >= 0\n");
+      return 2;
+    }
+  }
+
+  obs::Json old_doc, new_doc;
+  for (const auto& [path, doc] : {std::pair{&old_path, &old_doc},
+                                  std::pair{&new_path, &new_doc}}) {
+    std::string error = check_bench_json(*path);
+    if (error.empty()) error = load_json_file(*path, *doc);
+    if (!error.empty()) {
+      std::fprintf(stderr, "benchdiff: %s: %s\n", path->c_str(), error.c_str());
+      return 2;
+    }
+  }
+
+  std::map<std::string, const obs::Json*> old_sections;
+  for (const obs::Json& section : old_doc.find("sections")->as_array()) {
+    old_sections.emplace(section.find("name")->as_string(), &section);
+  }
+
+  std::printf("benchdiff %s -> %s (tolerance %.0f%%)\n", old_path.c_str(),
+              new_path.c_str(), tolerance * 100.0);
+  std::printf("  %-40s %6s %14s %14s %9s\n", "section", "metric", "old/s",
+              "new/s", "delta");
+  int regressions = 0;
+  std::size_t seen = 0;
+  for (const obs::Json& section : new_doc.find("sections")->as_array()) {
+    const std::string name = section.find("name")->as_string();
+    const auto it = old_sections.find(name);
+    if (it == old_sections.end()) {
+      std::printf("  %-40s new section (not in %s)\n", name.c_str(),
+                  old_path.c_str());
+      ++regressions;
+      continue;
+    }
+    ++seen;
+    // Gate on the section's primary rate: events/sec for simulator-driven
+    // sections, items/sec for pure-compute ones (e.g. model inference).
+    const bool event_based = it->second->find("events")->as_number() > 0.0;
+    const char* key = event_based ? "events_per_sec" : "items_per_sec";
+    const double old_rate = it->second->find(key)->as_number();
+    const double new_rate = section.find(key)->as_number();
+    const double delta =
+        old_rate > 0.0 ? (new_rate - old_rate) / old_rate
+                       : (new_rate > 0.0 ? 1.0 : 0.0);
+    const bool regressed = delta < -tolerance;
+    if (regressed) ++regressions;
+    std::printf("  %-40s %6s %14.0f %14.0f %+8.1f%%%s\n", name.c_str(),
+                event_based ? "events" : "items", old_rate, new_rate,
+                delta * 100.0, regressed ? "  REGRESSED" : "");
+  }
+  if (seen != old_sections.size()) {
+    std::printf("  %zu section(s) from %s missing in %s\n",
+                old_sections.size() - seen, old_path.c_str(), new_path.c_str());
+    ++regressions;
+  }
+  if (regressions > 0) {
+    std::fprintf(stderr, "benchdiff: %d section(s) regressed beyond %.0f%%\n",
+                 regressions, tolerance * 100.0);
+    return 1;
+  }
+  std::printf("  ok: no section regressed beyond %.0f%%\n", tolerance * 100.0);
+  return 0;
+}
+
 /// Validate one `srcctl run --metrics-out` report ("src-run-v1"). Returns
 /// an empty string when valid, else a message.
 std::string check_run_json(const std::string& path) {
@@ -1318,6 +1413,8 @@ const Command kCommands[] = {
      cmd_chaos, true},
     {"benchcheck", "validate BENCH_*.json files against src-bench-v1",
      cmd_benchcheck, true},
+    {"benchdiff", "per-section throughput delta between two BENCH_*.json",
+     cmd_benchdiff, true},
     {"metricscheck", "validate srcctl run reports against src-run-v1",
      cmd_metricscheck, true},
     {"lint", "run the srclint determinism & invariant linter (R1-R9)",

@@ -626,7 +626,7 @@ bool in_r2_scope_dir(const std::string& rel_path) {
   static constexpr const char* kScopes[] = {
       "src/sim/",    "src/net/",    "src/nvme/",     "src/ssd/",
       "src/core/",   "src/fabric/", "src/runner/",   "src/scenario/",
-      "src/chaos/",  "src/verify/", "src/obs/"};
+      "src/chaos/",  "src/verify/", "src/obs/",      "src/common/"};
   for (const char* scope : kScopes) {
     if (rel_path.starts_with(scope)) return true;
   }
@@ -635,7 +635,8 @@ bool in_r2_scope_dir(const std::string& rel_path) {
 
 bool in_r8_scope_dir(const std::string& rel_path) {
   static constexpr const char* kScopes[] = {"src/sim/", "src/net/",
-                                            "src/core/", "src/fabric/"};
+                                            "src/core/", "src/fabric/",
+                                            "src/common/"};
   for (const char* scope : kScopes) {
     if (rel_path.starts_with(scope)) return true;
   }
