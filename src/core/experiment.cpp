@@ -37,11 +37,28 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   // observatory (or nowhere) for the duration of the run.
   obs::ObsScope obs_scope(config.observatory);
 
-  sim::Simulator sim;
-  net::Network network(sim, config.net);
+  // Engine selection: classic single-kernel (lanes == 0, the historical
+  // byte-for-byte behaviour) or the sharded lane engine. The star fabric
+  // admits exactly one cut — hosts on shard 0, hub switch on shard 1 —
+  // because the fabric context, monitors, and result sinks are shared
+  // state across all hosts; LaneGroup clamps the lane count to 2.
+  std::optional<sim::LaneGroup> lane_group;
+  std::optional<sim::Simulator> classic_sim;
+  std::optional<net::Network> network_storage;
+  if (config.lanes > 0) {
+    lane_group.emplace(2, config.lanes);
+    network_storage.emplace(*lane_group, config.net);
+  } else {
+    classic_sim.emplace();
+    network_storage.emplace(*classic_sim, config.net);
+  }
+  sim::Simulator& sim =
+      lane_group ? lane_group->kernel(0) : *classic_sim;
+  net::Network& network = *network_storage;
   const net::StarTopology topo = net::make_star(
       network, config.initiator_count + config.target_count, config.link_rate,
-      config.link_delay);
+      config.link_delay, /*host_shard=*/0,
+      /*hub_shard=*/static_cast<std::uint16_t>(lane_group ? 1 : 0));
 
   // Per-initiator congestion control (mixed-CC coexistence). Must happen
   // before any flow exists: an initiator's choice governs its own uplink
@@ -149,7 +166,11 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   bool all_done = false;
   while (deadline < config.max_time) {
     deadline += slice;
-    sim.run_until(deadline);
+    if (lane_group) {
+      lane_group->run_until(deadline);
+    } else {
+      sim.run_until(deadline);
+    }
     // Staleness watchdog poll: a no-op returning immediately unless
     // SrcParams::staleness_window opted in, so healthy runs are untouched.
     for (const auto& controller : controllers) {
@@ -162,12 +183,13 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
         break;
       }
     }
-    if (all_done || sim.empty()) break;
+    if (all_done || (lane_group ? lane_group->drained() : sim.empty())) break;
   }
 
   result.completed = all_done;
-  result.end_time = sim.now();
-  result.events_executed = sim.executed_events();
+  result.end_time = lane_group ? lane_group->now() : sim.now();
+  result.events_executed =
+      lane_group ? lane_group->executed_events() : sim.executed_events();
 
   result.per_initiator_read_rate.reserve(initiators.size());
   for (const auto& initiator : initiators) {

@@ -14,6 +14,10 @@
 #include "net/packet.hpp"
 #include "sim/simulator.hpp"
 
+namespace src::sim {
+class LaneGroup;
+}
+
 namespace src::net {
 
 class Node;
@@ -36,6 +40,17 @@ class Port {
   }
 
   void set_ecn(const EcnConfig& ecn) { ecn_ = ecn; }
+
+  /// Lane-boundary channel: when the peer lives on another shard of a
+  /// LaneGroup, deliveries post into the (self, peer) cross-shard mailbox
+  /// instead of scheduling on the local kernel. Wired by Network::connect;
+  /// the link's propagation delay must be >= the group's lookahead.
+  void set_lane_channel(sim::LaneGroup* lanes, std::uint16_t self_shard,
+                        std::uint16_t peer_shard) {
+    lanes_ = lanes;
+    self_shard_ = self_shard;
+    peer_shard_ = peer_shard;
+  }
 
   /// Enqueue a data/CNP packet for transmission (ECN marking applied here).
   /// Returns false when the drop filter discarded the packet (the caller
@@ -91,6 +106,9 @@ class Port {
   sim::Simulator& sim_;
   Node* owner_;
   std::int32_t index_;
+  sim::LaneGroup* lanes_ = nullptr;  ///< non-null only on cross-shard links
+  std::uint16_t self_shard_ = 0;
+  std::uint16_t peer_shard_ = 0;
   Node* peer_ = nullptr;
   std::int32_t peer_port_ = -1;
   Rate rate_ = Rate::gbps(40.0);

@@ -1,0 +1,62 @@
+#include "net/partition.hpp"
+
+namespace src::net {
+
+const char* partition_policy_name(PartitionPolicy policy) {
+  switch (policy) {
+    case PartitionPolicy::kNone: return "none";
+    case PartitionPolicy::kByRack: return "rack";
+    case PartitionPolicy::kByPod: return "pod";
+  }
+  return "rack";
+}
+
+std::optional<PartitionPolicy> parse_partition_policy(std::string_view name) {
+  if (name == "none") return PartitionPolicy::kNone;
+  if (name == "rack") return PartitionPolicy::kByRack;
+  if (name == "pod") return PartitionPolicy::kByPod;
+  return std::nullopt;
+}
+
+std::string known_partition_policies() { return "none, pod, rack"; }
+
+std::size_t PodShardPlan::shard_count() const {
+  switch (policy) {
+    case PartitionPolicy::kNone: return 1;
+    case PartitionPolicy::kByRack: return pods * racks_per_pod + pods + 1;
+    case PartitionPolicy::kByPod: return pods + 1;
+  }
+  return 1;
+}
+
+std::uint16_t PodShardPlan::rack_shard(std::size_t pod, std::size_t rack) const {
+  switch (policy) {
+    case PartitionPolicy::kNone: return 0;
+    case PartitionPolicy::kByRack:
+      return static_cast<std::uint16_t>(pod * racks_per_pod + rack);
+    case PartitionPolicy::kByPod: return static_cast<std::uint16_t>(pod);
+  }
+  return 0;
+}
+
+std::uint16_t PodShardPlan::agg_shard(std::size_t pod) const {
+  switch (policy) {
+    case PartitionPolicy::kNone: return 0;
+    case PartitionPolicy::kByRack:
+      return static_cast<std::uint16_t>(pods * racks_per_pod + pod);
+    case PartitionPolicy::kByPod: return static_cast<std::uint16_t>(pod);
+  }
+  return 0;
+}
+
+std::uint16_t PodShardPlan::spine_shard() const {
+  switch (policy) {
+    case PartitionPolicy::kNone: return 0;
+    case PartitionPolicy::kByRack:
+      return static_cast<std::uint16_t>(pods * racks_per_pod + pods);
+    case PartitionPolicy::kByPod: return static_cast<std::uint16_t>(pods);
+  }
+  return 0;
+}
+
+}  // namespace src::net

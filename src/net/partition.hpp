@@ -1,0 +1,44 @@
+// Topology partitioner: maps pod-grammar node roles onto LaneGroup shards
+// along pod/rack boundaries. The shard layout is a pure function of the
+// grammar counts and the policy, so a given scenario always yields the same
+// decomposition — and therefore (see sim/lane.hpp) the same results at any
+// lane count.
+//
+// Under kByRack every host<->ToR link is shard-internal (the only links
+// with meaningful queueing fan-in), while ToR->aggregation and
+// aggregation->spine links cross shards; the conservative lookahead is
+// therefore min(rack uplink delay, spine uplink delay).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace src::net {
+
+enum class PartitionPolicy {
+  kNone,    ///< everything on shard 0 (single-timeline semantics)
+  kByRack,  ///< shard per rack, plus one per pod aggregation, plus spine
+  kByPod,   ///< shard per pod (racks + aggregation together), plus spine
+};
+
+const char* partition_policy_name(PartitionPolicy policy);
+std::optional<PartitionPolicy> parse_partition_policy(std::string_view name);
+/// "none, pod, rack" — for diagnostics.
+std::string known_partition_policies();
+
+/// Shard assignment for one pod grammar instance.
+struct PodShardPlan {
+  std::size_t pods = 1;
+  std::size_t racks_per_pod = 1;
+  PartitionPolicy policy = PartitionPolicy::kByRack;
+
+  std::size_t shard_count() const;
+  std::uint16_t rack_shard(std::size_t pod, std::size_t rack) const;
+  std::uint16_t agg_shard(std::size_t pod) const;
+  std::uint16_t spine_shard() const;
+};
+
+}  // namespace src::net

@@ -2,6 +2,7 @@
 
 #include "common/rng.hpp"
 #include "obs/obs.hpp"
+#include "sim/lane.hpp"
 
 namespace src::net {
 
@@ -83,6 +84,17 @@ void Port::deliver(Packet packet) {
   if (peer_ == nullptr) return;
   // Capture order keeps the closure at 60 bytes (pointer + packet + port),
   // inside the scheduler's inline buffer.
+  if (lanes_ != nullptr) {
+    // Cross-shard link: the delivery lands on the peer's kernel through the
+    // lane group's deterministic mailbox merge. delay_ >= lookahead holds by
+    // Network::connect construction, so the post is conservative-safe.
+    lanes_->post(self_shard_, peer_shard_, sim_.now() + delay_,
+                 sim::Simulator::Callback(
+                     [peer = peer_, packet, peer_port = peer_port_] {
+                       peer->receive(packet, peer_port);
+                     }));
+    return;
+  }
   sim_.schedule_in(delay_, [peer = peer_, packet, peer_port = peer_port_] {
     peer->receive(packet, peer_port);
   });

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "net/network.hpp"
+#include "net/partition.hpp"
 
 namespace src::net {
 
@@ -15,9 +16,12 @@ struct StarTopology {
   std::vector<NodeId> hosts;
 };
 
-/// `n_hosts` hosts hanging off one switch.
+/// `n_hosts` hosts hanging off one switch. In sharded mode the hosts land
+/// on `host_shard` and the hub on `hub_shard` (both default to shard 0, so
+/// classic-mode callers are unaffected).
 StarTopology make_star(Network& net, std::size_t n_hosts, Rate link_rate,
-                       SimTime link_delay);
+                       SimTime link_delay, std::uint16_t host_shard = 0,
+                       std::uint16_t hub_shard = 0);
 
 struct DumbbellTopology {
   NodeId left_switch = kInvalidNode;
@@ -47,5 +51,46 @@ struct ClosTopology {
 };
 
 ClosTopology make_clos(Network& net, const ClosParams& params = {});
+
+// ---------------------------------------------------------------------------
+// Declarative pod grammar: pods x racks_per_pod x hosts_per_rack, a ToR per
+// rack, an aggregation switch per pod, and one spine joining the pods. Tier
+// rates are either given explicitly or derived from the oversubscription
+// ratio (uplink = downlink_sum / oversubscription). The tree has a single
+// path between any two hosts, so routing — and therefore results — cannot
+// depend on flow-id hashing or shard layout.
+// ---------------------------------------------------------------------------
+
+struct PodGrammar {
+  std::size_t pods = 2;
+  std::size_t racks_per_pod = 2;
+  std::size_t hosts_per_rack = 16;
+  /// Downlink-capacity : uplink-capacity ratio applied at each tier when the
+  /// corresponding uplink rate is left unset. 1.0 = non-blocking.
+  double oversubscription = 1.0;
+  Rate host_rate = Rate::gbps(40.0);
+  Rate rack_uplink_rate{};   ///< zero => hosts_per_rack * host_rate / oversub
+  Rate spine_uplink_rate{};  ///< zero => racks_per_pod * rack_uplink / oversub
+  SimTime host_link_delay = common::kMicrosecond;
+  SimTime rack_uplink_delay = common::kMicrosecond;
+  SimTime spine_uplink_delay = 2 * common::kMicrosecond;
+};
+
+struct PodTopology {
+  std::vector<NodeId> hosts;  ///< pod-major, then rack-major order
+  std::vector<NodeId> tors;   ///< pod-major
+  std::vector<NodeId> aggs;   ///< one per pod
+  NodeId spine = kInvalidNode;
+  PodShardPlan plan;
+  Rate rack_uplink_rate{};   ///< as resolved (explicit or derived)
+  Rate spine_uplink_rate{};  ///< as resolved
+};
+
+/// Builds the grammar instance and finalizes the network. In sharded mode
+/// nodes are placed per `policy` (racks, aggregations and the spine each get
+/// shards from the PodShardPlan); in classic mode everything is shard 0 and
+/// `policy` only fills in the returned plan.
+PodTopology make_pod(Network& net, const PodGrammar& grammar,
+                     PartitionPolicy policy = PartitionPolicy::kByRack);
 
 }  // namespace src::net

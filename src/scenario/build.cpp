@@ -5,15 +5,77 @@
 #include <vector>
 
 #include "fault/fault_injector.hpp"
+#include "net/partition.hpp"
 #include "scenario/registry.hpp"
 #include "verify/rig_verifier.hpp"
 
 namespace src::scenario {
 
+namespace {
+
+/// Shared star/pod resolution of the workload list into a trace factory.
+std::function<workload::Trace(std::size_t)> make_trace_factory(
+    const ScenarioSpec& spec) {
+  if (spec.workloads.empty()) {
+    throw std::invalid_argument("scenario '" + spec.name +
+                                "': no workloads defined");
+  }
+  if (spec.workloads.size() != 1 &&
+      spec.workloads.size() != spec.topology.initiators) {
+    throw std::invalid_argument(
+        "scenario '" + spec.name + "': " + std::to_string(spec.workloads.size()) +
+        " workloads for " + std::to_string(spec.topology.initiators) +
+        " initiators (need 1 shared entry or one per initiator)");
+  }
+  // The factory outlives `spec`; capture the workload list by value behind
+  // a shared_ptr so copying the config stays cheap.
+  const auto workloads =
+      std::make_shared<const std::vector<WorkloadSpec>>(spec.workloads);
+  const std::uint64_t base_seed = spec.seed;
+  return [workloads, base_seed](std::size_t index) {
+    const WorkloadSpec& w =
+        workloads->size() == 1 ? workloads->front() : (*workloads)[index];
+    return workload_registry().at(w.kind)(
+        w, base_seed + w.seed_stride * static_cast<std::uint64_t>(index));
+  };
+}
+
+/// Shared star/pod resolution of the initiator CC override list.
+std::vector<int> make_initiator_cc(const ScenarioSpec& spec) {
+  if (!spec.initiators.empty() && spec.initiators.size() != 1 &&
+      spec.initiators.size() != spec.topology.initiators) {
+    throw std::invalid_argument(
+        "scenario '" + spec.name + "': " +
+        std::to_string(spec.initiators.size()) + " initiator entries for " +
+        std::to_string(spec.topology.initiators) +
+        " initiators (need 1 shared entry or one per initiator)");
+  }
+  std::vector<int> cc;
+  if (spec.initiators.empty()) return cc;
+  cc.reserve(spec.topology.initiators);
+  for (std::size_t i = 0; i < spec.topology.initiators; ++i) {
+    const InitiatorSpec& ini = spec.initiators.size() == 1
+                                   ? spec.initiators.front()
+                                   : spec.initiators[i];
+    cc.push_back(ini.cc.empty() ? spec.net.cc_algorithm
+                                : cc_registry().at(ini.cc).algorithm);
+  }
+  return cc;
+}
+
+}  // namespace
+
 BuiltScenario build(const ScenarioSpec& spec, const BuildOptions& options) {
+  if (spec.topology.kind == "pod") {
+    throw std::invalid_argument(
+        "scenario '" + spec.name +
+        "': pod-kind scenarios run on the lane engine — use "
+        "scenario::build_pod / scenario::run_pod");
+  }
   BuiltScenario built;
   core::ExperimentConfig& config = built.config;
 
+  config.lanes = spec.lanes;
   config.initiator_count = spec.topology.initiators;
   config.target_count = spec.topology.targets;
   config.devices_per_target = spec.topology.devices_per_target;
@@ -42,48 +104,8 @@ BuiltScenario build(const ScenarioSpec& spec, const BuildOptions& options) {
         "(\"train-default\" or \"file\") or pass one via BuildOptions");
   }
 
-  if (spec.workloads.empty()) {
-    throw std::invalid_argument("scenario '" + spec.name +
-                                "': no workloads defined");
-  }
-  if (spec.workloads.size() != 1 &&
-      spec.workloads.size() != spec.topology.initiators) {
-    throw std::invalid_argument(
-        "scenario '" + spec.name + "': " + std::to_string(spec.workloads.size()) +
-        " workloads for " + std::to_string(spec.topology.initiators) +
-        " initiators (need 1 shared entry or one per initiator)");
-  }
-  // The factory outlives `spec`; capture the workload list by value behind
-  // a shared_ptr so copying the config stays cheap.
-  const auto workloads =
-      std::make_shared<const std::vector<WorkloadSpec>>(spec.workloads);
-  const std::uint64_t base_seed = spec.seed;
-  config.trace_for = [workloads, base_seed](std::size_t index) {
-    const WorkloadSpec& w =
-        workloads->size() == 1 ? workloads->front() : (*workloads)[index];
-    return workload_registry().at(w.kind)(
-        w, base_seed + w.seed_stride * static_cast<std::uint64_t>(index));
-  };
-
-  if (!spec.initiators.empty() && spec.initiators.size() != 1 &&
-      spec.initiators.size() != spec.topology.initiators) {
-    throw std::invalid_argument(
-        "scenario '" + spec.name + "': " +
-        std::to_string(spec.initiators.size()) + " initiator entries for " +
-        std::to_string(spec.topology.initiators) +
-        " initiators (need 1 shared entry or one per initiator)");
-  }
-  if (!spec.initiators.empty()) {
-    config.initiator_cc.reserve(spec.topology.initiators);
-    for (std::size_t i = 0; i < spec.topology.initiators; ++i) {
-      const InitiatorSpec& ini =
-          spec.initiators.size() == 1 ? spec.initiators.front()
-                                      : spec.initiators[i];
-      config.initiator_cc.push_back(
-          ini.cc.empty() ? spec.net.cc_algorithm
-                         : cc_registry().at(ini.cc).algorithm);
-    }
-  }
+  config.trace_for = make_trace_factory(spec);
+  config.initiator_cc = make_initiator_cc(spec);
 
   if (!spec.faults.empty()) {
     const fault::FaultPlan plan = spec.faults;
@@ -140,6 +162,50 @@ BuiltScenario build(const ScenarioSpec& spec, const BuildOptions& options) {
 core::ExperimentResult run(const ScenarioSpec& spec, const BuildOptions& options) {
   const BuiltScenario built = build(spec, options);
   return core::run_experiment(built.config);
+}
+
+core::PodExperimentConfig build_pod(const ScenarioSpec& spec,
+                                    const BuildOptions& options) {
+  if (spec.topology.kind != "pod") {
+    throw std::invalid_argument("scenario '" + spec.name +
+                                "': topology kind '" + spec.topology.kind +
+                                "' is not \"pod\" — use scenario::build");
+  }
+  const PodSpec& pod = spec.topology.pod;
+  const auto policy = net::parse_partition_policy(pod.partition);
+  if (!policy.has_value()) {
+    throw std::invalid_argument(
+        "scenario '" + spec.name + "': unknown partition policy '" +
+        pod.partition + "' (known: " + net::known_partition_policies() + ")");
+  }
+
+  core::PodExperimentConfig config;
+  config.grammar.pods = pod.pods;
+  config.grammar.racks_per_pod = pod.racks_per_pod;
+  config.grammar.hosts_per_rack = pod.hosts_per_rack;
+  config.grammar.oversubscription = pod.oversubscription;
+  config.grammar.host_rate = pod.host_rate;
+  config.grammar.rack_uplink_rate = pod.rack_uplink_rate;
+  config.grammar.spine_uplink_rate = pod.spine_uplink_rate;
+  config.grammar.host_link_delay = pod.host_link_delay;
+  config.grammar.rack_uplink_delay = pod.rack_uplink_delay;
+  config.grammar.spine_uplink_delay = pod.spine_uplink_delay;
+  config.partition = *policy;
+  config.lanes = spec.lanes == 0 ? 1 : spec.lanes;
+  config.net = spec.net;
+  config.initiator_count = spec.topology.initiators;
+  config.target_count = spec.topology.targets;
+  config.stripe_width = pod.stripe_width;
+  config.initiator_cc = make_initiator_cc(spec);
+  config.trace_for = make_trace_factory(spec);
+  config.max_time = spec.max_time;
+  config.observatory = options.observatory;
+  return config;
+}
+
+core::PodExperimentResult run_pod(const ScenarioSpec& spec,
+                                  const BuildOptions& options) {
+  return core::run_pod_experiment(build_pod(spec, options));
 }
 
 }  // namespace src::scenario

@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "core/experiment.hpp"
+#include "core/podscale.hpp"
 #include "scenario/spec.hpp"
 #include "verify/invariants.hpp"
 
@@ -39,7 +40,19 @@ struct BuiltScenario {
 BuiltScenario build(const ScenarioSpec& spec, const BuildOptions& options = {});
 
 /// build() + core::run_experiment, keeping the owned TPM alive throughout.
+/// Star-kind specs only; pod-kind specs route through run_pod().
 core::ExperimentResult run(const ScenarioSpec& spec,
                            const BuildOptions& options = {});
+
+/// Pod-kind counterpart of build(): resolves a "pod" topology spec into a
+/// core::PodExperimentConfig (grammar, partition policy, lane count, trace
+/// factory, per-initiator CC). Throws std::invalid_argument when the spec's
+/// topology kind is not "pod".
+core::PodExperimentConfig build_pod(const ScenarioSpec& spec,
+                                    const BuildOptions& options = {});
+
+/// build_pod() + core::run_pod_experiment.
+core::PodExperimentResult run_pod(const ScenarioSpec& spec,
+                                  const BuildOptions& options = {});
 
 }  // namespace src::scenario

@@ -175,7 +175,72 @@ ScenarioSpec coexistence_spec(const std::vector<std::string>& ccs,
   return spec;
 }
 
+ScenarioSpec pod_incast_spec(std::size_t initiators, std::size_t targets,
+                             std::size_t stripe_width, std::uint64_t seed) {
+  ScenarioSpec spec;
+  spec.name = "pod-incast-" + std::to_string(initiators) + "x" +
+              std::to_string(targets) + "s" + std::to_string(stripe_width);
+  spec.description = "pod-grammar in-cast: " + std::to_string(initiators) +
+                     " mixed-CC initiators striping reads " +
+                     std::to_string(stripe_width) + "-wide over " +
+                     std::to_string(targets) +
+                     " tail-pod targets, 4:1 oversubscription";
+  spec.topology.kind = "pod";
+  spec.topology.initiators = initiators;
+  spec.topology.targets = targets;
+  spec.topology.pod.pods = 2;
+  spec.topology.pod.racks_per_pod = 2;
+  spec.topology.pod.hosts_per_rack = 16;
+  spec.topology.pod.oversubscription = 4.0;
+  spec.topology.pod.stripe_width = stripe_width;
+  spec.max_time = 250 * common::kMillisecond;
+  spec.seed = seed;
+
+  // Incast-degree x fairness grid: initiators cycle dcqcn / swift / cubic,
+  // so the tail-pod uplinks arbitrate between loss-, delay-, and
+  // window-based controllers at once. One storage-shaped workload each;
+  // cubic rows carry the bulk background stream.
+  const char* ccs[] = {"dcqcn", "swift", "cubic"};
+  for (std::size_t i = 0; i < initiators; ++i) {
+    InitiatorSpec ini;
+    ini.cc = ccs[i % 3];
+    spec.initiators.push_back(std::move(ini));
+
+    WorkloadSpec workload;
+    workload.kind = "micro";
+    if (ini.cc == "cubic") {
+      workload.micro.read = workload::StreamParams{300.0, 256.0 * 1024, 250};
+      workload.micro.write = workload::StreamParams{2000.0, 64.0 * 1024, 40};
+    } else {
+      workload.micro.read = workload::StreamParams{32.0, 44.0 * 1024, 1200};
+      workload.micro.write = workload::StreamParams{70.0, 23.0 * 1024, 400};
+    }
+    workload.seed_stride = 17;
+    spec.workloads.push_back(std::move(workload));
+  }
+  return spec;
+}
+
 namespace {
+
+/// Reduced pod-incast for the lane-determinism golden and smoke runs: a
+/// 16-host grammar (7 shards under the rack partition) and ~6x fewer
+/// requests, so three lane-count runs finish in seconds.
+ScenarioSpec pod_incast_reduced_spec() {
+  ScenarioSpec spec = pod_incast_spec(/*initiators=*/6, /*targets=*/6,
+                                      /*stripe_width=*/3);
+  spec.name = "pod-incast-reduced";
+  spec.description =
+      "reduced pod-grammar in-cast (16 hosts, 6 mixed-CC initiators, "
+      "regression/smoke scale)";
+  spec.topology.pod.hosts_per_rack = 4;
+  spec.max_time = 120 * common::kMillisecond;
+  for (WorkloadSpec& workload : spec.workloads) {
+    workload.micro.read.count /= 6;
+    workload.micro.write.count /= 6;
+  }
+  return spec;
+}
 
 /// Reduced (~10x fewer requests) variants matching tests/regression: same
 /// topology and calibration, shrunk request counts and run caps so smoke
@@ -248,6 +313,19 @@ Registry<ScenarioPreset>& preset_registry() {
              spec.name = "dcqcn-vs-cubic";
              return spec;
            }});
+    r.add("pod-incast",
+          {"pod-grammar in-cast, 12 mixed-CC initiators striping over 12 "
+           "tail-pod targets (lane engine)",
+           [] {
+             ScenarioSpec spec = pod_incast_spec(/*initiators=*/12,
+                                                 /*targets=*/12,
+                                                 /*stripe_width=*/4);
+             spec.name = "pod-incast";
+             return spec;
+           }});
+    r.add("pod-incast-reduced",
+          {"reduced pod-grammar in-cast (regression/smoke scale)",
+           [] { return pod_incast_reduced_spec(); }});
     r.add("swift-vs-cubic",
           {"Swift storage vs Cubic bulk background, SRC on", [] {
              ScenarioSpec spec = coexistence_spec({"swift", "cubic"},

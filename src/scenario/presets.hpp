@@ -36,6 +36,13 @@ ScenarioSpec incast_spec(std::size_t targets, std::size_t initiators,
 ScenarioSpec coexistence_spec(const std::vector<std::string>& ccs,
                               bool use_src, std::uint64_t seed = 23);
 
+/// Pod-scale in-cast over the declarative pod grammar (topology kind
+/// "pod", run by the sharded lane engine): `initiators` mixed-CC hosts in
+/// the leading pods (cycling dcqcn/swift/cubic) read-stripe over `targets`
+/// hosts in the tail pod across oversubscribed rack and spine uplinks.
+ScenarioSpec pod_incast_spec(std::size_t initiators, std::size_t targets,
+                             std::size_t stripe_width, std::uint64_t seed = 41);
+
 /// One registered preset: a description line for listings plus a builder.
 struct ScenarioPreset {
   std::string description;
@@ -45,8 +52,9 @@ struct ScenarioPreset {
 /// Preset registry. Keys: "fig7", "fig9", "fig10-light", "fig10-moderate",
 /// "fig10-heavy", "table4", the ~10x-smaller "-reduced" variants the
 /// regression suite and CI smoke runs use ("fig7-reduced", "fig9-reduced",
-/// "table4-reduced"), and the mixed-CC coexistence family ("swift-only",
-/// "dcqcn-vs-cubic", "swift-vs-cubic").
+/// "table4-reduced"), the mixed-CC coexistence family ("swift-only",
+/// "dcqcn-vs-cubic", "swift-vs-cubic"), and the pod-grammar lane-engine
+/// pair ("pod-incast", "pod-incast-reduced").
 Registry<ScenarioPreset>& preset_registry();
 
 /// Convenience: preset_registry().at(name).make() (throws on unknown name,

@@ -6,6 +6,7 @@
 #include <set>
 #include <stdexcept>
 
+#include "net/partition.hpp"
 #include "scenario/registry.hpp"
 
 namespace src::scenario {
@@ -231,14 +232,35 @@ void put_rate(Json& out, const std::string& key, common::Rate r) {
   out.set(key + "_bytes_per_sec", Json{r.as_bytes_per_second()});
 }
 
+Json pod_to_json(const PodSpec& p) {
+  Json out{Json::Object{}};
+  out.set("pods", Json{static_cast<std::uint64_t>(p.pods)});
+  out.set("racks_per_pod", Json{static_cast<std::uint64_t>(p.racks_per_pod)});
+  out.set("hosts_per_rack", Json{static_cast<std::uint64_t>(p.hosts_per_rack)});
+  out.set("oversubscription", Json{p.oversubscription});
+  out.set("partition", Json{p.partition});
+  out.set("stripe_width", Json{static_cast<std::uint64_t>(p.stripe_width)});
+  put_rate(out, "host_rate", p.host_rate);
+  put_rate(out, "rack_uplink_rate", p.rack_uplink_rate);
+  put_rate(out, "spine_uplink_rate", p.spine_uplink_rate);
+  put_time(out, "host_link_delay", p.host_link_delay);
+  put_time(out, "rack_uplink_delay", p.rack_uplink_delay);
+  put_time(out, "spine_uplink_delay", p.spine_uplink_delay);
+  return out;
+}
+
 Json topology_to_json(const TopologySpec& t) {
   Json out{Json::Object{}};
+  // "kind"/"pod" appear only for the pod family, keeping every existing
+  // star manifest and preset dump byte-stable.
+  if (t.kind != "star") out.set("kind", Json{t.kind});
   out.set("initiators", Json{static_cast<std::uint64_t>(t.initiators)});
   out.set("targets", Json{static_cast<std::uint64_t>(t.targets)});
   out.set("devices_per_target",
           Json{static_cast<std::uint64_t>(t.devices_per_target)});
   put_rate(out, "link_rate", t.link_rate);
   put_time(out, "link_delay", t.link_delay);
+  if (t.kind == "pod") out.set("pod", pod_to_json(t.pod));
   return out;
 }
 
@@ -514,7 +536,51 @@ Json faults_to_json(const fault::FaultPlan& plan) {
 
 // --- parsers ----------------------------------------------------------------
 
+void parse_pod(ObjectReader& r, PodSpec& p) {
+  p.pods = r.u64("pods", p.pods, 1);
+  p.racks_per_pod = r.u64("racks_per_pod", p.racks_per_pod, 1);
+  p.hosts_per_rack = r.u64("hosts_per_rack", p.hosts_per_rack, 1);
+  p.oversubscription = r.positive("oversubscription", p.oversubscription);
+  p.partition = r.string("partition", p.partition);
+  if (!net::parse_partition_policy(p.partition).has_value()) {
+    r.fail("partition", "unknown partition policy '" + p.partition +
+                            "' (known: " + net::known_partition_policies() +
+                            ")");
+  }
+  p.stripe_width = r.u64("stripe_width", p.stripe_width, 1);
+  p.host_rate = r.rate("host_rate", p.host_rate);
+  if (p.host_rate.is_zero()) r.fail("host_rate_bytes_per_sec", "must be > 0");
+  // Zero uplink rates mean "derive from oversubscription".
+  p.rack_uplink_rate = r.rate("rack_uplink_rate", p.rack_uplink_rate);
+  p.spine_uplink_rate = r.rate("spine_uplink_rate", p.spine_uplink_rate);
+  p.host_link_delay = r.time("host_link_delay", p.host_link_delay);
+  p.rack_uplink_delay = r.time("rack_uplink_delay", p.rack_uplink_delay);
+  p.spine_uplink_delay = r.time("spine_uplink_delay", p.spine_uplink_delay);
+  // Uplinks cross shard boundaries under every non-trivial partition; their
+  // propagation delay bounds the conservative lookahead, so zero is invalid.
+  if (p.partition != "none") {
+    if (p.rack_uplink_delay < 1) {
+      r.fail("rack_uplink_delay_ns",
+             "must be >= 1 under partition '" + p.partition +
+                 "' (cross-shard delay bounds the conservative lookahead)");
+    }
+    if (p.spine_uplink_delay < 1) {
+      r.fail("spine_uplink_delay_ns",
+             "must be >= 1 under partition '" + p.partition +
+                 "' (cross-shard delay bounds the conservative lookahead)");
+    }
+  }
+}
+
 void parse_topology(ObjectReader& r, TopologySpec& t) {
+  t.kind = r.string("kind", t.kind);
+  if (t.kind != "star" && t.kind != "pod") {
+    r.fail("kind",
+           "unknown topology kind '" + t.kind + "' (known: pod, star)");
+  }
+  if (t.kind != "pod" && r.has("pod")) {
+    r.fail("pod", "payload does not match kind '" + t.kind + "'");
+  }
   t.initiators = r.u64("initiators", t.initiators, 1);
   t.targets = r.u64("targets", t.targets, 1);
   t.devices_per_target = r.u64("devices_per_target", t.devices_per_target, 1);
@@ -523,6 +589,74 @@ void parse_topology(ObjectReader& r, TopologySpec& t) {
     r.fail("link_rate_bytes_per_sec", "must be > 0");
   }
   t.link_delay = r.time("link_delay", t.link_delay);
+  r.object("pod", [&](ObjectReader& p) { parse_pod(p, t.pod); });
+}
+
+// Cross-field validation for pod-kind scenarios, after every block parsed.
+// Errors carry `$.topology...` / `$.lanes` locations so a bad grammar fails
+// here with a file:path diagnostic instead of deep inside the pod runner.
+void validate_pod(const ScenarioSpec& spec, const std::string& file) {
+  if (spec.topology.kind != "pod") {
+    // The star lane engine has exactly two shards (hosts | hub switch);
+    // more lanes than shards would be silently idle threads.
+    if (spec.lanes > 2) {
+      fail_at(file, "$.lanes",
+              "star scenarios run at most 2 lanes (hosts | hub switch), got " +
+                  std::to_string(spec.lanes));
+    }
+    return;
+  }
+  const PodSpec& pod = spec.topology.pod;
+  const std::size_t hosts =
+      pod.pods * pod.racks_per_pod * pod.hosts_per_rack;
+  if (spec.topology.initiators + spec.topology.targets > hosts) {
+    fail_at(file, "$.topology.initiators",
+            std::to_string(spec.topology.initiators) + " initiators + " +
+                std::to_string(spec.topology.targets) +
+                " targets exceed the grammar's " + std::to_string(hosts) +
+                " hosts (" + std::to_string(pod.pods) + " pods x " +
+                std::to_string(pod.racks_per_pod) + " racks x " +
+                std::to_string(pod.hosts_per_rack) + " hosts)");
+  }
+  if (pod.stripe_width > spec.topology.targets) {
+    fail_at(file, "$.topology.pod.stripe_width",
+            "stripe_width " + std::to_string(pod.stripe_width) +
+                " exceeds the " + std::to_string(spec.topology.targets) +
+                " targets");
+  }
+  const net::PodShardPlan plan{pod.pods, pod.racks_per_pod,
+                               *net::parse_partition_policy(pod.partition)};
+  if (spec.lanes > plan.shard_count()) {
+    fail_at(file, "$.lanes",
+            "lane count " + std::to_string(spec.lanes) + " exceeds the " +
+                std::to_string(plan.shard_count()) + " shards partition '" +
+                pod.partition + "' yields for this grammar");
+  }
+  if (spec.topology.devices_per_target != 1) {
+    fail_at(file, "$.topology.devices_per_target",
+            "pod scenarios model targets as hosts (no SSD stack); "
+            "devices_per_target must stay 1");
+  }
+  if (spec.driver != "auto") {
+    fail_at(file, "$.driver",
+            "pod scenarios have no NVMe driver; leave driver as \"auto\"");
+  }
+  if (spec.src.enabled) {
+    fail_at(file, "$.src.enabled",
+            "pod scenarios do not support SRC (no target-side controllers)");
+  }
+  if (spec.retry.enabled) {
+    fail_at(file, "$.retry.enabled",
+            "pod scenarios do not support initiator retry policies");
+  }
+  if (!spec.faults.empty()) {
+    fail_at(file, "$.faults",
+            "pod scenarios do not support fault plans");
+  }
+  if (spec.verify.enabled) {
+    fail_at(file, "$.verify.enabled",
+            "pod scenarios do not support runtime invariant verification");
+  }
 }
 
 void parse_net(ObjectReader& r, net::NetConfig& n) {
@@ -828,6 +962,9 @@ void parse_faults(ObjectReader& r, fault::FaultPlan& plan) {
 // a bad index fails at parse time with a `$.faults...` location instead of
 // surfacing as std::out_of_range when the injector arms mid-build.
 void validate_faults(const ScenarioSpec& spec, const std::string& file) {
+  // Pod scenarios reject fault plans wholesale (validate_pod), and the
+  // star-shape node math below would not apply to them anyway.
+  if (spec.topology.kind == "pod") return;
   const std::size_t hosts = spec.topology.initiators + spec.topology.targets;
   const std::size_t node_count = 1 + hosts;  // node 0 is the hub switch
   const auto path = [](const char* family, std::size_t i, const char* field) {
@@ -959,6 +1096,11 @@ Json to_json(const ScenarioSpec& spec) {
   if (!spec.description.empty()) out.set("description", Json{spec.description});
   out.set("seed", Json{spec.seed});
   put_time(out, "max_time", spec.max_time);
+  // Emitted only when set: existing manifests and dumps stay byte-stable,
+  // and lanes == 0 (classic engine) is the parse default anyway.
+  if (spec.lanes != 0) {
+    out.set("lanes", Json{static_cast<std::uint64_t>(spec.lanes)});
+  }
   out.set("topology", topology_to_json(spec.topology));
   out.set("net", net_to_json(spec.net));
   out.set("ssd", ssd_to_json(spec.ssd));
@@ -1008,6 +1150,7 @@ ScenarioSpec from_json(const obs::Json& doc, const std::string& file) {
   spec.seed = r.u64("seed", spec.seed);
   spec.max_time = r.time("max_time", spec.max_time);
   if (spec.max_time <= 0) r.fail("max_time_ns", "must be > 0");
+  spec.lanes = r.u64("lanes", spec.lanes);
 
   r.object("topology", [&](ObjectReader& t) { parse_topology(t, spec.topology); });
   r.object("net", [&](ObjectReader& n) { parse_net(n, spec.net); });
@@ -1057,6 +1200,7 @@ ScenarioSpec from_json(const obs::Json& doc, const std::string& file) {
   r.object("faults", [&](ObjectReader& f) { parse_faults(f, spec.faults); });
   validate_faults(spec, file);
   r.object("verify", [&](ObjectReader& v) { parse_verify(v, spec.verify); });
+  validate_pod(spec, file);
 
   r.done();
   return spec;

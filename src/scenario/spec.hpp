@@ -30,13 +30,44 @@
 
 namespace src::scenario {
 
-/// Star-fabric shape and link calibration.
+/// Pod-grammar block, meaningful only when TopologySpec::kind == "pod":
+/// pods x racks_per_pod x hosts_per_rack with a ToR per rack, an
+/// aggregation switch per pod, and one spine. Uplink rates left at zero are
+/// derived from the oversubscription ratio (net::PodGrammar).
+struct PodSpec {
+  std::size_t pods = 2;
+  std::size_t racks_per_pod = 2;
+  std::size_t hosts_per_rack = 16;
+  double oversubscription = 1.0;
+  /// Shard layout: "rack" (default), "pod", or "none" (net::PartitionPolicy).
+  std::string partition = "rack";
+  /// Each I/O record is striped over this many consecutive targets.
+  std::size_t stripe_width = 1;
+  common::Rate host_rate = common::Rate::gbps(40.0);
+  common::Rate rack_uplink_rate{};   ///< zero = derive from oversubscription
+  common::Rate spine_uplink_rate{};  ///< zero = derive from oversubscription
+  common::SimTime host_link_delay = common::kMicrosecond;
+  common::SimTime rack_uplink_delay = common::kMicrosecond;
+  common::SimTime spine_uplink_delay = 2 * common::kMicrosecond;
+
+  friend bool operator==(const PodSpec&, const PodSpec&) = default;
+};
+
+/// Fabric shape and link calibration. `kind` selects the topology family:
+/// "star" (the historical single-switch fabric with the full NVMe-oF stack)
+/// or "pod" (the declarative pod grammar, run on the sharded lane engine by
+/// core::run_pod_experiment). For "pod", initiators/targets count hosts
+/// drawn from the grammar (initiators from the first pod up, targets from
+/// the last pod down) and link_rate/link_delay are unused — the pod block
+/// carries per-tier rates instead.
 struct TopologySpec {
+  std::string kind = "star";
   std::size_t initiators = 1;
   std::size_t targets = 2;
   std::size_t devices_per_target = 1;
   common::Rate link_rate = common::Rate::gbps(40.0);
   common::SimTime link_delay = common::kMicrosecond;
+  PodSpec pod;  ///< kind == "pod"
 
   friend bool operator==(const TopologySpec&, const TopologySpec&) = default;
 };
@@ -140,6 +171,14 @@ struct ScenarioSpec {
 
   std::uint64_t seed = 1;
   common::SimTime max_time = 5 * common::kSecond;
+
+  /// Event-lane parallelism. 0 = the classic single-kernel engine (star
+  /// kind only; the historical byte-for-byte results). >= 1 = the sharded
+  /// lane engine with that many worker lanes; results are identical across
+  /// lane counts. Pod-kind scenarios always run the lane engine, so lanes
+  /// is clamped up to 1 there; it must not exceed the partition's shard
+  /// count (validated at parse time).
+  std::size_t lanes = 0;
 
   friend bool operator==(const ScenarioSpec&, const ScenarioSpec&) = default;
 };

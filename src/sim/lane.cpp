@@ -1,0 +1,206 @@
+#include "sim/lane.hpp"
+
+#include <algorithm>
+#include <barrier>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "obs/obs.hpp"
+
+namespace src::sim {
+
+using common::SimTime;
+using common::kTimeInfinity;
+
+LaneGroup::LaneGroup(std::size_t shard_count, std::size_t lane_count) {
+  if (shard_count == 0) {
+    throw std::invalid_argument("LaneGroup: shard_count must be >= 1");
+  }
+  shards_.reserve(shard_count);
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    shards_.push_back(std::make_unique<Simulator>());
+  }
+  lane_count_ = std::clamp<std::size_t>(lane_count, 1, shard_count);
+  outboxes_.resize(shard_count * shard_count);
+  scratch_.resize(shard_count);
+}
+
+void LaneGroup::set_lookahead(SimTime lookahead) {
+  if (lookahead < 1) {
+    throw std::invalid_argument(
+        "LaneGroup: lookahead must be >= 1 ns (a zero-delay cross-shard link "
+        "cannot be windowed conservatively)");
+  }
+  lookahead_ = lookahead;
+}
+
+void LaneGroup::post(std::size_t src, std::size_t dst, SimTime when,
+                     Callback fn) {
+  if (src == dst) {
+    kernel(src).schedule_at(when, std::move(fn));
+    return;
+  }
+  const SimTime earliest = kernel(src).now() +
+                           (lookahead_ == kTimeInfinity ? 0 : lookahead_);
+  if (when < earliest) {
+    throw std::logic_error(
+        "LaneGroup::post: cross-shard delivery at t=" + std::to_string(when) +
+        " undercuts the lookahead window (src shard now=" +
+        std::to_string(kernel(src).now()) +
+        ", lookahead=" + std::to_string(lookahead_) +
+        ") — a cross-shard link is faster than the declared lookahead");
+  }
+  Outbox& box = outbox(src, dst);
+  box.mail.push_back(Mail{when, box.next_seq++, std::move(fn)});
+}
+
+void LaneGroup::exchange(std::size_t dst) {
+  std::vector<MailRef>& merged = scratch_[dst];
+  merged.clear();
+  const std::size_t shard_count = shards_.size();
+  for (std::size_t src = 0; src < shard_count; ++src) {
+    if (src == dst) continue;
+    for (Mail& m : outbox(src, dst).mail) {
+      merged.push_back(MailRef{m.when, src, m.seq, &m});
+    }
+  }
+  if (merged.empty()) return;
+  // (when, src, seq) is a total order — per-(src, dst) sequences are unique
+  // — so a plain sort is deterministic regardless of arrival layout.
+  std::sort(merged.begin(), merged.end(),
+            [](const MailRef& a, const MailRef& b) {
+              if (a.when != b.when) return a.when < b.when;
+              if (a.src != b.src) return a.src < b.src;
+              return a.seq < b.seq;
+            });
+  Simulator& sink = kernel(dst);
+  for (MailRef& ref : merged) {
+    sink.schedule_at(ref.when, std::move(ref.mail->fn));
+  }
+  for (std::size_t src = 0; src < shard_count; ++src) {
+    if (src != dst) outbox(src, dst).mail.clear();
+  }
+}
+
+bool LaneGroup::plan_window(SimTime deadline) {
+  SimTime t_min = kTimeInfinity;
+  for (const auto& shard : shards_) {
+    t_min = std::min(t_min, shard->next_event_time());
+  }
+  if (t_min == kTimeInfinity || t_min > deadline) {
+    stop_ = true;
+    return false;
+  }
+  // Events strictly before t_min + lookahead are safe to run; the kernel
+  // contract is inclusive, so the horizon is the last safe instant.
+  const SimTime window_end = (lookahead_ == kTimeInfinity ||
+                              t_min > kTimeInfinity - lookahead_)
+                                 ? kTimeInfinity
+                                 : t_min + lookahead_;
+  horizon_ = std::min(window_end - 1, deadline);
+  stop_ = false;
+  return true;
+}
+
+void LaneGroup::finish(SimTime deadline) {
+  // Nothing at or before `deadline` remains, so this only advances drained
+  // kernels' clocks — the same clock a lone Simulator::run_until leaves.
+  for (const auto& shard : shards_) {
+    shard->run_until(deadline);
+  }
+}
+
+void LaneGroup::run_windows_serial(SimTime deadline) {
+  const std::size_t shard_count = shards_.size();
+  while (plan_window(deadline)) {
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      kernel(s).run_until(horizon_);
+    }
+    for (std::size_t dst = 0; dst < shard_count; ++dst) {
+      exchange(dst);
+    }
+  }
+}
+
+void LaneGroup::run_windows_threaded(SimTime deadline) {
+  if (!plan_window(deadline)) return;
+  const std::size_t shard_count = shards_.size();
+  const std::size_t lanes = lane_count_;
+
+  // Two barrier phases per window: run -> exchange -> plan. The planner
+  // runs exactly once per cycle as the second barrier's completion step,
+  // which both synchronizes the mailboxes and publishes the next horizon.
+  std::barrier<> run_done(static_cast<std::ptrdiff_t>(lanes));
+  auto plan_next = [this, deadline]() noexcept { plan_window(deadline); };
+  std::barrier<decltype(plan_next)> exchanged(
+      static_cast<std::ptrdiff_t>(lanes), plan_next);
+
+  auto lane_body = [&](std::size_t lane) {
+    // Window execution is obs-silent on every lane so counters cannot
+    // depend on which thread ran a shard (see header comment).
+    obs::ObsScope silent(nullptr);
+    for (;;) {
+      for (std::size_t s = lane; s < shard_count; s += lanes) {
+        kernel(s).run_until(horizon_);
+      }
+      run_done.arrive_and_wait();
+      for (std::size_t dst = lane; dst < shard_count; dst += lanes) {
+        exchange(dst);
+      }
+      exchanged.arrive_and_wait();
+      if (stop_) return;
+    }
+  };
+
+  std::vector<std::thread> workers;
+  workers.reserve(lanes - 1);
+  for (std::size_t lane = 1; lane < lanes; ++lane) {
+    workers.emplace_back(lane_body, lane);
+  }
+  lane_body(0);
+  for (std::thread& worker : workers) worker.join();
+}
+
+void LaneGroup::run_until(SimTime deadline) {
+  if (lane_count_ == 1) {
+    obs::ObsScope silent(nullptr);
+    run_windows_serial(deadline);
+  } else {
+    run_windows_threaded(deadline);
+  }
+  finish(deadline);
+}
+
+bool LaneGroup::drained() const {
+  for (const auto& shard : shards_) {
+    if (!shard->empty()) return false;
+  }
+  return true;
+}
+
+SimTime LaneGroup::now() const {
+  SimTime frontier = 0;
+  for (const auto& shard : shards_) {
+    frontier = std::max(frontier, shard->now());
+  }
+  return frontier;
+}
+
+std::uint64_t LaneGroup::executed_events() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->executed_events();
+  }
+  return total;
+}
+
+std::uint64_t LaneGroup::cross_shard_messages() const {
+  std::uint64_t total = 0;
+  for (const Outbox& box : outboxes_) {
+    total += box.next_seq;
+  }
+  return total;
+}
+
+}  // namespace src::sim

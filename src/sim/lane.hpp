@@ -1,0 +1,134 @@
+// Conservative parallel discrete-event engine (DESIGN.md §14). A LaneGroup
+// owns one Simulator kernel per *shard* — a fixed partition of the modelled
+// system — and executes the shards on up to `lane_count` worker threads in
+// lockstep time windows:
+//
+//   window = [t_min, t_min + lookahead)
+//
+// where t_min is the earliest pending event over all kernels and the
+// lookahead is the minimum cross-shard propagation delay. Any event inside
+// the window can only schedule cross-shard work at t >= t_min + lookahead,
+// i.e. at-or-after the window's end, so every kernel may run its slice of
+// the window with no peeking at its neighbours.
+//
+// Cross-shard deliveries go through per-(src, dst) outbox mailboxes: post()
+// appends to the (src, dst) box (written only by the thread executing
+// `src`), and after a window barrier each destination shard drains its
+// column of boxes in (when, src_shard, post_seq) order into its own
+// calendar. That merge order is a function of shard-local execution only,
+// so the results are bit-identical for every lane count — lanes are pure
+// executors of a fixed shard decomposition, never a source of
+// nondeterminism. The lane-determinism golden tests pin exactly this.
+//
+// Instrumentation: window execution runs under a null obs::ObsScope on
+// every lane (including the calling thread), so the SRC_OBS macros — passive
+// by construction — observe the same (empty) sink at every lane count.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/simulator.hpp"
+
+namespace src::sim {
+
+class LaneGroup {
+ public:
+  using Callback = Simulator::Callback;
+
+  /// `shard_count` fixes the decomposition (and therefore the results);
+  /// `lane_count` only sets how many threads execute it, clamped to
+  /// [1, shard_count]. lane_count 1 runs every window inline.
+  LaneGroup(std::size_t shard_count, std::size_t lane_count);
+
+  LaneGroup(const LaneGroup&) = delete;
+  LaneGroup& operator=(const LaneGroup&) = delete;
+
+  std::size_t shard_count() const { return shards_.size(); }
+  std::size_t lane_count() const { return lane_count_; }
+
+  Simulator& kernel(std::size_t shard) { return *shards_[shard]; }
+  const Simulator& kernel(std::size_t shard) const { return *shards_[shard]; }
+
+  /// Conservative window width: the minimum cross-shard propagation delay.
+  /// Must be >= 1 ns (a zero-delay cross-shard link admits no conservative
+  /// window). Defaults to kTimeInfinity — correct while there is no
+  /// cross-shard coupling at all (every window then runs to the deadline).
+  void set_lookahead(common::SimTime lookahead);
+  common::SimTime lookahead() const { return lookahead_; }
+
+  /// Schedule `fn` at absolute time `when` on shard `dst`, posted from code
+  /// currently executing on shard `src`. Cross-shard posts must respect the
+  /// lookahead (`when >= kernel(src).now() + lookahead()`); violations
+  /// throw std::logic_error — they mean the partitioner mapped a link whose
+  /// delay undercuts the window width. Same-shard posts schedule directly.
+  void post(std::size_t src, std::size_t dst, common::SimTime when, Callback fn);
+
+  /// Execute windows until every kernel's next event is past `deadline`
+  /// (events exactly at `deadline` still run) or everything drains. Between
+  /// calls all lanes are quiescent, so the caller may freely inspect or
+  /// mutate shard state.
+  void run_until(common::SimTime deadline);
+
+  /// All kernels drained (mailboxes are always empty between run_until
+  /// calls: every window ends with its exchange).
+  bool drained() const;
+
+  /// Frontier clock: the maximum kernel clock (kernel clocks advance
+  /// per-shard exactly as a lone Simulator's would).
+  common::SimTime now() const;
+
+  std::uint64_t executed_events() const;
+  /// Total cross-shard messages posted so far.
+  std::uint64_t cross_shard_messages() const;
+
+ private:
+  struct Mail {
+    common::SimTime when;
+    std::uint64_t seq;  ///< per-(src, dst) post sequence
+    Callback fn;
+  };
+  /// One (src, dst) mailbox. Padded to its own cache line: boxes are
+  /// adjacent in one vector but written by different lanes.
+  struct alignas(64) Outbox {
+    std::vector<Mail> mail;
+    std::uint64_t next_seq = 0;
+  };
+  /// Merge key for one pending delivery during exchange().
+  struct MailRef {
+    common::SimTime when;
+    std::size_t src;
+    std::uint64_t seq;
+    Mail* mail;
+  };
+
+  Outbox& outbox(std::size_t src, std::size_t dst) {
+    return outboxes_[src * shards_.size() + dst];
+  }
+
+  /// Drain every (src, dst) box into dst's calendar in deterministic
+  /// (when, src, seq) order. Runs on dst's owning lane, after the window
+  /// barrier.
+  void exchange(std::size_t dst);
+  /// Compute the next window's horizon from the kernels' next event times.
+  /// False when nothing remains at or before `deadline`.
+  bool plan_window(common::SimTime deadline);
+  /// Advance drained kernels' clocks to `deadline` (matching what a lone
+  /// Simulator::run_until leaves behind).
+  void finish(common::SimTime deadline);
+  void run_windows_serial(common::SimTime deadline);
+  void run_windows_threaded(common::SimTime deadline);
+
+  std::vector<std::unique_ptr<Simulator>> shards_;
+  std::size_t lane_count_ = 1;
+  common::SimTime lookahead_ = common::kTimeInfinity;
+  std::vector<Outbox> outboxes_;  ///< (src * shard_count + dst)
+  std::vector<std::vector<MailRef>> scratch_;  ///< per dst, owner-lane only
+  common::SimTime horizon_ = 0;  ///< written by the window planner only
+  bool stop_ = false;            ///< written by the window planner only
+};
+
+}  // namespace src::sim

@@ -129,6 +129,15 @@ class Simulator {
   std::size_t pending_events() const { return heap_size_; }
   std::uint64_t executed_events() const { return executed_; }
 
+  /// Earliest pending calendar entry; kTimeInfinity when drained. A
+  /// cancelled-but-unreclaimed entry may still report its original time —
+  /// harmless (and deterministic) for conservative window planning, which
+  /// only needs a lower bound on the next executable event.
+  SimTime next_event_time() const {
+    return heap_size_ > 0 ? static_cast<SimTime>(heap_[0].when)
+                          : common::kTimeInfinity;
+  }
+
   /// Introspection (tests / leak regression): slots ever allocated, and
   /// cancelled entries still awaiting reclamation from the calendar. Both
   /// are bounded by the peak number of concurrently pending events (plus

@@ -193,7 +193,7 @@ TEST(Registries, LookupFailureListsKnownNames) {
   // names() is sorted (std::map) so help text and errors are deterministic.
   const std::vector<std::string> presets = preset_registry().names();
   EXPECT_TRUE(std::is_sorted(presets.begin(), presets.end()));
-  EXPECT_EQ(presets.size(), 12u);
+  EXPECT_EQ(presets.size(), 14u);
   // cc names round-trip through the reverse lookup used by the serializer.
   for (const std::string& cc : cc_registry().names()) {
     EXPECT_EQ(cc_name(cc_registry().at(cc).algorithm), cc);

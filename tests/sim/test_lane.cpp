@@ -1,0 +1,180 @@
+// LaneGroup: the conservative sharded event engine (DESIGN.md §14). These
+// run under `-L unit`, which the tsan CI job executes — the multi-lane
+// cases double as the cross-lane mailbox data-race check.
+#include "sim/lane.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace src::sim {
+namespace {
+
+using common::SimTime;
+
+TEST(LaneGroupTest, LaneCountClampsToShardCount) {
+  LaneGroup lanes(3, 16);
+  EXPECT_EQ(lanes.shard_count(), 3u);
+  EXPECT_EQ(lanes.lane_count(), 3u);
+  LaneGroup serial(4, 0);
+  EXPECT_EQ(serial.lane_count(), 1u);
+}
+
+TEST(LaneGroupTest, LookaheadMustBePositive) {
+  LaneGroup lanes(2, 1);
+  EXPECT_THROW(lanes.set_lookahead(0), std::invalid_argument);
+  lanes.set_lookahead(5);
+  EXPECT_EQ(lanes.lookahead(), 5);
+}
+
+TEST(LaneGroupTest, SameShardPostSchedulesDirectly) {
+  LaneGroup lanes(2, 1);
+  lanes.set_lookahead(10);
+  std::vector<int> order;
+  // Same-shard posts ignore the lookahead: they go straight into the
+  // shard's own calendar.
+  lanes.post(0, 0, 3, Simulator::Callback([&order] { order.push_back(3); }));
+  lanes.post(0, 0, 1, Simulator::Callback([&order] { order.push_back(1); }));
+  lanes.run_until(100);
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+  EXPECT_EQ(lanes.cross_shard_messages(), 0u);
+  EXPECT_TRUE(lanes.drained());
+}
+
+TEST(LaneGroupTest, CrossShardPostBelowLookaheadThrows) {
+  LaneGroup lanes(2, 1);
+  lanes.set_lookahead(10);
+  // From shard 0 at t=0, the earliest legal cross-shard delivery is t=10.
+  EXPECT_THROW(
+      lanes.post(0, 1, 9, Simulator::Callback([] {})),
+      std::logic_error);
+  lanes.post(0, 1, 10, Simulator::Callback([] {}));
+  lanes.run_until(100);
+  EXPECT_EQ(lanes.cross_shard_messages(), 1u);
+}
+
+// The determinism contract: deliveries landing at the same destination
+// time drain in (when, src_shard, post_seq) order, independent of which
+// lane executed the sources.
+TEST(LaneGroupTest, MailboxMergeOrderIsWhenSrcSeq) {
+  for (const std::size_t lane_count : {1u, 2u, 3u}) {
+    LaneGroup lanes(3, lane_count);
+    lanes.set_lookahead(10);
+    std::vector<std::pair<int, int>> order;  // (src, seq-within-src)
+    // Shards 1 and 2 each post two deliveries to shard 0, all at t=10.
+    for (const std::size_t src : {1u, 2u}) {
+      lanes.kernel(src).schedule_at(0, [&lanes, &order, src] {
+        for (int i = 0; i < 2; ++i) {
+          lanes.post(src, 0, 10,
+                     Simulator::Callback([&order, src, i] {
+                       order.emplace_back(static_cast<int>(src), i);
+                     }));
+        }
+      });
+    }
+    lanes.run_until(100);
+    const std::vector<std::pair<int, int>> want = {
+        {1, 0}, {1, 1}, {2, 0}, {2, 1}};
+    EXPECT_EQ(order, want) << "lane_count=" << lane_count;
+    EXPECT_EQ(lanes.cross_shard_messages(), 4u);
+  }
+}
+
+// Two shards ping-pong a token through the mailboxes; the hop count and
+// final clock must match the analytic value at every lane count.
+TEST(LaneGroupTest, CrossShardPingPong) {
+  for (const std::size_t lane_count : {1u, 2u}) {
+    LaneGroup lanes(2, lane_count);
+    const SimTime hop = 7;
+    lanes.set_lookahead(hop);
+    int hops = 0;
+    // Self-referential bounce: declared std::function so the lambda can
+    // capture itself by reference.
+    std::function<void(std::size_t)> bounce = [&](std::size_t at) {
+      ++hops;
+      if (hops >= 20) return;
+      const std::size_t to = 1 - at;
+      lanes.post(at, to, lanes.kernel(at).now() + hop,
+                 Simulator::Callback([&bounce, to] { bounce(to); }));
+    };
+    lanes.kernel(0).schedule_at(0, [&bounce] { bounce(0); });
+    // First hop fires at t=0 on shard 0; hop k fires at t=k*hop, so the
+    // 20th and last lands at 19*hop. Run exactly that far: drained kernels
+    // then advance to the deadline, like a lone Simulator's run_until.
+    lanes.run_until(19 * hop);
+    EXPECT_EQ(hops, 20) << "lane_count=" << lane_count;
+    EXPECT_TRUE(lanes.drained());
+    EXPECT_EQ(lanes.now(), 19 * hop);
+    EXPECT_EQ(lanes.cross_shard_messages(), 19u);
+  }
+}
+
+// run_until leaves all lanes quiescent: the caller may inspect and mutate
+// shard state between calls, and events exactly at the deadline execute.
+TEST(LaneGroupTest, RunUntilIsInclusiveAndResumable) {
+  LaneGroup lanes(2, 2);
+  lanes.set_lookahead(10);
+  std::vector<SimTime> fired;
+  for (const SimTime t : {5, 50, 55}) {
+    lanes.kernel(1).schedule_at(t, [&fired, t] { fired.push_back(t); });
+  }
+  lanes.run_until(50);
+  EXPECT_EQ(fired, (std::vector<SimTime>{5, 50}));
+  EXPECT_FALSE(lanes.drained());
+  // Quiescent gap: schedule more work, then resume.
+  lanes.kernel(0).schedule_at(52, [&fired] { fired.push_back(52); });
+  lanes.run_until(100);
+  EXPECT_EQ(fired, (std::vector<SimTime>{5, 50, 52, 55}));
+  EXPECT_TRUE(lanes.drained());
+  EXPECT_EQ(lanes.now(), 100);
+}
+
+// Heavier cross-lane traffic for tsan: eight tokens circulate over four
+// shards with different strides, so every (src, dst) mailbox pair carries
+// concurrent traffic for many windows. The checksum is lane-count
+// invariant.
+TEST(LaneGroupTest, CirculatingTokensAreLaneCountInvariant) {
+  std::uint64_t want_sum = 0;
+  std::uint64_t want_events = 0;
+  for (const std::size_t lane_count : {1u, 4u}) {
+    constexpr std::size_t kShards = 4;
+    LaneGroup lanes(kShards, lane_count);
+    lanes.set_lookahead(3);
+    std::uint64_t sums[kShards] = {};
+    std::function<void(std::size_t, std::size_t, int)> hop =
+        [&](std::size_t at, std::size_t stride, int round) {
+          sums[at] += static_cast<std::uint64_t>(round + 1) * (at + 1);
+          if (round >= 200) return;
+          const std::size_t dst = (at + stride) % kShards;
+          lanes.post(at, dst, lanes.kernel(at).now() + 3,
+                     Simulator::Callback([&hop, dst, stride, round] {
+                       hop(dst, stride, round + 1);
+                     }));
+        };
+    for (std::size_t s = 0; s < kShards; ++s) {
+      for (const std::size_t stride : {1u, 3u}) {
+        lanes.kernel(s).schedule_at(0, [&hop, s, stride] { hop(s, stride, 0); });
+      }
+    }
+    lanes.run_until(common::kSecond);
+    std::uint64_t sum = 0;
+    for (const std::uint64_t s : sums) sum += s;
+    if (lane_count == 1) {
+      want_sum = sum;
+      want_events = lanes.executed_events();
+      EXPECT_GT(sum, 0u);
+    } else {
+      EXPECT_EQ(sum, want_sum);
+      EXPECT_EQ(lanes.executed_events(), want_events);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace src::sim

@@ -258,16 +258,86 @@ obs::Json run_report(const std::string& scenario_name,
   return report;
 }
 
+/// Pod-kind arm of `srcctl run`: pod manifests execute on the sharded lane
+/// engine via scenario::run_pod and report pod metrics (striped read/write
+/// chunks, cross-shard messages) instead of the star experiment's weight
+/// trajectory. --metrics-out writes an "src-pod-run-v1" report.
+int run_pod_scenario(const scenario::ScenarioSpec& spec, const Args& args) {
+  obs::ObsConfig obs_config;
+  obs_config.tracing = false;
+  obs::Observatory observatory(obs_config);
+  scenario::BuildOptions options;
+  options.observatory = &observatory;
+
+  core::PodExperimentResult result;
+  try {
+    result = scenario::run_pod(spec, options);
+  } catch (const std::exception& err) {
+    std::fprintf(stderr, "%s\n", err.what());
+    return 1;
+  }
+
+  const scenario::PodSpec& pod = spec.topology.pod;
+  std::printf("%s: pod grammar %zux%zux%zu (oversub %.1f, partition %s), "
+              "%zu lane(s)\n",
+              spec.name.c_str(), pod.pods, pod.racks_per_pod,
+              pod.hosts_per_rack, pod.oversubscription, pod.partition.c_str(),
+              spec.lanes == 0 ? std::size_t{1} : spec.lanes);
+  std::printf("  read %.2f Gbps, %llu read + %llu write chunks, %llu pauses, "
+              "Jain index %.4f%s\n",
+              result.read_rate().as_gbps(),
+              static_cast<unsigned long long>(result.reads_completed),
+              static_cast<unsigned long long>(result.writes_completed),
+              static_cast<unsigned long long>(result.total_pauses),
+              result.read_fairness_index(),
+              result.completed ? "" : " (hit max_time cap)");
+  std::printf("  %llu events executed, %llu cross-shard messages, "
+              "end %.1f ms\n",
+              static_cast<unsigned long long>(result.events_executed),
+              static_cast<unsigned long long>(result.cross_shard_messages),
+              common::to_milliseconds(result.end_time));
+
+  if (args.has("metrics-out")) {
+    obs::Json report{obs::Json::Object{}};
+    report.set("schema", obs::Json{"src-pod-run-v1"});
+    report.set("scenario", obs::Json{spec.name});
+    report.set("read_gbps", obs::Json{result.read_rate().as_gbps()});
+    report.set("read_jain_index", obs::Json{result.read_fairness_index()});
+    report.set("reads_completed", obs::Json{result.reads_completed});
+    report.set("writes_completed", obs::Json{result.writes_completed});
+    report.set("total_pauses", obs::Json{result.total_pauses});
+    report.set("events_executed", obs::Json{result.events_executed});
+    report.set("cross_shard_messages", obs::Json{result.cross_shard_messages});
+    report.set("completed", obs::Json{result.completed});
+    obs::Json per_initiator{obs::Json::Array{}};
+    for (const std::uint64_t bytes : result.per_initiator_read_bytes) {
+      per_initiator.push_back(obs::Json{bytes});
+    }
+    report.set("per_initiator_read_bytes", std::move(per_initiator));
+    report.set("metrics", observatory.metrics().snapshot());
+    const std::string path = args.get("metrics-out", "");
+    write_text_file(path, report.dump(2));
+    std::printf("metrics written to %s\n", path.c_str());
+  }
+  return 0;
+}
+
 int cmd_run(const Args& args) {
   if (args.has("help") || args.positionals().empty()) {
     std::puts("srcctl run <scenario.json> [--model file.tpm]\n"
               "           [--metrics-out report.json] [--dump] [--lenient]\n"
+              "           [--lanes N]\n"
               "\n"
               "Runs a src-scenario-v1 manifest end to end and prints the\n"
               "measured throughput. --model supplies a pre-fitted TPM\n"
               "(overriding the manifest's src.tpm source); --metrics-out\n"
               "writes a src-run-v1 report; --dump echoes the parsed manifest\n"
-              "back as canonical JSON instead of running it.\n"
+              "back as canonical JSON instead of running it. --lanes overrides\n"
+              "the manifest's lane count (0 = classic single-kernel engine;\n"
+              "N >= 1 = sharded lane engine with N worker threads — results\n"
+              "are identical at every N). Pod-kind manifests always run on\n"
+              "the lane engine and print a pod summary (--metrics-out then\n"
+              "writes an src-pod-run-v1 report).\n"
               "\n"
               "Exit codes: 0 clean run, 1 runtime failure, 2 usage error,\n"
               "3 health failure — a controller guardrail tripped, requests\n"
@@ -286,10 +356,14 @@ int cmd_run(const Args& args) {
     std::fprintf(stderr, "%s\n", err.what());
     return 2;
   }
+  if (args.has("lanes")) {
+    spec.lanes = args.get_u64("lanes", spec.lanes);
+  }
   if (args.has("dump")) {
     std::fputs(scenario::to_json_text(spec).c_str(), stdout);
     return 0;
   }
+  if (spec.topology.kind == "pod") return run_pod_scenario(spec, args);
 
   core::Tpm tpm;
   scenario::BuildOptions options;
@@ -951,8 +1025,9 @@ int cmd_benchdiff(const Args& args) {
   return 0;
 }
 
-/// Validate one `srcctl run --metrics-out` report ("src-run-v1"). Returns
-/// an empty string when valid, else a message.
+/// Validate one `srcctl run --metrics-out` report — "src-run-v1" for star
+/// scenarios, "src-pod-run-v1" for pod-grammar runs on the lane engine.
+/// Returns an empty string when valid, else a message.
 std::string check_run_json(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return "cannot open file";
@@ -967,16 +1042,26 @@ std::string check_run_json(const std::string& path) {
   if (!doc.is_object()) return "top level is not an object";
   const obs::Json* schema = doc.find("schema");
   if (schema == nullptr || !schema->is_string() ||
-      schema->as_string() != "src-run-v1") {
-    return "missing or unexpected \"schema\" (want \"src-run-v1\")";
+      (schema->as_string() != "src-run-v1" &&
+       schema->as_string() != "src-pod-run-v1")) {
+    return "missing or unexpected \"schema\" (want \"src-run-v1\" or "
+           "\"src-pod-run-v1\")";
   }
+  const bool pod_report = schema->as_string() == "src-pod-run-v1";
   const obs::Json* name = doc.find("scenario");
   if (name == nullptr || !name->is_string() || name->as_string().empty()) {
     return "missing \"scenario\" name";
   }
-  for (const char* key :
-       {"read_gbps", "write_gbps", "aggregate_gbps", "total_pauses",
-        "reads_completed", "writes_completed", "final_weight_ratio"}) {
+  const std::vector<const char*> numeric_keys =
+      pod_report
+          ? std::vector<const char*>{"read_gbps", "total_pauses",
+                                     "reads_completed", "writes_completed",
+                                     "events_executed", "cross_shard_messages"}
+          : std::vector<const char*>{"read_gbps", "write_gbps",
+                                     "aggregate_gbps", "total_pauses",
+                                     "reads_completed", "writes_completed",
+                                     "final_weight_ratio"};
+  for (const char* key : numeric_keys) {
     const obs::Json* value = doc.find(key);
     if (value == nullptr || !value->is_number() || value->as_number() < 0.0) {
       return std::string("missing or negative \"") + key + "\"";
@@ -991,7 +1076,11 @@ std::string check_run_json(const std::string& path) {
       jain->as_number() > 1.0) {
     return "missing \"read_jain_index\" or outside [0, 1]";
   }
-  for (const char* key : {"per_initiator_read_gbps", "read_shares"}) {
+  const std::vector<const char*> array_keys =
+      pod_report
+          ? std::vector<const char*>{"per_initiator_read_bytes"}
+          : std::vector<const char*>{"per_initiator_read_gbps", "read_shares"};
+  for (const char* key : array_keys) {
     const obs::Json* list = doc.find(key);
     if (list == nullptr || !list->is_array()) {
       return std::string("missing \"") + key + "\" array";
@@ -1023,7 +1112,8 @@ int cmd_metricscheck(const Args& args) {
     std::puts("srcctl metricscheck report.json [more.json ...]\n"
               "\n"
               "Validates `srcctl run --metrics-out` reports against the\n"
-              "src-run-v1 schema; exits non-zero if any file is malformed.");
+              "src-run-v1 schema (src-pod-run-v1 for pod-grammar runs);\n"
+              "exits non-zero if any file is malformed.");
     return args.has("help") ? 0 : 2;
   }
   return run_file_checks(args, "metricscheck", check_run_json);
@@ -1291,7 +1381,7 @@ int cmd_lint(int argc, char** argv) {
   static const std::vector<std::string> kValueFlags = {
       "--root",         "--rules",          "--cxx",       "--jobs",
       "--format",       "--baseline",       "--write-baseline",
-      "--sarif-out",    "--shared-inventory"};
+      "--sarif-out",    "--shared-inventory", "--fail-shared-under"};
   bool has_root = false, has_baseline = false, has_files = false;
   for (std::size_t i = 0; i < forward.size(); ++i) {
     const std::string& arg = forward[i];
@@ -1302,7 +1392,8 @@ int cmd_lint(int argc, char** argv) {
           "  against its committed baseline; otherwise forwards verbatim.\n"
           "  srclint flags: --rules R1,.. --format text|json|sarif\n"
           "  --baseline F --write-baseline F --sarif-out F\n"
-          "  --shared-inventory F --no-header-check --cxx CC --jobs N --list");
+          "  --shared-inventory F --fail-shared-under PREFIX\n"
+          "  --no-header-check --cxx CC --jobs N --list");
       return 0;
     }
     if (arg == "--root") has_root = true;
@@ -1415,7 +1506,7 @@ const Command kCommands[] = {
      cmd_benchcheck, true},
     {"benchdiff", "per-section throughput delta between two BENCH_*.json",
      cmd_benchdiff, true},
-    {"metricscheck", "validate srcctl run reports against src-run-v1",
+    {"metricscheck", "validate srcctl run reports (src-run-v1 / src-pod-run-v1)",
      cmd_metricscheck, true},
     {"lint", "run the srclint determinism & invariant linter (R1-R9)",
      nullptr, true, cmd_lint},

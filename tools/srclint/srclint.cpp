@@ -27,6 +27,12 @@
 //                            independent of --format (for CI upload)
 //   --shared-inventory <f>   write the full R8 shared-state inventory
 //                            (src-shared-state-v1 JSON) to <f>
+//   --fail-shared-under <p>  (repeatable) fail the run when any *mutable*
+//                            static-storage object lives under path prefix
+//                            <p>, annotated or not. Annotations justify
+//                            determinism, not thread-safety, so layers the
+//                            sharded lane engine executes concurrently
+//                            (src/sim, src/net) gate on an empty inventory.
 //   --list                   print the files that would be linted, exit 0
 //
 // Exit codes: 0 clean, 1 findings reported, 2 usage or I/O error — so CI
@@ -62,7 +68,7 @@ int usage_error(const std::string& message) {
                "               [--format text|json|sarif] [--baseline <file>]"
                " [--write-baseline <file>]\n"
                "               [--sarif-out <file>] [--shared-inventory <file>]"
-               " [--list]\n"
+               " [--fail-shared-under <prefix>]... [--list]\n"
             << "       srclint [options] <file>...\n";
   return kExitError;
 }
@@ -96,6 +102,7 @@ struct Options {
   std::string write_baseline_path;
   std::string sarif_out_path;
   std::string inventory_path;
+  std::vector<std::string> fail_shared_under;
   std::vector<std::string> files;
 };
 
@@ -172,6 +179,12 @@ int main(int argc, char** argv) {
       if (!next_value(opt.inventory_path)) {
         return usage_error("--shared-inventory requires a value");
       }
+    } else if (arg == "--fail-shared-under") {
+      std::string value;
+      if (!next_value(value)) {
+        return usage_error("--fail-shared-under requires a value");
+      }
+      opt.fail_shared_under.push_back(std::move(value));
     } else if (arg == "--no-header-check") {
       opt.header_check = false;
     } else if (arg == "--list") {
@@ -347,10 +360,34 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Hard gate on mutable shared state in concurrency-sensitive layers.
+  // Unlike R8 findings, `srclint:shared-ok` annotations do NOT exempt an
+  // object here: they argue determinism, not freedom from data races.
+  std::size_t shared_hits = 0;
+  for (const SharedObject& obj : index.shared_objects) {
+    if (obj.is_const) continue;
+    for (const std::string& prefix : opt.fail_shared_under) {
+      if (!obj.path.starts_with(prefix)) continue;
+      std::cerr << "srclint: mutable shared state under '" << prefix
+                << "': " << obj.path << ":" << obj.line << ": "
+                << obj.qualified << " (" << storage_name(obj.storage) << ")";
+      if (obj.annotated) std::cerr << " [annotated: " << obj.reason << "]";
+      std::cerr << "\n";
+      ++shared_hits;
+      break;
+    }
+  }
+
   std::cout << render_findings(findings, opt.format, root_hint);
-  if (!findings.empty()) {
-    std::cerr << "srclint: " << findings.size() << " finding(s) in "
-              << work.size() << " file(s) scanned\n";
+  if (!findings.empty() || shared_hits > 0) {
+    if (!findings.empty()) {
+      std::cerr << "srclint: " << findings.size() << " finding(s) in "
+                << work.size() << " file(s) scanned\n";
+    }
+    if (shared_hits > 0) {
+      std::cerr << "srclint: " << shared_hits
+                << " mutable shared object(s) in gated path(s)\n";
+    }
     return kExitFindings;
   }
   return kExitClean;
